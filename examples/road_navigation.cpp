@@ -1,0 +1,104 @@
+// Road-network navigation: the paper's road-layout-management motivation.
+//
+// Builds a thinned grid road network (the road-TX surrogate family), runs
+// one SSSP per depot, and answers distance queries between landmarks —
+// comparing the full RDBS configuration against the configuration the paper
+// recommends for high-diameter uniform-degree graphs.
+//
+//   $ ./road_navigation [--side=192] [--seed=7]
+#include <cstdio>
+
+#include <algorithm>
+
+#include "common/cli.hpp"
+#include "core/rdbs.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+#include "sssp/paths.hpp"
+
+using namespace rdbs;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto side = static_cast<graph::VertexId>(args.get_int("side", 192));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  // A side x side street grid with ~15% of segments missing (construction,
+  // one-ways) and travel times of 1..1000 seconds per segment.
+  graph::GridParams params;
+  params.width = side;
+  params.height = side;
+  params.keep_probability = 0.85;
+  params.seed = seed;
+  graph::EdgeList edges = graph::generate_grid(params);
+  graph::assign_weights(edges, graph::WeightScheme::kUniformInt1To1000, seed);
+  graph::BuildOptions build;
+  build.symmetrize = true;
+  const graph::Csr roads = graph::build_csr(edges, build);
+
+  const graph::DegreeStats stats = graph::compute_degree_stats(roads);
+  std::printf("road network: %u intersections, %llu segments, avg degree "
+              "%.2f, diameter >= %u hops\n",
+              roads.num_vertices(),
+              static_cast<unsigned long long>(roads.num_edges() / 2),
+              stats.average_degree,
+              graph::approximate_diameter(roads, 2, seed));
+
+  // Depot at the NW corner; landmark queries spread across the map.
+  const graph::VertexId depot = 0;
+
+  // Δ0 sized for a high-diameter network (see DESIGN.md on Δ selection).
+  core::GpuSsspOptions options;
+  options.delta0 = 2000.0;
+  core::RdbsSolver solver(roads, gpusim::v100(), options);
+  const core::GpuRunResult from_depot = solver.solve(depot);
+
+  const graph::VertexId queries[] = {side - 1, side * (side - 1),
+                                     side * side - 1,
+                                     side * (side / 2) + side / 2};
+  std::printf("\ntravel times from depot (vertex %u):\n", depot);
+  for (const graph::VertexId q : queries) {
+    const double d = from_depot.sssp.distances[q];
+    if (d == graph::kInfiniteDistance) {
+      std::printf("  -> %6u: unreachable (disconnected by thinning)\n", q);
+    } else {
+      std::printf("  -> %6u: %.0f s\n", q, d);
+    }
+  }
+
+  // Turn-by-turn route to the farthest reachable landmark.
+  graph::VertexId best_landmark = depot;
+  for (const graph::VertexId q : queries) {
+    if (from_depot.sssp.distances[q] != graph::kInfiniteDistance &&
+        (best_landmark == depot ||
+         from_depot.sssp.distances[q] >
+             from_depot.sssp.distances[best_landmark])) {
+      best_landmark = q;
+    }
+  }
+  if (best_landmark != depot) {
+    const auto parents =
+        sssp::build_parent_tree(roads, depot, from_depot.sssp.distances);
+    const auto route = sssp::extract_path(parents, depot, best_landmark);
+    if (route) {
+      std::printf("\nroute to landmark %u (%zu intersections):\n  ",
+                  best_landmark, route->size());
+      const std::size_t shown = std::min<std::size_t>(route->size(), 12);
+      for (std::size_t i = 0; i < shown; ++i) {
+        std::printf("%s%u", i ? " -> " : "", (*route)[i]);
+      }
+      if (route->size() > shown) {
+        std::printf(" -> ... -> %u", route->back());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nsolver report: %.3f ms simulated on %s, %zu buckets, "
+              "update redundancy %.2fx\n",
+              from_depot.device_ms, "V100", from_depot.buckets.size(),
+              from_depot.sssp.work.redundancy_ratio());
+  return 0;
+}

@@ -1,0 +1,199 @@
+// sssp_tool — command-line front end for the whole library.
+//
+// Load a graph (file or generator), run any of the implemented algorithms,
+// and print distances, routes, per-bucket traces or an nvprof-style
+// profile. Examples:
+//
+//   # shortest path on a DIMACS road file, with the route printed
+//   ./sssp_tool --input=ny.gr --format=dimacs --source=0 --target=1234
+//
+//   # RDBS on a generated Kronecker graph, profile + bucket trace (CSV)
+//   ./sssp_tool --dataset=k-n16-16 --algorithm=rdbs --profile --trace
+//
+//   # compare algorithms on a surrogate dataset
+//   ./sssp_tool --dataset=soc-PK --algorithm=all --sources=4
+#include <cstdio>
+#include <string>
+
+#include "bench_support/experiment.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/adds.hpp"
+#include "core/legacy_gpu.hpp"
+#include "core/rdbs.hpp"
+#include "core/sep_hybrid.hpp"
+#include "gpusim/profiler.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/paths.hpp"
+#include "sssp/pq_delta_star.hpp"
+#include "sssp/validate.hpp"
+
+using namespace rdbs;
+
+namespace {
+
+graph::Csr load_input(const CliArgs& args, const bench::HarnessConfig& config) {
+  const std::string input = args.get_string("input", "");
+  if (!input.empty()) {
+    const std::string format = args.get_string("format", "edgelist");
+    graph::EdgeList edges;
+    if (format == "dimacs") {
+      edges = graph::read_dimacs(input);
+    } else if (format == "mtx") {
+      edges = graph::read_matrix_market(input);
+    } else {
+      edges = graph::read_edge_list(input);
+    }
+    if (args.get_bool("assign-weights", false)) {
+      graph::assign_weights(edges, graph::WeightScheme::kUniformInt1To1000,
+                            config.seed);
+    }
+    graph::BuildOptions build;
+    build.symmetrize = !args.get_bool("directed", false);
+    return graph::build_csr(edges, build);
+  }
+  return bench::load_bench_graph(args.get_string("dataset", "soc-PK"),
+                                 config);
+}
+
+struct RunOutcome {
+  double ms = 0;
+  sssp::SsspResult sssp;
+  gpusim::Counters counters;
+  bool simulated = true;
+};
+
+RunOutcome run_algorithm(const std::string& algorithm, const graph::Csr& csr,
+                         const gpusim::DeviceSpec& device,
+                         graph::Weight delta0, graph::VertexId source) {
+  RunOutcome outcome;
+  if (algorithm == "rdbs") {
+    core::GpuSsspOptions options;
+    options.delta0 = delta0;
+    core::RdbsSolver solver(csr, device, options);
+    auto result = solver.solve(source);
+    outcome.ms = result.device_ms;
+    outcome.sssp = std::move(result.sssp);
+    outcome.counters = result.counters;
+  } else if (algorithm == "adds") {
+    core::AddsOptions options;
+    options.delta = delta0;
+    core::AddsLike adds(device, csr, options);
+    auto result = adds.run(source);
+    outcome.ms = result.device_ms;
+    outcome.sssp = std::move(result.sssp);
+    outcome.counters = result.counters;
+  } else if (algorithm == "sep") {
+    core::SepHybrid sep(device, csr);
+    auto result = sep.run(source);
+    outcome.ms = result.gpu.device_ms;
+    outcome.sssp = std::move(result.gpu.sssp);
+    outcome.counters = result.gpu.counters;
+  } else if (algorithm == "hn07") {
+    core::HarishNarayanan hn(device, csr);
+    auto result = hn.run(source);
+    outcome.ms = result.device_ms;
+    outcome.sssp = std::move(result.sssp);
+    outcome.counters = result.counters;
+  } else if (algorithm == "dijkstra") {
+    Timer timer;
+    outcome.sssp = sssp::dijkstra(csr, source);
+    outcome.ms = timer.milliseconds();
+    outcome.simulated = false;
+  } else if (algorithm == "bellman-ford") {
+    Timer timer;
+    outcome.sssp = sssp::bellman_ford(csr, source);
+    outcome.ms = timer.milliseconds();
+    outcome.simulated = false;
+  } else if (algorithm == "pq-delta") {
+    Timer timer;
+    sssp::PqDeltaStarOptions options;
+    options.delta_star = delta0;
+    outcome.sssp = sssp::pq_delta_star(csr, source, options);
+    outcome.ms = timer.milliseconds();
+    outcome.simulated = false;
+  } else {
+    std::fprintf(stderr, "unknown --algorithm=%s (try rdbs, adds, sep, "
+                         "hn07, dijkstra, bellman-ford, pq-delta, all)\n",
+                 algorithm.c_str());
+    std::exit(2);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const gpusim::DeviceSpec device = bench::device_by_name(config.device);
+
+  const graph::Csr csr = load_input(args, config);
+  const graph::DegreeStats stats = graph::compute_degree_stats(csr);
+  std::printf("graph: %u vertices, %llu directed edges, avg degree %.2f, "
+              "max degree %llu\n",
+              csr.num_vertices(),
+              static_cast<unsigned long long>(csr.num_edges()),
+              stats.average_degree,
+              static_cast<unsigned long long>(stats.max_degree));
+
+  const graph::Weight delta0 =
+      args.has("delta") ? args.get_double("delta", 100.0)
+                        : bench::empirical_delta0(csr, config.seed);
+  const auto source = static_cast<graph::VertexId>(
+      args.get_int("source", static_cast<std::int64_t>(
+                                 bench::pick_sources(csr, 1, config.seed)[0])));
+  const std::string algorithm = args.get_string("algorithm", "rdbs");
+
+  const std::vector<std::string> algorithms =
+      algorithm == "all"
+          ? std::vector<std::string>{"dijkstra", "bellman-ford", "pq-delta",
+                                     "hn07", "sep", "adds", "rdbs"}
+          : std::vector<std::string>{algorithm};
+
+  TextTable table({"algorithm", "time ms", "kind", "reached", "updates",
+                   "redundancy", "valid"});
+  RunOutcome last;
+  for (const std::string& name : algorithms) {
+    RunOutcome outcome = run_algorithm(name, csr, device, delta0, source);
+    const auto verdict =
+        sssp::validate_distances(csr, source, outcome.sssp.distances);
+    table.add_row({name, format_fixed(outcome.ms, 3),
+                   outcome.simulated ? "simulated GPU" : "host CPU",
+                   format_count(outcome.sssp.reached_count()),
+                   format_count(outcome.sssp.work.total_updates),
+                   format_fixed(outcome.sssp.work.redundancy_ratio(), 2),
+                   verdict ? "NO: " + *verdict : std::string("yes")});
+    last = std::move(outcome);
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  if (args.has("target")) {
+    const auto target =
+        static_cast<graph::VertexId>(args.get_int("target", 0));
+    const auto parents =
+        sssp::build_parent_tree(csr, source, last.sssp.distances);
+    const auto path = sssp::extract_path(parents, source, target);
+    if (!path) {
+      std::printf("\nno path from %u to %u\n", source, target);
+    } else {
+      std::printf("\nshortest path %u -> %u (cost %g, %zu hops):\n  ",
+                  source, target, last.sssp.distances[target],
+                  path->size() - 1);
+      for (std::size_t i = 0; i < path->size(); ++i) {
+        std::printf("%s%u", i ? " -> " : "", (*path)[i]);
+        if (i % 10 == 9) std::printf("\n  ");
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (args.get_bool("profile", false) && last.simulated) {
+    std::printf("\n%s", gpusim::profiler_report(last.counters, device).c_str());
+  }
+  return 0;
+}

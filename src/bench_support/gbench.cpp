@@ -1,0 +1,30 @@
+#include "bench_support/gbench.hpp"
+
+namespace rdbs::bench {
+
+void run_gbench(const CliArgs& args, const std::vector<GBenchRow>& rows) {
+  for (const GBenchRow& row : rows) {
+    auto* b = benchmark::RegisterBenchmark(
+        row.name.c_str(),
+        [row](benchmark::State& state) {
+          for (auto _ : state) {
+            state.SetIterationTime(row.simulated_ms * 1e-3);
+          }
+          if (row.gteps > 0) {
+            state.counters["GTEPS"] = row.gteps;
+          }
+          state.counters["sim_ms"] = row.simulated_ms;
+        });
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  std::vector<std::string> argv_storage = args.passthrough();
+  std::vector<char*> argv;
+  argv.reserve(argv_storage.size());
+  for (auto& s : argv_storage) argv.push_back(s.data());
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+}
+
+}  // namespace rdbs::bench

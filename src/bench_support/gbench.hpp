@@ -1,0 +1,28 @@
+// google-benchmark integration for the experiment binaries.
+//
+// Each bench binary computes its experiment results first (the simulator is
+// deterministic, so one pass suffices), prints the paper-style table, and
+// then registers one google-benchmark entry per measured row whose manual
+// iteration time is the *simulated* device time — so the standard benchmark
+// output reports exactly the paper's metric.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace rdbs::bench {
+
+struct GBenchRow {
+  std::string name;     // e.g. "table2/RDBS/soc-PK"
+  double simulated_ms;  // reported as the iteration time
+  double gteps = 0;     // optional rate counter
+};
+
+// Registers all rows and runs google-benchmark with the passthrough args.
+void run_gbench(const CliArgs& args, const std::vector<GBenchRow>& rows);
+
+}  // namespace rdbs::bench

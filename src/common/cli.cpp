@@ -1,0 +1,76 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace rdbs {
+
+namespace {
+
+bool looks_boolean(std::string_view next) {
+  // A flag with no value, or followed by another flag, is treated as boolean.
+  return next.empty() || next.starts_with("--");
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, char** argv) {
+  if (argc > 0) passthrough_.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    // google-benchmark flags start with --benchmark_; pass them through.
+    if (arg.starts_with("--benchmark_")) {
+      passthrough_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(body.substr(0, eq))] = std::string(body.substr(eq + 1));
+      continue;
+    }
+    std::string_view next = (i + 1 < argc) ? std::string_view(argv[i + 1])
+                                           : std::string_view();
+    if (looks_boolean(next)) {
+      flags_[std::string(body)] = "true";
+    } else {
+      flags_[std::string(body)] = std::string(next);
+      ++i;
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.contains(name);
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                      nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                     nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace rdbs

@@ -1,0 +1,24 @@
+// Lightweight leveled logging to stderr. The bench harness sets the level
+// from --log; library code logs sparingly (warnings for suspicious inputs,
+// info for experiment phase transitions).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace rdbs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define RDBS_LOG_DEBUG(...) ::rdbs::log_message(::rdbs::LogLevel::kDebug, __VA_ARGS__)
+#define RDBS_LOG_INFO(...) ::rdbs::log_message(::rdbs::LogLevel::kInfo, __VA_ARGS__)
+#define RDBS_LOG_WARN(...) ::rdbs::log_message(::rdbs::LogLevel::kWarn, __VA_ARGS__)
+#define RDBS_LOG_ERROR(...) ::rdbs::log_message(::rdbs::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace rdbs

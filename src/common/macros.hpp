@@ -1,0 +1,34 @@
+// Common assertion and utility macros used across the RDBS library.
+//
+// RDBS_CHECK is an always-on invariant check (kept in release builds because
+// the simulator's correctness depends on these invariants holding); it prints
+// a diagnostic and aborts on failure. RDBS_DCHECK compiles out in NDEBUG
+// builds and guards hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RDBS_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "RDBS_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define RDBS_CHECK_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "RDBS_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                                \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define RDBS_DCHECK(cond) ((void)0)
+#else
+#define RDBS_DCHECK(cond) RDBS_CHECK(cond)
+#endif

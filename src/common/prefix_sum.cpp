@@ -1,0 +1,37 @@
+#include "common/prefix_sum.hpp"
+
+namespace rdbs {
+
+std::uint64_t exclusive_scan(std::span<const std::uint32_t> in,
+                             std::vector<std::uint64_t>& out) {
+  out.resize(in.size() + 1);
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = run;
+    run += in[i];
+  }
+  out[in.size()] = run;
+  return run;
+}
+
+std::uint64_t exclusive_scan_inplace(std::span<std::uint64_t> counts) {
+  std::uint64_t run = 0;
+  for (auto& c : counts) {
+    const std::uint64_t v = c;
+    c = run;
+    run += v;
+  }
+  return run;
+}
+
+void inclusive_scan(std::span<const std::uint64_t> in,
+                    std::vector<std::uint64_t>& out) {
+  out.resize(in.size());
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    run += in[i];
+    out[i] = run;
+  }
+}
+
+}  // namespace rdbs

@@ -1,0 +1,25 @@
+// Prefix-sum (scan) primitives used by CSR construction, bucket compaction
+// and the simulator's work partitioning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rdbs {
+
+// Exclusive scan: out[i] = sum of in[0..i), out.size() == in.size() + 1,
+// so out.back() is the grand total. Returns the total.
+std::uint64_t exclusive_scan(std::span<const std::uint32_t> in,
+                             std::vector<std::uint64_t>& out);
+
+// In-place exclusive scan over 64-bit counts; returns the grand total and
+// leaves counts[i] = sum of the original counts[0..i).
+std::uint64_t exclusive_scan_inplace(std::span<std::uint64_t> counts);
+
+// Inclusive scan into out (out.size() == in.size()).
+void inclusive_scan(std::span<const std::uint64_t> in,
+                    std::vector<std::uint64_t>& out);
+
+}  // namespace rdbs

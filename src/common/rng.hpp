@@ -1,0 +1,77 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components of the library (graph generators, weight
+// assignment, source-vertex sampling) draw from these generators so that
+// every experiment is exactly reproducible from a single 64-bit seed.
+// We use SplitMix64 for seeding / cheap hashing and xoshiro256** as the
+// main engine (both public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace rdbs {
+
+// SplitMix64: a tiny, statistically solid 64-bit mixer. Used to expand a
+// user seed into engine state and as a stateless hash for per-item jitter.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Stateless mix of a 64-bit value; handy for deterministic per-edge hashing.
+std::uint64_t mix64(std::uint64_t x);
+
+// xoshiro256**: fast general-purpose engine with 256-bit state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9b7aULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform_real();
+
+  // Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace rdbs

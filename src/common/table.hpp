@@ -1,0 +1,39 @@
+// Plain-text table rendering for the bench harness. Every experiment binary
+// prints a table whose rows mirror the corresponding table/figure in the
+// paper, with a "paper" column next to the measured one where applicable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdbs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells are
+  // rendered empty.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+  // Renders as CSV (no alignment padding).
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers shared by the experiment printers.
+std::string format_fixed(double value, int decimals);
+std::string format_speedup(double value);        // e.g. "5.09x"
+std::string format_count(std::uint64_t value);   // e.g. "30,741,651"
+std::string format_percent(double fraction, int decimals);  // 0.0361 -> 3.61%
+
+}  // namespace rdbs

@@ -1,0 +1,62 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.hpp"
+
+namespace rdbs {
+
+void Accumulator::add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+double Accumulator::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Accumulator::mean() const {
+  RDBS_CHECK(!values_.empty());
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Accumulator::min() const {
+  RDBS_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Accumulator::max() const {
+  RDBS_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Accumulator::stddev() const {
+  RDBS_CHECK(!values_.empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+void Accumulator::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Accumulator::percentile(double p) const {
+  RDBS_CHECK(!values_.empty());
+  RDBS_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (values_.size() == 1) return values_.front();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace rdbs

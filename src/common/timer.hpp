@@ -1,0 +1,54 @@
+// Wall-clock timing utilities for host-side (CPU) measurements.
+//
+// GPU-side "time" in this library comes from the gpusim cost model, not from
+// these timers; Timer is used for CPU baselines (PQ-Δ*, Dijkstra) and for
+// harness bookkeeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdbs {
+
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates repeated measurements of one quantity and reports summary
+// statistics; used by the bench harness for "64 sources x 10 runs" loops.
+class Accumulator {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return values_.size(); }
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  // p in [0,100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace rdbs

@@ -1,0 +1,294 @@
+#include "core/adds.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/macros.hpp"
+
+namespace rdbs::core {
+
+using graph::Distance;
+using graph::EdgeIndex;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+constexpr std::uint32_t kDeviceWord = 4;
+}
+
+AddsLike::AddsLike(gpusim::DeviceSpec device, const graph::Csr& csr,
+                   AddsOptions options)
+    : sim_(std::move(device)), csr_(csr), options_(options) {
+  RDBS_CHECK(options_.delta > 0);
+  const VertexId n = csr_.num_vertices();
+  const EdgeIndex m = csr_.num_edges();
+  row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
+  adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
+  weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
+  dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
+  near_queue_ = sim_.alloc<VertexId>("near_queue",
+                                     std::max<std::size_t>(n, 64), kDeviceWord);
+  // The Far pile admits duplicates (lazy deletion at split time).
+  far_pile_ = sim_.alloc<VertexId>("far_pile",
+                                   std::max<std::size_t>(2 * m + 64, 64),
+                                   kDeviceWord);
+  in_near_ = sim_.alloc<std::uint8_t>("in_near", n, 1);
+
+  std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
+            row_offsets_.data().begin());
+  std::copy(csr_.adjacency().begin(), csr_.adjacency().end(),
+            adjacency_.data().begin());
+  std::copy(csr_.weights().begin(), csr_.weights().end(),
+            weights_.data().begin());
+}
+
+void AddsLike::init_distances_kernel(VertexId source) {
+  const VertexId n = csr_.num_vertices();
+  const std::uint64_t warps = (n + 31) / 32;
+  sim_.run_kernel(
+      gpusim::Schedule::kStatic, warps, 8,
+      [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+        const std::uint64_t begin = w * 32;
+        const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+        std::array<std::uint64_t, 32> idx{};
+        std::array<Distance, 32> inf{};
+        std::array<std::uint8_t, 32> zero{};
+        const auto lanes = static_cast<std::size_t>(end - begin);
+        for (std::size_t i = 0; i < lanes; ++i) {
+          idx[i] = begin + i;
+          inf[i] = graph::kInfiniteDistance;
+          zero[i] = 0;
+        }
+        ctx.store(dist_, std::span<const std::uint64_t>(idx.data(), lanes),
+                  std::span<const Distance>(inf.data(), lanes));
+        ctx.store(in_near_, std::span<const std::uint64_t>(idx.data(), lanes),
+                  std::span<const std::uint8_t>(zero.data(), lanes));
+      });
+  sim_.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                  [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                    ctx.store_one(dist_, source, Distance{0});
+                  });
+}
+
+GpuRunResult AddsLike::run(VertexId source) {
+  RDBS_CHECK(source < csr_.num_vertices());
+  sim_.reset_all();
+  work_ = sssp::WorkStats{};
+  std::fill(in_near_.data().begin(), in_near_.data().end(), 0);
+
+  GpuRunResult result;
+  init_distances_kernel(source);
+
+  std::deque<VertexId> near{source};
+  in_near_[source] = 1;
+  std::vector<VertexId> far;
+  std::uint64_t near_tail = 0;
+  std::uint64_t far_tail = 0;
+  Distance threshold = options_.delta;
+
+  auto charge_push = [&](gpusim::WarpCtx& ctx, std::uint32_t lanes,
+                         bool to_near) {
+    if (lanes == 0) return;
+    std::array<std::uint64_t, 32> idx{};
+    std::array<VertexId, 32> ids{};
+    std::uint64_t& tail = to_near ? near_tail : far_tail;
+    auto& buf = to_near ? near_queue_ : far_pile_;
+    for (std::uint32_t i = 0; i < lanes; ++i) {
+      idx[i] = (tail + i) % buf.size();
+      ids[i] = 0;
+    }
+    const std::uint64_t tail_idx[1] = {tail % buf.size()};
+    ctx.atomic_touch(buf, std::span<const std::uint64_t>(tail_idx, 1));
+    ctx.store(buf, std::span<const std::uint64_t>(idx.data(), lanes),
+              std::span<const VertexId>(ids.data(), lanes));
+    tail += lanes;
+  };
+
+  while (!near.empty() || !far.empty()) {
+    if (near.empty()) {
+      // --- Far split: advance the threshold past the smallest far
+      // distance, promote entries below it, drop stale duplicates.
+      Distance min_far = graph::kInfiniteDistance;
+      std::vector<VertexId> still_far;
+      gpusim::KernelScope split(sim_, gpusim::Schedule::kStatic, true);
+      for (std::size_t base = 0; base < far.size(); base += 32) {
+        const auto cnt = static_cast<std::uint32_t>(
+            std::min<std::size_t>(32, far.size() - base));
+        auto ctx = split.make_warp();
+        std::array<std::uint64_t, 32> vidx{};
+        std::array<Distance, 32> dvals{};
+        for (std::uint32_t i = 0; i < cnt; ++i) vidx[i] = far[base + i];
+        // Load the pile slots and the current distances of the entries.
+        std::array<VertexId, 32> tmp{};
+        ctx.load(far_pile_, std::span<const std::uint64_t>(vidx.data(), cnt),
+                 std::span<VertexId>(tmp.data(), cnt));
+        ctx.load(dist_, std::span<const std::uint64_t>(vidx.data(), cnt),
+                 std::span<Distance>(dvals.data(), cnt));
+        ctx.alu(2, cnt);
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          // Entries already settled below the old threshold are stale.
+          if (dvals[i] < threshold) continue;
+          min_far = std::min(min_far, dvals[i]);
+        }
+        split.commit(ctx);
+      }
+      // Second pass with the advanced threshold does the actual promotion.
+      if (min_far == graph::kInfiniteDistance) {
+        split.finish();
+        break;  // only stale entries remained
+      }
+      const Distance old_threshold = threshold;
+      while (threshold <= min_far) threshold += options_.delta;
+      for (std::size_t base = 0; base < far.size(); base += 32) {
+        const auto cnt = static_cast<std::uint32_t>(
+            std::min<std::size_t>(32, far.size() - base));
+        auto ctx = split.make_warp();
+        std::array<std::uint64_t, 32> vidx{};
+        std::array<Distance, 32> dvals{};
+        for (std::uint32_t i = 0; i < cnt; ++i) vidx[i] = far[base + i];
+        ctx.load(dist_, std::span<const std::uint64_t>(vidx.data(), cnt),
+                 std::span<Distance>(dvals.data(), cnt));
+        ctx.alu(2, cnt);
+        std::uint32_t promoted = 0;
+        std::uint32_t kept = 0;
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          const VertexId v = far[base + i];
+          const Distance d = dvals[i];
+          if (d == graph::kInfiniteDistance) continue;
+          if (d < old_threshold) continue;  // settled below old window: stale
+          if (d < threshold) {
+            if (!in_near_[v]) {
+              in_near_[v] = 1;
+              near.push_back(v);
+              ++promoted;
+            }
+          } else {
+            still_far.push_back(v);
+            ++kept;
+          }
+        }
+        charge_push(ctx, promoted, /*to_near=*/true);
+        charge_push(ctx, kept, /*to_near=*/false);
+        split.commit(ctx);
+      }
+      split.finish();
+      far.swap(still_far);
+      continue;
+    }
+
+    // --- Near processing: one persistent asynchronous kernel that drains
+    // the Near pile, thread-per-vertex, relaxing ALL edges of each vertex
+    // (no light/heavy split in ADDS's data layout).
+    gpusim::KernelScope kernel(sim_, gpusim::Schedule::kDynamic, true);
+    while (!near.empty()) {
+      std::array<VertexId, 32> lanes{};
+      std::uint32_t lane_count = 0;
+      while (!near.empty() && lane_count < 32) {
+        lanes[lane_count++] = near.front();
+        near.pop_front();
+      }
+      auto ctx = kernel.make_warp();
+
+      std::array<std::uint64_t, 32> vidx{};
+      for (std::uint32_t i = 0; i < lane_count; ++i) vidx[i] = lanes[i];
+      std::span<const std::uint64_t> vspan(vidx.data(), lane_count);
+      {
+        std::array<VertexId, 32> tmp{};
+        ctx.load(near_queue_, vspan,
+                 std::span<VertexId>(tmp.data(), lane_count));
+        std::array<std::uint8_t, 32> zero{};
+        ctx.store(in_near_, vspan,
+                  std::span<const std::uint8_t>(zero.data(), lane_count));
+      }
+      for (std::uint32_t i = 0; i < lane_count; ++i) in_near_[lanes[i]] = 0;
+
+      std::array<Distance, 32> dist_u{};
+      ctx.load(dist_, vspan, std::span<Distance>(dist_u.data(), lane_count));
+      std::array<std::uint64_t, 32> row_begin{};
+      std::array<std::uint64_t, 32> row_end{};
+      {
+        std::array<std::uint64_t, 32> idx2{};
+        for (std::uint32_t i = 0; i < lane_count; ++i) idx2[i] = lanes[i] + 1;
+        std::array<EdgeIndex, 32> tmp{};
+        ctx.load(row_offsets_, vspan,
+                 std::span<EdgeIndex>(tmp.data(), lane_count));
+        for (std::uint32_t i = 0; i < lane_count; ++i) row_begin[i] = tmp[i];
+        ctx.load(row_offsets_,
+                 std::span<const std::uint64_t>(idx2.data(), lane_count),
+                 std::span<EdgeIndex>(tmp.data(), lane_count));
+        for (std::uint32_t i = 0; i < lane_count; ++i) row_end[i] = tmp[i];
+      }
+      ctx.alu(2, lane_count);
+
+      // Thread-per-vertex: the warp runs until its highest-degree lane is
+      // done — ADDS's Achilles heel on hub-dominated graphs.
+      std::uint64_t max_deg = 0;
+      for (std::uint32_t i = 0; i < lane_count; ++i) {
+        max_deg = std::max(max_deg, row_end[i] - row_begin[i]);
+      }
+      for (std::uint64_t s = 0; s < max_deg; ++s) {
+        std::array<std::uint64_t, 32> eidx{};
+        std::array<std::uint32_t, 32> lane_of{};
+        std::uint32_t active = 0;
+        for (std::uint32_t i = 0; i < lane_count; ++i) {
+          if (row_begin[i] + s < row_end[i]) {
+            eidx[active] = row_begin[i] + s;
+            lane_of[active] = i;
+            ++active;
+          }
+        }
+        if (active == 0) break;
+        std::span<const std::uint64_t> espan(eidx.data(), active);
+        std::array<VertexId, 32> dsts{};
+        std::array<Weight, 32> ws{};
+        ctx.load(adjacency_, espan, std::span<VertexId>(dsts.data(), active));
+        ctx.load(weights_, espan, std::span<Weight>(ws.data(), active));
+        ctx.alu(2, active);
+        work_.relaxations += active;
+
+        std::array<std::uint64_t, 32> relax_idx{};
+        std::array<Distance, 32> relax_val{};
+        for (std::uint32_t i = 0; i < active; ++i) {
+          relax_idx[i] = dsts[i];
+          relax_val[i] = dist_u[lane_of[i]] + ws[i];
+        }
+        std::array<std::uint8_t, 32> improved{};
+        ctx.atomic_min(dist_,
+                       std::span<const std::uint64_t>(relax_idx.data(), active),
+                       std::span<const Distance>(relax_val.data(), active),
+                       std::span<std::uint8_t>(improved.data(), active));
+        std::uint32_t to_near = 0;
+        std::uint32_t to_far = 0;
+        for (std::uint32_t i = 0; i < active; ++i) {
+          if (!improved[i]) continue;
+          ++work_.total_updates;
+          const auto v = static_cast<VertexId>(relax_idx[i]);
+          if (relax_val[i] < threshold) {
+            if (!in_near_[v]) {
+              in_near_[v] = 1;
+              near.push_back(v);
+              ++to_near;
+            }
+          } else {
+            far.push_back(v);
+            ++to_far;
+          }
+        }
+        charge_push(ctx, to_near, /*to_near=*/true);
+        charge_push(ctx, to_far, /*to_near=*/false);
+      }
+      kernel.commit(ctx);
+      ++work_.iterations;
+    }
+    kernel.finish();
+  }
+
+  result.sssp.distances = dist_.data();
+  result.sssp.work = work_;
+  sssp::finalize_valid_updates(result.sssp, source);
+  result.device_ms = sim_.elapsed_ms();
+  result.counters = sim_.counters();
+  return result;
+}
+
+}  // namespace rdbs::core

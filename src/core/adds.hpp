@@ -1,0 +1,56 @@
+// ADDS-like comparator (paper Table 2 / Figs. 9-11).
+//
+// Wang, Fussell & Lin's ADDS (PPoPP'21) is the state-of-the-art GPU SSSP
+// the paper compares against: an *asynchronous* Near-Far Δ-stepping with a
+// dynamically adjusted Δ. Following the paper's Related-Work
+// characterization ("Wang uses an asynchronous mode and changes Δ, which
+// increases the difficulty of programming and ignores irregular memory
+// access problems"), this model keeps ADDS's strengths — async execution,
+// few kernel launches, no full-vertex scans (the Far pile is re-split
+// instead) — and its weaknesses relative to RDBS: unsorted adjacency (per-
+// edge branch, divergent accesses) and plain thread-per-vertex mapping (a
+// hub vertex stalls its whole warp, the effect that makes ADDS collapse on
+// Kronecker graphs in Fig. 8/Table 2).
+#pragma once
+
+#include <deque>
+
+#include "core/run_metrics.hpp"
+#include "gpusim/sim.hpp"
+#include "graph/csr.hpp"
+
+namespace rdbs::core {
+
+struct AddsOptions {
+  graph::Weight delta = 100.0;  // Near/Far threshold increment
+  bool instrument = false;
+};
+
+class AddsLike {
+ public:
+  AddsLike(gpusim::DeviceSpec device, const graph::Csr& csr,
+           AddsOptions options);
+
+  GpuRunResult run(graph::VertexId source);
+
+  gpusim::GpuSim& sim() { return sim_; }
+
+ private:
+  void init_distances_kernel(graph::VertexId source);
+
+  gpusim::GpuSim sim_;
+  const graph::Csr& csr_;
+  AddsOptions options_;
+
+  gpusim::Buffer<graph::EdgeIndex> row_offsets_;
+  gpusim::Buffer<graph::VertexId> adjacency_;
+  gpusim::Buffer<graph::Weight> weights_;
+  gpusim::Buffer<graph::Distance> dist_;
+  gpusim::Buffer<graph::VertexId> near_queue_;
+  gpusim::Buffer<graph::VertexId> far_pile_;
+  gpusim::Buffer<std::uint8_t> in_near_;
+
+  sssp::WorkStats work_;
+};
+
+}  // namespace rdbs::core

@@ -1,0 +1,48 @@
+#include "core/delta_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.hpp"
+
+namespace rdbs::core {
+
+DeltaController::DeltaController(graph::Weight delta0, bool adaptive)
+    : delta0_(delta0), delta_(delta0), adaptive_(adaptive) {
+  RDBS_CHECK(delta0 > 0);
+  epsilons_.push_back(0);  // ε0 = 0 by Eq. (1)
+}
+
+void DeltaController::record_bucket(std::uint64_t converged,
+                                    std::uint64_t threads_used) {
+  converged_.push_back(converged);
+  threads_.push_back(threads_used);
+  if (!adaptive_) return;
+
+  const std::size_t i = converged_.size();  // next bucket's index
+  if (i < 2) {
+    epsilons_.push_back(0);
+    return;
+  }
+  const auto c_prev2 = static_cast<double>(converged_[i - 2]);
+  const auto c_prev1 = static_cast<double>(converged_[i - 1]);
+  const auto t_prev2 = static_cast<double>(threads_[i - 2]);
+  const auto t_prev1 = static_cast<double>(threads_[i - 1]);
+
+  double epsilon = 0;
+  if (c_prev2 + c_prev1 > 0 && t_prev2 + t_prev1 > 0) {
+    const double c_term =
+        std::abs((c_prev2 - c_prev1) / (c_prev2 + c_prev1));
+    const double t_term = (t_prev2 - t_prev1) / (t_prev2 + t_prev1);
+    epsilon = c_term * t_term * delta0_;
+  }
+  // Per-step damping and a total clamp: the paper's Fig. 6 shows Δ drifting
+  // by small ε per bucket, and an unbounded feedback loop on noisy small
+  // buckets would collapse Δ (or blow it up to Bellman-Ford). Both bounds
+  // are our choice, documented in DESIGN.md.
+  epsilon = std::clamp(epsilon, -delta0_ / 4, delta0_ / 4);
+  epsilons_.push_back(epsilon);
+  delta_ = std::clamp(delta_ + epsilon, delta0_ / 2, delta0_ * 4);
+}
+
+}  // namespace rdbs::core

@@ -1,0 +1,50 @@
+// The bucket-width controller of §4.3, Eq. (1)-(2):
+//
+//   ε_i = | (C_{i-2} - C_{i-1}) / (C_{i-2} + C_{i-1}) |
+//         * (T_{i-2} - T_{i-1}) / (T_{i-2} + T_{i-1}) * Δ0,   i >= 2
+//   ε_0 = ε_1 = 0
+//   Δ_i = Δ_{i-1} + ε_i
+//
+// C_i is the number of vertices converged in bucket i; T_i the number of
+// threads used (a proxy for GPU utilization). When utilization rises
+// (T_{i-1} > T_{i-2}) the signed T-term is negative and Δ shrinks; when it
+// falls, Δ grows — matching the paper's "as the utilization of GPU
+// increases, we reduce Δ, otherwise we increase Δ".
+//
+// The paper leaves Δ's range open; we clamp to [Δ0/8, 8Δ0] so a degenerate
+// feedback sequence can never collapse the bucket to zero width or blow it
+// up to Bellman-Ford (documented substitution, see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rdbs::core {
+
+class DeltaController {
+ public:
+  explicit DeltaController(graph::Weight delta0, bool adaptive = true);
+
+  // Width Δ_i to use for the bucket about to start.
+  graph::Weight current_delta() const { return delta_; }
+
+  // Reports bucket i's outcome; the next current_delta() reflects Eq. (2).
+  void record_bucket(std::uint64_t converged, std::uint64_t threads_used);
+
+  // ε_i history (for tests and the EXPERIMENTS log).
+  const std::vector<graph::Weight>& epsilon_history() const {
+    return epsilons_;
+  }
+
+ private:
+  graph::Weight delta0_;
+  graph::Weight delta_;
+  bool adaptive_;
+  std::vector<std::uint64_t> converged_;
+  std::vector<std::uint64_t> threads_;
+  std::vector<graph::Weight> epsilons_;
+};
+
+}  // namespace rdbs::core

@@ -1,0 +1,725 @@
+#include "core/gpu_sssp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/macros.hpp"
+
+namespace rdbs::core {
+
+namespace {
+
+// Device element sizes mirror the CUDA layout the paper describes: 32-bit
+// row offsets / vertex ids / weights / distances.
+constexpr std::uint32_t kDeviceWord = 4;
+
+}  // namespace
+
+GpuDeltaStepping::GpuDeltaStepping(gpusim::DeviceSpec device, const Csr& csr,
+                                   GpuSsspOptions options)
+    : sim_(std::move(device)), csr_(csr), options_(options) {
+  if (options_.pro) {
+    RDBS_CHECK_MSG(csr_.weights_sorted_per_vertex(),
+                   "PRO requires weight-sorted adjacency "
+                   "(run reorder::property_driven_reorder first)");
+    RDBS_CHECK_MSG(csr_.has_heavy_offsets(),
+                   "PRO requires heavy offsets attached to the CSR");
+  }
+  const VertexId n = csr_.num_vertices();
+  const EdgeIndex m = csr_.num_edges();
+  row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
+  if (options_.pro) {
+    heavy_offsets_ = sim_.alloc<EdgeIndex>("heavy_offsets", n, kDeviceWord);
+  }
+  adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
+  weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
+  dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
+  queue_ = sim_.alloc<VertexId>("queue", std::max<std::size_t>(n, 64),
+                                kDeviceWord);
+  in_queue_ = sim_.alloc<std::uint8_t>("in_queue", n, 1);
+  epoch_.assign(n, ~0ull);
+
+  // Host-side upload (uncosted: the paper's timings exclude H2D transfer).
+  std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
+            row_offsets_.data().begin());
+  if (options_.pro) {
+    std::copy(csr_.heavy_offsets().begin(), csr_.heavy_offsets().end(),
+              heavy_offsets_.data().begin());
+  }
+  std::copy(csr_.adjacency().begin(), csr_.adjacency().end(),
+            adjacency_.data().begin());
+  std::copy(csr_.weights().begin(), csr_.weights().end(),
+            weights_.data().begin());
+}
+
+void GpuDeltaStepping::init_distances_kernel(VertexId source) {
+  const VertexId n = csr_.num_vertices();
+  const std::uint64_t warps = (n + 31) / 32;
+  // One coalesced store of 32 distances (and queue-flag clears) per warp.
+  sim_.run_kernel(
+      gpusim::Schedule::kStatic, warps, /*warps_per_block=*/8,
+      [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+        const std::uint64_t begin = w * 32;
+        const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+        std::array<std::uint64_t, 32> idx{};
+        std::array<Distance, 32> inf{};
+        std::array<std::uint8_t, 32> zero{};
+        const std::size_t lanes = static_cast<std::size_t>(end - begin);
+        for (std::size_t i = 0; i < lanes; ++i) {
+          idx[i] = begin + i;
+          inf[i] = graph::kInfiniteDistance;
+          zero[i] = 0;
+        }
+        ctx.store(dist_, std::span<const std::uint64_t>(idx.data(), lanes),
+                  std::span<const Distance>(inf.data(), lanes));
+        ctx.store(in_queue_, std::span<const std::uint64_t>(idx.data(), lanes),
+                  std::span<const std::uint8_t>(zero.data(), lanes));
+      });
+  // Tiny kernel: dist[source] = 0.
+  sim_.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                  [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                    ctx.store_one(dist_, source, Distance{0});
+                  });
+}
+
+EdgeIndex GpuDeltaStepping::light_end(VertexId v, Weight delta) const {
+  if (!options_.pro) return csr_.row_end(v);
+  const auto weights = csr_.edge_weights(v);
+  const auto* split =
+      std::lower_bound(weights.data(), weights.data() + weights.size(), delta);
+  return csr_.row_begin(v) + static_cast<EdgeIndex>(split - weights.data());
+}
+
+void GpuDeltaStepping::charge_enqueue(gpusim::WarpCtx& ctx,
+                                      std::uint32_t lanes) {
+  if (lanes == 0) return;
+  // Warp-aggregated queue append: one tail atomic for the warp, a flag
+  // atomicExch per enqueued vertex (batched in one warp instruction), and a
+  // coalesced store of the vertex ids into consecutive ring slots.
+  std::array<std::uint64_t, 32> idx{};
+  std::array<VertexId, 32> ids{};
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    idx[i] = (queue_tail_ + i) % queue_.size();
+    ids[i] = 0;  // contents are written functionally by enqueue()
+  }
+  const std::uint64_t tail_idx[1] = {queue_tail_ % queue_.size()};
+  ctx.atomic_touch(queue_, std::span<const std::uint64_t>(tail_idx, 1));
+  ctx.atomic_touch(in_queue_, std::span<const std::uint64_t>(idx.data(), lanes));
+  ctx.store(queue_, std::span<const std::uint64_t>(idx.data(), lanes),
+            std::span<const VertexId>(ids.data(), lanes));
+}
+
+void GpuDeltaStepping::enqueue(gpusim::WarpCtx& /*ctx*/, VertexId v,
+                               std::uint32_t /*lanes*/) {
+  // Functional side: flag-deduplicated FIFO append.
+  if (in_queue_[v]) return;
+  in_queue_[v] = 1;
+  queue_[queue_tail_ % queue_.size()] = v;
+  ++queue_tail_;
+  vqueue_.push_back(v);
+}
+
+void GpuDeltaStepping::parent_warp(gpusim::WarpCtx& ctx,
+                                   std::vector<VertexId>& lanes, Weight lo,
+                                   Weight hi, Weight delta,
+                                   std::vector<ChildChunk>* children,
+                                   BucketStats& stats) {
+  (void)lo;
+  const auto lane_count = static_cast<std::uint32_t>(lanes.size());
+  RDBS_DCHECK(lane_count > 0 && lane_count <= 32);
+
+  // Pop bookkeeping: read the vertex ids from the queue, clear the
+  // in-queue flags, gather distances and row bounds.
+  std::array<std::uint64_t, 32> vidx{};
+  for (std::uint32_t i = 0; i < lane_count; ++i) vidx[i] = lanes[i];
+  std::span<const std::uint64_t> vspan(vidx.data(), lane_count);
+  {
+    std::array<VertexId, 32> tmp{};
+    ctx.load(queue_, vspan, std::span<VertexId>(tmp.data(), lane_count));
+    std::array<std::uint8_t, 32> zero{};
+    ctx.store(in_queue_, vspan,
+              std::span<const std::uint8_t>(zero.data(), lane_count));
+  }
+  // Distinct-settlement count (C_i for the Δ-controller): every vertex of
+  // the current bucket passes through the queue exactly until it settles.
+  for (std::uint32_t i = 0; i < lane_count; ++i) {
+    if (epoch_[lanes[i]] != current_epoch_) {
+      epoch_[lanes[i]] = current_epoch_;
+      ++stats.converged;
+    }
+  }
+
+  std::array<Distance, 32> dist_u{};
+  ctx.load(dist_, vspan, std::span<Distance>(dist_u.data(), lane_count));
+
+  std::array<std::uint64_t, 32> row_begin{};
+  std::array<std::uint64_t, 32> row_end{};
+  {
+    std::array<std::uint64_t, 32> idx2{};
+    for (std::uint32_t i = 0; i < lane_count; ++i) idx2[i] = lanes[i] + 1;
+    std::array<EdgeIndex, 32> tmp{};
+    ctx.load(row_offsets_, vspan, std::span<EdgeIndex>(tmp.data(), lane_count));
+    for (std::uint32_t i = 0; i < lane_count; ++i) row_begin[i] = tmp[i];
+    ctx.load(row_offsets_, std::span<const std::uint64_t>(idx2.data(), lane_count),
+             std::span<EdgeIndex>(tmp.data(), lane_count));
+    for (std::uint32_t i = 0; i < lane_count; ++i) row_end[i] = tmp[i];
+  }
+
+  // Light-range split per lane.
+  std::array<std::uint64_t, 32> lend{};
+  if (options_.pro) {
+    if (delta == csr_.heavy_delta()) {
+      // O(1): read the precomputed heavy offset from the row list. (The
+      // functional value comes from the CSR, the charged load from the
+      // device mirror, which phase-1 offset maintenance may have shifted.)
+      std::array<EdgeIndex, 32> tmp{};
+      ctx.load(heavy_offsets_, vspan,
+               std::span<EdgeIndex>(tmp.data(), lane_count));
+      for (std::uint32_t i = 0; i < lane_count; ++i) {
+        lend[i] = csr_.heavy_begin(lanes[i]);
+      }
+    } else {
+      // Δ changed (BASYN readjustment): the heavy offset in the row list is
+      // maintained incrementally during phase 1 (paper §4.1: "the offset of
+      // heavy edges can be changed immediately in phase 1 ... it can adapt
+      // itself to the change of Δ value"). Cost: read the stale offset,
+      // probe/adjust, write it back — one gather load, a couple of ALU
+      // steps, one boundary weight probe and a gather store.
+      std::array<EdgeIndex, 32> stale{};
+      ctx.load(heavy_offsets_, vspan,
+               std::span<EdgeIndex>(stale.data(), lane_count));
+      std::array<std::uint64_t, 32> probe{};
+      for (std::uint32_t i = 0; i < lane_count; ++i) {
+        lend[i] = light_end(lanes[i], delta);
+        probe[i] = std::min<std::uint64_t>(
+            lend[i], row_end[i] == row_begin[i] ? row_begin[i]
+                                                : row_end[i] - 1);
+      }
+      std::array<Weight, 32> wtmp{};
+      ctx.load(weights_, std::span<const std::uint64_t>(probe.data(), lane_count),
+               std::span<Weight>(wtmp.data(), lane_count));
+      ctx.alu(2, lane_count);
+      std::array<EdgeIndex, 32> fresh{};
+      for (std::uint32_t i = 0; i < lane_count; ++i) fresh[i] = lend[i];
+      ctx.store(heavy_offsets_, vspan,
+                std::span<const EdgeIndex>(fresh.data(), lane_count));
+    }
+  } else {
+    for (std::uint32_t i = 0; i < lane_count; ++i) lend[i] = row_end[i];
+  }
+  ctx.alu(2, lane_count);  // bucket classification / loop setup
+
+  // ADWL: medium/large lanes spawn child chunks; small lanes run inline.
+  std::array<std::uint8_t, 32> inline_lane{};
+  for (std::uint32_t i = 0; i < lane_count; ++i) {
+    const std::uint64_t light_deg = lend[i] - row_begin[i];
+    inline_lane[i] = 1;
+    if (options_.adwl && children != nullptr && light_deg >= options_.beta) {
+      inline_lane[i] = 0;
+      if (light_deg >= options_.alpha) {
+        ++stats.large_workload;
+      } else {
+        ++stats.medium_workload;
+      }
+      ctx.child_launch();
+      for (EdgeIndex e = row_begin[i]; e < lend[i]; e += 32) {
+        children->push_back(
+            {lanes[i], e, std::min<EdgeIndex>(e + 32, lend[i])});
+      }
+    } else if (options_.adwl && children != nullptr) {
+      ++stats.small_workload;
+    }
+  }
+
+  // Inline (thread-per-vertex) edge loop: warp pays for its slowest lane.
+  std::uint64_t max_inline = 0;
+  for (std::uint32_t i = 0; i < lane_count; ++i) {
+    if (inline_lane[i]) {
+      max_inline = std::max<std::uint64_t>(max_inline,
+                                           lend[i] - row_begin[i]);
+    }
+  }
+  for (std::uint64_t s = 0; s < max_inline; ++s) {
+    std::array<std::uint64_t, 32> eidx{};
+    std::array<std::uint32_t, 32> lane_of{};
+    std::uint32_t active = 0;
+    for (std::uint32_t i = 0; i < lane_count; ++i) {
+      if (inline_lane[i] && row_begin[i] + s < lend[i]) {
+        eidx[active] = row_begin[i] + s;
+        lane_of[active] = i;
+        ++active;
+      }
+    }
+    if (active == 0) break;
+    std::span<const std::uint64_t> espan(eidx.data(), active);
+
+    std::array<VertexId, 32> dsts{};
+    std::array<Weight, 32> ws{};
+    ctx.load(adjacency_, espan, std::span<VertexId>(dsts.data(), active));
+    ctx.load(weights_, espan, std::span<Weight>(ws.data(), active));
+
+    // Without PRO every edge pays the light/heavy branch and heavy lanes
+    // sit idle for the rest of the step (divergence).
+    std::array<std::uint64_t, 32> relax_idx{};
+    std::array<Distance, 32> relax_val{};
+    std::array<std::uint32_t, 32> relax_lane{};
+    std::uint32_t relax_count = 0;
+    if (!options_.pro) ctx.alu(1, active);
+    for (std::uint32_t i = 0; i < active; ++i) {
+      if (!options_.pro && ws[i] >= delta) continue;  // heavy: skip here
+      relax_idx[relax_count] = dsts[i];
+      relax_val[relax_count] = dist_u[lane_of[i]] + ws[i];
+      relax_lane[relax_count] = i;
+      ++relax_count;
+    }
+    if (relax_count == 0) continue;
+    ctx.alu(2, relax_count);  // add + compare
+    work_.relaxations += relax_count;
+
+    std::array<std::uint8_t, 32> improved{};
+    ctx.atomic_min(dist_, std::span<const std::uint64_t>(relax_idx.data(), relax_count),
+                   std::span<const Distance>(relax_val.data(), relax_count),
+                   std::span<std::uint8_t>(improved.data(), relax_count));
+
+    std::uint32_t enq = 0;
+    for (std::uint32_t i = 0; i < relax_count; ++i) {
+      if (!improved[i]) continue;
+      ++work_.total_updates;
+      ++stats.phase1_updates;
+      if (relax_val[i] < hi) {
+        const auto v = static_cast<VertexId>(relax_idx[i]);
+        if (!in_queue_[v]) ++enq;
+        enqueue(ctx, v, 1);
+      }
+    }
+    if (enq > 0) {
+      if (options_.adwl) {
+        // Workload-list classification costs a light-degree lookup.
+        ctx.alu(1, enq);
+      }
+      charge_enqueue(ctx, enq);
+    }
+  }
+}
+
+void GpuDeltaStepping::child_warp(gpusim::WarpCtx& ctx,
+                                  const ChildChunk& chunk, Weight hi,
+                                  Weight delta, BucketStats& stats) {
+  const auto count = static_cast<std::uint32_t>(chunk.edge_end -
+                                                chunk.edge_begin);
+  RDBS_DCHECK(count > 0 && count <= 32);
+  // The chunk's 32 consecutive edges load fully coalesced.
+  const Distance dist_u = ctx.load_one(dist_, chunk.vertex);
+
+  std::array<std::uint64_t, 32> eidx{};
+  for (std::uint32_t i = 0; i < count; ++i) eidx[i] = chunk.edge_begin + i;
+  std::span<const std::uint64_t> espan(eidx.data(), count);
+
+  std::array<VertexId, 32> dsts{};
+  std::array<Weight, 32> ws{};
+  ctx.load(adjacency_, espan, std::span<VertexId>(dsts.data(), count));
+  ctx.load(weights_, espan, std::span<Weight>(ws.data(), count));
+  ctx.alu(2, count);
+
+  // Chunks lie entirely in the light range with PRO; otherwise each lane
+  // tests the branch and heavy lanes are predicated off.
+  std::array<std::uint64_t, 32> relax_idx{};
+  std::array<Distance, 32> relax_val{};
+  std::uint32_t relax_count = 0;
+  if (!options_.pro) ctx.alu(1, count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!options_.pro && ws[i] >= delta) continue;
+    relax_idx[relax_count] = dsts[i];
+    relax_val[relax_count] = dist_u + ws[i];
+    ++relax_count;
+  }
+  if (relax_count == 0) return;
+  work_.relaxations += relax_count;
+  std::array<std::uint8_t, 32> improved{};
+  ctx.atomic_min(dist_,
+                 std::span<const std::uint64_t>(relax_idx.data(), relax_count),
+                 std::span<const Distance>(relax_val.data(), relax_count),
+                 std::span<std::uint8_t>(improved.data(), relax_count));
+  std::uint32_t enq = 0;
+  for (std::uint32_t i = 0; i < relax_count; ++i) {
+    if (!improved[i]) continue;
+    ++work_.total_updates;
+    ++stats.phase1_updates;
+    if (relax_val[i] < hi) {
+      const auto v = static_cast<VertexId>(relax_idx[i]);
+      if (!in_queue_[v]) ++enq;
+      enqueue(ctx, v, 1);
+    }
+  }
+  if (enq > 0) charge_enqueue(ctx, enq);
+}
+
+void GpuDeltaStepping::phase1_async(Weight lo, Weight hi, Weight delta,
+                                    BucketStats& stats) {
+  // One persistent kernel per bucket: manager threads feed worker warps
+  // from the workload lists; updates are immediately visible and newly
+  // activated vertices are processed in the same launch.
+  gpusim::KernelScope kernel(sim_, gpusim::Schedule::kDynamic,
+                             /*host_launch=*/true);
+  std::vector<ChildChunk> children;
+  std::vector<VertexId> lanes;
+  while (!vqueue_.empty()) {
+    lanes.clear();
+    while (!vqueue_.empty() && lanes.size() < 32) {
+      lanes.push_back(vqueue_.front());
+      vqueue_.pop_front();
+    }
+    auto ctx = kernel.make_warp();
+    parent_warp(ctx, lanes, lo, hi, delta,
+                options_.adwl ? &children : nullptr, stats);
+    kernel.commit(ctx);
+    // Drain spawned child chunks before the next parent batch so their
+    // updates propagate promptly (Hyper-Q concurrency: dynamically placed).
+    for (const ChildChunk& chunk : children) {
+      auto cctx = kernel.make_warp();
+      child_warp(cctx, chunk, hi, delta, stats);
+      kernel.commit(cctx);
+    }
+    children.clear();
+    ++stats.phase1_iterations;
+  }
+  kernel.finish();
+}
+
+void GpuDeltaStepping::phase1_sync(Weight lo, Weight hi, Weight delta,
+                                   BucketStats& stats) {
+  // Level-synchronous: each frontier sweep is its own kernel launch with a
+  // barrier (the overhead the paper's Motivation 3 quantifies).
+  while (!vqueue_.empty()) {
+    // Freeze this iteration's frontier; vertices activated during the sweep
+    // go to the next iteration.
+    std::vector<VertexId> frontier(vqueue_.begin(), vqueue_.end());
+    vqueue_.clear();
+    // Functional note: the in_queue flags of frontier members stay set
+    // until their parent warp pops them inside the kernel.
+    gpusim::KernelScope kernel(
+        sim_, options_.adwl ? gpusim::Schedule::kDynamic
+                            : gpusim::Schedule::kStatic,
+        /*host_launch=*/true);
+    std::vector<ChildChunk> children;
+    std::vector<VertexId> lanes;
+    for (std::size_t i = 0; i < frontier.size(); i += 32) {
+      lanes.assign(frontier.begin() + static_cast<std::ptrdiff_t>(i),
+                   frontier.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::min(frontier.size(), i + 32)));
+      auto ctx = kernel.make_warp();
+      parent_warp(ctx, lanes, lo, hi, delta,
+                  options_.adwl ? &children : nullptr, stats);
+      kernel.commit(ctx);
+    }
+    for (const ChildChunk& chunk : children) {
+      auto cctx = kernel.make_warp();
+      child_warp(cctx, chunk, hi, delta, stats);
+      kernel.commit(cctx);
+    }
+    kernel.finish();
+    sim_.host_barrier();
+    ++stats.phase1_iterations;
+    ++work_.iterations;
+  }
+}
+
+GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
+    Weight lo, Weight hi, Weight delta, Weight next_lo, Weight next_hi,
+    bool relax_heavy) {
+  const VertexId n = csr_.num_vertices();
+  const std::uint64_t warps = (n + 31) / 32;
+  ScanOutcome outcome;
+
+  // Flattened heavy-edge work list of this bucket's settled vertices. The
+  // paper's phase 2 "coarsely assign[s] the same number of heavy edges" to
+  // each thread, so relaxation work is chunked EVENLY across warps rather
+  // than per source vertex — without this, degree-clustered orderings pile
+  // all hub heavy edges onto a few strips/SMs.
+  std::vector<std::pair<EdgeIndex, VertexId>> heavy_edges;
+
+  // Strip body: identify lanes settled in [lo, hi), charge their row-bound
+  // loads, and append their heavy ranges to the flattened list.
+  auto collect_settled = [&](gpusim::WarpCtx& ctx, std::uint64_t begin,
+                             std::span<const Distance> dist_vals) {
+    const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+    std::array<std::uint64_t, 32> idx{};
+    std::uint32_t cnt = 0;
+    for (std::uint64_t v = begin; v < end; ++v) {
+      const Distance d = dist_vals[static_cast<std::size_t>(v - begin)];
+      if (d < lo || d >= hi) continue;
+      idx[cnt++] = v;
+      const EdgeIndex h =
+          options_.pro ? light_end(static_cast<VertexId>(v), delta)
+                       : csr_.row_begin(static_cast<VertexId>(v));
+      for (EdgeIndex e = h; e < csr_.row_end(static_cast<VertexId>(v)); ++e) {
+        heavy_edges.emplace_back(e, static_cast<VertexId>(v));
+      }
+      ++outcome.converged;
+    }
+    if (cnt == 0) return;
+    ctx.alu(2, cnt);
+    std::array<EdgeIndex, 32> tmp{};
+    ctx.load(row_offsets_, std::span<const std::uint64_t>(idx.data(), cnt),
+             std::span<EdgeIndex>(tmp.data(), cnt));
+    if (options_.pro) {
+      ctx.load(heavy_offsets_, std::span<const std::uint64_t>(idx.data(), cnt),
+               std::span<EdgeIndex>(tmp.data(), cnt));
+    }
+  };
+
+  // One 32-edge chunk of the flattened heavy work list.
+  auto heavy_chunk = [&](gpusim::WarpCtx& ctx, std::size_t base) {
+    const auto cnt = static_cast<std::uint32_t>(
+        std::min<std::size_t>(32, heavy_edges.size() - base));
+    std::array<std::uint64_t, 32> eidx{};
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      eidx[i] = heavy_edges[base + i].first;
+    }
+    std::span<const std::uint64_t> espan(eidx.data(), cnt);
+    std::array<VertexId, 32> dsts{};
+    std::array<Weight, 32> ws{};
+    ctx.load(adjacency_, espan, std::span<VertexId>(dsts.data(), cnt));
+    ctx.load(weights_, espan, std::span<Weight>(ws.data(), cnt));
+    if (!options_.pro) ctx.alu(1, cnt);  // heavy test branch
+
+    std::array<std::uint64_t, 32> relax_idx{};
+    std::array<Distance, 32> relax_val{};
+    std::uint32_t relax_count = 0;
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      if (!options_.pro && ws[i] < delta) continue;  // light: done already
+      const VertexId u = heavy_edges[base + i].second;
+      relax_idx[relax_count] = dsts[i];
+      relax_val[relax_count] = dist_[u] + ws[i];
+      ++relax_count;
+    }
+    if (relax_count == 0) return;
+    ctx.alu(2, relax_count);
+    work_.relaxations += relax_count;
+    std::array<std::uint8_t, 32> improved{};
+    ctx.atomic_min(dist_,
+                   std::span<const std::uint64_t>(relax_idx.data(), relax_count),
+                   std::span<const Distance>(relax_val.data(), relax_count),
+                   std::span<std::uint8_t>(improved.data(), relax_count));
+    std::uint32_t enq = 0;
+    for (std::uint32_t i = 0; i < relax_count; ++i) {
+      if (!improved[i]) continue;
+      ++work_.total_updates;
+      // An improvement landing in the next bucket is enqueued directly by
+      // the relaxing thread (the collection strip may already have passed
+      // its id).
+      if (relax_val[i] >= next_lo && relax_val[i] < next_hi) {
+        const auto v = static_cast<VertexId>(relax_idx[i]);
+        if (!in_queue_[v]) ++enq;
+        enqueue(ctx, v, 1);
+      }
+    }
+    if (enq > 0) charge_enqueue(ctx, enq);
+  };
+
+  // Collection body: enqueue lanes in [next_lo, next_hi). Decisions use the
+  // CURRENT distance (dist_), not the strip values loaded at warp start:
+  // heavy relaxations in the same kernel are visible through the atomics,
+  // and heavy_chunk's direct-enqueue covers updates that land after a strip
+  // was scanned. The strip load above still pays the cost.
+  auto collect_part = [&](gpusim::WarpCtx& ctx, std::uint64_t begin,
+                          std::span<const Distance> /*dist_vals*/) {
+    const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+    ctx.alu(3, 32);  // range classification + warp min-reduce step
+    std::uint32_t enq = 0;
+    for (std::uint64_t v = begin; v < end; ++v) {
+      const Distance d = dist_[v];
+      if (d == graph::kInfiniteDistance) continue;
+      if (d >= next_lo && d < next_hi) {
+        const auto vid = static_cast<VertexId>(v);
+        if (!in_queue_[vid]) ++enq;
+        enqueue(ctx, vid, 1);
+      }
+    }
+    if (enq > 0) charge_enqueue(ctx, enq);
+  };
+
+  auto load_strip = [&](gpusim::WarpCtx& ctx, std::uint64_t begin,
+                        std::span<Distance> out) {
+    const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+    std::array<std::uint64_t, 32> idx{};
+    const auto cnt = static_cast<std::uint32_t>(end - begin);
+    for (std::uint32_t i = 0; i < cnt; ++i) idx[i] = begin + i;
+    ctx.load(dist_, std::span<const std::uint64_t>(idx.data(), cnt),
+             out.subspan(0, cnt));
+  };
+
+  auto process_heavy_chunks = [&](gpusim::KernelScope& kernel) {
+    for (std::size_t base = 0; base < heavy_edges.size(); base += 32) {
+      auto ctx = kernel.make_warp();
+      heavy_chunk(ctx, base);
+      kernel.commit(ctx);
+    }
+  };
+
+  const bool fused = options_.adwl;  // kernel fusion rides with ADWL (§4.2)
+  if (fused) {
+    gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
+    for (std::uint64_t w = 0; w < warps; ++w) {
+      auto ctx = kernel.make_warp();
+      std::array<Distance, 32> dist_vals{};
+      load_strip(ctx, w * 32, dist_vals);
+      if (relax_heavy) collect_settled(ctx, w * 32, dist_vals);
+      collect_part(ctx, w * 32, dist_vals);
+      kernel.commit(ctx);
+    }
+    if (relax_heavy) process_heavy_chunks(kernel);
+    kernel.finish();
+  } else {
+    if (relax_heavy) {
+      gpusim::KernelScope phase2(sim_, gpusim::Schedule::kStatic, true);
+      for (std::uint64_t w = 0; w < warps; ++w) {
+        auto ctx = phase2.make_warp();
+        std::array<Distance, 32> dist_vals{};
+        load_strip(ctx, w * 32, dist_vals);
+        collect_settled(ctx, w * 32, dist_vals);
+        phase2.commit(ctx);
+      }
+      process_heavy_chunks(phase2);
+      phase2.finish();
+      sim_.host_barrier();
+    }
+    gpusim::KernelScope phase3(sim_, gpusim::Schedule::kStatic, true);
+    for (std::uint64_t w = 0; w < warps; ++w) {
+      auto ctx = phase3.make_warp();
+      std::array<Distance, 32> dist_vals{};
+      load_strip(ctx, w * 32, dist_vals);
+      collect_part(ctx, w * 32, dist_vals);
+      phase3.commit(ctx);
+    }
+    phase3.finish();
+    sim_.host_barrier();
+  }
+
+  // Final reduction (remaining count / minimum unsettled distance) over the
+  // post-scan distances. On hardware this is the atomically-reduced counter
+  // pair the scan kernel maintains; its cost is covered by the per-strip
+  // classification ALU charged in collect_part.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const Distance d = dist_[v];
+    if (d == graph::kInfiniteDistance) continue;
+    if (d >= next_lo) {
+      ++outcome.remaining;
+      outcome.min_unsettled = std::min(outcome.min_unsettled, d);
+    }
+  }
+  return outcome;
+}
+
+GpuRunResult GpuDeltaStepping::run(VertexId source) {
+  RDBS_CHECK(source < csr_.num_vertices());
+  sim_.reset_all();
+  work_ = sssp::WorkStats{};
+  vqueue_.clear();
+  queue_tail_ = 0;
+  std::fill(in_queue_.data().begin(), in_queue_.data().end(), 0);
+
+  GpuRunResult result;
+  init_distances_kernel(source);
+
+  if (options_.mode == EngineMode::kSyncPushBellmanFord) {
+    // BL: plain synchronous push SSSP. One frontier sweep per kernel
+    // launch; every out-edge of every active vertex is relaxed (hi = ∞
+    // treats all edges as "light" and re-enqueues every improvement).
+    vqueue_.push_back(source);
+    in_queue_[source] = 1;
+    ++current_epoch_;
+    BucketStats bs;
+    bs.delta = graph::kInfiniteDistance;
+    bs.high = graph::kInfiniteDistance;
+    bs.initial_active = 1;
+    phase1_sync(0, graph::kInfiniteDistance, graph::kInfiniteDistance, bs);
+    if (options_.instrument) result.buckets.push_back(bs);
+    result.sssp.distances = dist_.data();
+    result.sssp.work = work_;
+    sssp::finalize_valid_updates(result.sssp, source);
+    result.device_ms = sim_.elapsed_ms();
+    result.counters = sim_.counters();
+    return result;
+  }
+
+  DeltaController controller(options_.delta0, /*adaptive=*/options_.basyn);
+  Weight delta = controller.current_delta();
+  Weight lo = 0;
+  Weight hi = delta;
+  vqueue_.push_back(source);
+  in_queue_[source] = 1;
+
+  // Guard against pathological non-termination (cannot occur with
+  // non-negative weights, but an experiment harness should fail loudly,
+  // not hang).
+  const std::uint64_t max_buckets =
+      16 * (csr_.num_vertices() + 64);
+
+  std::uint64_t bucket_count = 0;
+  while (true) {
+    RDBS_CHECK_MSG(++bucket_count < max_buckets, "bucket loop runaway");
+    ++current_epoch_;
+    BucketStats bs;
+    bs.delta = delta;
+    bs.low = lo;
+    bs.high = hi;
+    bs.initial_active = vqueue_.size();
+
+    const std::uint64_t threads_before = sim_.counters().active_lane_ops;
+    const double ms_before_phase1 = sim_.elapsed_ms();
+    if (!vqueue_.empty()) {
+      if (options_.basyn) {
+        phase1_async(lo, hi, delta, bs);
+      } else {
+        phase1_sync(lo, hi, delta, bs);
+      }
+    }
+    bs.threads_used = sim_.counters().active_lane_ops - threads_before;
+    bs.phase1_ms = sim_.elapsed_ms() - ms_before_phase1;
+
+    // Δ readjustment (Algorithm 2, line 11): after phase 1, using this
+    // bucket's converged count and thread usage, before phases 2&3 collect
+    // the next bucket with the readjusted width.
+    controller.record_bucket(bs.converged, bs.threads_used);
+    const Weight delta_next = controller.current_delta();
+
+    Weight next_lo = hi;
+    Weight next_hi = next_lo + delta_next;
+    const double ms_before_phase23 = sim_.elapsed_ms();
+    const ScanOutcome outcome =
+        phase23(lo, hi, delta, next_lo, next_hi, /*relax_heavy=*/true);
+    bs.phase23_ms = sim_.elapsed_ms() - ms_before_phase23;
+    // The scan's settled count must agree with the queue-side count: every
+    // vertex of the bucket passed through the queue exactly once.
+    RDBS_DCHECK(outcome.converged == bs.converged);
+    if (options_.instrument) result.buckets.push_back(bs);
+
+    if (vqueue_.empty()) {
+      if (outcome.remaining == 0) break;
+      // Distance gap: jump to the smallest unsettled distance and
+      // re-collect (one extra scan, no heavy relaxation).
+      next_lo = outcome.min_unsettled;
+      next_hi = next_lo + delta_next;
+      const ScanOutcome jump =
+          phase23(hi, hi, delta, next_lo, next_hi, /*relax_heavy=*/false);
+      RDBS_CHECK_MSG(!vqueue_.empty() || jump.remaining == 0,
+                     "jump scan failed to find the minimum vertex");
+      if (vqueue_.empty()) break;
+    }
+    lo = next_lo;
+    hi = next_hi;
+    delta = hi - lo;
+  }
+
+  result.sssp.distances = dist_.data();
+  result.sssp.work = work_;
+  sssp::finalize_valid_updates(result.sssp, source);
+  result.device_ms = sim_.elapsed_ms();
+  result.counters = sim_.counters();
+  return result;
+}
+
+}  // namespace rdbs::core

@@ -1,0 +1,287 @@
+#include "core/gunrock_like.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/macros.hpp"
+
+namespace rdbs::core::gunrock {
+
+namespace {
+constexpr std::uint32_t kDeviceWord = 4;
+}
+
+Enactor::Enactor(gpusim::DeviceSpec device, const graph::Csr& csr)
+    : sim_(std::move(device)), csr_(csr) {
+  const VertexId n = csr_.num_vertices();
+  const EdgeIndex m = csr_.num_edges();
+  row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
+  adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
+  weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
+  dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
+  frontier_buf_ = sim_.alloc<VertexId>("frontier",
+                                       std::max<EdgeIndex>(m + 64, 64),
+                                       kDeviceWord);
+  visited_ = sim_.alloc<std::uint8_t>("visited", n, 1);
+
+  std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
+            row_offsets_.data().begin());
+  std::copy(csr_.adjacency().begin(), csr_.adjacency().end(),
+            adjacency_.data().begin());
+  std::copy(csr_.weights().begin(), csr_.weights().end(),
+            weights_.data().begin());
+}
+
+Frontier Enactor::advance(const Frontier& frontier, const AdvanceFunctor& f) {
+  Frontier out;
+  if (frontier.empty()) return out;
+
+  // Pass 1 (setup): load the frontier's row bounds and flatten its edges
+  // into even 32-edge chunks (Gunrock's load-balanced advance).
+  struct Chunk {
+    VertexId vertex;
+    EdgeIndex begin, end;
+  };
+  std::vector<Chunk> chunks;
+  gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
+  for (std::size_t base = 0; base < frontier.size(); base += 32) {
+    const auto cnt = static_cast<std::uint32_t>(
+        std::min<std::size_t>(32, frontier.size() - base));
+    auto ctx = kernel.make_warp();
+    std::array<std::uint64_t, 32> vidx{};
+    std::array<std::uint64_t, 32> vidx1{};
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      vidx[i] = frontier.vertices()[base + i];
+      vidx1[i] = vidx[i] + 1;
+    }
+    std::array<VertexId, 32> tmp{};
+    ctx.load(frontier_buf_, std::span<const std::uint64_t>(vidx.data(), cnt),
+             std::span<VertexId>(tmp.data(), cnt));
+    std::array<EdgeIndex, 32> rb{};
+    std::array<EdgeIndex, 32> re{};
+    {
+      std::array<EdgeIndex, 32> t2{};
+      ctx.load(row_offsets_, std::span<const std::uint64_t>(vidx.data(), cnt),
+               std::span<EdgeIndex>(t2.data(), cnt));
+      for (std::uint32_t i = 0; i < cnt; ++i) rb[i] = t2[i];
+      ctx.load(row_offsets_,
+               std::span<const std::uint64_t>(vidx1.data(), cnt),
+               std::span<EdgeIndex>(t2.data(), cnt));
+      for (std::uint32_t i = 0; i < cnt; ++i) re[i] = t2[i];
+    }
+    ctx.alu(4, cnt);  // prefix-sum steps of the flattening
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      const auto v = frontier.vertices()[base + i];
+      for (EdgeIndex e = rb[i]; e < re[i]; e += 32) {
+        chunks.push_back({v, e, std::min<EdgeIndex>(e + 32, re[i])});
+      }
+    }
+    kernel.commit(ctx);
+  }
+
+  // Pass 2 (expand): one warp per chunk; functor decides emissions.
+  for (const Chunk& chunk : chunks) {
+    auto ctx = kernel.make_warp();
+    const auto cnt = static_cast<std::uint32_t>(chunk.end - chunk.begin);
+    const Distance du = ctx.load_one(dist_, chunk.vertex);
+    (void)du;
+    std::array<std::uint64_t, 32> eidx{};
+    for (std::uint32_t i = 0; i < cnt; ++i) eidx[i] = chunk.begin + i;
+    std::span<const std::uint64_t> es(eidx.data(), cnt);
+    std::array<VertexId, 32> dsts{};
+    std::array<Weight, 32> ws{};
+    ctx.load(adjacency_, es, std::span<VertexId>(dsts.data(), cnt));
+    ctx.load(weights_, es, std::span<Weight>(ws.data(), cnt));
+    ctx.alu(2, cnt);
+
+    // The functor's writes (e.g. atomicMin on dist) are charged as one
+    // warp atomic over the emitting lanes.
+    std::array<std::uint64_t, 32> emit_idx{};
+    std::uint32_t emitted = 0;
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      if (f(chunk.vertex, dsts[i], ws[i])) {
+        emit_idx[emitted++] = dsts[i];
+        out.vertices_.push_back(dsts[i]);
+      }
+    }
+    if (emitted > 0) {
+      ctx.atomic_touch(dist_,
+                       std::span<const std::uint64_t>(emit_idx.data(), emitted));
+      // Scatter the emissions into the output frontier.
+      std::array<std::uint64_t, 32> slots{};
+      std::array<VertexId, 32> vals{};
+      for (std::uint32_t i = 0; i < emitted; ++i) {
+        slots[i] = (out.vertices_.size() - emitted + i) %
+                   frontier_buf_.size();
+      }
+      ctx.store(frontier_buf_,
+                std::span<const std::uint64_t>(slots.data(), emitted),
+                std::span<const VertexId>(vals.data(), emitted));
+    }
+    kernel.commit(ctx);
+  }
+  kernel.finish();
+  sim_.host_barrier();
+  return out;
+}
+
+Frontier Enactor::filter(const Frontier& frontier,
+                         const FilterPredicate& pred) {
+  Frontier out;
+  if (frontier.empty()) return out;
+  // One compaction kernel: load candidates, test the predicate, dedup via
+  // the visited bitmap (charged as byte loads/stores), compact-store.
+  gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
+  std::vector<char> seen_this_filter(csr_.num_vertices(), 0);
+  for (std::size_t base = 0; base < frontier.size(); base += 32) {
+    const auto cnt = static_cast<std::uint32_t>(
+        std::min<std::size_t>(32, frontier.size() - base));
+    auto ctx = kernel.make_warp();
+    std::array<std::uint64_t, 32> vidx{};
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      vidx[i] = frontier.vertices()[base + i];
+    }
+    std::span<const std::uint64_t> vs(vidx.data(), cnt);
+    std::array<VertexId, 32> tmp{};
+    ctx.load(frontier_buf_, vs, std::span<VertexId>(tmp.data(), cnt));
+    std::array<std::uint8_t, 32> flags{};
+    ctx.load(visited_, vs, std::span<std::uint8_t>(flags.data(), cnt));
+    ctx.alu(2, cnt);
+    std::uint32_t kept = 0;
+    std::array<std::uint64_t, 32> keep_idx{};
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      const auto v = frontier.vertices()[base + i];
+      if (seen_this_filter[v]) continue;  // bitmap dedup
+      seen_this_filter[v] = 1;
+      if (!pred(v)) continue;
+      keep_idx[kept++] = v;
+      out.vertices_.push_back(v);
+    }
+    if (kept > 0) {
+      std::array<std::uint8_t, 32> ones{};
+      for (std::uint32_t i = 0; i < kept; ++i) ones[i] = 1;
+      ctx.store(visited_, std::span<const std::uint64_t>(keep_idx.data(), kept),
+                std::span<const std::uint8_t>(ones.data(), kept));
+    }
+    kernel.commit(ctx);
+  }
+  kernel.finish();
+  sim_.host_barrier();
+  // The visited bitmap is per-filter scratch in this model: clear the
+  // functional flags (cost folded into the stores above).
+  for (const VertexId v : out.vertices_) visited_[v] = 0;
+  return out;
+}
+
+void Enactor::compute(const Frontier& frontier, const ComputeFunctor& f) {
+  if (frontier.empty()) return;
+  gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
+  for (std::size_t base = 0; base < frontier.size(); base += 32) {
+    const auto cnt = static_cast<std::uint32_t>(
+        std::min<std::size_t>(32, frontier.size() - base));
+    auto ctx = kernel.make_warp();
+    std::array<std::uint64_t, 32> vidx{};
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      vidx[i] = frontier.vertices()[base + i];
+    }
+    std::array<VertexId, 32> tmp{};
+    ctx.load(frontier_buf_, std::span<const std::uint64_t>(vidx.data(), cnt),
+             std::span<VertexId>(tmp.data(), cnt));
+    ctx.alu(2, cnt);
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      f(frontier.vertices()[base + i]);
+    }
+    kernel.commit(ctx);
+  }
+  kernel.finish();
+}
+
+GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
+                  VertexId source, const GunrockSsspOptions& options) {
+  RDBS_CHECK(source < csr.num_vertices());
+  Enactor enactor(std::move(device), csr);
+  sssp::WorkStats work;
+
+  auto& dist = enactor.dist();
+  std::fill(dist.data().begin(), dist.data().end(),
+            graph::kInfiniteDistance);
+  // Init kernel (coalesced stores over dist).
+  enactor.sim().run_kernel(
+      gpusim::Schedule::kStatic, (csr.num_vertices() + 31) / 32, 8,
+      [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+        const std::uint64_t begin = w * 32;
+        const std::uint64_t end =
+            std::min<std::uint64_t>(begin + 32, csr.num_vertices());
+        const auto cnt = static_cast<std::uint32_t>(end - begin);
+        std::array<std::uint64_t, 32> idx{};
+        std::array<Distance, 32> inf{};
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          idx[i] = begin + i;
+          inf[i] = graph::kInfiniteDistance;
+        }
+        ctx.store(dist, std::span<const std::uint64_t>(idx.data(), cnt),
+                  std::span<const Distance>(inf.data(), cnt));
+      });
+  dist[source] = 0;
+
+  // Two-level priority split: the "near" pile is advanced immediately,
+  // "far" emissions are re-split when near drains (Gunrock's sssp).
+  const bool split = options.delta > 0;
+  Distance threshold = split ? options.delta : graph::kInfiniteDistance;
+  std::vector<VertexId> far;
+
+  Frontier frontier(std::vector<VertexId>{source});
+  while (!frontier.empty() || !far.empty()) {
+    if (frontier.empty()) {
+      // Re-split far: advance the threshold and filter the pile.
+      Distance min_far = graph::kInfiniteDistance;
+      for (const VertexId v : far) {
+        if (dist[v] >= threshold) min_far = std::min(min_far, dist[v]);
+      }
+      if (min_far == graph::kInfiniteDistance) break;
+      const Distance old_threshold = threshold;
+      while (threshold <= min_far) threshold += options.delta;
+      Frontier pile{std::move(far)};
+      far.clear();
+      frontier = enactor.filter(pile, [&](VertexId v) {
+        return dist[v] >= old_threshold && dist[v] < threshold;
+      });
+      // Entries beyond the new threshold stay in far.
+      for (const VertexId v : pile.vertices()) {
+        if (dist[v] >= threshold) far.push_back(v);
+      }
+      continue;
+    }
+
+    ++work.iterations;
+    // advance(relax): atomicMin semantics through the functor.
+    Frontier expanded = enactor.advance(
+        frontier, [&](VertexId u, VertexId v, Weight w) {
+          ++work.relaxations;
+          const Distance through = dist[u] + w;
+          if (through < dist[v]) {
+            dist[v] = through;
+            ++work.total_updates;
+            return true;
+          }
+          return false;
+        });
+    // filter(dedup + near test); far emissions are piled.
+    frontier = enactor.filter(expanded, [&](VertexId v) {
+      if (!split) return true;
+      if (dist[v] < threshold) return true;
+      far.push_back(v);
+      return false;
+    });
+  }
+
+  GpuRunResult result;
+  result.sssp.distances = dist.data();
+  result.sssp.work = work;
+  sssp::finalize_valid_updates(result.sssp, source);
+  result.device_ms = enactor.sim().elapsed_ms();
+  result.counters = enactor.sim().counters();
+  return result;
+}
+
+}  // namespace rdbs::core::gunrock

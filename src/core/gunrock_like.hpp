@@ -1,0 +1,108 @@
+// Gunrock-like data-centric operator framework (Wang et al., ToPC 2017 —
+// paper ref [35]) on the gpusim substrate.
+//
+// Gunrock expresses graph algorithms as a pipeline of bulk operators over
+// a frontier of vertices:
+//
+//   advance — expand the frontier's out-edges through a per-edge functor
+//             (load-balanced across warps: edges are flattened into even
+//             chunks, Gunrock's per-load-balancing strategy);
+//   filter  — compact a frontier through a per-vertex predicate (dedup +
+//             validity), producing the next iteration's frontier;
+//   compute — apply a per-vertex functor to the whole frontier.
+//
+// The operators charge realistic costs (frontier loads, functor ALU,
+// atomic scatters, compaction scans) through a shared GpuSim. SSSP is then
+// written exactly as Gunrock's sssp app: advance(relax) -> filter(dedup)
+// per iteration, with a two-level (near/far) priority split — the paper's
+// "priority queue" optimization — and per-iteration kernel launches
+// (Gunrock is bulk-synchronous, the "slow convergence" the paper calls
+// out).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/run_metrics.hpp"
+#include "gpusim/sim.hpp"
+#include "graph/csr.hpp"
+
+namespace rdbs::core::gunrock {
+
+using graph::Distance;
+using graph::EdgeIndex;
+using graph::VertexId;
+using graph::Weight;
+
+// Per-edge functor for advance: return true to emit the destination into
+// the advance output frontier.
+using AdvanceFunctor =
+    std::function<bool(VertexId src, VertexId dst, Weight w)>;
+// Per-vertex predicate for filter.
+using FilterPredicate = std::function<bool(VertexId)>;
+// Per-vertex functor for compute.
+using ComputeFunctor = std::function<void(VertexId)>;
+
+// The operator context: owns the simulator and the device-resident graph.
+class Frontier;
+
+class Enactor {
+ public:
+  Enactor(gpusim::DeviceSpec device, const graph::Csr& csr);
+
+  // advance: expand `frontier` through `f`; the emitted destinations
+  // (with duplicates) form the result.
+  Frontier advance(const Frontier& frontier, const AdvanceFunctor& f);
+  // filter: keep vertices passing `pred`, dropping duplicates (Gunrock's
+  // bitmap-based dedup), in one compaction kernel.
+  Frontier filter(const Frontier& frontier, const FilterPredicate& pred);
+  // compute: apply `f` to every frontier vertex (one kernel).
+  void compute(const Frontier& frontier, const ComputeFunctor& f);
+
+  gpusim::GpuSim& sim() { return sim_; }
+  const graph::Csr& csr() const { return csr_; }
+
+  // Device-resident distance array for apps that need one (SSSP).
+  gpusim::Buffer<Distance>& dist() { return dist_; }
+
+ private:
+  friend class Frontier;
+  gpusim::GpuSim sim_;
+  const graph::Csr& csr_;
+
+  gpusim::Buffer<EdgeIndex> row_offsets_;
+  gpusim::Buffer<VertexId> adjacency_;
+  gpusim::Buffer<Weight> weights_;
+  gpusim::Buffer<Distance> dist_;
+  gpusim::Buffer<VertexId> frontier_buf_;
+  gpusim::Buffer<std::uint8_t> visited_;
+};
+
+// A frontier is a list of vertex ids (duplicates allowed until filter).
+class Frontier {
+ public:
+  Frontier() = default;
+  explicit Frontier(std::vector<VertexId> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+ private:
+  friend class Enactor;
+  std::vector<VertexId> vertices_;
+};
+
+// --- the SSSP app -----------------------------------------------------------
+
+struct GunrockSsspOptions {
+  // Near/far priority split (Gunrock's sssp uses a two-level priority
+  // queue); 0 disables the split (plain Bellman-Ford iterations).
+  Weight delta = 100.0;
+};
+
+GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
+                  VertexId source, const GunrockSsspOptions& options = {});
+
+}  // namespace rdbs::core::gunrock

@@ -1,0 +1,448 @@
+#include "core/legacy_gpu.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/macros.hpp"
+
+namespace rdbs::core {
+
+using graph::Distance;
+using graph::EdgeIndex;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+constexpr std::uint32_t kDeviceWord = 4;
+}
+
+// ---------------------------------------------------------------------------
+// Harish & Narayanan (2007)
+// ---------------------------------------------------------------------------
+
+HarishNarayanan::HarishNarayanan(gpusim::DeviceSpec device,
+                                 const graph::Csr& csr)
+    : sim_(std::move(device)), csr_(csr) {
+  const VertexId n = csr_.num_vertices();
+  const EdgeIndex m = csr_.num_edges();
+  row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
+  adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
+  weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
+  dist_ = sim_.alloc<Distance>("cost", n, kDeviceWord);
+  updating_dist_ = sim_.alloc<Distance>("updating_cost", n, kDeviceWord);
+  mask_ = sim_.alloc<std::uint8_t>("mask", n, 1);
+
+  std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
+            row_offsets_.data().begin());
+  std::copy(csr_.adjacency().begin(), csr_.adjacency().end(),
+            adjacency_.data().begin());
+  std::copy(csr_.weights().begin(), csr_.weights().end(),
+            weights_.data().begin());
+}
+
+GpuRunResult HarishNarayanan::run(VertexId source) {
+  RDBS_CHECK(source < csr_.num_vertices());
+  sim_.reset_all();
+  const VertexId n = csr_.num_vertices();
+  const std::uint64_t warps = (n + 31) / 32;
+  sssp::WorkStats work;
+
+  // Initialization kernel: cost = updating_cost = inf, mask = 0; then the
+  // source seeded by a one-thread kernel (exactly the 2007 structure).
+  sim_.run_kernel(
+      gpusim::Schedule::kStatic, warps, 8,
+      [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+        const std::uint64_t begin = w * 32;
+        const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+        const auto lanes = static_cast<std::uint32_t>(end - begin);
+        std::array<std::uint64_t, 32> idx{};
+        std::array<Distance, 32> inf{};
+        std::array<std::uint8_t, 32> zero{};
+        for (std::uint32_t i = 0; i < lanes; ++i) {
+          idx[i] = begin + i;
+          inf[i] = graph::kInfiniteDistance;
+          zero[i] = 0;
+        }
+        std::span<const std::uint64_t> is(idx.data(), lanes);
+        ctx.store(dist_, is, std::span<const Distance>(inf.data(), lanes));
+        ctx.store(updating_dist_, is,
+                  std::span<const Distance>(inf.data(), lanes));
+        ctx.store(mask_, is,
+                  std::span<const std::uint8_t>(zero.data(), lanes));
+      });
+  sim_.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                  [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                    ctx.store_one(dist_, source, Distance{0});
+                    ctx.store_one(updating_dist_, source, Distance{0});
+                    ctx.store_one(mask_, source, std::uint8_t{1});
+                  });
+
+  bool changed = true;
+  const std::uint64_t max_iterations = 4 * (std::uint64_t(n) + 8);
+  std::uint64_t iterations = 0;
+  while (changed) {
+    RDBS_CHECK_MSG(++iterations < max_iterations, "HN07 failed to converge");
+    ++work.iterations;
+
+    // Kernel 1 (topology-driven): every vertex loads its mask; masked lanes
+    // relax all out-edges into updating_cost via atomicMin.
+    sim_.run_kernel(
+        gpusim::Schedule::kStatic, warps, 8,
+        [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+          const std::uint64_t begin = w * 32;
+          const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+          const auto lanes = static_cast<std::uint32_t>(end - begin);
+          std::array<std::uint64_t, 32> idx{};
+          for (std::uint32_t i = 0; i < lanes; ++i) idx[i] = begin + i;
+          std::span<const std::uint64_t> is(idx.data(), lanes);
+          std::array<std::uint8_t, 32> masks{};
+          ctx.load(mask_, is, std::span<std::uint8_t>(masks.data(), lanes));
+
+          std::array<std::uint32_t, 32> active_lane{};
+          std::uint32_t active = 0;
+          for (std::uint32_t i = 0; i < lanes; ++i) {
+            if (masks[i]) active_lane[active++] = i;
+          }
+          if (active == 0) return;  // whole warp idle — but it was launched
+
+          // Row bounds + own distance for the active lanes.
+          std::array<std::uint64_t, 32> vact{};
+          std::array<std::uint64_t, 32> vact1{};
+          for (std::uint32_t i = 0; i < active; ++i) {
+            vact[i] = begin + active_lane[i];
+            vact1[i] = vact[i] + 1;
+          }
+          std::span<const std::uint64_t> va(vact.data(), active);
+          std::array<EdgeIndex, 32> rb{};
+          std::array<EdgeIndex, 32> re{};
+          ctx.load(row_offsets_, va, std::span<EdgeIndex>(rb.data(), active));
+          ctx.load(row_offsets_,
+                   std::span<const std::uint64_t>(vact1.data(), active),
+                   std::span<EdgeIndex>(re.data(), active));
+          std::array<Distance, 32> du{};
+          ctx.load(dist_, va, std::span<Distance>(du.data(), active));
+          ctx.alu(2, active);
+
+          std::uint64_t max_deg = 0;
+          for (std::uint32_t i = 0; i < active; ++i) {
+            max_deg = std::max<std::uint64_t>(max_deg, re[i] - rb[i]);
+          }
+          for (std::uint64_t s = 0; s < max_deg; ++s) {
+            std::array<std::uint64_t, 32> eidx{};
+            std::array<std::uint32_t, 32> owner{};
+            std::uint32_t cnt = 0;
+            for (std::uint32_t i = 0; i < active; ++i) {
+              if (rb[i] + s < re[i]) {
+                eidx[cnt] = rb[i] + s;
+                owner[cnt] = i;
+                ++cnt;
+              }
+            }
+            if (cnt == 0) break;
+            std::span<const std::uint64_t> es(eidx.data(), cnt);
+            std::array<VertexId, 32> dsts{};
+            std::array<Weight, 32> ws{};
+            ctx.load(adjacency_, es, std::span<VertexId>(dsts.data(), cnt));
+            ctx.load(weights_, es, std::span<Weight>(ws.data(), cnt));
+            ctx.alu(2, cnt);
+            work.relaxations += cnt;
+            std::array<std::uint64_t, 32> tgt{};
+            std::array<Distance, 32> val{};
+            for (std::uint32_t i = 0; i < cnt; ++i) {
+              tgt[i] = dsts[i];
+              val[i] = du[owner[i]] + ws[i];
+            }
+            std::array<std::uint8_t, 32> improved{};
+            ctx.atomic_min(updating_dist_,
+                           std::span<const std::uint64_t>(tgt.data(), cnt),
+                           std::span<const Distance>(val.data(), cnt),
+                           std::span<std::uint8_t>(improved.data(), cnt));
+            for (std::uint32_t i = 0; i < cnt; ++i) {
+              work.total_updates += improved[i];
+            }
+          }
+        });
+
+    // Kernel 2: commit improvements, rebuild the mask, resync the shadow.
+    changed = false;
+    sim_.run_kernel(
+        gpusim::Schedule::kStatic, warps, 8,
+        [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+          const std::uint64_t begin = w * 32;
+          const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+          const auto lanes = static_cast<std::uint32_t>(end - begin);
+          std::array<std::uint64_t, 32> idx{};
+          for (std::uint32_t i = 0; i < lanes; ++i) idx[i] = begin + i;
+          std::span<const std::uint64_t> is(idx.data(), lanes);
+          std::array<Distance, 32> cost{};
+          std::array<Distance, 32> updating{};
+          ctx.load(dist_, is, std::span<Distance>(cost.data(), lanes));
+          ctx.load(updating_dist_, is,
+                   std::span<Distance>(updating.data(), lanes));
+          ctx.alu(2, lanes);
+          std::array<std::uint8_t, 32> new_mask{};
+          for (std::uint32_t i = 0; i < lanes; ++i) {
+            if (updating[i] < cost[i]) {
+              cost[i] = updating[i];
+              new_mask[i] = 1;
+              changed = true;
+            } else {
+              updating[i] = cost[i];
+              new_mask[i] = 0;
+            }
+          }
+          ctx.store(dist_, is, std::span<const Distance>(cost.data(), lanes));
+          ctx.store(updating_dist_, is,
+                    std::span<const Distance>(updating.data(), lanes));
+          ctx.store(mask_, is,
+                    std::span<const std::uint8_t>(new_mask.data(), lanes));
+        });
+    sim_.host_barrier();
+  }
+
+  GpuRunResult result;
+  result.sssp.distances = dist_.data();
+  result.sssp.work = work;
+  sssp::finalize_valid_updates(result.sssp, source);
+  result.device_ms = sim_.elapsed_ms();
+  result.counters = sim_.counters();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Davidson et al. (2014): Workfront Sweep + Near-Far
+// ---------------------------------------------------------------------------
+
+DavidsonNearFar::DavidsonNearFar(gpusim::DeviceSpec device,
+                                 const graph::Csr& csr,
+                                 DavidsonOptions options)
+    : sim_(std::move(device)), csr_(csr), options_(options) {
+  RDBS_CHECK(options_.delta > 0);
+  const VertexId n = csr_.num_vertices();
+  const EdgeIndex m = csr_.num_edges();
+  row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
+  adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
+  weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
+  dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
+  near_queue_ = sim_.alloc<VertexId>("near", std::max<std::size_t>(n, 64),
+                                     kDeviceWord);
+  far_pile_ = sim_.alloc<VertexId>("far", std::max<std::size_t>(2 * m + 64, 64),
+                                   kDeviceWord);
+  in_near_ = sim_.alloc<std::uint8_t>("in_near", n, 1);
+
+  std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
+            row_offsets_.data().begin());
+  std::copy(csr_.adjacency().begin(), csr_.adjacency().end(),
+            adjacency_.data().begin());
+  std::copy(csr_.weights().begin(), csr_.weights().end(),
+            weights_.data().begin());
+}
+
+GpuRunResult DavidsonNearFar::run(VertexId source) {
+  RDBS_CHECK(source < csr_.num_vertices());
+  sim_.reset_all();
+  const VertexId n = csr_.num_vertices();
+  sssp::WorkStats work;
+  std::fill(in_near_.data().begin(), in_near_.data().end(), 0);
+  std::fill(dist_.data().begin(), dist_.data().end(),
+            graph::kInfiniteDistance);
+  // Init kernel cost: one coalesced pass over dist.
+  sim_.run_kernel(gpusim::Schedule::kStatic, (n + 31) / 32, 8,
+                  [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                    const std::uint64_t begin = w * 32;
+                    const std::uint64_t end =
+                        std::min<std::uint64_t>(begin + 32, n);
+                    const auto lanes = static_cast<std::uint32_t>(end - begin);
+                    std::array<std::uint64_t, 32> idx{};
+                    std::array<Distance, 32> inf{};
+                    for (std::uint32_t i = 0; i < lanes; ++i) {
+                      idx[i] = begin + i;
+                      inf[i] = graph::kInfiniteDistance;
+                    }
+                    ctx.store(dist_,
+                              std::span<const std::uint64_t>(idx.data(), lanes),
+                              std::span<const Distance>(inf.data(), lanes));
+                  });
+  dist_[source] = 0;
+
+  std::vector<VertexId> near{source};
+  in_near_[source] = 1;
+  std::vector<VertexId> far;
+  Distance threshold = options_.delta;
+
+  // Flattened (vertex, edge) workfront chunk: Workfront Sweep's
+  // edge-balanced mapping — each warp handles 32 consecutive frontier
+  // edges, never a whole vertex.
+  struct Chunk {
+    VertexId vertex;
+    EdgeIndex begin, end;
+  };
+
+  while (!near.empty() || !far.empty()) {
+    if (near.empty()) {
+      // Far split (synchronous kernel over the pile).
+      Distance min_far = graph::kInfiniteDistance;
+      gpusim::KernelScope split(sim_, gpusim::Schedule::kStatic, true);
+      for (std::size_t base = 0; base < far.size(); base += 32) {
+        const auto cnt = static_cast<std::uint32_t>(
+            std::min<std::size_t>(32, far.size() - base));
+        auto ctx = split.make_warp();
+        std::array<std::uint64_t, 32> vidx{};
+        std::array<Distance, 32> dvals{};
+        for (std::uint32_t i = 0; i < cnt; ++i) vidx[i] = far[base + i];
+        ctx.load(dist_, std::span<const std::uint64_t>(vidx.data(), cnt),
+                 std::span<Distance>(dvals.data(), cnt));
+        ctx.alu(2, cnt);
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          if (dvals[i] >= threshold) min_far = std::min(min_far, dvals[i]);
+        }
+        split.commit(ctx);
+      }
+      if (min_far == graph::kInfiniteDistance) {
+        split.finish();
+        break;
+      }
+      const Distance old_threshold = threshold;
+      while (threshold <= min_far) threshold += options_.delta;
+      std::vector<VertexId> still_far;
+      for (std::size_t base = 0; base < far.size(); base += 32) {
+        const auto cnt = static_cast<std::uint32_t>(
+            std::min<std::size_t>(32, far.size() - base));
+        auto ctx = split.make_warp();
+        ctx.alu(2, cnt);
+        std::uint32_t stored = 0;
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          const VertexId v = far[base + i];
+          const Distance d = dist_[v];
+          if (d == graph::kInfiniteDistance || d < old_threshold) continue;
+          ++stored;
+          if (d < threshold) {
+            if (!in_near_[v]) {
+              in_near_[v] = 1;
+              near.push_back(v);
+            }
+          } else {
+            still_far.push_back(v);
+          }
+        }
+        if (stored > 0) {
+          std::array<std::uint64_t, 32> slot{};
+          std::array<VertexId, 32> ids{};
+          for (std::uint32_t i = 0; i < stored; ++i) slot[i] = i;
+          ctx.store(near_queue_,
+                    std::span<const std::uint64_t>(slot.data(), stored),
+                    std::span<const VertexId>(ids.data(), stored));
+        }
+        split.commit(ctx);
+      }
+      split.finish();
+      sim_.host_barrier();
+      far.swap(still_far);
+      continue;
+    }
+
+    // --- Workfront Sweep over the near frontier: flatten to edge chunks.
+    ++work.iterations;
+    std::vector<Chunk> chunks;
+    {
+      // The flattening itself is a scan+compact on device; charge one pass
+      // over the frontier (row-bound loads + prefix-sum ALU).
+      gpusim::KernelScope setup(sim_, gpusim::Schedule::kStatic, true);
+      for (std::size_t base = 0; base < near.size(); base += 32) {
+        const auto cnt = static_cast<std::uint32_t>(
+            std::min<std::size_t>(32, near.size() - base));
+        auto ctx = setup.make_warp();
+        std::array<std::uint64_t, 32> vidx{};
+        std::array<std::uint64_t, 32> vidx1{};
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          vidx[i] = near[base + i];
+          vidx1[i] = vidx[i] + 1;
+        }
+        std::array<EdgeIndex, 32> rb{};
+        std::array<EdgeIndex, 32> re{};
+        ctx.load(row_offsets_, std::span<const std::uint64_t>(vidx.data(), cnt),
+                 std::span<EdgeIndex>(rb.data(), cnt));
+        ctx.load(row_offsets_,
+                 std::span<const std::uint64_t>(vidx1.data(), cnt),
+                 std::span<EdgeIndex>(re.data(), cnt));
+        ctx.alu(4, cnt);  // prefix-sum steps of the compact
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          const VertexId v = near[base + i];
+          in_near_[v] = 0;
+          for (EdgeIndex e = rb[i]; e < re[i]; e += 32) {
+            chunks.push_back({v, e, std::min<EdgeIndex>(e + 32, re[i])});
+          }
+        }
+        setup.commit(ctx);
+      }
+      setup.finish();
+    }
+    near.clear();
+    sim_.host_barrier();
+
+    gpusim::KernelScope sweep(sim_, gpusim::Schedule::kStatic, true);
+    for (const Chunk& chunk : chunks) {
+      auto ctx = sweep.make_warp();
+      const auto cnt = static_cast<std::uint32_t>(chunk.end - chunk.begin);
+      const Distance du = ctx.load_one(dist_, chunk.vertex);
+      std::array<std::uint64_t, 32> eidx{};
+      for (std::uint32_t i = 0; i < cnt; ++i) eidx[i] = chunk.begin + i;
+      std::span<const std::uint64_t> es(eidx.data(), cnt);
+      std::array<VertexId, 32> dsts{};
+      std::array<Weight, 32> ws{};
+      ctx.load(adjacency_, es, std::span<VertexId>(dsts.data(), cnt));
+      ctx.load(weights_, es, std::span<Weight>(ws.data(), cnt));
+      ctx.alu(2, cnt);
+      work.relaxations += cnt;
+      std::array<std::uint64_t, 32> tgt{};
+      std::array<Distance, 32> val{};
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        tgt[i] = dsts[i];
+        val[i] = du + ws[i];
+      }
+      std::array<std::uint8_t, 32> improved{};
+      ctx.atomic_min(dist_, std::span<const std::uint64_t>(tgt.data(), cnt),
+                     std::span<const Distance>(val.data(), cnt),
+                     std::span<std::uint8_t>(improved.data(), cnt));
+      std::uint32_t pushed = 0;
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        if (!improved[i]) continue;
+        ++work.total_updates;
+        const auto v = static_cast<VertexId>(tgt[i]);
+        if (val[i] < threshold) {
+          if (!in_near_[v]) {
+            in_near_[v] = 1;
+            near.push_back(v);
+            ++pushed;
+          }
+        } else {
+          far.push_back(v);
+          ++pushed;
+        }
+      }
+      if (pushed > 0) {
+        const std::uint64_t tail[1] = {0};
+        ctx.atomic_touch(near_queue_, std::span<const std::uint64_t>(tail, 1));
+        std::array<std::uint64_t, 32> slot{};
+        std::array<VertexId, 32> ids{};
+        for (std::uint32_t i = 0; i < pushed; ++i) slot[i] = i;
+        ctx.store(near_queue_, std::span<const std::uint64_t>(slot.data(), pushed),
+                  std::span<const VertexId>(ids.data(), pushed));
+      }
+      sweep.commit(ctx);
+    }
+    sweep.finish();
+    sim_.host_barrier();
+  }
+
+  GpuRunResult result;
+  result.sssp.distances = dist_.data();
+  result.sssp.work = work;
+  sssp::finalize_valid_updates(result.sssp, source);
+  result.device_ms = sim_.elapsed_ms();
+  result.counters = sim_.counters();
+  return result;
+}
+
+}  // namespace rdbs::core

@@ -1,0 +1,426 @@
+#include "core/multi_gpu.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "common/macros.hpp"
+
+namespace rdbs::core {
+
+using graph::Distance;
+using graph::EdgeIndex;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+constexpr std::uint32_t kDeviceWord = 4;
+// One remote relaxation message: packed (vertex id, fp32 distance).
+constexpr double kMessageBytes = 8.0;
+}  // namespace
+
+// Per-device state: its own simulator and device-resident buffers covering
+// the whole graph's read-only structure slice plus the owned dist shard.
+struct MultiGpuDeltaStepping::Shard {
+  explicit Shard(gpusim::DeviceSpec spec) : sim(std::move(spec)) {}
+
+  gpusim::GpuSim sim;
+  VertexId first = 0, last = 0;  // owned vertex range [first, last)
+
+  gpusim::Buffer<EdgeIndex> row_offsets;  // rows of owned vertices
+  gpusim::Buffer<VertexId> adjacency;
+  gpusim::Buffer<Weight> weights;
+  gpusim::Buffer<Distance> dist;          // owned shard
+  gpusim::Buffer<VertexId> queue;
+  gpusim::Buffer<std::uint8_t> in_queue;
+
+  std::deque<VertexId> frontier;          // local ids of queued vertices
+  double busy_ms = 0;
+
+  bool owns(VertexId v) const { return v >= first && v < last; }
+};
+
+MultiGpuDeltaStepping::MultiGpuDeltaStepping(gpusim::DeviceSpec device_template,
+                                             const graph::Csr& csr,
+                                             MultiGpuOptions options)
+    : csr_(csr), options_(options) {
+  RDBS_CHECK(options_.num_devices >= 1);
+  RDBS_CHECK(options_.delta0 > 0);
+  const VertexId n = csr_.num_vertices();
+  shard_size_ = (n + static_cast<VertexId>(options_.num_devices) - 1) /
+                static_cast<VertexId>(options_.num_devices);
+  RDBS_CHECK(shard_size_ > 0);
+
+  for (int d = 0; d < options_.num_devices; ++d) {
+    auto shard = std::make_unique<Shard>(device_template);
+    shard->first = static_cast<VertexId>(d) * shard_size_;
+    shard->last = std::min<VertexId>(n, shard->first + shard_size_);
+    const VertexId local_n =
+        shard->last > shard->first ? shard->last - shard->first : 0;
+    EdgeIndex local_m = 0;
+    if (local_n > 0) {
+      local_m = csr_.row_end(shard->last - 1) - csr_.row_begin(shard->first);
+    }
+    shard->row_offsets = shard->sim.alloc<EdgeIndex>(
+        "row_offsets", local_n + 1, kDeviceWord);
+    shard->adjacency = shard->sim.alloc<VertexId>(
+        "adjacency", std::max<EdgeIndex>(local_m, 1), kDeviceWord);
+    shard->weights = shard->sim.alloc<Weight>(
+        "weights", std::max<EdgeIndex>(local_m, 1), kDeviceWord);
+    shard->dist = shard->sim.alloc<Distance>(
+        "dist", std::max<VertexId>(local_n, 1), kDeviceWord);
+    shard->queue = shard->sim.alloc<VertexId>(
+        "queue", std::max<VertexId>(local_n, 64), kDeviceWord);
+    shard->in_queue = shard->sim.alloc<std::uint8_t>(
+        "in_queue", std::max<VertexId>(local_n, 1), 1);
+
+    // Upload the owned rows (uncosted, as elsewhere).
+    const EdgeIndex base = local_n > 0 ? csr_.row_begin(shard->first) : 0;
+    for (VertexId v = 0; v < local_n; ++v) {
+      shard->row_offsets[v] = csr_.row_begin(shard->first + v) - base;
+    }
+    shard->row_offsets[local_n] = local_m;
+    for (EdgeIndex e = 0; e < local_m; ++e) {
+      shard->adjacency[e] = csr_.adjacency()[base + e];
+      shard->weights[e] = csr_.weights()[base + e];
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+MultiGpuDeltaStepping::~MultiGpuDeltaStepping() = default;
+
+MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
+  RDBS_CHECK(source < csr_.num_vertices());
+  MultiGpuRunResult result;
+  const Weight delta = options_.delta0;
+
+  for (auto& shard : shards_) {
+    shard->sim.reset_all();
+    shard->frontier.clear();
+    shard->busy_ms = 0;
+    std::fill(shard->dist.data().begin(), shard->dist.data().end(),
+              graph::kInfiniteDistance);
+    std::fill(shard->in_queue.data().begin(), shard->in_queue.data().end(),
+              0);
+    // Init kernel per device (parallel across devices: makespan takes max).
+    const VertexId local_n = shard->last - shard->first;
+    if (local_n == 0) continue;
+    shard->sim.run_kernel(
+        gpusim::Schedule::kStatic, (local_n + 31) / 32, 8,
+        [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+          const std::uint64_t begin = w * 32;
+          const std::uint64_t end =
+              std::min<std::uint64_t>(begin + 32, local_n);
+          const auto lanes = static_cast<std::uint32_t>(end - begin);
+          std::array<std::uint64_t, 32> idx{};
+          std::array<Distance, 32> inf{};
+          for (std::uint32_t i = 0; i < lanes; ++i) {
+            idx[i] = begin + i;
+            inf[i] = graph::kInfiniteDistance;
+          }
+          ctx.store(shard->dist,
+                    std::span<const std::uint64_t>(idx.data(), lanes),
+                    std::span<const Distance>(inf.data(), lanes));
+        });
+  }
+  {
+    double init_ms = 0;
+    for (auto& shard : shards_) {
+      init_ms = std::max(init_ms, shard->sim.elapsed_ms());
+      shard->sim.reset_time();
+    }
+    result.compute_ms += init_ms;
+  }
+
+  Shard& source_shard = *shards_[static_cast<std::size_t>(owner_of(source))];
+  source_shard.dist[source - source_shard.first] = 0;
+  source_shard.frontier.push_back(source - source_shard.first);
+  source_shard.in_queue[source - source_shard.first] = 1;
+
+  auto dist_of = [&](VertexId v) -> Distance& {
+    Shard& shard = *shards_[static_cast<std::size_t>(owner_of(v))];
+    return shard.dist[v - shard.first];
+  };
+
+  Weight lo = 0;
+  Weight hi = delta;
+  const std::uint64_t max_buckets = 16 * (csr_.num_vertices() + 64);
+  std::uint64_t bucket_count = 0;
+
+  // Messages staged for the next exchange: per destination device.
+  std::vector<std::vector<std::pair<VertexId, Distance>>> outbox(
+      shards_.size());
+
+  auto run_exchange = [&]() {
+    // Coalesce per destination: several improvements to the same remote
+    // vertex within a round collapse to the minimum (the standard
+    // message-reduction optimization; sorting cost is on the sender and
+    // negligible next to the wire time it saves).
+    for (auto& box : outbox) {
+      std::sort(box.begin(), box.end());
+      box.erase(std::unique(box.begin(), box.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                box.end());
+    }
+    std::uint64_t batch = 0;
+    for (auto& box : outbox) batch += box.size();
+    if (batch == 0) return false;
+    ++result.exchange_rounds;
+    result.messages += batch;
+    // All-to-all: pairs transfer concurrently; the bottleneck is the
+    // busiest link (approximated by the largest per-destination volume),
+    // plus a fixed round latency.
+    std::uint64_t busiest = 0;
+    for (auto& box : outbox) {
+      busiest = std::max<std::uint64_t>(busiest, box.size());
+    }
+    result.exchange_ms +=
+        options_.interconnect.latency_us * 1e-3 +
+        static_cast<double>(busiest) * kMessageBytes /
+            (options_.interconnect.bandwidth_gbps * 1e6);
+    // Owners apply the messages (an atomicMin kernel per device; charge on
+    // the owning device, then clear the boxes).
+    for (std::size_t d = 0; d < shards_.size(); ++d) {
+      Shard& shard = *shards_[d];
+      auto& box = outbox[d];
+      if (box.empty()) continue;
+      gpusim::KernelScope apply(shard.sim, gpusim::Schedule::kStatic, true);
+      for (std::size_t base = 0; base < box.size(); base += 32) {
+        const auto cnt = static_cast<std::uint32_t>(
+            std::min<std::size_t>(32, box.size() - base));
+        auto ctx = apply.make_warp();
+        std::array<std::uint64_t, 32> idx{};
+        std::array<Distance, 32> val{};
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          idx[i] = box[base + i].first - shard.first;
+          val[i] = box[base + i].second;
+        }
+        std::array<std::uint8_t, 32> improved{};
+        ctx.atomic_min(shard.dist,
+                       std::span<const std::uint64_t>(idx.data(), cnt),
+                       std::span<const Distance>(val.data(), cnt),
+                       std::span<std::uint8_t>(improved.data(), cnt));
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          if (!improved[i]) continue;
+          const auto local = static_cast<VertexId>(idx[i]);
+          if (val[i] < hi && !shard.in_queue[local]) {
+            shard.in_queue[local] = 1;
+            shard.frontier.push_back(local);
+          }
+        }
+        apply.commit(ctx);
+      }
+      apply.finish();
+    }
+    for (auto& box : outbox) box.clear();
+    return true;
+  };
+
+  // Relaxes edge range [eb, ee) of local vertex `lv` on shard `shard`
+  // against the window predicate; local improvements are queued, remote
+  // targets become messages.
+  auto relax_range = [&](Shard& shard, gpusim::WarpCtx& ctx, VertexId lv,
+                         EdgeIndex eb, EdgeIndex ee, bool light_only,
+                         bool heavy_only) {
+    const Distance du = ctx.load_one(shard.dist, lv);
+    for (EdgeIndex base = eb; base < ee; base += 32) {
+      const auto cnt =
+          static_cast<std::uint32_t>(std::min<EdgeIndex>(32, ee - base));
+      std::array<std::uint64_t, 32> eidx{};
+      for (std::uint32_t i = 0; i < cnt; ++i) eidx[i] = base + i;
+      std::span<const std::uint64_t> es(eidx.data(), cnt);
+      std::array<VertexId, 32> dsts{};
+      std::array<Weight, 32> ws{};
+      ctx.load(shard.adjacency, es, std::span<VertexId>(dsts.data(), cnt));
+      ctx.load(shard.weights, es, std::span<Weight>(ws.data(), cnt));
+      ctx.alu(3, cnt);  // window predicate + add + compare
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        if (light_only && ws[i] >= delta) continue;
+        if (heavy_only && ws[i] < delta) continue;
+        const VertexId target = dsts[i];
+        const Distance through = du + ws[i];
+        if (shard.owns(target)) {
+          const VertexId local = target - shard.first;
+          if (ctx.atomic_min_one(shard.dist, local, through)) {
+            if (through < hi && !shard.in_queue[local]) {
+              shard.in_queue[local] = 1;
+              shard.frontier.push_back(local);
+              // Queue append cost.
+              const std::uint64_t slot[1] = {local % shard.queue.size()};
+              ctx.atomic_touch(shard.queue,
+                               std::span<const std::uint64_t>(slot, 1));
+            }
+          }
+        } else {
+          // Remote: stage a message (the device-side buffer append).
+          if (through < dist_of(target)) {
+            outbox[static_cast<std::size_t>(owner_of(target))].emplace_back(
+                target, through);
+            const std::uint64_t slot[1] = {0};
+            ctx.atomic_touch(shard.queue,
+                             std::span<const std::uint64_t>(slot, 1));
+          }
+        }
+      }
+    }
+  };
+
+  while (true) {
+    RDBS_CHECK_MSG(++bucket_count < max_buckets,
+                   "multi-GPU bucket loop runaway");
+
+    // --- Phase 1 (bucket-synchronous inner rounds) ------------------------
+    bool any_work = false;
+    for (auto& shard : shards_) any_work |= !shard->frontier.empty();
+    while (any_work) {
+      double round_ms = 0;
+      for (auto& shard : shards_) {
+        if (shard->frontier.empty()) continue;
+        gpusim::KernelScope kernel(shard->sim, gpusim::Schedule::kDynamic,
+                                   true);
+        while (!shard->frontier.empty()) {
+          const VertexId lv = shard->frontier.front();
+          shard->frontier.pop_front();
+          shard->in_queue[lv] = 0;
+          const Distance d = shard->dist[lv];
+          if (d < lo || d >= hi) continue;  // stale
+          auto ctx = kernel.make_warp();
+          relax_range(*shard, ctx, lv, shard->row_offsets[lv],
+                      shard->row_offsets[lv + 1], /*light_only=*/true,
+                      /*heavy_only=*/false);
+          kernel.commit(ctx);
+        }
+        kernel.finish();
+        round_ms = std::max(round_ms, shard->sim.elapsed_ms());
+        shard->busy_ms += shard->sim.elapsed_ms();
+        shard->sim.reset_time();
+      }
+      result.compute_ms += round_ms;
+      const bool exchanged = run_exchange();
+      any_work = false;
+      for (auto& shard : shards_) any_work |= !shard->frontier.empty();
+      if (!exchanged && !any_work) break;
+    }
+
+    // --- Phase 2&3 per device: heavy edges + next bucket collection -------
+    double scan_ms = 0;
+    std::uint64_t remaining = 0;
+    Distance min_unsettled = graph::kInfiniteDistance;
+    for (auto& shard : shards_) {
+      const VertexId local_n = shard->last - shard->first;
+      if (local_n == 0) continue;
+      gpusim::KernelScope scan(shard->sim, gpusim::Schedule::kStatic, true);
+      for (VertexId base = 0; base < local_n; base += 32) {
+        const auto cnt =
+            static_cast<std::uint32_t>(std::min<VertexId>(32, local_n - base));
+        auto ctx = scan.make_warp();
+        std::array<std::uint64_t, 32> idx{};
+        std::array<Distance, 32> dvals{};
+        for (std::uint32_t i = 0; i < cnt; ++i) idx[i] = base + i;
+        ctx.load(shard->dist, std::span<const std::uint64_t>(idx.data(), cnt),
+                 std::span<Distance>(dvals.data(), cnt));
+        ctx.alu(3, cnt);
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          const VertexId lv = base + i;
+          const Distance d = shard->dist[lv];
+          if (d >= lo && d < hi) {
+            relax_range(*shard, ctx, lv, shard->row_offsets[lv],
+                        shard->row_offsets[lv + 1], /*light_only=*/false,
+                        /*heavy_only=*/true);
+          }
+        }
+        scan.commit(ctx);
+      }
+      scan.finish();
+    }
+    // Heavy relaxations may have produced remote messages for the next
+    // bucket; exchange them before collection.
+    run_exchange();
+
+    for (auto& shard : shards_) {
+      const VertexId local_n = shard->last - shard->first;
+      if (local_n == 0) continue;
+      gpusim::KernelScope collect(shard->sim, gpusim::Schedule::kStatic,
+                                  true);
+      for (VertexId base = 0; base < local_n; base += 32) {
+        const auto cnt =
+            static_cast<std::uint32_t>(std::min<VertexId>(32, local_n - base));
+        auto ctx = collect.make_warp();
+        std::array<std::uint64_t, 32> idx{};
+        std::array<Distance, 32> dvals{};
+        for (std::uint32_t i = 0; i < cnt; ++i) idx[i] = base + i;
+        ctx.load(shard->dist, std::span<const std::uint64_t>(idx.data(), cnt),
+                 std::span<Distance>(dvals.data(), cnt));
+        ctx.alu(3, cnt);
+        std::uint32_t enq = 0;
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          const VertexId lv = base + i;
+          const Distance d = shard->dist[lv];
+          if (d == graph::kInfiniteDistance) continue;
+          if (d >= hi) {
+            ++remaining;
+            min_unsettled = std::min(min_unsettled, d);
+            if (d < hi + delta && !shard->in_queue[lv]) {
+              shard->in_queue[lv] = 1;
+              shard->frontier.push_back(lv);
+              ++enq;
+            }
+          }
+        }
+        if (enq > 0) {
+          const std::uint64_t slot[1] = {0};
+          ctx.atomic_touch(shard->queue,
+                           std::span<const std::uint64_t>(slot, 1));
+        }
+        collect.commit(ctx);
+      }
+      collect.finish();
+      scan_ms = std::max(scan_ms, shard->sim.elapsed_ms());
+      shard->busy_ms += shard->sim.elapsed_ms();
+      shard->sim.reset_time();
+    }
+    result.compute_ms += scan_ms;
+
+    bool have_frontier = false;
+    for (auto& shard : shards_) have_frontier |= !shard->frontier.empty();
+    if (!have_frontier) {
+      if (remaining == 0) break;
+      // Jump the distance gap.
+      lo = min_unsettled;
+      hi = lo + delta;
+      for (auto& shard : shards_) {
+        const VertexId local_n = shard->last - shard->first;
+        for (VertexId lv = 0; lv < local_n; ++lv) {
+          const Distance d = shard->dist[lv];
+          if (d != graph::kInfiniteDistance && d >= lo && d < hi &&
+              !shard->in_queue[lv]) {
+            shard->in_queue[lv] = 1;
+            shard->frontier.push_back(lv);
+          }
+        }
+      }
+      continue;
+    }
+    lo = hi;
+    hi = lo + delta;
+  }
+
+  // Assemble the global distance array.
+  result.sssp.distances.resize(csr_.num_vertices());
+  for (const auto& shard : shards_) {
+    for (VertexId lv = 0; lv < shard->last - shard->first; ++lv) {
+      result.sssp.distances[shard->first + lv] = shard->dist[lv];
+    }
+  }
+  sssp::finalize_valid_updates(result.sssp, source);
+  result.makespan_ms = result.compute_ms + result.exchange_ms;
+  for (const auto& shard : shards_) {
+    result.per_device_busy_ms.push_back(shard->busy_ms);
+  }
+  return result;
+}
+
+}  // namespace rdbs::core

@@ -1,0 +1,54 @@
+// Configuration of the GPU Δ-stepping engine. The three paper optimizations
+// are independent switches so the Fig. 8 ablation (BL, BASYN+PRO,
+// BASYN+ADWL, BASYN+PRO+ADWL) can be expressed directly.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "graph/types.hpp"
+
+namespace rdbs::core {
+
+enum class EngineMode {
+  // Bucketed Δ-stepping (phases 1-3); the BASYN/PRO/ADWL flags apply.
+  kBucketDelta,
+  // The paper's baseline BL: synchronous push-mode SSSP — a frontier
+  // Bellman-Ford with one kernel launch per iteration, static
+  // thread-per-vertex balancing, no buckets. PRO/ADWL flags still apply
+  // (they are off for the paper's BL configuration).
+  kSyncPushBellmanFord,
+};
+
+struct GpuSsspOptions {
+  EngineMode mode = EngineMode::kBucketDelta;
+
+  // --- the paper's three optimizations -----------------------------------
+  // Bucket-aware asynchronous execution (§4.3): phase 1 runs as one
+  // persistent kernel per bucket with immediately-visible updates, and the
+  // bucket width is readjusted per bucket via Eq. (1)-(2).
+  bool basyn = true;
+  // Property-driven reordering (§4.1): requires the input CSR to be
+  // weight-sorted with heavy offsets (reorder::property_driven_reorder);
+  // phase 1 then touches only light edges and pays no per-edge branch.
+  bool pro = true;
+  // Adaptive load balancing (§4.2): classify active vertices into
+  // small/medium/large workload lists and process them at thread/warp/block
+  // granularity through dynamic parallelism; phases 2&3 are kernel-fused.
+  bool adwl = true;
+
+  // --- Δ-stepping parameters ----------------------------------------------
+  graph::Weight delta0 = 100.0;  // initial bucket width Δ0 (=Δ1)
+
+  // ADWL classification thresholds (paper: α = block = 256, β = warp = 32).
+  std::uint32_t alpha = 256;
+  std::uint32_t beta = 32;
+  // Edges per block above which a large vertex gets multiple blocks.
+  std::uint32_t block_edge_quota = 4096;
+
+  // Record per-bucket statistics (converged counts, thread usage, phase-1
+  // iteration trace) — needed by the figures, cheap enough to keep on.
+  bool instrument = true;
+};
+
+}  // namespace rdbs::core

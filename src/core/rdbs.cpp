@@ -1,0 +1,34 @@
+#include "core/rdbs.hpp"
+
+#include "common/timer.hpp"
+
+namespace rdbs::core {
+
+RdbsSolver::RdbsSolver(const Csr& csr, gpusim::DeviceSpec device,
+                       GpuSsspOptions options) {
+  Timer timer;
+  if (options.pro) {
+    reorder::ProResult pro =
+        reorder::property_driven_reorder(csr, options.delta0);
+    graph_ = std::move(pro.csr);
+    perm_ = std::move(pro.perm);
+    permuted_ = true;
+  } else {
+    graph_ = csr;
+  }
+  preprocessing_ms_ = timer.milliseconds();
+  engine_ = std::make_unique<GpuDeltaStepping>(std::move(device), graph_,
+                                               options);
+}
+
+GpuRunResult RdbsSolver::solve(VertexId source) {
+  const VertexId engine_source =
+      permuted_ ? perm_.to_reordered(source) : source;
+  GpuRunResult result = engine_->run(engine_source);
+  if (permuted_) {
+    result.sssp.distances = perm_.unpermute(result.sssp.distances);
+  }
+  return result;
+}
+
+}  // namespace rdbs::core

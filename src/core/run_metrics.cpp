@@ -1,0 +1,24 @@
+#include "core/run_metrics.hpp"
+
+#include <sstream>
+
+namespace rdbs::core {
+
+std::string bucket_trace_csv(const GpuRunResult& result) {
+  std::ostringstream out;
+  out << "bucket,delta,low,high,initial_active,converged,threads_used,"
+         "phase1_iterations,phase1_updates,phase1_ms,phase23_ms,"
+         "small_workload,medium_workload,large_workload\n";
+  for (std::size_t b = 0; b < result.buckets.size(); ++b) {
+    const BucketStats& bs = result.buckets[b];
+    out << b << ',' << bs.delta << ',' << bs.low << ',' << bs.high << ','
+        << bs.initial_active << ',' << bs.converged << ',' << bs.threads_used
+        << ',' << bs.phase1_iterations << ',' << bs.phase1_updates << ','
+        << bs.phase1_ms << ',' << bs.phase23_ms << ','
+        << bs.small_workload << ',' << bs.medium_workload << ','
+        << bs.large_workload << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rdbs::core

@@ -1,0 +1,61 @@
+// Result of a GPU-simulated SSSP run: distances plus the cost model's view
+// of the execution (simulated milliseconds, nvprof-style counters, and the
+// per-bucket trace the paper's figures are built from).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/counters.hpp"
+#include "sssp/result.hpp"
+
+namespace rdbs::core {
+
+struct BucketStats {
+  double delta = 0;                   // Δ_i used for this bucket
+  double low = 0, high = 0;           // distance interval [low, high)
+  std::uint64_t initial_active = 0;   // frontier handed over by phase 3
+  std::uint64_t converged = 0;        // C_i: vertices settled in this bucket
+  std::uint64_t threads_used = 0;     // T_i: lanes activated in phase 1
+  std::uint64_t phase1_iterations = 0;
+  std::uint64_t phase1_updates = 0;
+  double phase1_ms = 0;               // simulated time in phase 1
+  double phase23_ms = 0;              // simulated time in phases 2&3
+  // ADWL workload-list classification counts (paper Fig. 5): how many
+  // active-vertex processings fell into each granularity class.
+  std::uint64_t small_workload = 0;   // < beta light edges: parent inline
+  std::uint64_t medium_workload = 0;  // [beta, alpha): warp-granularity child
+  std::uint64_t large_workload = 0;   // >= alpha: block-granularity child(s)
+};
+
+struct GpuRunResult {
+  sssp::SsspResult sssp;
+  double device_ms = 0;               // simulated kernel time
+  gpusim::Counters counters;          // profiling deltas for this run
+  std::vector<BucketStats> buckets;   // per-bucket trace (if instrumented)
+
+  double gteps(std::uint64_t edges_traversed_basis) const {
+    return device_ms <= 0 ? 0.0
+                          : static_cast<double>(edges_traversed_basis) /
+                                (device_ms * 1e6);
+  }
+
+  // Aggregate phase breakdown over the recorded buckets.
+  double total_phase1_ms() const {
+    double total = 0;
+    for (const BucketStats& bs : buckets) total += bs.phase1_ms;
+    return total;
+  }
+  double total_phase23_ms() const {
+    double total = 0;
+    for (const BucketStats& bs : buckets) total += bs.phase23_ms;
+    return total;
+  }
+};
+
+// CSV export of the per-bucket trace (one row per bucket): the raw material
+// for Figs. 2/3-style plots over any run.
+std::string bucket_trace_csv(const GpuRunResult& result);
+
+}  // namespace rdbs::core

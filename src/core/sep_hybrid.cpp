@@ -1,0 +1,336 @@
+#include "core/sep_hybrid.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/macros.hpp"
+
+namespace rdbs::core {
+
+using graph::Distance;
+using graph::EdgeIndex;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+constexpr std::uint32_t kDeviceWord = 4;
+}
+
+SepHybrid::SepHybrid(gpusim::DeviceSpec device, const graph::Csr& csr,
+                     SepHybridOptions options)
+    : sim_(std::move(device)), csr_(csr), options_(options) {
+  const VertexId n = csr_.num_vertices();
+  const EdgeIndex m = csr_.num_edges();
+  row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
+  adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
+  weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
+  dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
+  queue_ = sim_.alloc<VertexId>("queue", std::max<std::size_t>(n, 64),
+                                kDeviceWord);
+  in_queue_ = sim_.alloc<std::uint8_t>("in_queue", n, 1);
+
+  std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
+            row_offsets_.data().begin());
+  std::copy(csr_.adjacency().begin(), csr_.adjacency().end(),
+            adjacency_.data().begin());
+  std::copy(csr_.weights().begin(), csr_.weights().end(),
+            weights_.data().begin());
+}
+
+SepMode SepHybrid::choose_mode(std::uint64_t frontier_vertices,
+                               std::uint64_t frontier_edges) const {
+  if (frontier_edges >
+      static_cast<std::uint64_t>(options_.pull_edge_fraction *
+                                 static_cast<double>(csr_.num_edges()))) {
+    return SepMode::kSyncPull;
+  }
+  if (frontier_vertices <= options_.async_frontier_limit) {
+    return SepMode::kAsyncPush;
+  }
+  return SepMode::kSyncPush;
+}
+
+SepRunResult SepHybrid::run(VertexId source) {
+  RDBS_CHECK(source < csr_.num_vertices());
+  sim_.reset_all();
+  const VertexId n = csr_.num_vertices();
+  SepRunResult result;
+  sssp::WorkStats work;
+  std::fill(in_queue_.data().begin(), in_queue_.data().end(), 0);
+
+  // Init kernel.
+  sim_.run_kernel(gpusim::Schedule::kStatic, (n + 31) / 32, 8,
+                  [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                    const std::uint64_t begin = w * 32;
+                    const std::uint64_t end =
+                        std::min<std::uint64_t>(begin + 32, n);
+                    const auto lanes = static_cast<std::uint32_t>(end - begin);
+                    std::array<std::uint64_t, 32> idx{};
+                    std::array<Distance, 32> inf{};
+                    std::array<std::uint8_t, 32> zero{};
+                    for (std::uint32_t i = 0; i < lanes; ++i) {
+                      idx[i] = begin + i;
+                      inf[i] = graph::kInfiniteDistance;
+                      zero[i] = 0;
+                    }
+                    std::span<const std::uint64_t> is(idx.data(), lanes);
+                    ctx.store(dist_, is,
+                              std::span<const Distance>(inf.data(), lanes));
+                    ctx.store(in_queue_, is,
+                              std::span<const std::uint8_t>(zero.data(), lanes));
+                  });
+  sim_.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                  [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                    ctx.store_one(dist_, source, Distance{0});
+                  });
+
+  std::deque<VertexId> frontier{source};
+  in_queue_[source] = 1;
+
+  // Relax the out-edges of one popped vertex batch, thread-per-vertex.
+  auto push_warp = [&](gpusim::WarpCtx& ctx,
+                       std::span<const VertexId> lanes) {
+    const auto lane_count = static_cast<std::uint32_t>(lanes.size());
+    std::array<std::uint64_t, 32> vidx{};
+    std::array<std::uint64_t, 32> vidx1{};
+    for (std::uint32_t i = 0; i < lane_count; ++i) {
+      vidx[i] = lanes[i];
+      vidx1[i] = lanes[i] + 1;
+      in_queue_[lanes[i]] = 0;
+    }
+    std::span<const std::uint64_t> vs(vidx.data(), lane_count);
+    {
+      std::array<VertexId, 32> tmp{};
+      ctx.load(queue_, vs, std::span<VertexId>(tmp.data(), lane_count));
+      std::array<std::uint8_t, 32> zero{};
+      ctx.store(in_queue_, vs,
+                std::span<const std::uint8_t>(zero.data(), lane_count));
+    }
+    std::array<Distance, 32> du{};
+    ctx.load(dist_, vs, std::span<Distance>(du.data(), lane_count));
+    std::array<EdgeIndex, 32> rb{};
+    std::array<EdgeIndex, 32> re{};
+    {
+      std::array<EdgeIndex, 32> tmp{};
+      ctx.load(row_offsets_, vs, std::span<EdgeIndex>(tmp.data(), lane_count));
+      for (std::uint32_t i = 0; i < lane_count; ++i) rb[i] = tmp[i];
+      ctx.load(row_offsets_,
+               std::span<const std::uint64_t>(vidx1.data(), lane_count),
+               std::span<EdgeIndex>(tmp.data(), lane_count));
+      for (std::uint32_t i = 0; i < lane_count; ++i) re[i] = tmp[i];
+    }
+    ctx.alu(2, lane_count);
+    std::uint64_t max_deg = 0;
+    for (std::uint32_t i = 0; i < lane_count; ++i) {
+      max_deg = std::max<std::uint64_t>(max_deg, re[i] - rb[i]);
+    }
+    for (std::uint64_t s = 0; s < max_deg; ++s) {
+      std::array<std::uint64_t, 32> eidx{};
+      std::array<std::uint32_t, 32> owner{};
+      std::uint32_t cnt = 0;
+      for (std::uint32_t i = 0; i < lane_count; ++i) {
+        if (rb[i] + s < re[i]) {
+          eidx[cnt] = rb[i] + s;
+          owner[cnt] = i;
+          ++cnt;
+        }
+      }
+      if (cnt == 0) break;
+      std::span<const std::uint64_t> es(eidx.data(), cnt);
+      std::array<VertexId, 32> dsts{};
+      std::array<Weight, 32> ws{};
+      ctx.load(adjacency_, es, std::span<VertexId>(dsts.data(), cnt));
+      ctx.load(weights_, es, std::span<Weight>(ws.data(), cnt));
+      ctx.alu(2, cnt);
+      work.relaxations += cnt;
+      std::array<std::uint64_t, 32> tgt{};
+      std::array<Distance, 32> val{};
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        tgt[i] = dsts[i];
+        val[i] = du[owner[i]] + ws[i];
+      }
+      std::array<std::uint8_t, 32> improved{};
+      ctx.atomic_min(dist_, std::span<const std::uint64_t>(tgt.data(), cnt),
+                     std::span<const Distance>(val.data(), cnt),
+                     std::span<std::uint8_t>(improved.data(), cnt));
+      std::uint32_t enq = 0;
+      for (std::uint32_t i = 0; i < cnt; ++i) {
+        if (!improved[i]) continue;
+        ++work.total_updates;
+        const auto v = static_cast<VertexId>(tgt[i]);
+        if (!in_queue_[v]) {
+          in_queue_[v] = 1;
+          frontier.push_back(v);
+          ++enq;
+        }
+      }
+      if (enq > 0) {
+        const std::uint64_t tail[1] = {0};
+        ctx.atomic_touch(queue_, std::span<const std::uint64_t>(tail, 1));
+        std::array<std::uint64_t, 32> slot{};
+        std::array<VertexId, 32> ids{};
+        for (std::uint32_t i = 0; i < enq; ++i) slot[i] = i;
+        ctx.store(queue_, std::span<const std::uint64_t>(slot.data(), enq),
+                  std::span<const VertexId>(ids.data(), enq));
+      }
+    }
+  };
+
+  const std::uint64_t max_rounds = 8 * (std::uint64_t(n) + 16);
+  std::uint64_t rounds = 0;
+  while (!frontier.empty()) {
+    RDBS_CHECK_MSG(++rounds < max_rounds, "SEP hybrid failed to converge");
+    // Round bookkeeping: size + out-edge volume of the entering frontier.
+    std::uint64_t frontier_edges = 0;
+    for (const VertexId v : frontier) frontier_edges += csr_.degree(v);
+    const SepMode mode = choose_mode(frontier.size(), frontier_edges);
+
+    SepRound round;
+    round.mode = mode;
+    round.frontier = frontier.size();
+    round.frontier_edges = frontier_edges;
+    const double ms_before = sim_.elapsed_ms();
+    ++work.iterations;
+
+    if (mode == SepMode::kSyncPull) {
+      // Topology-driven pull: one full scan; every vertex gathers over its
+      // in-edges (symmetric CSR: same as out-edges) — no atomics. The
+      // entire frontier is consumed; improved vertices form the next one.
+      for (const VertexId v : frontier) in_queue_[v] = 0;
+      frontier.clear();
+      const std::uint64_t warps = (n + 31) / 32;
+      sim_.run_kernel(
+          gpusim::Schedule::kStatic, warps, 8,
+          [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+            const std::uint64_t begin = w * 32;
+            const std::uint64_t end = std::min<std::uint64_t>(begin + 32, n);
+            const auto lanes = static_cast<std::uint32_t>(end - begin);
+            std::array<std::uint64_t, 32> idx{};
+            std::array<std::uint64_t, 32> idx1{};
+            for (std::uint32_t i = 0; i < lanes; ++i) {
+              idx[i] = begin + i;
+              idx1[i] = begin + i + 1;
+            }
+            std::span<const std::uint64_t> is(idx.data(), lanes);
+            std::array<Distance, 32> dv{};
+            ctx.load(dist_, is, std::span<Distance>(dv.data(), lanes));
+            std::array<EdgeIndex, 32> rb{};
+            std::array<EdgeIndex, 32> re{};
+            {
+              std::array<EdgeIndex, 32> tmp{};
+              ctx.load(row_offsets_, is,
+                       std::span<EdgeIndex>(tmp.data(), lanes));
+              for (std::uint32_t i = 0; i < lanes; ++i) rb[i] = tmp[i];
+              ctx.load(row_offsets_,
+                       std::span<const std::uint64_t>(idx1.data(), lanes),
+                       std::span<EdgeIndex>(tmp.data(), lanes));
+              for (std::uint32_t i = 0; i < lanes; ++i) re[i] = tmp[i];
+            }
+            ctx.alu(2, lanes);
+            std::array<Distance, 32> best = dv;
+            std::uint64_t max_deg = 0;
+            for (std::uint32_t i = 0; i < lanes; ++i) {
+              max_deg = std::max<std::uint64_t>(max_deg, re[i] - rb[i]);
+            }
+            for (std::uint64_t s = 0; s < max_deg; ++s) {
+              std::array<std::uint64_t, 32> eidx{};
+              std::array<std::uint32_t, 32> owner{};
+              std::uint32_t cnt = 0;
+              for (std::uint32_t i = 0; i < lanes; ++i) {
+                if (rb[i] + s < re[i]) {
+                  eidx[cnt] = rb[i] + s;
+                  owner[cnt] = i;
+                  ++cnt;
+                }
+              }
+              if (cnt == 0) break;
+              std::span<const std::uint64_t> es(eidx.data(), cnt);
+              std::array<VertexId, 32> srcs{};
+              std::array<Weight, 32> ws{};
+              ctx.load(adjacency_, es, std::span<VertexId>(srcs.data(), cnt));
+              ctx.load(weights_, es, std::span<Weight>(ws.data(), cnt));
+              // Gather the in-neighbors' current distances.
+              std::array<std::uint64_t, 32> nidx{};
+              for (std::uint32_t i = 0; i < cnt; ++i) nidx[i] = srcs[i];
+              std::array<Distance, 32> dn{};
+              ctx.load(dist_, std::span<const std::uint64_t>(nidx.data(), cnt),
+                       std::span<Distance>(dn.data(), cnt));
+              ctx.alu(2, cnt);
+              work.relaxations += cnt;
+              for (std::uint32_t i = 0; i < cnt; ++i) {
+                best[owner[i]] = std::min(best[owner[i]], dn[i] + ws[i]);
+              }
+            }
+            // Plain (non-atomic) store of improved distances + frontier
+            // membership flags.
+            std::array<std::uint64_t, 32> sidx{};
+            std::array<Distance, 32> sval{};
+            std::uint32_t scnt = 0;
+            for (std::uint32_t i = 0; i < lanes; ++i) {
+              if (best[i] < dv[i]) {
+                sidx[scnt] = begin + i;
+                sval[scnt] = best[i];
+                ++scnt;
+                ++work.total_updates;
+                const auto v = static_cast<VertexId>(begin + i);
+                if (!in_queue_[v]) {
+                  in_queue_[v] = 1;
+                  frontier.push_back(v);
+                }
+              }
+            }
+            if (scnt > 0) {
+              // Plain store: pull writes only the lane's own vertex, so no
+              // atomic is needed (the mode's key saving).
+              ctx.store(dist_, std::span<const std::uint64_t>(sidx.data(), scnt),
+                        std::span<const Distance>(sval.data(), scnt));
+            }
+          });
+      sim_.host_barrier();
+    } else if (mode == SepMode::kAsyncPush) {
+      // Async drains continuously, but SEP re-evaluates its decision when
+      // the signal changes: once the frontier outgrows the async regime,
+      // the persistent kernel retires and the next round re-decides.
+      gpusim::KernelScope kernel(sim_, gpusim::Schedule::kDynamic, true);
+      while (!frontier.empty() &&
+             frontier.size() <= 4 * options_.async_frontier_limit) {
+        std::array<VertexId, 32> lanes{};
+        std::uint32_t cnt = 0;
+        while (!frontier.empty() && cnt < 32) {
+          lanes[cnt++] = frontier.front();
+          frontier.pop_front();
+        }
+        auto ctx = kernel.make_warp();
+        push_warp(ctx, std::span<const VertexId>(lanes.data(), cnt));
+        kernel.commit(ctx);
+      }
+      kernel.finish();
+    } else {  // kSyncPush
+      std::vector<VertexId> sweep(frontier.begin(), frontier.end());
+      frontier.clear();
+      gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
+      for (std::size_t base = 0; base < sweep.size(); base += 32) {
+        const auto cnt = static_cast<std::uint32_t>(
+            std::min<std::size_t>(32, sweep.size() - base));
+        auto ctx = kernel.make_warp();
+        push_warp(ctx,
+                  std::span<const VertexId>(sweep.data() + base, cnt));
+        kernel.commit(ctx);
+      }
+      kernel.finish();
+      sim_.host_barrier();
+    }
+
+    round.ms = sim_.elapsed_ms() - ms_before;
+    if (options_.instrument) result.rounds.push_back(round);
+  }
+
+  result.gpu.sssp.distances = dist_.data();
+  result.gpu.sssp.work = work;
+  sssp::finalize_valid_updates(result.gpu.sssp, source);
+  result.gpu.device_ms = sim_.elapsed_ms();
+  result.gpu.counters = sim_.counters();
+  return result;
+}
+
+}  // namespace rdbs::core

@@ -1,0 +1,58 @@
+#include "gpusim/cache.hpp"
+
+#include "common/macros.hpp"
+
+namespace rdbs::gpusim {
+
+SectoredCache::SectoredCache(std::size_t capacity_bytes, int line_bytes,
+                             int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  RDBS_CHECK(line_bytes_ >= kSectorBytes);
+  RDBS_CHECK(line_bytes_ % kSectorBytes == 0);
+  sectors_per_line_ = line_bytes_ / kSectorBytes;
+  RDBS_CHECK(sectors_per_line_ <= 32);
+  const std::size_t total_lines =
+      std::max<std::size_t>(static_cast<std::size_t>(ways_),
+                            capacity_bytes / static_cast<std::size_t>(line_bytes_));
+  num_sets_ = std::max<std::size_t>(1, total_lines / static_cast<std::size_t>(ways_));
+  lines_.assign(num_sets_ * static_cast<std::size_t>(ways_), Line{});
+}
+
+bool SectoredCache::access(std::uint64_t address) {
+  const std::uint64_t line_addr = address / static_cast<std::uint64_t>(line_bytes_);
+  const auto sector_in_line = static_cast<std::uint32_t>(
+      (address % static_cast<std::uint64_t>(line_bytes_)) /
+      static_cast<std::uint64_t>(kSectorBytes));
+  const std::uint32_t sector_bit = 1u << sector_in_line;
+  const std::size_t set = static_cast<std::size_t>(line_addr) % num_sets_;
+  Line* set_lines = lines_.data() + set * static_cast<std::size_t>(ways_);
+  ++tick_;
+
+  // Hit path: tag present and sector valid.
+  for (int w = 0; w < ways_; ++w) {
+    Line& line = set_lines[w];
+    if (line.tag == line_addr) {
+      line.lru_stamp = tick_;
+      if (line.sector_mask & sector_bit) return true;
+      line.sector_mask |= sector_bit;  // sector miss within resident line
+      return false;
+    }
+  }
+
+  // Miss: evict the LRU way and fill just the requested sector.
+  Line* victim = set_lines;
+  for (int w = 1; w < ways_; ++w) {
+    if (set_lines[w].lru_stamp < victim->lru_stamp) victim = &set_lines[w];
+  }
+  victim->tag = line_addr;
+  victim->sector_mask = sector_bit;
+  victim->lru_stamp = tick_;
+  return false;
+}
+
+void SectoredCache::reset() {
+  for (auto& line : lines_) line = Line{};
+  tick_ = 0;
+}
+
+}  // namespace rdbs::gpusim

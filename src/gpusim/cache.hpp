@@ -1,0 +1,42 @@
+// Set-associative, sectored L1 cache model.
+//
+// Tags are kept at cache-line granularity (128B) with a per-sector valid
+// mask (4 x 32B sectors per line), matching how Volta's unified L1 counts
+// the nvprof `global_hit_rate` metric: a probe hits iff the 32B sector is
+// present. Replacement is LRU within a set. Fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rdbs::gpusim {
+
+class SectoredCache {
+ public:
+  // capacity_bytes / line_bytes lines, organized into `ways`-way sets.
+  SectoredCache(std::size_t capacity_bytes, int line_bytes, int ways);
+
+  // Probes the sector containing `address`. On miss, fills the sector
+  // (allocating / evicting a line as needed). Returns true on hit.
+  bool access(std::uint64_t address);
+
+  void reset();
+
+  static constexpr int kSectorBytes = 32;
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;
+    std::uint32_t sector_mask = 0;  // which sectors are present
+    std::uint64_t lru_stamp = 0;
+  };
+
+  int line_bytes_;
+  int ways_;
+  std::size_t num_sets_;
+  int sectors_per_line_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+};
+
+}  // namespace rdbs::gpusim

@@ -1,0 +1,52 @@
+// Profiling counters matching the nvprof metrics the paper reports in
+// Fig. 10, plus the internal quantities the cost model aggregates.
+#pragma once
+
+#include <cstdint>
+
+namespace rdbs::gpusim {
+
+struct Counters {
+  // --- nvprof-named metrics (paper Fig. 10) -------------------------------
+  std::uint64_t inst_executed_global_loads = 0;   // warp-level load instrs
+  std::uint64_t inst_executed_global_stores = 0;  // warp-level store instrs
+  std::uint64_t inst_executed_atomics = 0;        // warp-level atom/red/CAS
+  std::uint64_t l1_sector_accesses = 0;           // 32B sector probes
+  std::uint64_t l1_sector_hits = 0;
+  std::uint64_t l2_sector_accesses = 0;           // L1-miss / atomic probes
+  std::uint64_t l2_sector_hits = 0;
+
+  // --- cost-model internals ------------------------------------------------
+  std::uint64_t alu_instructions = 0;   // warp-level non-memory instrs
+  std::uint64_t memory_transactions = 0;  // 32B sectors moved L1<->warp
+  std::uint64_t dram_bytes = 0;           // bytes fetched on L1 misses
+  std::uint64_t atomic_conflicts = 0;     // same-address lane collisions
+  std::uint64_t kernel_launches = 0;      // host-side launches
+  std::uint64_t child_launches = 0;       // dynamic-parallelism launches
+  std::uint64_t active_lane_ops = 0;      // lanes doing useful work
+  std::uint64_t issued_lane_ops = 0;      // lanes occupied (incl. disabled)
+
+  double l2_hit_rate() const {
+    return l2_sector_accesses == 0
+               ? 0.0
+               : static_cast<double>(l2_sector_hits) /
+                     static_cast<double>(l2_sector_accesses);
+  }
+  double global_hit_rate() const {
+    return l1_sector_accesses == 0
+               ? 0.0
+               : static_cast<double>(l1_sector_hits) /
+                     static_cast<double>(l1_sector_accesses);
+  }
+  // SIMT lane utilization: 1.0 means no divergence waste.
+  double lane_efficiency() const {
+    return issued_lane_ops == 0
+               ? 1.0
+               : static_cast<double>(active_lane_ops) /
+                     static_cast<double>(issued_lane_ops);
+  }
+
+  Counters& operator+=(const Counters& other);
+};
+
+}  // namespace rdbs::gpusim

@@ -1,0 +1,43 @@
+#include "gpusim/device.hpp"
+
+namespace rdbs::gpusim {
+
+DeviceSpec v100() {
+  DeviceSpec spec;
+  spec.name = "V100";
+  spec.num_sms = 80;
+  spec.warp_schedulers = 4;
+  spec.clock_ghz = 1.38;
+  spec.mem_bandwidth_gbps = 900.0;
+  spec.l1_kb_per_sm = 128;
+  spec.l2_kb = 6144;
+  return spec;
+}
+
+DeviceSpec tesla_t4() {
+  DeviceSpec spec;
+  spec.name = "T4";
+  spec.num_sms = 40;
+  spec.warp_schedulers = 4;
+  spec.clock_ghz = 1.59;
+  spec.mem_bandwidth_gbps = 320.0;
+  spec.l1_kb_per_sm = 64;
+  spec.l2_kb = 4096;
+  return spec;
+}
+
+DeviceSpec test_device() {
+  DeviceSpec spec;
+  spec.name = "testdev";
+  spec.num_sms = 4;
+  spec.warp_schedulers = 2;
+  spec.clock_ghz = 1.0;
+  spec.mem_bandwidth_gbps = 100.0;
+  spec.l1_kb_per_sm = 4;
+  spec.l2_kb = 64;
+  spec.kernel_launch_us = 5.0;
+  spec.child_launch_us = 0.5;
+  return spec;
+}
+
+}  // namespace rdbs::gpusim

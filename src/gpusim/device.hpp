@@ -1,0 +1,51 @@
+// GPU device descriptors for the SIMT cost model.
+//
+// The paper evaluates on an NVIDIA V100 (5120 CUDA cores / 80 SMs, 900 GB/s)
+// and a Tesla T4 (2560 cores / 40 SMs, 320 GB/s); both are modeled here, and
+// Fig. 12's platform-scalability experiment runs the same workload under the
+// two descriptors. Only parameters the cost model consumes are included.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rdbs::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+  int num_sms = 80;
+  int warp_size = 32;
+  // Warp instructions an SM can issue per cycle (warp schedulers).
+  int warp_schedulers = 4;
+  // Maximum threads per block supported by the launch configuration.
+  int max_threads_per_block = 1024;
+  double clock_ghz = 1.38;           // SM clock
+  double mem_bandwidth_gbps = 900.0; // peak DRAM bandwidth
+  int l1_kb_per_sm = 128;            // unified L1/tex capacity
+  int l1_line_bytes = 128;           // cache line (4 x 32B sectors)
+  int l1_ways = 4;
+  int l2_kb = 6144;                  // shared L2 (atomics resolve here)
+  int l2_ways = 16;
+  // Fixed host-side cost of launching a kernel from the CPU (drives the
+  // synchronous mode's per-iteration barrier overhead).
+  double kernel_launch_us = 6.0;
+  // Cost of a device-side (dynamic parallelism) child kernel launch; much
+  // cheaper than a host launch and overlapped via Hyper-Q.
+  double child_launch_us = 0.7;
+  // Extra cycles a conflicting atomic lane serializes for.
+  int atomic_conflict_cycles = 4;
+
+  double cycles_to_ms(double cycles) const {
+    return cycles / (clock_ghz * 1e6);
+  }
+  double bytes_to_ms(double bytes) const {
+    return bytes / (mem_bandwidth_gbps * 1e6);
+  }
+};
+
+// The two platforms from the paper plus a small debug device for tests.
+DeviceSpec v100();
+DeviceSpec tesla_t4();
+DeviceSpec test_device();  // 4 SMs, tiny cache: makes cache effects visible
+
+}  // namespace rdbs::gpusim

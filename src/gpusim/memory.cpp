@@ -1,0 +1,71 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/macros.hpp"
+
+namespace rdbs::gpusim {
+
+MemorySim::MemorySim(const DeviceSpec& spec)
+    : l2_(static_cast<std::size_t>(spec.l2_kb) * 1024, spec.l1_line_bytes,
+          spec.l2_ways) {
+  l1_.reserve(static_cast<std::size_t>(spec.num_sms));
+  for (int sm = 0; sm < spec.num_sms; ++sm) {
+    l1_.emplace_back(static_cast<std::size_t>(spec.l1_kb_per_sm) * 1024,
+                     spec.l1_line_bytes, spec.l1_ways);
+  }
+}
+
+std::uint64_t MemorySim::allocate(std::uint64_t bytes) {
+  const std::uint64_t base = next_address_;
+  next_address_ += (bytes + 127) / 128 * 128;
+  return base;
+}
+
+MemorySim::AccessResult MemorySim::access(
+    int sm_id, std::span<const std::uint64_t> addresses, bool cached) {
+  RDBS_DCHECK(sm_id >= 0 && static_cast<std::size_t>(sm_id) < l1_.size());
+  RDBS_DCHECK(addresses.size() <= 32);
+
+  // Coalesce: collect the distinct sectors this warp instruction touches.
+  std::array<std::uint64_t, 32> sectors{};
+  std::size_t count = 0;
+  for (const std::uint64_t addr : addresses) {
+    const std::uint64_t sector = addr / SectoredCache::kSectorBytes;
+    bool seen = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (sectors[i] == sector) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) sectors[count++] = sector;
+  }
+
+  AccessResult result;
+  result.transactions = static_cast<std::uint32_t>(count);
+
+  SectoredCache& l1 = l1_[static_cast<std::size_t>(sm_id)];
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t addr = sectors[i] * SectoredCache::kSectorBytes;
+    if (cached && l1.access(addr)) {
+      ++result.hits;
+      continue;
+    }
+    // L1 miss (or an L1-bypassing atomic): probe the shared L2.
+    if (l2_.access(addr)) {
+      ++result.l2_hits;
+    } else {
+      ++result.dram_sectors;
+    }
+  }
+  return result;
+}
+
+void MemorySim::reset_caches() {
+  for (auto& cache : l1_) cache.reset();
+  l2_.reset();
+}
+
+}  // namespace rdbs::gpusim

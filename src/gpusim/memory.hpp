@@ -1,0 +1,46 @@
+// Global-memory model: a flat simulated address space plus one sectored L1
+// cache per SM. Warp-level accesses are coalesced into 32-byte sector
+// transactions exactly as the hardware's LSU would: lanes touching the same
+// sector share one transaction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/device.hpp"
+
+namespace rdbs::gpusim {
+
+class MemorySim {
+ public:
+  explicit MemorySim(const DeviceSpec& spec);
+
+  // Reserves a 128-byte-aligned region of the simulated address space.
+  std::uint64_t allocate(std::uint64_t bytes);
+
+  struct AccessResult {
+    std::uint32_t transactions = 0;  // distinct 32B sectors touched
+    std::uint32_t hits = 0;          // sectors found in the SM's L1
+    std::uint32_t l2_hits = 0;       // L1 misses served by the shared L2
+    std::uint32_t dram_sectors = 0;  // sectors that went all the way out
+  };
+
+  // One warp memory instruction on `sm_id` touching the given lane
+  // addresses (one per active lane, at most warp_size entries).
+  // `cached` routes the probe through the SM's L1 (loads/stores); atomics
+  // pass cached = false — they bypass L1 and resolve in the shared L2
+  // (as on Volta/Turing), falling through to DRAM on an L2 miss.
+  AccessResult access(int sm_id, std::span<const std::uint64_t> addresses,
+                      bool cached);
+
+  void reset_caches();
+
+ private:
+  std::uint64_t next_address_ = 4096;
+  std::vector<SectoredCache> l1_;
+  SectoredCache l2_;
+};
+
+}  // namespace rdbs::gpusim

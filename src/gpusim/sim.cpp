@@ -1,0 +1,151 @@
+#include "gpusim/sim.hpp"
+
+namespace rdbs::gpusim {
+
+namespace {
+// Issue-visible cycles added per sector that misses a cache level: the
+// latency itself is assumed hidden by other resident warps; these model the
+// extra pipeline occupancy of replays, while DRAM *throughput* is enforced
+// separately by the per-kernel bandwidth floor.
+constexpr std::uint64_t kL2ReplayCycles = 2;    // L1 miss served by L2
+constexpr std::uint64_t kDramReplayCycles = 6;  // L2 miss, full DRAM trip
+}  // namespace
+
+void WarpCtx::alu(std::uint32_t instructions, std::uint32_t active_lanes) {
+  RDBS_DCHECK(active_lanes <= 32);
+  cycles_ += instructions;
+  sim_.counters_.alu_instructions += instructions;
+  sim_.counters_.active_lane_ops +=
+      static_cast<std::uint64_t>(instructions) * active_lanes;
+  sim_.counters_.issued_lane_ops += static_cast<std::uint64_t>(instructions) * 32;
+}
+
+void WarpCtx::charge_memory(std::span<const std::uint64_t> addresses,
+                            bool is_store, std::uint32_t active_lanes) {
+  Counters& c = sim_.counters_;
+  const auto result = sim_.memory_.access(sm_id_, addresses, /*cached=*/true);
+  if (is_store) {
+    ++c.inst_executed_global_stores;
+  } else {
+    ++c.inst_executed_global_loads;
+  }
+  c.l1_sector_accesses += result.transactions;
+  c.l1_sector_hits += result.hits;
+  const std::uint32_t l1_misses = result.transactions - result.hits;
+  c.l2_sector_accesses += l1_misses;
+  c.l2_sector_hits += result.l2_hits;
+  c.memory_transactions += result.transactions;
+  // Stores write through L1 into the write-back L2; DRAM traffic occurs
+  // only for sectors the L2 could not serve.
+  const std::uint64_t dram = static_cast<std::uint64_t>(result.dram_sectors) *
+                             SectoredCache::kSectorBytes;
+  c.dram_bytes += dram;
+  sim_.launch_dram_bytes_ += dram;
+  cycles_ += result.transactions + result.l2_hits * kL2ReplayCycles +
+             result.dram_sectors * kDramReplayCycles;
+  c.active_lane_ops += active_lanes;
+  c.issued_lane_ops += 32;
+}
+
+void WarpCtx::charge_atomic(std::span<const std::uint64_t> addresses,
+                            std::uint32_t active_lanes) {
+  Counters& c = sim_.counters_;
+  // Atomics resolve at L2: they bypass L1 but benefit from L2 residency;
+  // only L2 misses travel to DRAM.
+  const auto result = sim_.memory_.access(sm_id_, addresses, /*cached=*/false);
+  ++c.inst_executed_atomics;
+  c.memory_transactions += result.transactions;
+  c.l2_sector_accesses += result.transactions;
+  c.l2_sector_hits += result.l2_hits;
+  const std::uint64_t dram = static_cast<std::uint64_t>(result.dram_sectors) *
+                             SectoredCache::kSectorBytes;
+  c.dram_bytes += dram;
+  sim_.launch_dram_bytes_ += dram;
+  // Same-address lanes serialize: lanes minus distinct addresses collide.
+  std::uint32_t distinct = 0;
+  std::array<std::uint64_t, 32> seen{};
+  for (const std::uint64_t addr : addresses) {
+    bool dup = false;
+    for (std::uint32_t i = 0; i < distinct; ++i) {
+      if (seen[i] == addr) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) seen[distinct++] = addr;
+  }
+  const auto conflicts =
+      static_cast<std::uint32_t>(addresses.size()) - distinct;
+  c.atomic_conflicts += conflicts;
+  cycles_ += result.transactions + result.dram_sectors * kDramReplayCycles +
+             conflicts * static_cast<std::uint32_t>(
+                             sim_.spec_.atomic_conflict_cycles);
+  c.active_lane_ops += active_lanes;
+  c.issued_lane_ops += 32;
+}
+
+void WarpCtx::child_launch() {
+  ++sim_.counters_.child_launches;
+  ++sim_.launch_child_launches_;
+  cycles_ += static_cast<std::uint64_t>(sim_.spec_.child_launch_us * 1e3 *
+                                        sim_.spec_.clock_ghz);
+}
+
+void GpuSim::begin_launch(bool host_launch) {
+  sm_cycles_.assign(static_cast<std::size_t>(spec_.num_sms), 0.0);
+  sm_longest_task_.assign(static_cast<std::size_t>(spec_.num_sms), 0);
+  launch_dram_bytes_ = 0;
+  launch_child_launches_ = 0;
+  if (host_launch) ++counters_.kernel_launches;
+}
+
+int GpuSim::pick_sm(Schedule schedule, std::uint64_t task_index,
+                    int warps_per_block) {
+  if (schedule == Schedule::kStatic) {
+    const std::uint64_t block = task_index / static_cast<std::uint64_t>(
+                                                 std::max(1, warps_per_block));
+    return static_cast<int>(block % static_cast<std::uint64_t>(spec_.num_sms));
+  }
+  // Dynamic: least-loaded SM (persistent workers stealing from a shared
+  // queue converge to exactly this assignment).
+  int best = 0;
+  for (int sm = 1; sm < spec_.num_sms; ++sm) {
+    if (sm_cycles_[static_cast<std::size_t>(sm)] <
+        sm_cycles_[static_cast<std::size_t>(best)]) {
+      best = sm;
+    }
+  }
+  return best;
+}
+
+void GpuSim::account_task(int sm, std::uint64_t cycles) {
+  sm_cycles_[static_cast<std::size_t>(sm)] += static_cast<double>(cycles);
+  sm_longest_task_[static_cast<std::size_t>(sm)] =
+      std::max(sm_longest_task_[static_cast<std::size_t>(sm)], cycles);
+}
+
+LaunchResult GpuSim::end_launch(std::uint64_t tasks, bool host_launch) {
+  LaunchResult result;
+  result.tasks = tasks;
+  double worst_sm_cycles = 0;
+  for (int sm = 0; sm < spec_.num_sms; ++sm) {
+    const auto i = static_cast<std::size_t>(sm);
+    result.busy_cycles += sm_cycles_[i];
+    // An SM retires its resident warps at `warp_schedulers` instructions
+    // per cycle once enough warps are in flight; a single long warp is the
+    // lower bound (no parallelism inside one warp).
+    const double sm_time =
+        std::max(sm_cycles_[i] / spec_.warp_schedulers,
+                 static_cast<double>(sm_longest_task_[i]));
+    worst_sm_cycles = std::max(worst_sm_cycles, sm_time);
+  }
+  const double compute_ms = spec_.cycles_to_ms(worst_sm_cycles);
+  const double dram_ms =
+      spec_.bytes_to_ms(static_cast<double>(launch_dram_bytes_));
+  result.ms = std::max(compute_ms, dram_ms);
+  if (host_launch) result.ms += spec_.kernel_launch_us * 1e-3;
+  total_ms_ += result.ms;
+  return result;
+}
+
+}  // namespace rdbs::gpusim

@@ -1,0 +1,369 @@
+// GpuSim — a deterministic SIMT execution and cost simulator.
+//
+// This is the substrate that stands in for the paper's V100/T4 GPUs (see
+// DESIGN.md). Algorithms are written as *warp tasks*: callables that receive
+// a WarpCtx and perform warp-level instructions (ALU, coalesced loads/
+// stores, atomics) on simulated device Buffers. The simulator
+//
+//   * executes the task functionally (real data moves, so results are
+//     bit-exact and checkable against Dijkstra),
+//   * records the nvprof-style counters of Fig. 10 (warp-level load/store/
+//     atomic instruction counts, L1 sector hit rate), and
+//   * charges cycles that capture the three effects the paper optimizes:
+//     SIMT divergence (a warp pays for its slowest lane), memory coalescing
+//     (cost per 32B sector, DRAM bandwidth floor), and load imbalance
+//     (static block->SM assignment vs. dynamic work distribution).
+//
+// Kernel time = max over SMs of (per-SM issued cycles / warp schedulers,
+// floored by the SM's longest single warp), then floored again by the DRAM
+// bandwidth bound, plus a fixed launch overhead for host-side launches.
+// Dynamic-parallelism child launches charge the cheaper child cost to the
+// launching warp and their work is scheduled like any other dynamic task
+// (Hyper-Q overlap).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/macros.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+
+namespace rdbs::gpusim {
+
+class GpuSim;
+
+// A typed region of simulated device memory. Host code initializes and
+// reads back through data(); device code (warp tasks) must go through
+// WarpCtx so the access is costed. The *device* element size may be
+// narrower than the host type (e.g. distances held as double on the host
+// for exact checking but costed as 4-byte floats, matching the CUDA code).
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(std::string name, std::size_t count, std::uint32_t device_elem_bytes,
+         std::uint64_t base_address)
+      : name_(std::move(name)),
+        data_(count),
+        elem_bytes_(device_elem_bytes),
+        base_(base_address) {}
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t address_of(std::uint64_t index) const {
+    return base_ + index * elem_bytes_;
+  }
+  const std::string& name() const { return name_; }
+
+  // Host-side (uncosted) access for initialization and readback.
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::string name_;
+  std::vector<T> data_;
+  std::uint32_t elem_bytes_ = sizeof(T);
+  std::uint64_t base_ = 0;
+};
+
+// Execution context of one warp inside a kernel. Accumulates the warp's
+// cycles; the launcher folds them into the owning SM's timeline.
+class WarpCtx {
+ public:
+  WarpCtx(GpuSim& sim, int sm_id) : sim_(sim), sm_id_(sm_id) {}
+
+  int sm_id() const { return sm_id_; }
+  std::uint64_t cycles() const { return cycles_; }
+
+  // `instructions` warp-wide ALU/control instructions with `active_lanes`
+  // lanes enabled (divergence: disabled lanes still occupy issue slots).
+  void alu(std::uint32_t instructions = 1, std::uint32_t active_lanes = 32);
+
+  // --- warp memory instructions -------------------------------------------
+  // Each call is ONE warp-level instruction; `indices` lists the element
+  // index accessed by each *active* lane (size <= 32; inactive lanes are
+  // implicitly disabled and counted as divergence waste).
+  template <typename T>
+  void load(const Buffer<T>& buf, std::span<const std::uint64_t> indices,
+            std::span<T> out) {
+    RDBS_DCHECK(indices.size() == out.size());
+    charge_memory(buf_addresses(buf, indices), /*is_store=*/false,
+                  static_cast<std::uint32_t>(indices.size()));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      out[i] = buf.data()[indices[i]];
+    }
+  }
+
+  // Single-lane convenience load (a warp instruction with one active lane).
+  template <typename T>
+  T load_one(const Buffer<T>& buf, std::uint64_t index) {
+    T value;
+    const std::uint64_t idx[1] = {index};
+    load(buf, idx, std::span<T>(&value, 1));
+    return value;
+  }
+
+  template <typename T>
+  void store(Buffer<T>& buf, std::span<const std::uint64_t> indices,
+             std::span<const T> values) {
+    RDBS_DCHECK(indices.size() == values.size());
+    charge_memory(buf_addresses(buf, indices), /*is_store=*/true,
+                  static_cast<std::uint32_t>(indices.size()));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      buf.data()[indices[i]] = values[i];
+    }
+  }
+
+  template <typename T>
+  void store_one(Buffer<T>& buf, std::uint64_t index, T value) {
+    const std::uint64_t idx[1] = {index};
+    const T val[1] = {value};
+    store(buf, idx, std::span<const T>(val, 1));
+  }
+
+  // Warp-level atomicMin: lane i performs atomicMin(buf[indices[i]],
+  // values[i]). Returns per-lane "improved" flags. Lanes hitting the same
+  // element serialize (conflict cycles). Applied in lane order, which is a
+  // legal (and deterministic) serialization of the hardware's.
+  template <typename T>
+  void atomic_min(Buffer<T>& buf, std::span<const std::uint64_t> indices,
+                  std::span<const T> values, std::span<std::uint8_t> improved) {
+    RDBS_DCHECK(indices.size() == values.size());
+    RDBS_DCHECK(indices.size() == improved.size());
+    charge_atomic(buf_addresses(buf, indices),
+                  static_cast<std::uint32_t>(indices.size()));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      T& cell = buf.data()[indices[i]];
+      if (values[i] < cell) {
+        cell = values[i];
+        improved[i] = 1;
+      } else {
+        improved[i] = 0;
+      }
+    }
+  }
+
+  // Charges one warp atomic instruction (RMW of any flavor: exch, add, CAS)
+  // on the given elements without modifying buffer contents — used when the
+  // functional side effect is maintained elsewhere (queue tails, flags).
+  template <typename T>
+  void atomic_touch(const Buffer<T>& buf,
+                    std::span<const std::uint64_t> indices) {
+    charge_atomic(buf_addresses(buf, indices),
+                  static_cast<std::uint32_t>(indices.size()));
+  }
+
+  template <typename T>
+  bool atomic_min_one(Buffer<T>& buf, std::uint64_t index, T value) {
+    const std::uint64_t idx[1] = {index};
+    const T val[1] = {value};
+    std::uint8_t flag[1] = {0};
+    atomic_min(buf, idx, std::span<const T>(val, 1),
+               std::span<std::uint8_t>(flag, 1));
+    return flag[0] != 0;
+  }
+
+  // Charges a device-side (dynamic parallelism) child kernel launch to this
+  // warp; the child's work itself is enqueued by the caller as more tasks.
+  void child_launch();
+
+ private:
+  template <typename T>
+  std::span<const std::uint64_t> buf_addresses(
+      const Buffer<T>& buf, std::span<const std::uint64_t> indices) {
+    RDBS_DCHECK(indices.size() <= 32);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      RDBS_DCHECK(indices[i] < buf.size());
+      scratch_[i] = buf.address_of(indices[i]);
+    }
+    return {scratch_.data(), indices.size()};
+  }
+
+  void charge_memory(std::span<const std::uint64_t> addresses, bool is_store,
+                     std::uint32_t active_lanes);
+  void charge_atomic(std::span<const std::uint64_t> addresses,
+                     std::uint32_t active_lanes);
+
+  GpuSim& sim_;
+  int sm_id_;
+  std::uint64_t cycles_ = 0;
+  std::array<std::uint64_t, 32> scratch_{};
+};
+
+// How blocks map to SMs.
+enum class Schedule {
+  kStatic,   // block b -> SM (b mod num_sms): the fixed assignment of a
+             // conventional grid launch; imbalance shows up as idle SMs
+  kDynamic,  // each task goes to the currently least-loaded SM: models
+             // persistent worker threads / dynamic parallelism + Hyper-Q
+};
+
+struct LaunchResult {
+  double ms = 0;             // kernel wall time under the cost model
+  double busy_cycles = 0;    // sum of all warp cycles
+  std::uint64_t tasks = 0;   // warp tasks executed
+};
+
+class GpuSim {
+ public:
+  explicit GpuSim(DeviceSpec spec)
+      : spec_(std::move(spec)), memory_(spec_) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  MemorySim& memory() { return memory_; }
+
+  template <typename T>
+  Buffer<T> alloc(std::string name, std::size_t count,
+                  std::uint32_t device_elem_bytes = sizeof(T)) {
+    const std::uint64_t base =
+        memory_.allocate(static_cast<std::uint64_t>(count) *
+                         device_elem_bytes);
+    return Buffer<T>(std::move(name), count, device_elem_bytes, base);
+  }
+
+  // --- kernel execution -----------------------------------------------------
+  // Runs warp tasks 0..num_tasks-1. `run(ctx, task_index)` performs the
+  // task's work through ctx. Tasks are grouped into blocks of
+  // `warps_per_block` consecutive tasks for SM assignment.
+  template <typename F>
+  LaunchResult run_kernel(Schedule schedule, std::uint64_t num_tasks,
+                          int warps_per_block, F&& run,
+                          bool host_launch = true) {
+    begin_launch(host_launch);
+    for (std::uint64_t t = 0; t < num_tasks; ++t) {
+      const int sm = pick_sm(schedule, t, warps_per_block);
+      WarpCtx ctx(*this, sm);
+      run(ctx, t);
+      account_task(sm, ctx.cycles());
+    }
+    return end_launch(num_tasks, host_launch);
+  }
+
+  // Persistent-kernel variant for the bucket-aware asynchronous phase 1:
+  // the task list may GROW while running (workers push newly activated
+  // vertices). Tasks are consumed in queue order and always scheduled
+  // dynamically. `tasks` is any random-access container; `run(ctx, tasks[i],
+  // i)` may append to it.
+  template <typename TaskVec, typename F>
+  LaunchResult run_persistent(TaskVec& tasks, F&& run,
+                              bool host_launch = true) {
+    begin_launch(host_launch);
+    std::uint64_t consumed = 0;
+    while (consumed < tasks.size()) {
+      const int sm = pick_sm(Schedule::kDynamic, consumed, 1);
+      WarpCtx ctx(*this, sm);
+      run(ctx, consumed);
+      account_task(sm, ctx.cycles());
+      ++consumed;
+    }
+    return end_launch(consumed, host_launch);
+  }
+
+  // Manual kernel control for engines whose task structure is not a simple
+  // fixed-size grid (heterogeneous persistent kernels, dynamic parallelism
+  // with growing work queues). Usage:
+  //   KernelScope k(sim, Schedule::kDynamic);
+  //   while (work) { WarpCtx ctx = k.make_warp(); ...; k.commit(ctx); }
+  //   LaunchResult r = k.finish();
+  // See KernelScope below.
+
+  // Adds a fixed host-side overhead (e.g. a stream synchronize between
+  // dependent kernels in synchronous mode).
+  void host_barrier() { total_ms_ += spec_.kernel_launch_us * 1e-3 * 0.5; }
+
+  // Host<->device transfer over PCIe (the paper's timings EXCLUDE these, as
+  // do the engines here; exposed for end-to-end accounting in user code).
+  // Cost: fixed setup latency plus bytes over pcie_bandwidth_gbps.
+  double memcpy_ms(std::uint64_t bytes) const {
+    constexpr double kPcieBandwidthGbps = 12.0;  // PCIe 3.0 x16 effective
+    constexpr double kSetupUs = 10.0;
+    return kSetupUs * 1e-3 + static_cast<double>(bytes) /
+                                 (kPcieBandwidthGbps * 1e6);
+  }
+  // Charges a transfer onto the simulated timeline.
+  void memcpy_h2d(std::uint64_t bytes) { total_ms_ += memcpy_ms(bytes); }
+  void memcpy_d2h(std::uint64_t bytes) { total_ms_ += memcpy_ms(bytes); }
+
+  double elapsed_ms() const { return total_ms_; }
+  void reset_time() { total_ms_ = 0; }
+  void reset_all() {
+    total_ms_ = 0;
+    counters_ = Counters{};
+    memory_.reset_caches();
+  }
+
+ private:
+  friend class WarpCtx;
+  friend class KernelScope;
+
+  void begin_launch(bool host_launch);
+  int pick_sm(Schedule schedule, std::uint64_t task_index,
+              int warps_per_block);
+  void account_task(int sm, std::uint64_t cycles);
+  LaunchResult end_launch(std::uint64_t tasks, bool host_launch);
+
+  DeviceSpec spec_;
+  MemorySim memory_;
+  Counters counters_;
+  double total_ms_ = 0;
+
+  // Per-launch scratch.
+  std::vector<double> sm_cycles_;
+  std::vector<std::uint64_t> sm_longest_task_;
+  std::uint64_t launch_dram_bytes_ = 0;
+  std::uint64_t launch_child_launches_ = 0;
+};
+
+// RAII handle over one kernel launch whose warp tasks are produced on the
+// fly by the caller (the engine's persistent / dynamic-parallelism kernels).
+// Exactly one finish() per scope; destruction without finish() aborts in
+// debug builds (a silently-untimed kernel would corrupt the experiment).
+class KernelScope {
+ public:
+  KernelScope(GpuSim& sim, Schedule schedule, bool host_launch = true,
+              int warps_per_block = 8)
+      : sim_(sim),
+        schedule_(schedule),
+        host_launch_(host_launch),
+        warps_per_block_(warps_per_block) {
+    sim_.begin_launch(host_launch_);
+  }
+
+  ~KernelScope() { RDBS_DCHECK(finished_); }
+
+  // Creates the next warp's execution context (assigns it to an SM).
+  WarpCtx make_warp() {
+    const int sm = sim_.pick_sm(schedule_, task_index_++, warps_per_block_);
+    return WarpCtx(sim_, sm);
+  }
+
+  // Folds a completed warp's cycles into its SM's timeline.
+  void commit(const WarpCtx& ctx) {
+    sim_.account_task(ctx.sm_id(), ctx.cycles());
+  }
+
+  LaunchResult finish() {
+    RDBS_DCHECK(!finished_);
+    finished_ = true;
+    return sim_.end_launch(task_index_, host_launch_);
+  }
+
+ private:
+  GpuSim& sim_;
+  Schedule schedule_;
+  bool host_launch_;
+  int warps_per_block_;
+  std::uint64_t task_index_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace rdbs::gpusim

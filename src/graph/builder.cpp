@@ -1,0 +1,95 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "common/macros.hpp"
+
+namespace rdbs::graph {
+
+void EdgeList::symmetrize() {
+  const std::size_t original = edges.size();
+  edges.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    const WeightedEdge& e = edges[i];
+    if (e.src != e.dst) edges.push_back({e.dst, e.src, e.weight});
+  }
+}
+
+Csr build_csr(const EdgeList& input, const BuildOptions& options) {
+  const VertexId n = input.num_vertices;
+  for (const auto& e : input.edges) {
+    RDBS_CHECK_MSG(e.src < n && e.dst < n, "edge endpoint out of range");
+    RDBS_CHECK_MSG(e.weight >= 0, "negative weights are not supported");
+  }
+
+  // Working copy of the edges we will keep.
+  std::vector<WeightedEdge> edges;
+  edges.reserve(input.edges.size() * (options.symmetrize ? 2 : 1));
+  for (const auto& e : input.edges) {
+    if (options.remove_self_loops && e.src == e.dst) continue;
+    edges.push_back(e);
+    if (options.symmetrize && e.src != e.dst) {
+      edges.push_back({e.dst, e.src, e.weight});
+    }
+  }
+
+  // Counting sort by source: one pass for degrees, scan, one pass to place.
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : edges) ++offsets[e.src + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> adjacency(edges.size());
+  std::vector<Weight> weights(edges.size());
+  {
+    std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& e : edges) {
+      const EdgeIndex slot = cursor[e.src]++;
+      adjacency[slot] = e.dst;
+      weights[slot] = e.weight;
+    }
+  }
+
+  if (!options.dedup_parallel) {
+    return Csr(std::move(offsets), std::move(adjacency), std::move(weights));
+  }
+
+  // Per-vertex dedup: sort each row by (dst, weight) and keep the first
+  // (minimum-weight) copy of every destination. Compact in place.
+  std::vector<EdgeIndex> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::pair<VertexId, Weight>> row;
+  EdgeIndex write = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex begin = offsets[v];
+    const EdgeIndex end = offsets[v + 1];
+    row.clear();
+    for (EdgeIndex e = begin; e < end; ++e) row.emplace_back(adjacency[e], weights[e]);
+    std::sort(row.begin(), row.end());
+    new_offsets[v] = write;
+    VertexId last_dst = kInvalidVertex;
+    for (const auto& [dst, w] : row) {
+      if (dst == last_dst) continue;  // duplicates sorted after the min copy
+      adjacency[write] = dst;
+      weights[write] = w;
+      ++write;
+      last_dst = dst;
+    }
+  }
+  new_offsets[n] = write;
+  adjacency.resize(write);
+  weights.resize(write);
+  return Csr(std::move(new_offsets), std::move(adjacency), std::move(weights));
+}
+
+EdgeList csr_to_edge_list(const Csr& csr) {
+  EdgeList out;
+  out.num_vertices = csr.num_vertices();
+  out.edges.reserve(csr.num_edges());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (EdgeIndex e = csr.row_begin(v); e < csr.row_end(v); ++e) {
+      out.edges.push_back({v, csr.neighbor(e), csr.weight(e)});
+    }
+  }
+  return out;
+}
+
+}  // namespace rdbs::graph

@@ -1,0 +1,24 @@
+// Builds a CSR graph from an edge list, with the normalizations the paper's
+// preprocessing assumes: optional symmetrization, self-loop removal and
+// parallel-edge deduplication (keeping the minimum weight, which preserves
+// shortest-path distances).
+#pragma once
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace rdbs::graph {
+
+struct BuildOptions {
+  bool symmetrize = false;        // make undirected (add reverse edges)
+  bool remove_self_loops = true;  // a self-loop never shortens a path
+  bool dedup_parallel = true;     // keep min-weight copy of (u,v) duplicates
+};
+
+// Counting-sort by source vertex, then per-vertex dedup. O(V + E log deg).
+Csr build_csr(const EdgeList& edges, const BuildOptions& options = {});
+
+// Inverse conversion, mainly for tests and I/O round-trips.
+EdgeList csr_to_edge_list(const Csr& csr);
+
+}  // namespace rdbs::graph

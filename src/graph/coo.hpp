@@ -1,0 +1,26 @@
+// Coordinate-format edge list: the interchange format between generators,
+// parsers and the CSR builder.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rdbs::graph {
+
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<WeightedEdge> edges;
+
+  void add_edge(VertexId src, VertexId dst, Weight weight) {
+    edges.push_back({src, dst, weight});
+  }
+
+  std::size_t num_edges() const { return edges.size(); }
+
+  // Appends the reverse of every current edge (same weight), turning a
+  // directed list into an undirected one. Self-loops are not duplicated.
+  void symmetrize();
+};
+
+}  // namespace rdbs::graph

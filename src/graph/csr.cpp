@@ -1,0 +1,61 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace rdbs::graph {
+
+Csr::Csr(std::vector<EdgeIndex> row_offsets, std::vector<VertexId> adjacency,
+         std::vector<Weight> weights)
+    : row_offsets_(std::move(row_offsets)),
+      adjacency_(std::move(adjacency)),
+      weights_(std::move(weights)) {
+  validate();
+}
+
+void Csr::set_heavy_offsets(std::vector<EdgeIndex> offsets) {
+  RDBS_CHECK(offsets.size() == num_vertices());
+  heavy_offsets_ = std::move(offsets);
+}
+
+void Csr::recompute_heavy_offsets(Weight delta) {
+  RDBS_CHECK_MSG(weights_sorted_per_vertex(),
+                 "heavy offsets require weight-sorted adjacency");
+  heavy_offsets_.resize(num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const Weight* begin = weights_.data() + row_begin(v);
+    const Weight* end = weights_.data() + row_end(v);
+    const Weight* split = std::lower_bound(begin, end, delta);
+    heavy_offsets_[v] = row_begin(v) + static_cast<EdgeIndex>(split - begin);
+  }
+  heavy_delta_ = delta;
+}
+
+void Csr::validate() const {
+  RDBS_CHECK(!row_offsets_.empty());
+  RDBS_CHECK(row_offsets_.front() == 0);
+  RDBS_CHECK(row_offsets_.back() == adjacency_.size());
+  RDBS_CHECK(adjacency_.size() == weights_.size());
+  for (std::size_t i = 1; i < row_offsets_.size(); ++i) {
+    RDBS_CHECK(row_offsets_[i - 1] <= row_offsets_[i]);
+  }
+  const VertexId n = num_vertices();
+  for (const VertexId dst : adjacency_) RDBS_CHECK(dst < n);
+  if (!heavy_offsets_.empty()) {
+    RDBS_CHECK(heavy_offsets_.size() == n);
+    for (VertexId v = 0; v < n; ++v) {
+      RDBS_CHECK(heavy_offsets_[v] >= row_begin(v));
+      RDBS_CHECK(heavy_offsets_[v] <= row_end(v));
+    }
+  }
+}
+
+bool Csr::weights_sorted_per_vertex() const {
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (EdgeIndex e = row_begin(v) + 1; e < row_end(v); ++e) {
+      if (weights_[e] < weights_[e - 1]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rdbs::graph

@@ -1,0 +1,98 @@
+// Compressed Sparse Row graph container.
+//
+// Layout follows the paper's Fig. 1(c)/Fig. 4(c): a row list (offsets), an
+// adjacency list (destination vertices) and a value list (weights). After
+// property-driven reordering (reorder/pro.hpp) a parallel *heavy-offset*
+// array is attached: heavy_offsets()[v] is the index of v's first heavy edge
+// (weight >= Δ) inside its weight-sorted adjacency range, enabling O(1)
+// light/heavy split in Δ-stepping phases 1 and 2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/macros.hpp"
+#include "graph/types.hpp"
+
+namespace rdbs::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+  Csr(std::vector<EdgeIndex> row_offsets, std::vector<VertexId> adjacency,
+      std::vector<Weight> weights);
+
+  VertexId num_vertices() const {
+    return row_offsets_.empty()
+               ? 0
+               : static_cast<VertexId>(row_offsets_.size() - 1);
+  }
+  EdgeIndex num_edges() const {
+    return row_offsets_.empty() ? 0 : row_offsets_.back();
+  }
+
+  EdgeIndex row_begin(VertexId v) const { return row_offsets_[v]; }
+  EdgeIndex row_end(VertexId v) const { return row_offsets_[v + 1]; }
+  EdgeIndex degree(VertexId v) const { return row_end(v) - row_begin(v); }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + row_begin(v),
+            static_cast<std::size_t>(degree(v))};
+  }
+  std::span<const Weight> edge_weights(VertexId v) const {
+    return {weights_.data() + row_begin(v),
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  std::span<const EdgeIndex> row_offsets() const { return row_offsets_; }
+  // Mutable weight access for re-weighting an already-built graph
+  // (graph::assign_weights). Invalidate heavy offsets after use.
+  std::span<Weight> mutable_weights() { return weights_; }
+  std::span<const VertexId> adjacency() const { return adjacency_; }
+  std::span<const Weight> weights() const { return weights_; }
+
+  VertexId neighbor(EdgeIndex e) const { return adjacency_[e]; }
+  Weight weight(EdgeIndex e) const { return weights_[e]; }
+
+  // --- heavy-edge offsets (set by property-driven reordering) ------------
+  bool has_heavy_offsets() const { return !heavy_offsets_.empty(); }
+  // Index of v's first heavy edge; edges [row_begin, heavy) are light.
+  EdgeIndex heavy_begin(VertexId v) const {
+    RDBS_DCHECK(has_heavy_offsets());
+    return heavy_offsets_[v];
+  }
+  std::span<const EdgeIndex> heavy_offsets() const { return heavy_offsets_; }
+  void set_heavy_offsets(std::vector<EdgeIndex> offsets);
+  // The Δ value the heavy offsets were computed for (paper: the offsets can
+  // be recomputed in phase 1 when Δ changes; see recompute_heavy_offsets).
+  Weight heavy_delta() const { return heavy_delta_; }
+  void set_heavy_delta(Weight delta) { heavy_delta_ = delta; }
+
+  // Recomputes heavy offsets for a new Δ. Requires weight-sorted adjacency
+  // (binary search per vertex); O(V log maxdeg).
+  void recompute_heavy_offsets(Weight delta);
+
+  // Number of light edges (weight < heavy_delta) of v in O(1).
+  EdgeIndex light_degree(VertexId v) const {
+    return heavy_begin(v) - row_begin(v);
+  }
+  EdgeIndex heavy_degree(VertexId v) const {
+    return row_end(v) - heavy_begin(v);
+  }
+
+  // Structural sanity: offsets monotone, adjacency in range. Aborts on
+  // violation (used by tests and after deserialization).
+  void validate() const;
+
+  // True if every vertex's weights are non-decreasing (post-PRO property).
+  bool weights_sorted_per_vertex() const;
+
+ private:
+  std::vector<EdgeIndex> row_offsets_;   // size V+1
+  std::vector<VertexId> adjacency_;      // size E
+  std::vector<Weight> weights_;          // size E
+  std::vector<EdgeIndex> heavy_offsets_; // size V when present
+  Weight heavy_delta_ = 0;
+};
+
+}  // namespace rdbs::graph

@@ -1,0 +1,187 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.hpp"
+#include "common/rng.hpp"
+
+namespace rdbs::graph {
+
+EdgeList generate_kronecker(const KroneckerParams& params) {
+  RDBS_CHECK(params.scale > 0 && params.scale < 32);
+  RDBS_CHECK(params.edgefactor > 0);
+  const double d = 1.0 - params.a - params.b - params.c;
+  RDBS_CHECK_MSG(d > 0.0, "Kronecker probabilities must sum below 1");
+
+  const VertexId n = VertexId(1) << params.scale;
+  const EdgeIndex m =
+      static_cast<EdgeIndex>(params.edgefactor) * static_cast<EdgeIndex>(n);
+
+  Xoshiro256 rng(params.seed);
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(m);
+
+  // Graph500-style noisy R-MAT: perturb the quadrant probabilities a little
+  // at each level to avoid exact self-similarity artifacts.
+  const double ab = params.a + params.b;
+  const double c_norm = params.c / (params.c + d);
+
+  for (EdgeIndex i = 0; i < m; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      const double r1 = rng.uniform_real();
+      const double r2 = rng.uniform_real();
+      const bool src_bit = r1 > ab;
+      const bool dst_bit =
+          r2 > (src_bit ? c_norm : params.a / ab);
+      src = (src << 1) | static_cast<VertexId>(src_bit);
+      dst = (dst << 1) | static_cast<VertexId>(dst_bit);
+    }
+    out.edges.push_back({src, dst, 1.0});
+  }
+
+  if (params.permute_labels) {
+    // Deterministic permutation derived from the seed, applied to both
+    // endpoints; destroys the degree/label correlation of raw R-MAT.
+    std::vector<VertexId> perm(n);
+    std::iota(perm.begin(), perm.end(), VertexId{0});
+    Xoshiro256 perm_rng(params.seed ^ 0x5eed5a17c0ffee00ULL);
+    for (VertexId i = n; i > 1; --i) {
+      const auto j = static_cast<VertexId>(perm_rng.next_below(i));
+      std::swap(perm[i - 1], perm[j]);
+    }
+    for (auto& e : out.edges) {
+      e.src = perm[e.src];
+      e.dst = perm[e.dst];
+    }
+  }
+  return out;
+}
+
+EdgeList generate_grid(const GridParams& params) {
+  RDBS_CHECK(params.width > 0 && params.height > 0);
+  const VertexId n = params.width * params.height;
+  Xoshiro256 rng(params.seed);
+
+  EdgeList out;
+  out.num_vertices = n;
+  auto vertex_at = [&](VertexId x, VertexId y) {
+    return y * params.width + x;
+  };
+  for (VertexId y = 0; y < params.height; ++y) {
+    for (VertexId x = 0; x < params.width; ++x) {
+      const VertexId v = vertex_at(x, y);
+      if (x + 1 < params.width && rng.bernoulli(params.keep_probability)) {
+        out.add_edge(v, vertex_at(x + 1, y), 1.0);
+      }
+      if (y + 1 < params.height && rng.bernoulli(params.keep_probability)) {
+        out.add_edge(v, vertex_at(x, y + 1), 1.0);
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList generate_chung_lu(const ChungLuParams& params) {
+  RDBS_CHECK(params.num_vertices > 1);
+  RDBS_CHECK(params.gamma > 2.0);
+  const VertexId n = params.num_vertices;
+  Xoshiro256 rng(params.seed);
+
+  // Target expected degrees w_v proportional to (v+1)^(-1/(gamma-1)).
+  const double exponent = -1.0 / (params.gamma - 1.0);
+  std::vector<double> cumulative(n + 1, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    cumulative[v + 1] =
+        cumulative[v] + std::pow(static_cast<double>(v) + 1.0, exponent);
+  }
+  const double total = cumulative[n];
+
+  // Sample both endpoints of each edge from the weight distribution
+  // (equivalent to Chung-Lu up to the usual multi-edge caveat, which the
+  // CSR builder's dedup handles).
+  auto sample_vertex = [&]() -> VertexId {
+    const double r = rng.uniform_real() * total;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), r);
+    const auto idx = static_cast<VertexId>(
+        std::distance(cumulative.begin(), it));
+    return idx == 0 ? 0 : std::min<VertexId>(idx - 1, n - 1);
+  };
+
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(params.num_edges);
+  for (EdgeIndex i = 0; i < params.num_edges; ++i) {
+    out.add_edge(sample_vertex(), sample_vertex(), 1.0);
+  }
+  return out;
+}
+
+EdgeList generate_small_world(const SmallWorldParams& params) {
+  RDBS_CHECK(params.num_vertices > static_cast<VertexId>(params.ring_degree));
+  RDBS_CHECK(params.ring_degree >= 2);
+  const VertexId n = params.num_vertices;
+  Xoshiro256 rng(params.seed);
+
+  EdgeList out;
+  out.num_vertices = n;
+  const int half = params.ring_degree / 2;
+  for (VertexId v = 0; v < n; ++v) {
+    for (int k = 1; k <= half; ++k) {
+      VertexId dst = (v + static_cast<VertexId>(k)) % n;
+      if (rng.bernoulli(params.rewire_probability)) {
+        dst = static_cast<VertexId>(rng.next_below(n));
+        if (dst == v) dst = (dst + 1) % n;
+      }
+      out.add_edge(v, dst, 1.0);
+    }
+  }
+  return out;
+}
+
+EdgeList generate_uniform_random(const UniformRandomParams& params) {
+  RDBS_CHECK(params.num_vertices > 1);
+  Xoshiro256 rng(params.seed);
+  EdgeList out;
+  out.num_vertices = params.num_vertices;
+  out.edges.reserve(params.num_edges);
+  for (EdgeIndex i = 0; i < params.num_edges; ++i) {
+    const auto src = static_cast<VertexId>(rng.next_below(params.num_vertices));
+    auto dst = static_cast<VertexId>(rng.next_below(params.num_vertices));
+    if (dst == src) dst = (dst + 1) % params.num_vertices;
+    out.add_edge(src, dst, 1.0);
+  }
+  return out;
+}
+
+EdgeList generate_star_heavy(const StarHeavyParams& params) {
+  RDBS_CHECK(params.num_hubs > 0 && params.num_hubs < params.num_vertices);
+  RDBS_CHECK(params.hub_edge_fraction >= 0 && params.hub_edge_fraction <= 1);
+  Xoshiro256 rng(params.seed);
+  const VertexId n = params.num_vertices;
+
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(params.num_edges);
+  for (EdgeIndex i = 0; i < params.num_edges; ++i) {
+    if (rng.uniform_real() < params.hub_edge_fraction) {
+      const auto hub = static_cast<VertexId>(rng.next_below(params.num_hubs));
+      auto satellite = static_cast<VertexId>(rng.next_below(n));
+      if (satellite == hub) satellite = (satellite + 1) % n;
+      out.add_edge(hub, satellite, 1.0);
+    } else {
+      const auto src = static_cast<VertexId>(rng.next_below(n));
+      auto dst = static_cast<VertexId>(rng.next_below(n));
+      if (dst == src) dst = (dst + 1) % n;
+      out.add_edge(src, dst, 1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace rdbs::graph

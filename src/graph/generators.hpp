@@ -1,0 +1,93 @@
+// Synthetic graph generators.
+//
+// KroneckerGenerator reproduces the Graph500 reference generator the paper
+// uses for its synthetic inputs (R-MAT style recursive bisection with
+// A=0.57 B=0.19 C=0.19 D=0.05, SCALE / edgefactor parameters, vertex-label
+// permutation). The remaining generators provide the structural families
+// used as surrogates for the paper's real-world datasets (see
+// surrogates.hpp): high-diameter road grids, power-law social/web graphs,
+// star-heavy communication graphs, and uniform random graphs.
+//
+// All generators emit directed edge lists; callers symmetrize via
+// BuildOptions when an undirected graph is needed (the paper treats all
+// inputs as undirected).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace rdbs::graph {
+
+// --- Graph500 Kronecker / R-MAT ------------------------------------------
+struct KroneckerParams {
+  int scale = 16;           // num_vertices = 2^scale
+  int edgefactor = 16;      // num_edges = edgefactor * 2^scale
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool permute_labels = true;  // Graph500 shuffles vertex labels
+  std::uint64_t seed = 1;
+};
+
+EdgeList generate_kronecker(const KroneckerParams& params);
+
+// --- 2D grid road network -------------------------------------------------
+// width x height lattice; each lattice edge is kept with probability
+// keep_probability (thinning models missing road segments and drives the
+// average degree down to road-network levels while keeping diameter high).
+struct GridParams {
+  VertexId width = 256;
+  VertexId height = 256;
+  double keep_probability = 1.0;
+  std::uint64_t seed = 1;
+};
+
+EdgeList generate_grid(const GridParams& params);
+
+// --- Chung-Lu power-law ----------------------------------------------------
+// Expected-degree model: vertex v gets target weight ~ (v+1)^(-1/(gamma-1)),
+// normalized so the expected edge count matches num_edges. Produces the
+// heavy-tailed degree distributions of social/web graphs with a tunable
+// skew exponent gamma (smaller gamma -> heavier tail).
+struct ChungLuParams {
+  VertexId num_vertices = 1 << 16;
+  EdgeIndex num_edges = 1 << 20;
+  double gamma = 2.3;
+  std::uint64_t seed = 1;
+};
+
+EdgeList generate_chung_lu(const ChungLuParams& params);
+
+// --- Watts-Strogatz small world ---------------------------------------------
+struct SmallWorldParams {
+  VertexId num_vertices = 1 << 16;
+  int ring_degree = 8;        // each vertex connects to ring_degree nearest
+  double rewire_probability = 0.1;
+  std::uint64_t seed = 1;
+};
+
+EdgeList generate_small_world(const SmallWorldParams& params);
+
+// --- Erdős–Rényi G(n, m) ----------------------------------------------------
+struct UniformRandomParams {
+  VertexId num_vertices = 1 << 16;
+  EdgeIndex num_edges = 1 << 20;
+  std::uint64_t seed = 1;
+};
+
+EdgeList generate_uniform_random(const UniformRandomParams& params);
+
+// --- Star-heavy graph --------------------------------------------------------
+// A small set of hubs each connected to many satellites, plus a sprinkling
+// of random edges; models wiki-Talk-like graphs (tiny average degree, a few
+// enormous-degree vertices, low diameter).
+struct StarHeavyParams {
+  VertexId num_vertices = 1 << 16;
+  VertexId num_hubs = 32;
+  double hub_edge_fraction = 0.7;  // fraction of edges incident to hubs
+  EdgeIndex num_edges = 1 << 18;
+  std::uint64_t seed = 1;
+};
+
+EdgeList generate_star_heavy(const StarHeavyParams& params);
+
+}  // namespace rdbs::graph

@@ -1,0 +1,35 @@
+// Graph file I/O.
+//
+// Users who have the paper's original SNAP / Network Repository datasets can
+// load them through these parsers; the bench harness falls back to the
+// surrogate generators otherwise.
+//
+// Supported formats:
+//  - whitespace edge list: "src dst [weight]" per line, '#'/'%' comments
+//    (SNAP download format)
+//  - DIMACS shortest-path format (.gr): "p sp V E" header, "a u v w" arcs,
+//    1-based vertex ids
+//  - MatrixMarket coordinate format (.mtx): general or symmetric,
+//    pattern/real/integer fields
+//  - a binary CSR cache for fast reloads
+#pragma once
+
+#include <string>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace rdbs::graph {
+
+EdgeList read_edge_list(const std::string& path);
+void write_edge_list(const EdgeList& edges, const std::string& path);
+
+EdgeList read_dimacs(const std::string& path);
+void write_dimacs(const EdgeList& edges, const std::string& path);
+
+EdgeList read_matrix_market(const std::string& path);
+
+void write_binary_csr(const Csr& csr, const std::string& path);
+Csr read_binary_csr(const std::string& path);
+
+}  // namespace rdbs::graph

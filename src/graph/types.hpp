@@ -1,0 +1,38 @@
+// Fundamental graph value types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rdbs::graph {
+
+// Vertex identifiers are 32-bit: the paper's largest graph (soc-twitter-2010,
+// 21M vertices) and anything this library targets fits comfortably.
+using VertexId = std::uint32_t;
+
+// Edge *indices* (offsets into the adjacency arrays) are 64-bit so CSR row
+// offsets never overflow even for multi-billion-edge graphs.
+using EdgeIndex = std::uint64_t;
+
+// Edge weights and tentative distances. Double gives exact arithmetic for
+// the paper's integer weights (1..1000) and well-defined fold-left sums for
+// the Graph500-style real weights in [0,1).
+using Weight = double;
+using Distance = double;
+
+inline constexpr Distance kInfiniteDistance =
+    std::numeric_limits<Distance>::infinity();
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+// A directed, weighted edge as produced by generators and parsers.
+struct WeightedEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+}  // namespace rdbs::graph

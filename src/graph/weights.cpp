@@ -1,0 +1,44 @@
+#include "graph/weights.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace rdbs::graph {
+
+Weight edge_weight_for(VertexId u, VertexId v, WeightScheme scheme,
+                       std::uint64_t seed) {
+  // Hash the unordered pair so both directions of an undirected edge agree.
+  const VertexId lo = std::min(u, v);
+  const VertexId hi = std::max(u, v);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(lo) << 32) | static_cast<std::uint64_t>(hi);
+  const std::uint64_t h = mix64(key ^ mix64(seed));
+  switch (scheme) {
+    case WeightScheme::kUniformInt1To1000:
+      return static_cast<Weight>(1 + (h % 1000));
+    case WeightScheme::kUniformReal01:
+      return static_cast<Weight>(h >> 11) * 0x1.0p-53;
+    case WeightScheme::kUnit:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+void assign_weights(EdgeList& edges, WeightScheme scheme, std::uint64_t seed) {
+  for (auto& e : edges.edges) {
+    e.weight = edge_weight_for(e.src, e.dst, scheme, seed);
+  }
+}
+
+void assign_weights(Csr& csr, WeightScheme scheme, std::uint64_t seed) {
+  auto weights = csr.mutable_weights();
+  EdgeIndex e = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (const VertexId dst : csr.neighbors(v)) {
+      weights[e++] = edge_weight_for(v, dst, scheme, seed);
+    }
+  }
+}
+
+}  // namespace rdbs::graph

@@ -1,0 +1,38 @@
+// Edge-weight assignment.
+//
+// The paper's real-world graphs ship without weights; the authors "use the
+// random function that follows uniform distribution to generate different
+// edges' weight values belonging to 1 to 1000". The Graph500 experiments
+// (Figs. 2-3) instead use real weights in [0, 1) with Δ = 0.1. Both schemes
+// are provided, plus unit weights for BFS-like checks.
+//
+// Weights are assigned deterministically per undirected edge: both copies
+// (u,v) and (v,u) of a symmetrized edge receive the same value, derived by
+// hashing the unordered endpoint pair with the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace rdbs::graph {
+
+enum class WeightScheme {
+  kUniformInt1To1000,  // paper's real-world setting
+  kUniformReal01,      // Graph500 setting (Δ = 0.1)
+  kUnit,               // all weights 1
+};
+
+// Assigns weights in place to an edge list.
+void assign_weights(EdgeList& edges, WeightScheme scheme, std::uint64_t seed);
+
+// Rebuilds the weight array of a CSR in place (same symmetric-consistency
+// guarantee); used when re-weighting an already-built graph.
+void assign_weights(Csr& csr, WeightScheme scheme, std::uint64_t seed);
+
+// The deterministic per-edge weight function both overloads use.
+Weight edge_weight_for(VertexId u, VertexId v, WeightScheme scheme,
+                       std::uint64_t seed);
+
+}  // namespace rdbs::graph

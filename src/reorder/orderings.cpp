@@ -1,0 +1,131 @@
+#include "reorder/orderings.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/rng.hpp"
+
+namespace rdbs::reorder {
+
+Permutation random_permutation(const Csr& csr, std::uint64_t seed) {
+  std::vector<VertexId> order(csr.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  Xoshiro256 rng(seed);
+  for (VertexId i = csr.num_vertices(); i > 1; --i) {
+    const auto j = static_cast<VertexId>(rng.next_below(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  return Permutation(std::move(order));
+}
+
+namespace {
+
+// BFS labeling with a caller-supplied neighbor visit order. Unreached
+// vertices (other components) are appended in id order.
+template <typename NeighborOrder>
+Permutation bfs_order_impl(const Csr& csr, VertexId root,
+                           NeighborOrder&& order_neighbors) {
+  const VertexId n = csr.num_vertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::vector<VertexId> scratch;
+
+  auto bfs_from = [&](VertexId start) {
+    std::queue<VertexId> frontier;
+    visited[start] = 1;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      order.push_back(u);
+      scratch.assign(csr.neighbors(u).begin(), csr.neighbors(u).end());
+      order_neighbors(scratch);
+      for (const VertexId v : scratch) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          frontier.push(v);
+        }
+      }
+    }
+  };
+
+  bfs_from(root);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!visited[v]) bfs_from(v);
+  }
+  return Permutation(std::move(order));
+}
+
+VertexId highest_degree_vertex(const Csr& csr) {
+  VertexId best = 0;
+  for (VertexId v = 1; v < csr.num_vertices(); ++v) {
+    if (csr.degree(v) > csr.degree(best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+Permutation bfs_permutation(const Csr& csr) {
+  if (csr.num_vertices() == 0) return Permutation(std::vector<VertexId>{});
+  return bfs_order_impl(csr, highest_degree_vertex(csr),
+                        [](std::vector<VertexId>&) {});
+}
+
+Permutation rcm_like_permutation(const Csr& csr) {
+  if (csr.num_vertices() == 0) return Permutation(std::vector<VertexId>{});
+  // Start from a low-degree peripheral vertex, visit ascending-degree
+  // neighbors, then reverse the labeling (the "R" in RCM).
+  VertexId start = 0;
+  for (VertexId v = 1; v < csr.num_vertices(); ++v) {
+    if (csr.degree(v) < csr.degree(start)) start = v;
+  }
+  Permutation forward = bfs_order_impl(
+      csr, start, [&](std::vector<VertexId>& neighbors) {
+        std::sort(neighbors.begin(), neighbors.end(),
+                  [&](VertexId a, VertexId b) {
+                    if (csr.degree(a) != csr.degree(b)) {
+                      return csr.degree(a) < csr.degree(b);
+                    }
+                    return a < b;
+                  });
+      });
+  std::vector<VertexId> reversed(csr.num_vertices());
+  for (VertexId r = 0; r < csr.num_vertices(); ++r) {
+    reversed[csr.num_vertices() - 1 - r] = forward.to_original(r);
+  }
+  return Permutation(std::move(reversed));
+}
+
+Permutation hub_cluster_permutation(const Csr& csr) {
+  if (csr.num_vertices() == 0) return Permutation(std::vector<VertexId>{});
+  const VertexId n = csr.num_vertices();
+  // Hubs in descending degree order; after each hub, its not-yet-placed
+  // neighbors (so a hub's adjacency is contiguous with its own slot).
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+    if (csr.degree(a) != csr.degree(b)) return csr.degree(a) > csr.degree(b);
+    return a < b;
+  });
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  for (const VertexId hub : by_degree) {
+    if (!placed[hub]) {
+      placed[hub] = 1;
+      order.push_back(hub);
+    }
+    for (const VertexId v : csr.neighbors(hub)) {
+      if (!placed[v]) {
+        placed[v] = 1;
+        order.push_back(v);
+      }
+    }
+  }
+  return Permutation(std::move(order));
+}
+
+}  // namespace rdbs::reorder

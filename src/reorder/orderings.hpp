@@ -1,0 +1,31 @@
+// Alternative vertex orderings, for ablating the "degree-descending" choice
+// in property-driven reordering (§4.1 cites prior reordering work [37]; the
+// ablation bench compares PRO's ordering against these).
+//
+//  * random_permutation      — destroys all locality: the lower bound.
+//  * bfs_permutation         — classic locality ordering: label vertices in
+//                              BFS visit order from a high-degree root;
+//                              neighbors get nearby ids (good for grids).
+//  * rcm_like_permutation    — reverse Cuthill-McKee flavor: BFS that visits
+//                              each vertex's neighbors in ascending-degree
+//                              order, then reverses; reduces bandwidth of
+//                              the adjacency structure.
+//  * hub_cluster_permutation — PRO's degree-descending order but keeping
+//                              each hub's neighbors adjacent to it (hybrid
+//                              of degree and BFS ordering).
+//
+// All return Permutations compatible with apply_permutation / unpermute.
+#pragma once
+
+#include <cstdint>
+
+#include "reorder/pro.hpp"
+
+namespace rdbs::reorder {
+
+Permutation random_permutation(const Csr& csr, std::uint64_t seed);
+Permutation bfs_permutation(const Csr& csr);
+Permutation rcm_like_permutation(const Csr& csr);
+Permutation hub_cluster_permutation(const Csr& csr);
+
+}  // namespace rdbs::reorder

@@ -1,0 +1,47 @@
+#include "sssp/bellman_ford.hpp"
+
+#include <vector>
+
+#include "common/macros.hpp"
+
+namespace rdbs::sssp {
+
+SsspResult bellman_ford(const Csr& csr, VertexId source) {
+  RDBS_CHECK(source < csr.num_vertices());
+  SsspResult result;
+  result.distances.assign(csr.num_vertices(), kInfiniteDistance);
+  result.distances[source] = 0;
+
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  std::vector<char> in_next(csr.num_vertices(), 0);
+
+  while (!frontier.empty()) {
+    ++result.work.iterations;
+    next.clear();
+    for (const VertexId u : frontier) {
+      const Distance du = result.distances[u];
+      const auto neighbors = csr.neighbors(u);
+      const auto weights = csr.edge_weights(u);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const VertexId v = neighbors[i];
+        const Distance through = du + weights[i];
+        ++result.work.relaxations;
+        if (through < result.distances[v]) {
+          result.distances[v] = through;
+          ++result.work.total_updates;
+          if (!in_next[v]) {
+            in_next[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    for (const VertexId v : next) in_next[v] = 0;
+    frontier.swap(next);
+  }
+  finalize_valid_updates(result, source);
+  return result;
+}
+
+}  // namespace rdbs::sssp

@@ -1,0 +1,13 @@
+// Frontier-based Bellman-Ford (paper §2.1): relaxes every out-edge of every
+// active vertex each round until no distance changes. Maximally parallel,
+// maximally redundant — the work-inefficiency extreme of the Δ spectrum
+// (Δ-stepping with Δ = ∞).
+#pragma once
+
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+SsspResult bellman_ford(const Csr& csr, VertexId source);
+
+}  // namespace rdbs::sssp

@@ -1,0 +1,40 @@
+#include "sssp/bucket_queue.hpp"
+
+#include "common/macros.hpp"
+
+namespace rdbs::sssp {
+
+BucketQueue::BucketQueue(graph::Weight delta) : delta_(delta) {
+  RDBS_CHECK(delta > 0);
+}
+
+void BucketQueue::push(graph::VertexId v, graph::Distance d) {
+  RDBS_DCHECK(d >= 0 && d != graph::kInfiniteDistance);
+  buckets_[bucket_of(d)].push_back(v);
+  ++total_entries_;
+}
+
+std::optional<std::uint64_t> BucketQueue::min_bucket() const {
+  if (buckets_.empty()) return std::nullopt;
+  return buckets_.begin()->first;
+}
+
+std::vector<graph::VertexId> BucketQueue::pop_min_bucket() {
+  std::vector<graph::VertexId> out;
+  pop_min_bucket_into(out);
+  return out;
+}
+
+void BucketQueue::pop_min_bucket_into(std::vector<graph::VertexId>& out) {
+  RDBS_CHECK_MSG(!buckets_.empty(), "pop from an empty BucketQueue");
+  auto it = buckets_.begin();
+  total_entries_ -= it->second.size();
+  if (out.empty()) {
+    out = std::move(it->second);
+  } else {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  buckets_.erase(it);
+}
+
+}  // namespace rdbs::sssp

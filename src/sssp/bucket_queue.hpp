@@ -1,0 +1,53 @@
+// Lazy bucketed priority structure, after Julienne's work-efficient
+// bucketing (Dhulipala, Blelloch & Shun, SPAA'17 — paper ref [12]).
+//
+// Semantics: push(v, d) files v under bucket floor(d / Δ). Entries are
+// never decreased or deleted eagerly — a vertex whose distance improves is
+// simply pushed again, and consumers discard stale entries at pop time
+// (their current distance no longer maps to the popped bucket). This is
+// the structure Δ-stepping needs: pops are always from the minimum
+// non-empty bucket, and amortized cost is O(1) per push.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rdbs::sssp {
+
+class BucketQueue {
+ public:
+  explicit BucketQueue(graph::Weight delta);
+
+  // Files v under the bucket of distance d.
+  void push(graph::VertexId v, graph::Distance d);
+
+  // Index of the minimum non-empty bucket (nullopt when drained).
+  std::optional<std::uint64_t> min_bucket() const;
+
+  // Removes and returns the minimum non-empty bucket's entries (possibly
+  // containing stale duplicates — filter against current distances).
+  std::vector<graph::VertexId> pop_min_bucket();
+
+  // Appends into an existing container instead of allocating.
+  void pop_min_bucket_into(std::vector<graph::VertexId>& out);
+
+  bool empty() const { return buckets_.empty(); }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t total_entries() const { return total_entries_; }
+
+  graph::Weight delta() const { return delta_; }
+  std::uint64_t bucket_of(graph::Distance d) const {
+    return static_cast<std::uint64_t>(d / delta_);
+  }
+
+ private:
+  graph::Weight delta_;
+  std::map<std::uint64_t, std::vector<graph::VertexId>> buckets_;
+  std::uint64_t total_entries_ = 0;
+};
+
+}  // namespace rdbs::sssp

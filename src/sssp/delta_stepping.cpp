@@ -1,0 +1,178 @@
+#include "sssp/delta_stepping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sssp/bucket_queue.hpp"
+
+#include "common/macros.hpp"
+
+namespace rdbs::sssp {
+
+namespace {
+
+std::uint64_t bucket_of(Distance d, Weight delta) {
+  return static_cast<std::uint64_t>(d / delta);
+}
+
+}  // namespace
+
+std::size_t BucketTrace::peak_bucket() const {
+  RDBS_CHECK(!active_per_bucket.empty());
+  return static_cast<std::size_t>(
+      std::max_element(active_per_bucket.begin(), active_per_bucket.end()) -
+      active_per_bucket.begin());
+}
+
+DeltaSteppingResult delta_stepping(const Csr& csr, VertexId source,
+                                   const DeltaSteppingOptions& options) {
+  RDBS_CHECK(source < csr.num_vertices());
+  RDBS_CHECK(options.delta > 0);
+  const Weight delta = options.delta;
+
+  DeltaSteppingResult out;
+  SsspResult& result = out.sssp;
+  result.distances.assign(csr.num_vertices(), kInfiniteDistance);
+  result.distances[source] = 0;
+
+  // Buckets with lazy deletion (Julienne-style BucketQueue): a vertex may
+  // appear in several buckets; an entry is live only if the vertex's
+  // current distance still maps there.
+  BucketQueue buckets(delta);
+  buckets.push(source, 0);
+
+  // Scratch marking which vertices were settled in the current bucket
+  // (their heavy edges are relaxed once, in phase 2).
+  std::vector<char> settled_in_bucket(csr.num_vertices(), 0);
+  std::vector<VertexId> settled_list;
+  // Tracks membership in the next phase-1 frontier to avoid duplicates.
+  std::vector<char> in_frontier(csr.num_vertices(), 0);
+  // Distinct-activation marker per bucket for the Fig. 2 trace.
+  std::vector<std::uint64_t> activated_in(csr.num_vertices(), ~0ull);
+
+  auto record_activation = [&](std::uint64_t bucket, VertexId v) {
+    if (!options.instrument) return;
+    if (out.trace.active_per_bucket.size() <= bucket) {
+      out.trace.active_per_bucket.resize(bucket + 1, 0);
+    }
+    if (activated_in[v] != bucket) {
+      activated_in[v] = bucket;
+      ++out.trace.active_per_bucket[bucket];
+    }
+  };
+
+  // Relax one edge; returns true if it updated and the new bucket index.
+  auto relax = [&](VertexId u, VertexId v, Weight w,
+                   std::uint64_t* new_bucket) {
+    ++result.work.relaxations;
+    const Distance through = result.distances[u] + w;
+    if (through < result.distances[v]) {
+      result.distances[v] = through;
+      ++result.work.total_updates;
+      *new_bucket = buckets.bucket_of(through);
+      return true;
+    }
+    return false;
+  };
+
+  const bool split = csr.has_heavy_offsets();
+
+  while (!buckets.empty()) {
+    const std::uint64_t current = *buckets.min_bucket();
+    std::vector<VertexId> frontier = buckets.pop_min_bucket();
+
+    settled_list.clear();
+    std::vector<std::uint64_t>* phase1_sizes = nullptr;
+    std::uint64_t* phase1_upds = nullptr;
+    if (options.instrument) {
+      if (out.trace.phase1_frontiers.size() <= current) {
+        out.trace.phase1_frontiers.resize(current + 1);
+        out.trace.phase1_updates.resize(current + 1, 0);
+      }
+      phase1_sizes = &out.trace.phase1_frontiers[current];
+      phase1_upds = &out.trace.phase1_updates[current];
+    }
+
+    // --- Phase 1: light edges until the bucket stops refilling -----------
+    while (!frontier.empty()) {
+      ++result.work.iterations;
+      // Drop stale entries (distance moved to a later bucket since insert).
+      std::vector<VertexId> live;
+      live.reserve(frontier.size());
+      for (const VertexId v : frontier) {
+        in_frontier[v] = 0;
+        if (result.distances[v] != kInfiniteDistance &&
+            bucket_of(result.distances[v], delta) == current) {
+          live.push_back(v);
+        }
+      }
+      if (live.empty()) break;
+      if (phase1_sizes) phase1_sizes->push_back(live.size());
+
+      std::vector<VertexId> next;
+      for (const VertexId u : live) {
+        record_activation(current, u);
+        if (!settled_in_bucket[u]) {
+          settled_in_bucket[u] = 1;
+          settled_list.push_back(u);
+        }
+        const auto neighbors = csr.neighbors(u);
+        const auto weights = csr.edge_weights(u);
+        const EdgeIndex begin = csr.row_begin(u);
+        const EdgeIndex light_end =
+            split ? csr.heavy_begin(u) : csr.row_end(u);
+        for (EdgeIndex e = begin; e < light_end; ++e) {
+          const std::size_t i = static_cast<std::size_t>(e - begin);
+          // Without presorted adjacency, every edge is checked against Δ
+          // (the branch the paper's Motivation 1 blames for divergence).
+          if (!split && weights[i] >= delta) continue;
+          std::uint64_t new_bucket = 0;
+          if (relax(u, neighbors[i], weights[i], &new_bucket)) {
+            if (phase1_upds) ++(*phase1_upds);
+            if (new_bucket == current) {
+              if (!in_frontier[neighbors[i]]) {
+                in_frontier[neighbors[i]] = 1;
+                next.push_back(neighbors[i]);
+              }
+            } else {
+              (void)new_bucket;
+              buckets.push(neighbors[i], result.distances[neighbors[i]]);
+            }
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+
+    // --- Phase 2: heavy edges of everything settled in this bucket -------
+    for (const VertexId u : settled_list) {
+      settled_in_bucket[u] = 0;
+      const auto neighbors = csr.neighbors(u);
+      const auto weights = csr.edge_weights(u);
+      const EdgeIndex begin = csr.row_begin(u);
+      const EdgeIndex heavy_begin = split ? csr.heavy_begin(u) : begin;
+      for (EdgeIndex e = heavy_begin; e < csr.row_end(u); ++e) {
+        const std::size_t i = static_cast<std::size_t>(e - begin);
+        if (!split && weights[i] < delta) continue;
+        std::uint64_t new_bucket = 0;
+        if (relax(u, neighbors[i], weights[i], &new_bucket)) {
+          (void)new_bucket;
+          buckets.push(neighbors[i], result.distances[neighbors[i]]);
+        }
+      }
+    }
+    // --- Phase 3 is implicit: the map's begin() is the next bucket -------
+  }
+
+  finalize_valid_updates(result, source);
+  return out;
+}
+
+SsspResult delta_stepping_distances(const Csr& csr, VertexId source,
+                                    Weight delta) {
+  DeltaSteppingOptions options;
+  options.delta = delta;
+  return delta_stepping(csr, source, options).sssp;
+}
+
+}  // namespace rdbs::sssp

@@ -1,0 +1,47 @@
+// Synchronous Δ-stepping (Meyer & Sanders), the algorithm the paper builds
+// on (§2.2) and the instrument for its Motivations 2 and 3: this
+// implementation records per-bucket active-vertex counts (Fig. 2) and the
+// per-iteration frontier sizes inside each bucket's phase 1 (Fig. 3).
+#pragma once
+
+#include <vector>
+
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+struct DeltaSteppingOptions {
+  Weight delta = 1.0;
+  // Record detailed per-bucket / per-iteration counters (costs memory on
+  // long runs; the bench figures turn it on, the speed paths leave it off).
+  bool instrument = false;
+};
+
+struct BucketTrace {
+  // Distinct vertices activated in each bucket, indexed by bucket id
+  // (Fig. 2's y-axis).
+  std::vector<std::uint64_t> active_per_bucket;
+  // For each bucket, the phase-1 inner-iteration frontier sizes (Fig. 3's
+  // series is this vector for the peak bucket).
+  std::vector<std::vector<std::uint64_t>> phase1_frontiers;
+  // Updates performed inside each bucket's phase 1 (total / valid are
+  // finalized against the final distances).
+  std::vector<std::uint64_t> phase1_updates;
+
+  // Index of the bucket with the most active vertices.
+  std::size_t peak_bucket() const;
+};
+
+struct DeltaSteppingResult {
+  SsspResult sssp;
+  BucketTrace trace;  // populated only when options.instrument is set
+};
+
+DeltaSteppingResult delta_stepping(const Csr& csr, VertexId source,
+                                   const DeltaSteppingOptions& options);
+
+// Convenience overload returning just the distances/work.
+SsspResult delta_stepping_distances(const Csr& csr, VertexId source,
+                                    Weight delta);
+
+}  // namespace rdbs::sssp

@@ -1,0 +1,42 @@
+#include "sssp/dijkstra.hpp"
+
+#include <queue>
+#include <utility>
+
+#include "common/macros.hpp"
+
+namespace rdbs::sssp {
+
+SsspResult dijkstra(const Csr& csr, VertexId source) {
+  RDBS_CHECK(source < csr.num_vertices());
+  SsspResult result;
+  result.distances.assign(csr.num_vertices(), kInfiniteDistance);
+  result.distances[source] = 0;
+
+  using Entry = std::pair<Distance, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0, source});
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > result.distances[u]) continue;  // stale entry
+    ++result.work.iterations;
+    const auto neighbors = csr.neighbors(u);
+    const auto weights = csr.edge_weights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId v = neighbors[i];
+      const Distance through = d + weights[i];
+      ++result.work.relaxations;
+      if (through < result.distances[v]) {
+        result.distances[v] = through;
+        ++result.work.total_updates;
+        heap.push({through, v});
+      }
+    }
+  }
+  finalize_valid_updates(result, source);
+  return result;
+}
+
+}  // namespace rdbs::sssp

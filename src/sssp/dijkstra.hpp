@@ -1,0 +1,11 @@
+// Dijkstra's algorithm (binary-heap), the work-efficient sequential oracle
+// every other implementation is tested against (paper §2.1).
+#pragma once
+
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+SsspResult dijkstra(const Csr& csr, VertexId source);
+
+}  // namespace rdbs::sssp

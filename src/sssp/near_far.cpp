@@ -1,0 +1,78 @@
+#include "sssp/near_far.hpp"
+
+#include <vector>
+
+#include "common/macros.hpp"
+
+namespace rdbs::sssp {
+
+SsspResult near_far(const Csr& csr, VertexId source, Weight delta) {
+  RDBS_CHECK(source < csr.num_vertices());
+  RDBS_CHECK(delta > 0);
+
+  SsspResult result;
+  result.distances.assign(csr.num_vertices(), kInfiniteDistance);
+  result.distances[source] = 0;
+
+  std::vector<VertexId> near{source};
+  std::vector<VertexId> far;
+  Distance threshold = delta;
+
+  while (!near.empty() || !far.empty()) {
+    if (near.empty()) {
+      // Split Far: promote entries now below the advanced threshold.
+      // Advance the threshold to just past the smallest far distance so at
+      // least one vertex is promoted per split.
+      Distance min_far = kInfiniteDistance;
+      for (const VertexId v : far) {
+        min_far = std::min(min_far, result.distances[v]);
+      }
+      if (min_far == kInfiniteDistance) break;  // all stale
+      while (threshold <= min_far) threshold += delta;
+      std::vector<VertexId> still_far;
+      for (const VertexId v : far) {
+        if (result.distances[v] == kInfiniteDistance) continue;
+        if (result.distances[v] < threshold) {
+          near.push_back(v);
+        } else {
+          still_far.push_back(v);
+        }
+      }
+      far.swap(still_far);
+      continue;
+    }
+
+    ++result.work.iterations;
+    std::vector<VertexId> next_near;
+    for (const VertexId u : near) {
+      // Lazy deletion: skip entries superseded by a smaller distance that
+      // was already processed in this pile.
+      if (result.distances[u] >= threshold) {
+        far.push_back(u);
+        continue;
+      }
+      const auto neighbors = csr.neighbors(u);
+      const auto weights = csr.edge_weights(u);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const VertexId v = neighbors[i];
+        const Distance through = result.distances[u] + weights[i];
+        ++result.work.relaxations;
+        if (through < result.distances[v]) {
+          result.distances[v] = through;
+          ++result.work.total_updates;
+          if (through < threshold) {
+            next_near.push_back(v);
+          } else {
+            far.push_back(v);
+          }
+        }
+      }
+    }
+    near.swap(next_near);
+  }
+
+  finalize_valid_updates(result, source);
+  return result;
+}
+
+}  // namespace rdbs::sssp

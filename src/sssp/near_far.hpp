@@ -1,0 +1,13 @@
+// Near-Far worklist method of Davidson et al. (IPDPS'14), the two-bucket
+// Δ-stepping variant the paper cites as prior GPU work: a Near pile holds
+// vertices below the current distance threshold, everything else falls into
+// a single Far pile that is re-split when Near drains.
+#pragma once
+
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+SsspResult near_far(const Csr& csr, VertexId source, Weight delta);
+
+}  // namespace rdbs::sssp

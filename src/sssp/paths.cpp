@@ -1,0 +1,86 @@
+#include "sssp/paths.hpp"
+
+#include <algorithm>
+
+#include "common/macros.hpp"
+
+namespace rdbs::sssp {
+
+std::vector<VertexId> build_parent_tree(const Csr& csr, VertexId source,
+                                        const std::vector<Distance>& dist) {
+  RDBS_CHECK(dist.size() == csr.num_vertices());
+  RDBS_CHECK(source < csr.num_vertices());
+  std::vector<VertexId> parents(csr.num_vertices(), graph::kInvalidVertex);
+
+  // One sweep over out-edges: u "claims" parenthood of v when the edge
+  // attains dist[v]; ties resolved toward the smaller u for determinism.
+  for (VertexId u = 0; u < csr.num_vertices(); ++u) {
+    if (dist[u] == graph::kInfiniteDistance) continue;
+    const auto neighbors = csr.neighbors(u);
+    const auto weights = csr.edge_weights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId v = neighbors[i];
+      if (v == source) continue;
+      if (dist[u] + weights[i] == dist[v]) {
+        if (parents[v] == graph::kInvalidVertex || u < parents[v]) {
+          parents[v] = u;
+        }
+      }
+    }
+  }
+  parents[source] = graph::kInvalidVertex;
+  return parents;
+}
+
+std::optional<std::vector<VertexId>> extract_path(
+    const std::vector<VertexId>& parents, VertexId source, VertexId target) {
+  RDBS_CHECK(target < parents.size());
+  if (target != source && parents[target] == graph::kInvalidVertex) {
+    return std::nullopt;
+  }
+  std::vector<VertexId> path;
+  VertexId cursor = target;
+  while (cursor != source) {
+    path.push_back(cursor);
+    cursor = parents[cursor];
+    RDBS_CHECK_MSG(cursor != graph::kInvalidVertex,
+                   "broken parent chain (tree not rooted at source?)");
+    RDBS_CHECK_MSG(path.size() <= parents.size(),
+                   "parent cycle detected");
+  }
+  path.push_back(source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<VertexId> validate_parent_tree(
+    const Csr& csr, VertexId source, const std::vector<Distance>& dist,
+    const std::vector<VertexId>& parents) {
+  if (parents.size() != csr.num_vertices()) return source;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (v == source) {
+      if (parents[v] != graph::kInvalidVertex) return v;
+      continue;
+    }
+    if (dist[v] == graph::kInfiniteDistance) {
+      if (parents[v] != graph::kInvalidVertex) return v;
+      continue;
+    }
+    const VertexId p = parents[v];
+    if (p == graph::kInvalidVertex || p >= csr.num_vertices()) return v;
+    // The parent edge must exist and attain dist[v].
+    bool attained = false;
+    const auto neighbors = csr.neighbors(p);
+    const auto weights = csr.edge_weights(p);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i] == v && dist[p] + weights[i] == dist[v]) {
+        attained = true;
+        break;
+      }
+    }
+    if (!attained) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rdbs::sssp

@@ -1,0 +1,36 @@
+// Shortest-path tree reconstruction.
+//
+// The engines in this library compute distances only (like the paper's
+// kernels); a predecessor tree can always be recovered afterwards in one
+// pass over the edges, because a distance array that passes
+// validate_distances has, for every reached vertex, at least one in-edge
+// that attains its distance. build_parent_tree picks the attaining
+// predecessor deterministically (smallest vertex id) and extract_path walks
+// it — O(E) once, then O(path length) per query.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+// parents[v] = predecessor of v on a shortest path from the source
+// (kInvalidVertex for the source itself and for unreached vertices).
+// Requires `dist` to be a valid shortest-distance array for `csr`.
+std::vector<VertexId> build_parent_tree(const Csr& csr, VertexId source,
+                                        const std::vector<Distance>& dist);
+
+// The vertex sequence source -> ... -> target, or nullopt if unreached.
+std::optional<std::vector<VertexId>> extract_path(
+    const std::vector<VertexId>& parents, VertexId source, VertexId target);
+
+// Certifies a parent tree against a distance array: every reached vertex's
+// parent edge must exist and attain its distance. Returns the first
+// offending vertex, or nullopt when valid.
+std::optional<VertexId> validate_parent_tree(
+    const Csr& csr, VertexId source, const std::vector<Distance>& dist,
+    const std::vector<VertexId>& parents);
+
+}  // namespace rdbs::sssp

@@ -1,0 +1,25 @@
+// PQ-Δ* — CPU comparator (paper Table 2), modeled on Dong et al.'s stepping
+// framework (SPAA'21): a Lazy-Batched Priority Queue (LAB-PQ) feeds
+// Δ*-stepping. The queue keeps an unordered active pool; each step lazily
+// extracts the batch of vertices within Δ* of the current minimum tentative
+// distance and relaxes them in parallel (OpenMP on the host, matching the
+// paper's 26-core CPU runs). Stale pool entries are discarded on extraction
+// rather than eagerly decreased — the "lazy" in LAB-PQ.
+#pragma once
+
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+struct PqDeltaStarOptions {
+  // Initial batch window; adapted each step toward target_batch vertices
+  // (Δ*-stepping's self-tuning rule).
+  Weight delta_star = 1.0;
+  std::size_t target_batch = 2048;
+  int num_threads = 0;  // 0 = OpenMP default
+};
+
+SsspResult pq_delta_star(const Csr& csr, VertexId source,
+                         const PqDeltaStarOptions& options = {});
+
+}  // namespace rdbs::sssp

@@ -1,0 +1,13 @@
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+void finalize_valid_updates(SsspResult& result, VertexId source) {
+  std::uint64_t reached = 0;
+  for (VertexId v = 0; v < result.distances.size(); ++v) {
+    if (v != source && result.distances[v] != kInfiniteDistance) ++reached;
+  }
+  result.work.valid_updates = reached;
+}
+
+}  // namespace rdbs::sssp

@@ -1,0 +1,55 @@
+// Common result and statistics types for every SSSP implementation in the
+// library (CPU reference algorithms and the gpusim-based ones alike).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace rdbs::sssp {
+
+using graph::Csr;
+using graph::Distance;
+using graph::EdgeIndex;
+using graph::VertexId;
+using graph::Weight;
+using graph::kInfiniteDistance;
+
+// Work counters in the paper's vocabulary (§3, Fig. 3, Fig. 9):
+//  - a *check* is one relaxation attempt (Algorithm 1 executed once);
+//  - an *update* is a check that decreased the tentative distance;
+//  - an update is *valid* if it wrote the vertex's final shortest distance.
+// Each reached vertex has exactly one valid update, so
+// valid_updates == number of reached non-source vertices, and the paper's
+// work-efficiency indicator is total_updates / valid_updates.
+struct WorkStats {
+  std::uint64_t relaxations = 0;    // checks
+  std::uint64_t total_updates = 0;  // successful distance decreases
+  std::uint64_t valid_updates = 0;  // one per reached vertex
+  std::uint64_t iterations = 0;     // synchronous rounds / bucket steps
+
+  double redundancy_ratio() const {
+    return valid_updates == 0
+               ? 0.0
+               : static_cast<double>(total_updates) /
+                     static_cast<double>(valid_updates);
+  }
+};
+
+struct SsspResult {
+  std::vector<Distance> distances;
+  WorkStats work;
+
+  std::uint64_t reached_count() const {
+    std::uint64_t count = 0;
+    for (const Distance d : distances) count += (d != kInfiniteDistance);
+    return count;
+  }
+};
+
+// Fills in work.valid_updates from the final distance array (reached
+// vertices excluding the source).
+void finalize_valid_updates(SsspResult& result, VertexId source);
+
+}  // namespace rdbs::sssp

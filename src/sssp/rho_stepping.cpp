@@ -1,0 +1,149 @@
+#include "sssp/rho_stepping.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#ifdef RDBS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "common/macros.hpp"
+
+namespace rdbs::sssp {
+
+namespace {
+
+bool atomic_min_distance(std::atomic<std::uint64_t>& cell, Distance value) {
+  std::uint64_t desired;
+  std::memcpy(&desired, &value, sizeof desired);
+  std::uint64_t observed = cell.load(std::memory_order_relaxed);
+  for (;;) {
+    Distance current;
+    std::memcpy(&current, &observed, sizeof current);
+    if (value >= current) return false;
+    if (cell.compare_exchange_weak(observed, desired,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+SsspResult rho_stepping(const Csr& csr, VertexId source,
+                        const RhoSteppingOptions& options) {
+  RDBS_CHECK(source < csr.num_vertices());
+  RDBS_CHECK(options.rho > 0);
+  const VertexId n = csr.num_vertices();
+
+#ifdef RDBS_HAVE_OPENMP
+  if (options.num_threads > 0) omp_set_num_threads(options.num_threads);
+#endif
+
+  std::vector<std::atomic<std::uint64_t>> dist_bits(n);
+  {
+    std::uint64_t inf_bits;
+    const Distance inf = kInfiniteDistance;
+    std::memcpy(&inf_bits, &inf, sizeof inf_bits);
+    for (auto& cell : dist_bits) {
+      cell.store(inf_bits, std::memory_order_relaxed);
+    }
+    std::uint64_t zero_bits;
+    const Distance zero = 0;
+    std::memcpy(&zero_bits, &zero, sizeof zero_bits);
+    dist_bits[source].store(zero_bits, std::memory_order_relaxed);
+  }
+  auto load_dist = [&](VertexId v) {
+    const std::uint64_t bits = dist_bits[v].load(std::memory_order_relaxed);
+    Distance d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+  };
+
+  SsspResult result;
+  std::vector<VertexId> pool{source};
+  std::vector<char> in_pool(n, 0);
+  in_pool[source] = 1;
+  std::uint64_t relaxations = 0;
+  std::uint64_t updates = 0;
+
+  std::vector<std::pair<Distance, VertexId>> keyed;
+  while (!pool.empty()) {
+    ++result.work.iterations;
+
+    // Lazy extract-ρ-min: when the pool exceeds ρ, nth_element selects the
+    // batch (the LAB-PQ's amortized selection); otherwise take everything.
+    std::vector<VertexId> batch;
+    if (pool.size() <= options.rho) {
+      batch.swap(pool);
+    } else {
+      keyed.clear();
+      keyed.reserve(pool.size());
+      for (const VertexId v : pool) keyed.emplace_back(load_dist(v), v);
+      std::nth_element(keyed.begin(),
+                       keyed.begin() + static_cast<std::ptrdiff_t>(options.rho),
+                       keyed.end());
+      batch.reserve(options.rho);
+      pool.clear();
+      for (std::size_t i = 0; i < keyed.size(); ++i) {
+        if (i < options.rho) {
+          batch.push_back(keyed[i].second);
+        } else {
+          pool.push_back(keyed[i].second);
+        }
+      }
+    }
+    for (const VertexId v : batch) in_pool[v] = 0;
+
+#ifdef RDBS_HAVE_OPENMP
+    const int max_threads = omp_get_max_threads();
+#else
+    const int max_threads = 1;
+#endif
+    std::vector<std::vector<VertexId>> discovered(
+        static_cast<std::size_t>(max_threads));
+
+#ifdef RDBS_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 64) \
+    reduction(+ : relaxations, updates)
+#endif
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+#ifdef RDBS_HAVE_OPENMP
+      const int tid = omp_get_thread_num();
+#else
+      const int tid = 0;
+#endif
+      const VertexId u = batch[b];
+      const Distance du = load_dist(u);
+      const auto neighbors = csr.neighbors(u);
+      const auto weights = csr.edge_weights(u);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const VertexId v = neighbors[i];
+        ++relaxations;
+        if (atomic_min_distance(dist_bits[v], du + weights[i])) {
+          ++updates;
+          discovered[static_cast<std::size_t>(tid)].push_back(v);
+        }
+      }
+    }
+    for (const auto& local : discovered) {
+      for (const VertexId v : local) {
+        if (!in_pool[v]) {
+          in_pool[v] = 1;
+          pool.push_back(v);
+        }
+      }
+    }
+  }
+
+  result.work.relaxations = relaxations;
+  result.work.total_updates = updates;
+  result.distances.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.distances[v] = load_dist(v);
+  finalize_valid_updates(result, source);
+  return result;
+}
+
+}  // namespace rdbs::sssp

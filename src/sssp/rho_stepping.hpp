@@ -1,0 +1,21 @@
+// ρ-stepping (Dong, Gu, Sun & Zhang, SPAA'21) — the other member of the
+// stepping-algorithm framework the paper cites alongside Δ*-stepping [15].
+// Instead of a distance window, each step extracts (up to) the ρ smallest
+// tentative distances from the lazy pool and relaxes them in parallel:
+// batch size is controlled directly, trading work efficiency against
+// parallelism without any Δ tuning.
+#pragma once
+
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+struct RhoSteppingOptions {
+  std::size_t rho = 2048;  // batch size (vertices per step)
+  int num_threads = 0;     // 0 = OpenMP default
+};
+
+SsspResult rho_stepping(const Csr& csr, VertexId source,
+                        const RhoSteppingOptions& options = {});
+
+}  // namespace rdbs::sssp

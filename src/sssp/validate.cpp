@@ -1,0 +1,45 @@
+#include "sssp/validate.hpp"
+
+#include <sstream>
+
+namespace rdbs::sssp {
+
+std::optional<std::string> validate_distances(
+    const Csr& csr, VertexId source, const std::vector<Distance>& dist) {
+  const VertexId n = csr.num_vertices();
+  if (dist.size() != n) return "distance array size mismatch";
+  if (source >= n) return "source out of range";
+  if (dist[source] != 0) return "dist[source] != 0";
+
+  auto describe = [](const char* what, VertexId u, VertexId v) {
+    std::ostringstream out;
+    out << what << " at edge (" << u << " -> " << v << ")";
+    return out.str();
+  };
+
+  // Feasibility + achievability in one sweep over out-edges. Achievability
+  // is checked from the destination side: collect, for every v, whether some
+  // in-edge attains dist[v]. Because the graph is symmetric, out-edges of u
+  // double as in-edges of its neighbors.
+  std::vector<char> attained(n, 0);
+  attained[source] = 1;
+  for (VertexId u = 0; u < n; ++u) {
+    if (dist[u] == kInfiniteDistance) continue;
+    const auto neighbors = csr.neighbors(u);
+    const auto weights = csr.edge_weights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId v = neighbors[i];
+      const Distance through = dist[u] + weights[i];
+      if (through < dist[v]) return describe("relaxable edge", u, v);
+      if (through == dist[v]) attained[v] = 1;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (dist[v] != kInfiniteDistance && !attained[v]) {
+      return "unattained finite distance at vertex " + std::to_string(v);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rdbs::sssp

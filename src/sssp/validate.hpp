@@ -1,0 +1,29 @@
+// Certification of an SSSP solution.
+//
+// A distance array is exactly the shortest-distance function iff:
+//   (1) dist[source] == 0;
+//   (2) feasibility: dist[v] <= dist[u] + w for every edge (u, v, w)
+//       (no edge can still relax);
+//   (3) achievability: every reached v != source has an in-edge (u, v, w)
+//       with dist[v] == dist[u] + w, and every unreached vertex has no
+//       reached in-neighbor.
+// This certificate is independent of which algorithm produced the array and
+// is exact under floating point because all algorithms in this library
+// compute path lengths as left-to-right sums.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sssp/result.hpp"
+
+namespace rdbs::sssp {
+
+// Returns std::nullopt if valid, otherwise a human-readable description of
+// the first violated condition. `csr` must contain, for every undirected
+// edge, both directions (the library's standard representation).
+std::optional<std::string> validate_distances(
+    const Csr& csr, VertexId source, const std::vector<Distance>& dist);
+
+}  // namespace rdbs::sssp

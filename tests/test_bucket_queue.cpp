@@ -1,0 +1,190 @@
+// Unit tests for the Julienne-style BucketQueue and the bench_support
+// harness helpers (dataset loading, source selection, empirical Δ0).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_support/experiment.hpp"
+#include "core/adds.hpp"
+#include "core/rdbs.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "graph/stats.hpp"
+#include "sssp/bucket_queue.hpp"
+#include "test_util.hpp"
+
+namespace rdbs {
+namespace {
+
+using graph::VertexId;
+using sssp::BucketQueue;
+
+TEST(BucketQueue, EmptyOnConstruction) {
+  BucketQueue queue(10.0);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.min_bucket().has_value());
+  EXPECT_EQ(queue.total_entries(), 0u);
+}
+
+TEST(BucketQueue, BucketOfMapsDistanceRanges) {
+  BucketQueue queue(10.0);
+  EXPECT_EQ(queue.bucket_of(0.0), 0u);
+  EXPECT_EQ(queue.bucket_of(9.999), 0u);
+  EXPECT_EQ(queue.bucket_of(10.0), 1u);
+  EXPECT_EQ(queue.bucket_of(105.0), 10u);
+}
+
+TEST(BucketQueue, PopsMinimumBucketFirst) {
+  BucketQueue queue(10.0);
+  queue.push(1, 35.0);  // bucket 3
+  queue.push(2, 5.0);   // bucket 0
+  queue.push(3, 17.0);  // bucket 1
+  ASSERT_TRUE(queue.min_bucket().has_value());
+  EXPECT_EQ(*queue.min_bucket(), 0u);
+  EXPECT_EQ(queue.pop_min_bucket(), (std::vector<VertexId>{2}));
+  EXPECT_EQ(*queue.min_bucket(), 1u);
+  EXPECT_EQ(queue.pop_min_bucket(), (std::vector<VertexId>{3}));
+  EXPECT_EQ(queue.pop_min_bucket(), (std::vector<VertexId>{1}));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BucketQueue, LazyDuplicatesAreAllowed) {
+  BucketQueue queue(10.0);
+  queue.push(7, 25.0);  // bucket 2 (stale-to-be)
+  queue.push(7, 3.0);   // improved: bucket 0
+  EXPECT_EQ(queue.total_entries(), 2u);
+  EXPECT_EQ(queue.pop_min_bucket(), (std::vector<VertexId>{7}));
+  // The stale copy is still filed under bucket 2 — consumers filter it.
+  EXPECT_EQ(*queue.min_bucket(), 2u);
+}
+
+TEST(BucketQueue, PreservesInsertionOrderWithinBucket) {
+  BucketQueue queue(100.0);
+  for (VertexId v = 0; v < 10; ++v) queue.push(v, 50.0);
+  const auto popped = queue.pop_min_bucket();
+  ASSERT_EQ(popped.size(), 10u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(popped[v], v);
+}
+
+TEST(BucketQueue, PopIntoAppends) {
+  BucketQueue queue(10.0);
+  queue.push(1, 1.0);
+  queue.push(2, 15.0);
+  std::vector<VertexId> out{99};
+  queue.pop_min_bucket_into(out);
+  EXPECT_EQ(out, (std::vector<VertexId>{99, 1}));
+}
+
+TEST(BucketQueue, EntryCountTracksPushesAndPops) {
+  BucketQueue queue(10.0);
+  queue.push(1, 1.0);
+  queue.push(2, 2.0);
+  queue.push(3, 50.0);
+  EXPECT_EQ(queue.total_entries(), 3u);
+  EXPECT_EQ(queue.bucket_count(), 2u);
+  queue.pop_min_bucket();
+  EXPECT_EQ(queue.total_entries(), 1u);
+}
+
+TEST(BucketQueueDeathTest, PopFromEmptyAborts) {
+  BucketQueue queue(10.0);
+  EXPECT_DEATH(queue.pop_min_bucket(), "empty BucketQueue");
+}
+
+// --- bench_support helpers ----------------------------------------------------
+
+TEST(BenchSupport, DeviceByName) {
+  EXPECT_EQ(bench::device_by_name("v100").name, "V100");
+  EXPECT_EQ(bench::device_by_name("t4").name, "T4");
+  EXPECT_THROW(bench::device_by_name("a100"), std::runtime_error);
+}
+
+TEST(BenchSupport, PickSourcesStayInLargestComponent) {
+  // Two components: 3 connected vertices and 200 isolated ones. All
+  // sources must come from the connected trio.
+  graph::EdgeList edges;
+  edges.num_vertices = 203;
+  edges.add_edge(200, 201, 1.0);
+  edges.add_edge(201, 202, 1.0);
+  graph::BuildOptions build;
+  build.symmetrize = true;
+  const auto csr = graph::build_csr(edges, build);
+  const auto sources = bench::pick_sources(csr, 4, 7);
+  ASSERT_FALSE(sources.empty());
+  for (const VertexId s : sources) EXPECT_GE(s, 200u);
+}
+
+TEST(BenchSupport, PickSourcesDeterministic) {
+  const auto csr = test::random_powerlaw_graph(500, 4000, 61);
+  EXPECT_EQ(bench::pick_sources(csr, 8, 42), bench::pick_sources(csr, 8, 42));
+  EXPECT_NE(bench::pick_sources(csr, 8, 42), bench::pick_sources(csr, 8, 43));
+}
+
+TEST(BenchSupport, EmpiricalDeltaScalesWithDiameter) {
+  // A long path graph must get a much wider Δ0 than a dense blob of the
+  // same weight scale.
+  graph::EdgeList path;
+  path.num_vertices = 2048;
+  for (VertexId v = 0; v + 1 < 2048; ++v) path.add_edge(v, v + 1, 1.0);
+  graph::assign_weights(path, graph::WeightScheme::kUniformInt1To1000, 3);
+  graph::BuildOptions build;
+  build.symmetrize = true;
+  const auto road = graph::build_csr(path, build);
+  const auto social = test::random_powerlaw_graph(2048, 32768, 3);
+  EXPECT_GT(bench::empirical_delta0(road, 42),
+            4 * bench::empirical_delta0(social, 42));
+}
+
+TEST(BenchSupport, LoadBenchGraphHonorsSizeScale) {
+  bench::HarnessConfig small;
+  small.size_scale = -2;
+  bench::HarnessConfig large;
+  large.size_scale = 0;
+  EXPECT_LT(bench::load_bench_graph("soc-PK", small).num_vertices(),
+            bench::load_bench_graph("soc-PK", large).num_vertices());
+}
+
+// --- randomized cross-check ---------------------------------------------------
+
+TEST(Randomized, AllEnginesAgreeAcrossRandomGraphs) {
+  // 12 random (family, seed) combinations; RDBS, ADDS and CPU Δ-stepping
+  // must all equal Dijkstra. A cheap fuzz layer over the targeted tests.
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const std::uint64_t seed = 1000 + trial * 77;
+    graph::Csr csr =
+        (trial % 3 == 0)
+            ? test::random_grid_graph(12 + trial % 5, seed)
+            : test::random_powerlaw_graph(
+                  static_cast<VertexId>(200 + trial * 40),
+                  1600 + trial * 320, seed);
+    const VertexId source = static_cast<VertexId>(seed % csr.num_vertices());
+    const auto reference = sssp::dijkstra(csr, source);
+    const double delta = 50.0 + static_cast<double>(trial) * 60.0;
+
+    core::GpuSsspOptions options;
+    options.delta0 = delta;
+    core::RdbsSolver rdbs(csr, gpusim::test_device(), options);
+    const auto rdbs_result = rdbs.solve(source);
+
+    core::AddsOptions adds_options;
+    adds_options.delta = delta;
+    core::AddsLike adds(gpusim::test_device(), csr, adds_options);
+    const auto adds_result = adds.run(source);
+
+    const auto cpu = sssp::delta_stepping_distances(csr, source, delta);
+
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+      ASSERT_DOUBLE_EQ(rdbs_result.sssp.distances[v],
+                       reference.distances[v])
+          << "RDBS trial " << trial << " vertex " << v;
+      ASSERT_DOUBLE_EQ(adds_result.sssp.distances[v],
+                       reference.distances[v])
+          << "ADDS trial " << trial << " vertex " << v;
+      ASSERT_DOUBLE_EQ(cpu.distances[v], reference.distances[v])
+          << "CPU trial " << trial << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdbs

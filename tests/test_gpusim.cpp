@@ -1,0 +1,296 @@
+// Unit tests for the SIMT simulator: cache behaviour, coalescing, counter
+// accounting, divergence, scheduling and the cost model's invariants.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/sim.hpp"
+
+namespace rdbs::gpusim {
+namespace {
+
+TEST(Cache, RepeatAccessHits) {
+  SectoredCache cache(4096, 128, 4);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(16));  // same 32B sector
+}
+
+TEST(Cache, SectorGranularity) {
+  SectoredCache cache(4096, 128, 4);
+  EXPECT_FALSE(cache.access(0));
+  // Different sector of the same 128B line: still a (sector) miss.
+  EXPECT_FALSE(cache.access(64));
+  EXPECT_TRUE(cache.access(64));
+}
+
+TEST(Cache, LruEviction) {
+  // 2 lines per set... capacity 2 lines total with 2 ways -> 1 set.
+  SectoredCache cache(256, 128, 2);
+  EXPECT_FALSE(cache.access(0));        // line A
+  EXPECT_FALSE(cache.access(128));      // line B
+  EXPECT_FALSE(cache.access(256));      // line C evicts A (LRU)
+  EXPECT_FALSE(cache.access(0));        // A is gone
+  EXPECT_TRUE(cache.access(256));       // C survived? (B was evicted by A)
+}
+
+TEST(Cache, ResetClears) {
+  SectoredCache cache(4096, 128, 4);
+  cache.access(0);
+  EXPECT_TRUE(cache.access(0));
+  cache.reset();
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Memory, CoalescedAccessIsOneTransactionPerSector) {
+  MemorySim memory(test_device());
+  // 8 consecutive 4-byte elements = 32 bytes = 1 sector.
+  std::array<std::uint64_t, 8> addrs{};
+  for (int i = 0; i < 8; ++i) addrs[i] = 1000 * 0 + 4096 + i * 4;
+  const auto result = memory.access(0, addrs, true);
+  EXPECT_EQ(result.transactions, 1u);
+}
+
+TEST(Memory, ScatteredAccessIsOneTransactionPerLane) {
+  MemorySim memory(test_device());
+  std::array<std::uint64_t, 8> addrs{};
+  for (int i = 0; i < 8; ++i) addrs[i] = 4096 + i * 4096;  // far apart
+  const auto result = memory.access(0, addrs, true);
+  EXPECT_EQ(result.transactions, 8u);
+}
+
+TEST(Memory, PerSmCachesAreIndependent) {
+  MemorySim memory(test_device());
+  const std::array<std::uint64_t, 1> addr{4096};
+  memory.access(0, addr, true);
+  const auto on_sm0 = memory.access(0, addr, true);
+  EXPECT_EQ(on_sm0.hits, 1u);
+  const auto on_sm1 = memory.access(1, addr, true);
+  EXPECT_EQ(on_sm1.hits, 0u);  // SM 1's L1 never saw it
+}
+
+TEST(Memory, UncachedAccessNeverHits) {
+  MemorySim memory(test_device());
+  const std::array<std::uint64_t, 1> addr{4096};
+  memory.access(0, addr, true);  // warm L1
+  const auto atomic_path = memory.access(0, addr, false);
+  EXPECT_EQ(atomic_path.hits, 0u);
+  EXPECT_EQ(atomic_path.transactions, 1u);
+}
+
+TEST(Memory, AllocationsAreAlignedAndDisjoint) {
+  MemorySim memory(test_device());
+  const std::uint64_t a = memory.allocate(100);
+  const std::uint64_t b = memory.allocate(100);
+  EXPECT_EQ(a % 128, 0u);
+  EXPECT_EQ(b % 128, 0u);
+  EXPECT_GE(b, a + 100);
+}
+
+class SimTest : public ::testing::Test {
+ protected:
+  GpuSim sim_{test_device()};
+};
+
+TEST_F(SimTest, LoadStoreRoundTrip) {
+  auto buf = sim_.alloc<double>("x", 64);
+  sim_.run_kernel(Schedule::kStatic, 1, 1, [&](WarpCtx& ctx, std::uint64_t) {
+    ctx.store_one(buf, 7, 3.5);
+    EXPECT_DOUBLE_EQ(ctx.load_one(buf, 7), 3.5);
+  });
+  EXPECT_DOUBLE_EQ(buf[7], 3.5);
+}
+
+TEST_F(SimTest, CountersTrackInstructionKinds) {
+  auto buf = sim_.alloc<double>("x", 64);
+  sim_.run_kernel(Schedule::kStatic, 1, 1, [&](WarpCtx& ctx, std::uint64_t) {
+    ctx.store_one(buf, 0, 1.0);
+    ctx.load_one(buf, 0);
+    ctx.load_one(buf, 1);
+    ctx.atomic_min_one(buf, 0, 0.5);
+    ctx.alu(3);
+  });
+  const Counters& c = sim_.counters();
+  EXPECT_EQ(c.inst_executed_global_stores, 1u);
+  EXPECT_EQ(c.inst_executed_global_loads, 2u);
+  EXPECT_EQ(c.inst_executed_atomics, 1u);
+  EXPECT_EQ(c.alu_instructions, 3u);
+  EXPECT_EQ(c.kernel_launches, 1u);
+}
+
+TEST_F(SimTest, HitRateReflectsLocality) {
+  auto buf = sim_.alloc<double>("x", 8);
+  sim_.run_kernel(Schedule::kStatic, 1, 1, [&](WarpCtx& ctx, std::uint64_t) {
+    for (int rep = 0; rep < 10; ++rep) ctx.load_one(buf, 0);
+  });
+  // 1 cold miss, 9 hits.
+  EXPECT_NEAR(sim_.counters().global_hit_rate(), 0.9, 1e-9);
+}
+
+TEST_F(SimTest, AtomicMinSemantics) {
+  auto buf = sim_.alloc<double>("x", 4);
+  buf[2] = 10.0;
+  sim_.run_kernel(Schedule::kStatic, 1, 1, [&](WarpCtx& ctx, std::uint64_t) {
+    EXPECT_TRUE(ctx.atomic_min_one(buf, 2, 5.0));
+    EXPECT_FALSE(ctx.atomic_min_one(buf, 2, 7.0));
+    EXPECT_TRUE(ctx.atomic_min_one(buf, 2, 1.0));
+  });
+  EXPECT_DOUBLE_EQ(buf[2], 1.0);
+}
+
+TEST_F(SimTest, WarpAtomicConflictDetection) {
+  auto buf = sim_.alloc<double>("x", 4);
+  buf[0] = 100.0;
+  sim_.run_kernel(Schedule::kStatic, 1, 1, [&](WarpCtx& ctx, std::uint64_t) {
+    // 4 lanes all hammer element 0: 3 conflicts, min wins.
+    const std::array<std::uint64_t, 4> idx{0, 0, 0, 0};
+    const std::array<double, 4> val{9, 7, 8, 7.5};
+    std::array<std::uint8_t, 4> improved{};
+    ctx.atomic_min(buf, idx, std::span<const double>(val),
+                   std::span<std::uint8_t>(improved));
+    EXPECT_EQ(improved[0], 1);  // 9 < 100
+    EXPECT_EQ(improved[1], 1);  // 7 < 9
+    EXPECT_EQ(improved[2], 0);  // 8 >= 7
+    EXPECT_EQ(improved[3], 0);  // 7.5 >= 7
+  });
+  EXPECT_DOUBLE_EQ(buf[0], 7.0);
+  EXPECT_EQ(sim_.counters().atomic_conflicts, 3u);
+}
+
+TEST_F(SimTest, DivergenceLowersLaneEfficiency) {
+  GpuSim full(test_device());
+  GpuSim divergent(test_device());
+  full.run_kernel(Schedule::kStatic, 4, 1,
+                  [&](WarpCtx& ctx, std::uint64_t) { ctx.alu(10, 32); });
+  divergent.run_kernel(Schedule::kStatic, 4, 1,
+                       [&](WarpCtx& ctx, std::uint64_t) { ctx.alu(10, 4); });
+  EXPECT_DOUBLE_EQ(full.counters().lane_efficiency(), 1.0);
+  EXPECT_NEAR(divergent.counters().lane_efficiency(), 4.0 / 32, 1e-12);
+}
+
+TEST_F(SimTest, KernelTimeIncludesLaunchOverhead) {
+  const auto result = sim_.run_kernel(Schedule::kStatic, 1, 1,
+                                      [](WarpCtx&, std::uint64_t) {});
+  EXPECT_GE(result.ms, sim_.spec().kernel_launch_us * 1e-3);
+}
+
+TEST_F(SimTest, ChildLaunchIsCheaperThanHostLaunch) {
+  GpuSim a(test_device());
+  GpuSim b(test_device());
+  // a: one host kernel whose warp spawns a child; b: two host kernels.
+  a.run_kernel(Schedule::kStatic, 1, 1,
+               [](WarpCtx& ctx, std::uint64_t) { ctx.child_launch(); });
+  b.run_kernel(Schedule::kStatic, 1, 1, [](WarpCtx&, std::uint64_t) {});
+  b.run_kernel(Schedule::kStatic, 1, 1, [](WarpCtx&, std::uint64_t) {});
+  EXPECT_LT(a.elapsed_ms(), b.elapsed_ms());
+  EXPECT_EQ(a.counters().child_launches, 1u);
+  EXPECT_EQ(a.counters().kernel_launches, 1u);
+}
+
+TEST_F(SimTest, StaticImbalanceCostsMoreThanDynamic) {
+  // 4-SM device; 16 blocks where every 4th is 100x heavier. Static
+  // round-robin pins all four heavy blocks onto SM 0 (4 x 10000 cycles,
+  // beyond what its 2 schedulers can hide); dynamic spreads them out.
+  auto heavy_task = [](WarpCtx& ctx, std::uint64_t t) {
+    ctx.alu(t % 4 == 0 ? 10000 : 100, 32);
+  };
+  GpuSim stat(test_device());
+  GpuSim dyn(test_device());
+  const auto rs = stat.run_kernel(Schedule::kStatic, 16, 1, heavy_task);
+  const auto rd = dyn.run_kernel(Schedule::kDynamic, 16, 1, heavy_task);
+  EXPECT_GT(rs.ms, rd.ms);
+  EXPECT_DOUBLE_EQ(rs.busy_cycles, rd.busy_cycles);  // same total work
+}
+
+TEST_F(SimTest, SingleLongWarpBoundsKernelTime) {
+  // One warp with N cycles cannot finish faster than N cycles even with
+  // idle SMs (no intra-warp parallelism).
+  const auto result = sim_.run_kernel(
+      Schedule::kDynamic, 1, 1,
+      [](WarpCtx& ctx, std::uint64_t) { ctx.alu(100000, 32); });
+  const double min_ms = sim_.spec().cycles_to_ms(100000);
+  EXPECT_GE(result.ms, min_ms);
+}
+
+TEST_F(SimTest, BandwidthFloorKicksIn) {
+  // Stream a large buffer once: time must be at least bytes / bandwidth.
+  auto buf = sim_.alloc<double>("big", 1 << 18, 4);
+  const std::uint64_t n = 1 << 18;
+  const auto result = sim_.run_kernel(
+      Schedule::kStatic, (n + 31) / 32, 8, [&](WarpCtx& ctx, std::uint64_t w) {
+        std::array<std::uint64_t, 32> idx{};
+        for (int i = 0; i < 32; ++i) idx[i] = w * 32 + i;
+        std::array<double, 32> out{};
+        ctx.load(buf, std::span<const std::uint64_t>(idx),
+                 std::span<double>(out));
+      });
+  const double bytes = static_cast<double>(n) * 4;
+  EXPECT_GE(result.ms + 1e-12, sim_.spec().bytes_to_ms(bytes));
+}
+
+TEST_F(SimTest, HitPlusMissEqualsAccesses) {
+  auto buf = sim_.alloc<double>("x", 4096, 4);
+  sim_.run_kernel(Schedule::kStatic, 64, 8, [&](WarpCtx& ctx, std::uint64_t w) {
+    std::array<std::uint64_t, 32> idx{};
+    for (int i = 0; i < 32; ++i) idx[i] = (w * 37 + i * 13) % 4096;
+    std::array<double, 32> out{};
+    ctx.load(buf, std::span<const std::uint64_t>(idx),
+             std::span<double>(out));
+  });
+  const Counters& c = sim_.counters();
+  EXPECT_LE(c.l1_sector_hits, c.l1_sector_accesses);
+  EXPECT_GE(c.l1_sector_accesses, 64u);
+}
+
+TEST_F(SimTest, ResetAllClearsState) {
+  auto buf = sim_.alloc<double>("x", 64);
+  sim_.run_kernel(Schedule::kStatic, 1, 1, [&](WarpCtx& ctx, std::uint64_t) {
+    ctx.load_one(buf, 0);
+  });
+  EXPECT_GT(sim_.elapsed_ms(), 0.0);
+  sim_.reset_all();
+  EXPECT_DOUBLE_EQ(sim_.elapsed_ms(), 0.0);
+  EXPECT_EQ(sim_.counters().inst_executed_global_loads, 0u);
+}
+
+TEST_F(SimTest, RunPersistentConsumesGrowingQueue) {
+  std::vector<int> tasks{0, 0, 0};
+  int executed = 0;
+  sim_.run_persistent(tasks, [&](WarpCtx& ctx, std::size_t i) {
+    ctx.alu(1);
+    ++executed;
+    if (i == 0) tasks.push_back(0);  // grow while running
+  });
+  EXPECT_EQ(executed, 4);
+}
+
+TEST(DeviceSpecs, PaperPlatformRatios) {
+  const DeviceSpec v = v100();
+  const DeviceSpec t = tesla_t4();
+  EXPECT_EQ(v.num_sms, 80);
+  EXPECT_EQ(t.num_sms, 40);
+  EXPECT_NEAR(v.mem_bandwidth_gbps / t.mem_bandwidth_gbps, 900.0 / 320.0,
+              1e-9);
+}
+
+TEST(KernelScopeTest, ManualLifecycleMatchesRunKernel) {
+  GpuSim a(test_device());
+  GpuSim b(test_device());
+  a.run_kernel(Schedule::kDynamic, 3, 1,
+               [](WarpCtx& ctx, std::uint64_t) { ctx.alu(10); });
+  {
+    KernelScope scope(b, Schedule::kDynamic);
+    for (int i = 0; i < 3; ++i) {
+      WarpCtx ctx = scope.make_warp();
+      ctx.alu(10);
+      scope.commit(ctx);
+    }
+    scope.finish();
+  }
+  EXPECT_DOUBLE_EQ(a.elapsed_ms(), b.elapsed_ms());
+  EXPECT_EQ(a.counters().alu_instructions, b.counters().alu_instructions);
+}
+
+}  // namespace
+}  // namespace rdbs::gpusim

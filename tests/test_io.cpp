@@ -1,0 +1,156 @@
+// Unit tests for graph I/O: edge list, DIMACS, MatrixMarket parsers and the
+// binary CSR cache, including malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "test_util.hpp"
+
+namespace rdbs::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rdbs_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  void write_file(const std::string& name, const std::string& contents) {
+    std::ofstream out(path(name));
+    out << contents;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  EdgeList edges;
+  edges.num_vertices = 4;
+  edges.add_edge(0, 1, 2.5);
+  edges.add_edge(3, 2, 1.0);
+  write_edge_list(edges, path("g.txt"));
+  const EdgeList back = read_edge_list(path("g.txt"));
+  EXPECT_EQ(back.num_vertices, 4u);
+  ASSERT_EQ(back.num_edges(), 2u);
+  EXPECT_EQ(back.edges[0].src, 0u);
+  EXPECT_DOUBLE_EQ(back.edges[0].weight, 2.5);
+  EXPECT_EQ(back.edges[1].dst, 2u);
+}
+
+TEST_F(IoTest, EdgeListDefaultsWeightToOne) {
+  write_file("g.txt", "# comment\n0 1\n1 2\n");
+  const EdgeList edges = read_edge_list(path("g.txt"));
+  ASSERT_EQ(edges.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(edges.edges[0].weight, 1.0);
+  EXPECT_EQ(edges.num_vertices, 3u);
+}
+
+TEST_F(IoTest, EdgeListSkipsCommentsAndBlankLines) {
+  write_file("g.txt", "% matlab style\n\n# snap style\n5 6 2.0\n");
+  const EdgeList edges = read_edge_list(path("g.txt"));
+  ASSERT_EQ(edges.num_edges(), 1u);
+  EXPECT_EQ(edges.num_vertices, 7u);
+}
+
+TEST_F(IoTest, EdgeListRejectsMalformedLine) {
+  write_file("g.txt", "abc def\n");
+  EXPECT_THROW(read_edge_list(path("g.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, EdgeListRejectsMissingFile) {
+  EXPECT_THROW(read_edge_list(path("missing.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, DimacsRoundTrip) {
+  EdgeList edges;
+  edges.num_vertices = 3;
+  edges.add_edge(0, 1, 4.0);
+  edges.add_edge(2, 0, 7.0);
+  write_dimacs(edges, path("g.gr"));
+  const EdgeList back = read_dimacs(path("g.gr"));
+  EXPECT_EQ(back.num_vertices, 3u);
+  ASSERT_EQ(back.num_edges(), 2u);
+  EXPECT_EQ(back.edges[0].src, 0u);  // converted back to 0-based
+  EXPECT_DOUBLE_EQ(back.edges[1].weight, 7.0);
+}
+
+TEST_F(IoTest, DimacsRequiresHeader) {
+  write_file("g.gr", "a 1 2 3\n");
+  EXPECT_THROW(read_dimacs(path("g.gr")), std::runtime_error);
+}
+
+TEST_F(IoTest, DimacsRejectsZeroBasedIds) {
+  write_file("g.gr", "p sp 2 1\na 0 1 5\n");
+  EXPECT_THROW(read_dimacs(path("g.gr")), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketGeneralReal) {
+  write_file("g.mtx",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "% comment\n"
+             "3 3 2\n"
+             "1 2 4.5\n"
+             "3 1 2.0\n");
+  const EdgeList edges = read_matrix_market(path("g.mtx"));
+  EXPECT_EQ(edges.num_vertices, 3u);
+  ASSERT_EQ(edges.num_edges(), 2u);
+  EXPECT_EQ(edges.edges[0].src, 0u);
+  EXPECT_DOUBLE_EQ(edges.edges[0].weight, 4.5);
+}
+
+TEST_F(IoTest, MatrixMarketSymmetricAddsMirrors) {
+  write_file("g.mtx",
+             "%%MatrixMarket matrix coordinate pattern symmetric\n"
+             "3 3 2\n"
+             "2 1\n"
+             "3 3\n");
+  const EdgeList edges = read_matrix_market(path("g.mtx"));
+  // (2,1) mirrored; the (3,3) diagonal is not.
+  EXPECT_EQ(edges.num_edges(), 3u);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsBadBanner) {
+  write_file("g.mtx", "not a banner\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(path("g.mtx")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryCsrRoundTrip) {
+  const Csr csr = test::paper_figure1_graph();
+  write_binary_csr(csr, path("g.bin"));
+  const Csr back = read_binary_csr(path("g.bin"));
+  EXPECT_EQ(back.num_vertices(), csr.num_vertices());
+  EXPECT_EQ(back.num_edges(), csr.num_edges());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ASSERT_EQ(back.degree(v), csr.degree(v));
+    for (std::size_t i = 0; i < csr.neighbors(v).size(); ++i) {
+      EXPECT_EQ(back.neighbors(v)[i], csr.neighbors(v)[i]);
+      EXPECT_DOUBLE_EQ(back.edge_weights(v)[i], csr.edge_weights(v)[i]);
+    }
+  }
+}
+
+TEST_F(IoTest, BinaryCsrRejectsCorruptMagic) {
+  write_file("g.bin", "garbage data that is definitely not a CSR header");
+  EXPECT_THROW(read_binary_csr(path("g.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryCsrRejectsTruncation) {
+  const Csr csr = test::paper_figure1_graph();
+  write_binary_csr(csr, path("g.bin"));
+  std::filesystem::resize_file(path("g.bin"),
+                               std::filesystem::file_size(path("g.bin")) / 2);
+  EXPECT_THROW(read_binary_csr(path("g.bin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rdbs::graph
