@@ -1,0 +1,233 @@
+// Simulator self-throughput: how fast does gpusim itself execute warp
+// tasks, serial vs. parallel replay?
+//
+// This benchmarks the SIMULATOR (host wall-clock), not the simulated GPU:
+// every workload runs once with 1 replay worker and once with
+// --par-threads (default 4) workers, and the speedup column is the
+// wall-clock ratio. Simulated results are bit-identical by construction
+// (see docs/costmodel.md, "Parallel execution & determinism"); the serial/
+// parallel rows double-check that here.
+//
+// Workloads cover the replay cost spectrum: streaming loads (perfectly
+// coalesced, L1-friendly), scattered loads (32 sectors per warp), an
+// atomic-hammer (conflict scan dominated), and full RDBS engine runs on a
+// Kronecker and a road surrogate. Devices: V100 and T4 (the paper's two
+// platforms). Results go to stdout and BENCH_gpusim.json.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+using namespace rdbs;
+
+namespace {
+
+std::uint64_t warp_instructions(const gpusim::Counters& c) {
+  return c.alu_instructions + c.inst_executed_global_loads +
+         c.inst_executed_global_stores + c.inst_executed_atomics;
+}
+
+struct WorkloadResult {
+  double wall_ms = 0;       // host time to simulate
+  double simulated_ms = 0;  // what the cost model charged
+  std::uint64_t instructions = 0;
+  double mwips() const {
+    return wall_ms <= 0 ? 0
+                        : static_cast<double>(instructions) / (wall_ms * 1e3);
+  }
+};
+
+// --- microworkloads (direct simulator drivers) -----------------------------
+
+constexpr std::uint64_t kMicroTasks = 20000;
+constexpr std::size_t kMicroElems = 1 << 20;
+
+WorkloadResult run_streaming(const gpusim::DeviceSpec& device, int threads) {
+  gpusim::GpuSim sim(device);
+  sim.set_worker_threads(threads);
+  auto buf = sim.alloc<float>("stream", kMicroElems);
+  Timer timer;
+  const auto launch = sim.run_kernel(
+      gpusim::Schedule::kDynamic, kMicroTasks, /*warps_per_block=*/8,
+      [&](gpusim::WarpCtx& ctx, std::uint64_t t) {
+        std::uint64_t idx[32];
+        float out[32];
+        for (std::uint32_t lane = 0; lane < 32; ++lane) {
+          idx[lane] = (t * 32 + lane) % kMicroElems;  // unit stride
+        }
+        ctx.load(buf, idx, std::span<float>(out, 32));
+        ctx.alu(4);
+      });
+  return {timer.milliseconds(), launch.ms, warp_instructions(sim.counters())};
+}
+
+WorkloadResult run_scattered(const gpusim::DeviceSpec& device, int threads) {
+  gpusim::GpuSim sim(device);
+  sim.set_worker_threads(threads);
+  auto buf = sim.alloc<float>("scatter", kMicroElems);
+  Timer timer;
+  const auto launch = sim.run_kernel(
+      gpusim::Schedule::kDynamic, kMicroTasks, /*warps_per_block=*/8,
+      [&](gpusim::WarpCtx& ctx, std::uint64_t t) {
+        std::uint64_t idx[32];
+        float out[32];
+        for (std::uint32_t lane = 0; lane < 32; ++lane) {
+          // Multiplicative hash: every lane lands in its own sector.
+          idx[lane] = ((t * 32 + lane) * 2654435761ull) % kMicroElems;
+        }
+        ctx.load(buf, idx, std::span<float>(out, 32));
+        ctx.alu(4);
+      });
+  return {timer.milliseconds(), launch.ms, warp_instructions(sim.counters())};
+}
+
+WorkloadResult run_atomic_hammer(const gpusim::DeviceSpec& device,
+                                 int threads) {
+  gpusim::GpuSim sim(device);
+  sim.set_worker_threads(threads);
+  auto buf = sim.alloc<std::uint32_t>("counters", 4096);
+  Timer timer;
+  const auto launch = sim.run_kernel(
+      gpusim::Schedule::kDynamic, kMicroTasks, /*warps_per_block=*/8,
+      [&](gpusim::WarpCtx& ctx, std::uint64_t t) {
+        std::uint64_t idx[32];
+        for (std::uint32_t lane = 0; lane < 32; ++lane) {
+          idx[lane] = (t + lane % 5) % buf.size();  // heavy duplication
+        }
+        ctx.atomic_touch(buf, idx);
+      });
+  return {timer.milliseconds(), launch.ms, warp_instructions(sim.counters())};
+}
+
+// --- full-engine workloads -------------------------------------------------
+
+WorkloadResult run_engine(const graph::Csr& csr,
+                          const gpusim::DeviceSpec& device,
+                          const std::vector<graph::VertexId>& sources,
+                          graph::Weight delta0, int threads) {
+  core::GpuSsspOptions options;
+  options.basyn = options.pro = options.adwl = true;
+  options.delta0 = delta0;
+  options.sim_threads = threads;
+  core::RdbsSolver solver(csr, device, options);
+  WorkloadResult r;
+  Timer timer;
+  for (const auto source : sources) {
+    const core::GpuRunResult result = solver.solve(source);
+    r.simulated_ms += result.device_ms;
+    r.instructions += warp_instructions(result.counters);
+  }
+  r.wall_ms = timer.milliseconds();
+  return r;
+}
+
+struct Row {
+  std::string device;
+  std::string workload;
+  WorkloadResult serial;
+  WorkloadResult parallel;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const int par_threads = static_cast<int>(args.get_int("par-threads", 4));
+  const std::string json_path =
+      args.get_string("json", "BENCH_gpusim.json");
+
+  std::printf("== gpusim self-throughput: serial vs. %d-thread replay ==\n",
+              par_threads);
+  std::printf("parallel_compiled=%d\n\n",
+              gpusim::GpuSim::parallel_compiled() ? 1 : 0);
+
+  std::vector<Row> rows;
+  const gpusim::DeviceSpec devices[] = {gpusim::v100(), gpusim::tesla_t4()};
+  for (const auto& device : devices) {
+    rows.push_back({device.name, "streaming-loads",
+                    run_streaming(device, 1),
+                    run_streaming(device, par_threads)});
+    rows.push_back({device.name, "scattered-loads",
+                    run_scattered(device, 1),
+                    run_scattered(device, par_threads)});
+    rows.push_back({device.name, "atomic-hammer",
+                    run_atomic_hammer(device, 1),
+                    run_atomic_hammer(device, par_threads)});
+    for (const char* name : {"k-n21-16", "road-TX"}) {
+      const graph::Csr csr = bench::load_bench_graph(name, config);
+      const auto sources =
+          bench::pick_sources(csr, config.num_sources, config.seed);
+      const graph::Weight delta0 = bench::empirical_delta0(csr, config.seed);
+      rows.push_back({device.name, std::string("rdbs/") + name,
+                      run_engine(csr, device, sources, delta0, 1),
+                      run_engine(csr, device, sources, delta0, par_threads)});
+    }
+  }
+
+  TextTable table({"device", "workload", "serial ms", "parallel ms",
+                   "speedup", "serial MWIPS", "parallel MWIPS", "sim ms",
+                   "identical"});
+  for (const auto& row : rows) {
+    const bool identical =
+        row.serial.simulated_ms == row.parallel.simulated_ms &&
+        row.serial.instructions == row.parallel.instructions;
+    table.add_row({row.device, row.workload,
+                   format_fixed(row.serial.wall_ms, 2),
+                   format_fixed(row.parallel.wall_ms, 2),
+                   format_speedup(row.parallel.wall_ms <= 0
+                                      ? 0
+                                      : row.serial.wall_ms /
+                                            row.parallel.wall_ms),
+                   format_fixed(row.serial.mwips(), 2),
+                   format_fixed(row.parallel.mwips(), 2),
+                   format_fixed(row.serial.simulated_ms, 3),
+                   identical ? "yes" : "NO"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (config.csv) std::fputs(table.render_csv().c_str(), stdout);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"parallel_compiled\": %s,\n",
+               gpusim::GpuSim::parallel_compiled() ? "true" : "false");
+  std::fprintf(json, "  \"parallel_threads\": %d,\n", par_threads);
+  // Speedup is bounded by the host: on a 1-core machine the parallel rows
+  // measure scheduling overhead only.
+  std::fprintf(json, "  \"host_hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(json, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"device\": \"%s\", \"workload\": \"%s\", "
+        "\"serial_wall_ms\": %.3f, \"parallel_wall_ms\": %.3f, "
+        "\"speedup\": %.3f, \"serial_mwips\": %.2f, "
+        "\"parallel_mwips\": %.2f, \"warp_instructions\": %llu, "
+        "\"simulated_ms\": %.4f, \"bit_identical\": %s}%s\n",
+        row.device.c_str(), row.workload.c_str(), row.serial.wall_ms,
+        row.parallel.wall_ms,
+        row.parallel.wall_ms <= 0 ? 0.0
+                                  : row.serial.wall_ms / row.parallel.wall_ms,
+        row.serial.mwips(), row.parallel.mwips(),
+        static_cast<unsigned long long>(row.serial.instructions),
+        row.serial.simulated_ms,
+        (row.serial.simulated_ms == row.parallel.simulated_ms &&
+         row.serial.instructions == row.parallel.instructions)
+            ? "true"
+            : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

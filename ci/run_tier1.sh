@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + full ctest in both replay configurations, then a
+# ThreadSanitizer pass over the parallel-determinism test.
+#
+#   ci/run_tier1.sh [build-root]
+#
+# Configurations:
+#   parallel  -DRDBS_PARALLEL=ON   (default build; OpenMP replay workers)
+#   serial    -DRDBS_PARALLEL=OFF  (no OpenMP dependency)
+#   tsan      -DRDBS_PARALLEL=ON -fsanitize=thread, runs only
+#             test_gpusim_parallel (the suite that exercises the replay
+#             workers) — a data race between L1 shards would surface here.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="${1:-$ROOT/build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  local name="$1"; shift
+  local dir="$BUILD_ROOT/$name"
+  echo "=== [$name] configure: $* ==="
+  cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config parallel -DRDBS_PARALLEL=ON
+run_config serial -DRDBS_PARALLEL=OFF
+
+echo "=== [tsan] configure ==="
+TSAN_DIR="$BUILD_ROOT/tsan"
+cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRDBS_PARALLEL=ON \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$TSAN_DIR" -j "$JOBS" --target test_gpusim_parallel
+echo "=== [tsan] test_gpusim_parallel ==="
+# The two Kronecker engine tests simulate millions of warp tasks and take
+# tens of minutes under TSan instrumentation; the road-graph engine tests
+# and the direct-simulator tests drive the same parallel replay path.
+"$TSAN_DIR/tests/test_gpusim_parallel" --gtest_filter='-*Kron*'
+
+echo "tier-1: all configurations passed"

@@ -34,6 +34,9 @@ struct HarnessConfig {
   std::string data_dir;     // optional real-dataset directory
   std::string device = "v100";
   bool csv = false;         // also emit CSV rows
+  // gpusim replay worker threads (0 = all available). Applied process-wide
+  // by from_cli; results are bit-identical for every value.
+  int sim_threads = 0;
 
   static HarnessConfig from_cli(const CliArgs& args);
 };

@@ -19,6 +19,7 @@ constexpr std::uint32_t kDeviceWord = 4;
 AddsLike::AddsLike(gpusim::DeviceSpec device, const graph::Csr& csr,
                    AddsOptions options)
     : sim_(std::move(device)), csr_(csr), options_(options) {
+  sim_.set_worker_threads(options_.sim_threads);
   RDBS_CHECK(options_.delta > 0);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();

@@ -24,6 +24,7 @@ namespace rdbs::core {
 struct AddsOptions {
   graph::Weight delta = 100.0;  // Near/Far threshold increment
   bool instrument = false;
+  int sim_threads = 0;          // gpusim replay threads (0 = library default)
 };
 
 class AddsLike {

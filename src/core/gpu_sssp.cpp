@@ -19,6 +19,7 @@ constexpr std::uint32_t kDeviceWord = 4;
 GpuDeltaStepping::GpuDeltaStepping(gpusim::DeviceSpec device, const Csr& csr,
                                    GpuSsspOptions options)
     : sim_(std::move(device)), csr_(csr), options_(options) {
+  sim_.set_worker_threads(options_.sim_threads);
   if (options_.pro) {
     RDBS_CHECK_MSG(csr_.weights_sorted_per_vertex(),
                    "PRO requires weight-sorted adjacency "

@@ -49,6 +49,13 @@ struct GpuSsspOptions {
   // Record per-bucket statistics (converged counts, thread usage, phase-1
   // iteration trace) — needed by the figures, cheap enough to keep on.
   bool instrument = true;
+
+  // --- simulator execution --------------------------------------------------
+  // Host worker threads for the gpusim replay phase (0 = library default).
+  // Purely a wall-clock knob: counters, ms and distances are bit-identical
+  // for every value (see docs/costmodel.md, "Parallel execution &
+  // determinism").
+  int sim_threads = 0;
 };
 
 }  // namespace rdbs::core

@@ -21,4 +21,22 @@ Counters& Counters::operator+=(const Counters& other) {
   return *this;
 }
 
+bool Counters::operator==(const Counters& other) const {
+  return inst_executed_global_loads == other.inst_executed_global_loads &&
+         inst_executed_global_stores == other.inst_executed_global_stores &&
+         inst_executed_atomics == other.inst_executed_atomics &&
+         l1_sector_accesses == other.l1_sector_accesses &&
+         l1_sector_hits == other.l1_sector_hits &&
+         l2_sector_accesses == other.l2_sector_accesses &&
+         l2_sector_hits == other.l2_sector_hits &&
+         alu_instructions == other.alu_instructions &&
+         memory_transactions == other.memory_transactions &&
+         dram_bytes == other.dram_bytes &&
+         atomic_conflicts == other.atomic_conflicts &&
+         kernel_launches == other.kernel_launches &&
+         child_launches == other.child_launches &&
+         active_lane_ops == other.active_lane_ops &&
+         issued_lane_ops == other.issued_lane_ops;
+}
+
 }  // namespace rdbs::gpusim

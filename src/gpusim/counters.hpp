@@ -47,6 +47,9 @@ struct Counters {
   }
 
   Counters& operator+=(const Counters& other);
+  // Exact (bitwise) comparison — the parallel-determinism tests assert that
+  // every counter is identical across worker-thread counts.
+  bool operator==(const Counters& other) const;
 };
 
 }  // namespace rdbs::gpusim

@@ -29,18 +29,17 @@ MemorySim::AccessResult MemorySim::access(
   RDBS_DCHECK(addresses.size() <= 32);
 
   // Coalesce: collect the distinct sectors this warp instruction touches.
+  // Sorting the (at most 32, mostly presorted) sector ids and deduplicating
+  // adjacent entries replaces the old quadratic first-seen scan.
   std::array<std::uint64_t, 32> sectors{};
-  std::size_t count = 0;
+  std::size_t lanes = 0;
   for (const std::uint64_t addr : addresses) {
-    const std::uint64_t sector = addr / SectoredCache::kSectorBytes;
-    bool seen = false;
-    for (std::size_t i = 0; i < count; ++i) {
-      if (sectors[i] == sector) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) sectors[count++] = sector;
+    sectors[lanes++] = addr / SectoredCache::kSectorBytes;
+  }
+  std::sort(sectors.begin(), sectors.begin() + static_cast<std::ptrdiff_t>(lanes));
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    if (count == 0 || sectors[count - 1] != sectors[i]) sectors[count++] = sectors[i];
   }
 
   AccessResult result;
@@ -61,6 +60,11 @@ MemorySim::AccessResult MemorySim::access(
     }
   }
   return result;
+}
+
+SectoredCache& MemorySim::l1(int sm_id) {
+  RDBS_DCHECK(sm_id >= 0 && static_cast<std::size_t>(sm_id) < l1_.size());
+  return l1_[static_cast<std::size_t>(sm_id)];
 }
 
 void MemorySim::reset_caches() {

@@ -35,6 +35,12 @@ class MemorySim {
   AccessResult access(int sm_id, std::span<const std::uint64_t> addresses,
                       bool cached);
 
+  // Direct handles for GpuSim's two-pass replay: each SM's L1 is private
+  // state (shards replay concurrently); the L2 is shared and must only be
+  // probed from the serial canonical-order pass.
+  SectoredCache& l1(int sm_id);
+  SectoredCache& l2_cache() { return l2_; }
+
   void reset_caches();
 
  private:

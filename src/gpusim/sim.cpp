@@ -1,5 +1,26 @@
 #include "gpusim/sim.hpp"
 
+#ifdef RDBS_PARALLEL
+#include <omp.h>
+#endif
+
+// ThreadSanitizer cannot see the synchronization inside GCC's libgomp (team
+// start and the implicit end-of-region barrier use futexes TSan does not
+// intercept), which yields false positives on every parallel region. Under
+// TSan the shard fan-out therefore runs on std::thread — create/join are
+// fully intercepted — so the sanitizer checks the real invariant (shards
+// share no mutable state) without runtime noise.
+#if defined(__SANITIZE_THREAD__)
+#define RDBS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RDBS_TSAN 1
+#endif
+#endif
+#if defined(RDBS_PARALLEL) && defined(RDBS_TSAN)
+#include <thread>
+#endif
+
 namespace rdbs::gpusim {
 
 namespace {
@@ -9,91 +30,143 @@ namespace {
 // separately by the per-kernel bandwidth floor.
 constexpr std::uint64_t kL2ReplayCycles = 2;    // L1 miss served by L2
 constexpr std::uint64_t kDramReplayCycles = 6;  // L2 miss, full DRAM trip
+
+// Scheduling weight of one warp memory instruction. The dynamic (least-
+// loaded SM) placement decision is made during the record phase, before the
+// cache replay has run, so it keys on a cache-independent load estimate:
+// ALU and child-launch cycles exactly, plus this flat per-memory-
+// instruction charge (a typical partially-coalesced access: a few sector
+// transactions plus some replay cycles). Placement therefore tracks task
+// *size* (edge counts, instruction counts) — the quantity the paper's load-
+// balancing experiments vary — while staying invariant under replay
+// parallelism.
+constexpr std::uint64_t kMemIssueWeight = 8;
+
+int g_default_worker_threads = 0;
+
+// Insertion sort of the first `n` lane addresses: n <= 32 and warp access
+// patterns are mostly presorted (consecutive lanes touch consecutive
+// elements), so this beats the previous O(n^2) first-seen duplicate scans.
+inline void sort_addresses(std::array<std::uint64_t, 32>& a, std::uint32_t n) {
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const std::uint64_t key = a[i];
+    std::uint32_t j = i;
+    for (; j > 0 && a[j - 1] > key; --j) a[j] = a[j - 1];
+    a[j] = key;
+  }
+}
 }  // namespace
+
+// --- WarpCtx (record phase) --------------------------------------------------
 
 void WarpCtx::alu(std::uint32_t instructions, std::uint32_t active_lanes) {
   RDBS_DCHECK(active_lanes <= 32);
-  cycles_ += instructions;
+  GpuSim::TaskRecord& rec = sim_.task_records_[task_];
+  rec.cycles += instructions;
+  rec.weight += instructions;
   sim_.counters_.alu_instructions += instructions;
   sim_.counters_.active_lane_ops +=
       static_cast<std::uint64_t>(instructions) * active_lanes;
   sim_.counters_.issued_lane_ops += static_cast<std::uint64_t>(instructions) * 32;
 }
 
-void WarpCtx::charge_memory(std::span<const std::uint64_t> addresses,
-                            bool is_store, std::uint32_t active_lanes) {
-  Counters& c = sim_.counters_;
-  const auto result = sim_.memory_.access(sm_id_, addresses, /*cached=*/true);
-  if (is_store) {
-    ++c.inst_executed_global_stores;
-  } else {
-    ++c.inst_executed_global_loads;
-  }
-  c.l1_sector_accesses += result.transactions;
-  c.l1_sector_hits += result.hits;
-  const std::uint32_t l1_misses = result.transactions - result.hits;
-  c.l2_sector_accesses += l1_misses;
-  c.l2_sector_hits += result.l2_hits;
-  c.memory_transactions += result.transactions;
-  // Stores write through L1 into the write-back L2; DRAM traffic occurs
-  // only for sectors the L2 could not serve.
-  const std::uint64_t dram = static_cast<std::uint64_t>(result.dram_sectors) *
-                             SectoredCache::kSectorBytes;
-  c.dram_bytes += dram;
-  sim_.launch_dram_bytes_ += dram;
-  cycles_ += result.transactions + result.l2_hits * kL2ReplayCycles +
-             result.dram_sectors * kDramReplayCycles;
-  c.active_lane_ops += active_lanes;
-  c.issued_lane_ops += 32;
+std::uint64_t* WarpCtx::trace_slots(std::size_t lanes) {
+  std::vector<std::uint64_t>& pool = sim_.trace_addrs_;
+  pool.resize(pool.size() + lanes);
+  return pool.data() + (pool.size() - lanes);
 }
 
-void WarpCtx::charge_atomic(std::span<const std::uint64_t> addresses,
-                            std::uint32_t active_lanes) {
+void WarpCtx::record_mem(std::uint8_t kind, std::uint32_t lanes) {
+  RDBS_DCHECK(active_task_valid());
   Counters& c = sim_.counters_;
-  // Atomics resolve at L2: they bypass L1 but benefit from L2 residency;
-  // only L2 misses travel to DRAM.
-  const auto result = sim_.memory_.access(sm_id_, addresses, /*cached=*/false);
-  ++c.inst_executed_atomics;
-  c.memory_transactions += result.transactions;
-  c.l2_sector_accesses += result.transactions;
-  c.l2_sector_hits += result.l2_hits;
-  const std::uint64_t dram = static_cast<std::uint64_t>(result.dram_sectors) *
-                             SectoredCache::kSectorBytes;
-  c.dram_bytes += dram;
-  sim_.launch_dram_bytes_ += dram;
-  // Same-address lanes serialize: lanes minus distinct addresses collide.
-  std::uint32_t distinct = 0;
-  std::array<std::uint64_t, 32> seen{};
-  for (const std::uint64_t addr : addresses) {
-    bool dup = false;
-    for (std::uint32_t i = 0; i < distinct; ++i) {
-      if (seen[i] == addr) {
-        dup = true;
-        break;
-      }
-    }
-    if (!dup) seen[distinct++] = addr;
+  switch (kind) {
+    case 0: ++c.inst_executed_global_loads; break;
+    case 1: ++c.inst_executed_global_stores; break;
+    default: ++c.inst_executed_atomics; break;
   }
-  const auto conflicts =
-      static_cast<std::uint32_t>(addresses.size()) - distinct;
-  c.atomic_conflicts += conflicts;
-  cycles_ += result.transactions + result.dram_sectors * kDramReplayCycles +
-             conflicts * static_cast<std::uint32_t>(
-                             sim_.spec_.atomic_conflict_cycles);
-  c.active_lane_ops += active_lanes;
+  c.active_lane_ops += lanes;
   c.issued_lane_ops += 32;
+  const auto addr_begin =
+      static_cast<std::uint32_t>(sim_.trace_addrs_.size() - lanes);
+  sim_.trace_ops_.push_back(
+      GpuSim::TraceOp{kind, static_cast<std::uint8_t>(lanes), addr_begin});
+  sim_.task_records_[task_].weight += kMemIssueWeight;
+}
+
+bool WarpCtx::active_task_valid() const {
+  return sim_.active_task_ == task_ && task_ < sim_.task_records_.size();
 }
 
 void WarpCtx::child_launch() {
   ++sim_.counters_.child_launches;
   ++sim_.launch_child_launches_;
-  cycles_ += static_cast<std::uint64_t>(sim_.spec_.child_launch_us * 1e3 *
-                                        sim_.spec_.clock_ghz);
+  const auto cycles = static_cast<std::uint64_t>(
+      sim_.spec_.child_launch_us * 1e3 * sim_.spec_.clock_ghz);
+  GpuSim::TaskRecord& rec = sim_.task_records_[task_];
+  rec.cycles += cycles;
+  rec.weight += cycles;
+}
+
+// --- GpuSim ------------------------------------------------------------------
+
+GpuSim::GpuSim(DeviceSpec spec) : spec_(std::move(spec)), memory_(spec_) {
+  worker_threads_ = g_default_worker_threads;
+  const auto sms = static_cast<std::size_t>(spec_.num_sms);
+  sm_load_.resize(sms);
+  sm_tasks_.resize(sms);
+  l2_requests_.resize(sms);
+  shard_counters_.resize(sms);
+  sm_cycles_.resize(sms);
+  sm_longest_task_.resize(sms);
+}
+
+int GpuSim::worker_threads() const {
+#ifdef RDBS_PARALLEL
+  if (worker_threads_ > 0) return worker_threads_;
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void GpuSim::set_default_worker_threads(int threads) {
+  g_default_worker_threads = threads;
+}
+
+int GpuSim::default_worker_threads() { return g_default_worker_threads; }
+
+bool GpuSim::parallel_compiled() {
+#ifdef RDBS_PARALLEL
+  return true;
+#else
+  return false;
+#endif
+}
+
+void GpuSim::reset_all() {
+  total_ms_ = 0;
+  counters_ = Counters{};
+  memory_.reset_caches();
+  trace_ops_.clear();
+  trace_addrs_.clear();
+  task_records_.clear();
+  active_task_ = kNoTask;
+  launch_open_ = false;
 }
 
 void GpuSim::begin_launch(bool host_launch) {
-  sm_cycles_.assign(static_cast<std::size_t>(spec_.num_sms), 0.0);
-  sm_longest_task_.assign(static_cast<std::size_t>(spec_.num_sms), 0);
+  RDBS_DCHECK(!launch_open_);
+  launch_open_ = true;
+  trace_ops_.clear();
+  trace_addrs_.clear();
+  task_records_.clear();
+  active_task_ = kNoTask;
+  std::fill(sm_load_.begin(), sm_load_.end(), 0);
+  // All-zero loads in SM order form a valid min-heap on (weight, sm).
+  load_heap_.clear();
+  for (int sm = 0; sm < spec_.num_sms; ++sm) {
+    load_heap_.emplace_back(0, sm);
+  }
   launch_dram_bytes_ = 0;
   launch_child_launches_ = 0;
   if (host_launch) ++counters_.kernel_launches;
@@ -107,24 +180,214 @@ int GpuSim::pick_sm(Schedule schedule, std::uint64_t task_index,
     return static_cast<int>(block % static_cast<std::uint64_t>(spec_.num_sms));
   }
   // Dynamic: least-loaded SM (persistent workers stealing from a shared
-  // queue converge to exactly this assignment).
-  int best = 0;
-  for (int sm = 1; sm < spec_.num_sms; ++sm) {
-    if (sm_cycles_[static_cast<std::size_t>(sm)] <
-        sm_cycles_[static_cast<std::size_t>(best)]) {
-      best = sm;
+  // queue converge to exactly this assignment). The heap is lazy — commits
+  // push fresh (weight, sm) entries without removing stale ones — so the
+  // top is discarded until it matches the SM's current weight. Ties break
+  // toward the lowest SM index, matching a linear argmin scan.
+  while (true) {
+    const auto& top = load_heap_.front();
+    if (sm_load_[static_cast<std::size_t>(top.second)] == top.first) {
+      return top.second;
     }
+    std::pop_heap(load_heap_.begin(), load_heap_.end(), std::greater<>{});
+    load_heap_.pop_back();
   }
-  return best;
 }
 
-void GpuSim::account_task(int sm, std::uint64_t cycles) {
-  sm_cycles_[static_cast<std::size_t>(sm)] += static_cast<double>(cycles);
-  sm_longest_task_[static_cast<std::size_t>(sm)] =
-      std::max(sm_longest_task_[static_cast<std::size_t>(sm)], cycles);
+WarpCtx GpuSim::begin_task(int sm) {
+  RDBS_DCHECK(launch_open_);
+  RDBS_DCHECK(active_task_ == kNoTask);
+  const auto index = static_cast<std::uint32_t>(task_records_.size());
+  TaskRecord rec;
+  rec.op_begin = static_cast<std::uint32_t>(trace_ops_.size());
+  rec.sm = sm;
+  task_records_.push_back(rec);
+  active_task_ = index;
+  return WarpCtx(*this, sm, index);
+}
+
+void GpuSim::commit_task(const WarpCtx& ctx) {
+  RDBS_DCHECK(active_task_ == ctx.task_);
+  TaskRecord& rec = task_records_[ctx.task_];
+  rec.op_end = static_cast<std::uint32_t>(trace_ops_.size());
+  const auto sm = static_cast<std::size_t>(rec.sm);
+  sm_load_[sm] += rec.weight;
+  load_heap_.emplace_back(sm_load_[sm], rec.sm);
+  std::push_heap(load_heap_.begin(), load_heap_.end(), std::greater<>{});
+  active_task_ = kNoTask;
+}
+
+void GpuSim::replay_shard(int sm) {
+  SectoredCache& l1 = memory_.l1(sm);
+  std::vector<std::uint64_t>& requests = l2_requests_[static_cast<std::size_t>(sm)];
+  requests.clear();
+  ShardCounters sc;
+  std::array<std::uint64_t, 32> lane_addrs{};
+  std::array<std::uint64_t, 32> sector_addrs{};
+  const auto conflict_cycles =
+      static_cast<std::uint64_t>(spec_.atomic_conflict_cycles);
+
+  for (const std::uint32_t t : sm_tasks_[static_cast<std::size_t>(sm)]) {
+    TaskRecord& rec = task_records_[t];
+    rec.l2_begin = static_cast<std::uint32_t>(requests.size());
+    std::uint64_t cycles = 0;
+    for (std::uint32_t i = rec.op_begin; i < rec.op_end; ++i) {
+      const TraceOp& op = trace_ops_[i];
+      const std::uint32_t lanes = op.lanes;
+      const std::uint64_t* src = trace_addrs_.data() + op.addr_begin;
+      for (std::uint32_t l = 0; l < lanes; ++l) lane_addrs[l] = src[l];
+      sort_addresses(lane_addrs, lanes);
+
+      // One pass over the sorted lanes yields both the distinct-address
+      // count (atomic conflicts) and the coalesced distinct-sector list.
+      std::uint32_t distinct_addrs = 0;
+      std::uint32_t sectors = 0;
+      std::uint64_t prev_addr = ~0ull;
+      std::uint64_t prev_sector = ~0ull;
+      for (std::uint32_t l = 0; l < lanes; ++l) {
+        const std::uint64_t addr = lane_addrs[l];
+        if (addr != prev_addr) {
+          ++distinct_addrs;
+          prev_addr = addr;
+          const std::uint64_t sector =
+              addr & ~static_cast<std::uint64_t>(SectoredCache::kSectorBytes - 1);
+          if (sector != prev_sector) {
+            sector_addrs[sectors++] = sector;
+            prev_sector = sector;
+          }
+        }
+      }
+
+      sc.memory_transactions += sectors;
+      cycles += sectors;
+      if (op.kind == 2) {
+        // Atomics resolve at L2: they bypass L1 but benefit from L2
+        // residency; only L2 misses travel to DRAM. Same-address lanes
+        // serialize: lanes minus distinct addresses collide.
+        const std::uint64_t conflicts = lanes - distinct_addrs;
+        sc.atomic_conflicts += conflicts;
+        cycles += conflicts * conflict_cycles;
+        for (std::uint32_t s = 0; s < sectors; ++s) {
+          requests.push_back(sector_addrs[s]);
+        }
+      } else {
+        // Loads and stores probe this SM's L1; stores write through L1 into
+        // the write-back L2, so only sectors the L1 could not serve are
+        // forwarded as L2 requests (bit 0 marks the cached path).
+        sc.l1_sector_accesses += sectors;
+        for (std::uint32_t s = 0; s < sectors; ++s) {
+          if (l1.access(sector_addrs[s])) {
+            ++sc.l1_sector_hits;
+          } else {
+            requests.push_back(sector_addrs[s] | 1ull);
+          }
+        }
+      }
+    }
+    rec.cycles += cycles;
+    rec.l2_count = static_cast<std::uint32_t>(requests.size()) - rec.l2_begin;
+  }
+  shard_counters_[static_cast<std::size_t>(sm)] = sc;
+}
+
+void GpuSim::replay_launch() {
+  // Bucket tasks by SM, preserving canonical task order within each shard.
+  for (const int sm : used_sms_) sm_tasks_[static_cast<std::size_t>(sm)].clear();
+  used_sms_.clear();
+  for (std::uint32_t t = 0; t < task_records_.size(); ++t) {
+    const auto sm = static_cast<std::size_t>(task_records_[t].sm);
+    if (sm_tasks_[sm].empty()) used_sms_.push_back(task_records_[t].sm);
+    sm_tasks_[sm].push_back(t);
+  }
+
+  // Pass 1 — per-SM L1 shards. Shards share no mutable state (each has its
+  // own L1, counter partials, task-cycle slots and L2 request list), so the
+  // pass parallelizes freely; any iteration order yields identical results.
+  const auto shard_count = static_cast<std::int64_t>(used_sms_.size());
+#ifdef RDBS_PARALLEL
+  const int threads = worker_threads();
+  if (threads > 1 && shard_count > 1) {
+#ifdef RDBS_TSAN
+    const int team =
+        static_cast<int>(std::min<std::int64_t>(threads, shard_count));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(team));
+    for (int w = 0; w < team; ++w) {
+      workers.emplace_back([this, w, team, shard_count] {
+        for (std::int64_t i = w; i < shard_count; i += team) {
+          replay_shard(used_sms_[static_cast<std::size_t>(i)]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+#else
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+    for (std::int64_t i = 0; i < shard_count; ++i) {
+      replay_shard(used_sms_[static_cast<std::size_t>(i)]);
+    }
+#endif
+  } else {
+    for (std::int64_t i = 0; i < shard_count; ++i) {
+      replay_shard(used_sms_[static_cast<std::size_t>(i)]);
+    }
+  }
+#else
+  for (std::int64_t i = 0; i < shard_count; ++i) {
+    replay_shard(used_sms_[static_cast<std::size_t>(i)]);
+  }
+#endif
+
+  // Pass 2 — the shared L2, replayed serially in canonical task order (the
+  // exact request stream a fused serial simulation would produce).
+  Counters& c = counters_;
+  for (TaskRecord& rec : task_records_) {
+    if (rec.l2_count == 0) continue;
+    const std::vector<std::uint64_t>& requests =
+        l2_requests_[static_cast<std::size_t>(rec.sm)];
+    const std::uint32_t end = rec.l2_begin + rec.l2_count;
+    std::uint64_t cycles = 0;
+    for (std::uint32_t i = rec.l2_begin; i < end; ++i) {
+      const std::uint64_t request = requests[i];
+      const bool cached = (request & 1ull) != 0;
+      const std::uint64_t sector = request & ~1ull;
+      ++c.l2_sector_accesses;
+      if (memory_.l2_cache().access(sector)) {
+        ++c.l2_sector_hits;
+        if (cached) cycles += kL2ReplayCycles;
+      } else {
+        c.dram_bytes += SectoredCache::kSectorBytes;
+        launch_dram_bytes_ += SectoredCache::kSectorBytes;
+        cycles += kDramReplayCycles;
+      }
+    }
+    rec.cycles += cycles;
+  }
+
+  // Deterministic counter reduction: shard partials summed in SM order.
+  for (const int sm : used_sms_) {
+    const ShardCounters& sc = shard_counters_[static_cast<std::size_t>(sm)];
+    c.l1_sector_accesses += sc.l1_sector_accesses;
+    c.l1_sector_hits += sc.l1_sector_hits;
+    c.memory_transactions += sc.memory_transactions;
+    c.atomic_conflicts += sc.atomic_conflicts;
+  }
 }
 
 LaunchResult GpuSim::end_launch(std::uint64_t tasks, bool host_launch) {
+  RDBS_DCHECK(launch_open_);
+  RDBS_DCHECK(active_task_ == kNoTask);
+  RDBS_DCHECK(tasks == task_records_.size());
+  replay_launch();
+  launch_open_ = false;
+
+  std::fill(sm_cycles_.begin(), sm_cycles_.end(), 0.0);
+  std::fill(sm_longest_task_.begin(), sm_longest_task_.end(), 0);
+  for (const TaskRecord& rec : task_records_) {
+    const auto sm = static_cast<std::size_t>(rec.sm);
+    sm_cycles_[sm] += static_cast<double>(rec.cycles);
+    sm_longest_task_[sm] = std::max(sm_longest_task_[sm], rec.cycles);
+  }
+
   LaunchResult result;
   result.tasks = tasks;
   double worst_sm_cycles = 0;

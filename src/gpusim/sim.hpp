@@ -20,11 +20,24 @@
 // Dynamic-parallelism child launches charge the cheaper child cost to the
 // launching warp and their work is scheduled like any other dynamic task
 // (Hyper-Q overlap).
+//
+// Execution pipeline (see docs/costmodel.md, "Parallel execution &
+// determinism"): each launch runs in two phases. The *record* phase executes
+// task bodies serially in canonical task order — all functional effects
+// (loads, stores, atomics with their `improved` flags) happen here, so
+// results are independent of how the cost side is computed. Memory
+// instructions append (op, lane addresses) to a per-launch trace instead of
+// probing the caches. The *replay* phase then charges the trace: per-SM L1
+// shards are independent and replay in parallel across host threads (OpenMP
+// when built with RDBS_PARALLEL), while the shared L2 replays serially in
+// canonical task order. Counters, per-launch ms and distances are therefore
+// bit-identical for any worker-thread count, including 1.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,6 +50,7 @@
 namespace rdbs::gpusim {
 
 class GpuSim;
+class KernelScope;
 
 // A typed region of simulated device memory. Host code initializes and
 // reads back through data(); device code (warp tasks) must go through
@@ -73,14 +87,12 @@ class Buffer {
   std::uint64_t base_ = 0;
 };
 
-// Execution context of one warp inside a kernel. Accumulates the warp's
-// cycles; the launcher folds them into the owning SM's timeline.
+// Execution context of one warp inside a kernel. Functional effects are
+// applied immediately (in canonical task order); the memory-cost side is
+// appended to the launch trace and charged during replay.
 class WarpCtx {
  public:
-  WarpCtx(GpuSim& sim, int sm_id) : sim_(sim), sm_id_(sm_id) {}
-
   int sm_id() const { return sm_id_; }
-  std::uint64_t cycles() const { return cycles_; }
 
   // `instructions` warp-wide ALU/control instructions with `active_lanes`
   // lanes enabled (divergence: disabled lanes still occupy issue slots).
@@ -94,8 +106,8 @@ class WarpCtx {
   void load(const Buffer<T>& buf, std::span<const std::uint64_t> indices,
             std::span<T> out) {
     RDBS_DCHECK(indices.size() == out.size());
-    charge_memory(buf_addresses(buf, indices), /*is_store=*/false,
-                  static_cast<std::uint32_t>(indices.size()));
+    record_addresses(buf, indices);
+    record_mem(/*kind=*/0, static_cast<std::uint32_t>(indices.size()));
     for (std::size_t i = 0; i < indices.size(); ++i) {
       out[i] = buf.data()[indices[i]];
     }
@@ -114,8 +126,8 @@ class WarpCtx {
   void store(Buffer<T>& buf, std::span<const std::uint64_t> indices,
              std::span<const T> values) {
     RDBS_DCHECK(indices.size() == values.size());
-    charge_memory(buf_addresses(buf, indices), /*is_store=*/true,
-                  static_cast<std::uint32_t>(indices.size()));
+    record_addresses(buf, indices);
+    record_mem(/*kind=*/1, static_cast<std::uint32_t>(indices.size()));
     for (std::size_t i = 0; i < indices.size(); ++i) {
       buf.data()[indices[i]] = values[i];
     }
@@ -137,8 +149,8 @@ class WarpCtx {
                   std::span<const T> values, std::span<std::uint8_t> improved) {
     RDBS_DCHECK(indices.size() == values.size());
     RDBS_DCHECK(indices.size() == improved.size());
-    charge_atomic(buf_addresses(buf, indices),
-                  static_cast<std::uint32_t>(indices.size()));
+    record_addresses(buf, indices);
+    record_mem(/*kind=*/2, static_cast<std::uint32_t>(indices.size()));
     for (std::size_t i = 0; i < indices.size(); ++i) {
       T& cell = buf.data()[indices[i]];
       if (values[i] < cell) {
@@ -156,8 +168,8 @@ class WarpCtx {
   template <typename T>
   void atomic_touch(const Buffer<T>& buf,
                     std::span<const std::uint64_t> indices) {
-    charge_atomic(buf_addresses(buf, indices),
-                  static_cast<std::uint32_t>(indices.size()));
+    record_addresses(buf, indices);
+    record_mem(/*kind=*/2, static_cast<std::uint32_t>(indices.size()));
   }
 
   template <typename T>
@@ -175,26 +187,32 @@ class WarpCtx {
   void child_launch();
 
  private:
+  friend class GpuSim;
+  friend class KernelScope;
+
+  WarpCtx(GpuSim& sim, int sm_id, std::uint32_t task_index)
+      : sim_(sim), sm_id_(sm_id), task_(task_index) {}
+
+  // Translates lane element indices to device addresses directly into the
+  // launch trace's address pool (no per-call allocation).
   template <typename T>
-  std::span<const std::uint64_t> buf_addresses(
-      const Buffer<T>& buf, std::span<const std::uint64_t> indices) {
+  void record_addresses(const Buffer<T>& buf,
+                        std::span<const std::uint64_t> indices) {
     RDBS_DCHECK(indices.size() <= 32);
+    std::uint64_t* slots = trace_slots(indices.size());
     for (std::size_t i = 0; i < indices.size(); ++i) {
       RDBS_DCHECK(indices[i] < buf.size());
-      scratch_[i] = buf.address_of(indices[i]);
+      slots[i] = buf.address_of(indices[i]);
     }
-    return {scratch_.data(), indices.size()};
   }
 
-  void charge_memory(std::span<const std::uint64_t> addresses, bool is_store,
-                     std::uint32_t active_lanes);
-  void charge_atomic(std::span<const std::uint64_t> addresses,
-                     std::uint32_t active_lanes);
+  std::uint64_t* trace_slots(std::size_t lanes);
+  void record_mem(std::uint8_t kind, std::uint32_t lanes);
+  bool active_task_valid() const;
 
   GpuSim& sim_;
   int sm_id_;
-  std::uint64_t cycles_ = 0;
-  std::array<std::uint64_t, 32> scratch_{};
+  std::uint32_t task_;
 };
 
 // How blocks map to SMs.
@@ -213,13 +231,26 @@ struct LaunchResult {
 
 class GpuSim {
  public:
-  explicit GpuSim(DeviceSpec spec)
-      : spec_(std::move(spec)), memory_(spec_) {}
+  explicit GpuSim(DeviceSpec spec);
 
   const DeviceSpec& spec() const { return spec_; }
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
   MemorySim& memory() { return memory_; }
+
+  // --- worker-thread control ----------------------------------------------
+  // Replay-phase host threads for this simulator instance. 0 = use the
+  // process default (set_default_worker_threads, else all OpenMP threads).
+  // Results are bit-identical for every value; this is purely a wall-clock
+  // knob. Serial builds (no RDBS_PARALLEL) ignore it.
+  void set_worker_threads(int threads) { worker_threads_ = threads; }
+  int worker_threads() const;
+  // Default applied to simulators constructed afterwards (engines construct
+  // their GpuSim internally; tests and benches set this).
+  static void set_default_worker_threads(int threads);
+  static int default_worker_threads();
+  // True when the library was built with RDBS_PARALLEL (OpenMP) support.
+  static bool parallel_compiled();
 
   template <typename T>
   Buffer<T> alloc(std::string name, std::size_t count,
@@ -241,9 +272,9 @@ class GpuSim {
     begin_launch(host_launch);
     for (std::uint64_t t = 0; t < num_tasks; ++t) {
       const int sm = pick_sm(schedule, t, warps_per_block);
-      WarpCtx ctx(*this, sm);
+      WarpCtx ctx = begin_task(sm);
       run(ctx, t);
-      account_task(sm, ctx.cycles());
+      commit_task(ctx);
     }
     return end_launch(num_tasks, host_launch);
   }
@@ -260,9 +291,9 @@ class GpuSim {
     std::uint64_t consumed = 0;
     while (consumed < tasks.size()) {
       const int sm = pick_sm(Schedule::kDynamic, consumed, 1);
-      WarpCtx ctx(*this, sm);
+      WarpCtx ctx = begin_task(sm);
       run(ctx, consumed);
-      account_task(sm, ctx.cycles());
+      commit_task(ctx);
       ++consumed;
     }
     return end_launch(consumed, host_launch);
@@ -295,28 +326,83 @@ class GpuSim {
 
   double elapsed_ms() const { return total_ms_; }
   void reset_time() { total_ms_ = 0; }
-  void reset_all() {
-    total_ms_ = 0;
-    counters_ = Counters{};
-    memory_.reset_caches();
-  }
+  void reset_all();
 
  private:
   friend class WarpCtx;
   friend class KernelScope;
 
+  // One warp-level memory instruction in the launch trace. `kind` is 0 =
+  // load, 1 = store, 2 = atomic; `addr_begin` indexes the address pool.
+  struct TraceOp {
+    std::uint8_t kind;
+    std::uint8_t lanes;
+    std::uint32_t addr_begin;
+  };
+
+  // Per-task record: trace extent, placement, record-time cycles and the
+  // scheduling weight, plus this task's slice of its SM's L2-request list.
+  struct TaskRecord {
+    std::uint32_t op_begin = 0;
+    std::uint32_t op_end = 0;
+    std::int32_t sm = 0;
+    std::uint64_t weight = 0;  // cache-independent load estimate (scheduling)
+    std::uint64_t cycles = 0;  // true cycles: record-time + replay charges
+    std::uint32_t l2_begin = 0;
+    std::uint32_t l2_count = 0;
+  };
+
+  // L1-shard counter partials, padded to avoid false sharing between the
+  // replay workers.
+  struct alignas(64) ShardCounters {
+    std::uint64_t l1_sector_accesses = 0;
+    std::uint64_t l1_sector_hits = 0;
+    std::uint64_t memory_transactions = 0;
+    std::uint64_t atomic_conflicts = 0;
+  };
+
   void begin_launch(bool host_launch);
   int pick_sm(Schedule schedule, std::uint64_t task_index,
               int warps_per_block);
-  void account_task(int sm, std::uint64_t cycles);
+  WarpCtx begin_task(int sm);
+  void commit_task(const WarpCtx& ctx);
   LaunchResult end_launch(std::uint64_t tasks, bool host_launch);
+
+  // Replay phase (called from end_launch): charges the recorded trace
+  // against the memory hierarchy. Parallel over per-SM L1 shards, serial
+  // over the shared L2 in canonical task order.
+  void replay_launch();
+  void replay_shard(int sm);
 
   DeviceSpec spec_;
   MemorySim memory_;
   Counters counters_;
   double total_ms_ = 0;
+  int worker_threads_ = 0;
 
-  // Per-launch scratch.
+  // --- record-phase state (one launch at a time) ---------------------------
+  static constexpr std::uint32_t kNoTask = ~0u;
+  std::vector<TraceOp> trace_ops_;
+  std::vector<std::uint64_t> trace_addrs_;
+  std::vector<TaskRecord> task_records_;
+  std::uint32_t active_task_ = kNoTask;
+  bool launch_open_ = false;
+
+  // Dynamic scheduling: per-SM weight plus a lazy min-heap over
+  // (weight, sm) so pick_sm is O(log num_sms) instead of a linear argmin.
+  std::vector<std::uint64_t> sm_load_;
+  std::vector<std::pair<std::uint64_t, int>> load_heap_;
+
+  // --- replay scratch (reused across launches; no steady-state allocs) -----
+  std::vector<std::vector<std::uint32_t>> sm_tasks_;
+  std::vector<int> used_sms_;
+  // Per-SM L2 request lists: sector base address with bit 0 set for cached
+  // (load/store) requests, clear for atomics (which charge no L2-hit
+  // replay cycles).
+  std::vector<std::vector<std::uint64_t>> l2_requests_;
+  std::vector<ShardCounters> shard_counters_;
+
+  // Per-launch aggregation scratch.
   std::vector<double> sm_cycles_;
   std::vector<std::uint64_t> sm_longest_task_;
   std::uint64_t launch_dram_bytes_ = 0;
@@ -343,13 +429,12 @@ class KernelScope {
   // Creates the next warp's execution context (assigns it to an SM).
   WarpCtx make_warp() {
     const int sm = sim_.pick_sm(schedule_, task_index_++, warps_per_block_);
-    return WarpCtx(sim_, sm);
+    return sim_.begin_task(sm);
   }
 
-  // Folds a completed warp's cycles into its SM's timeline.
-  void commit(const WarpCtx& ctx) {
-    sim_.account_task(ctx.sm_id(), ctx.cycles());
-  }
+  // Seals a completed warp's trace and feeds its weight back into the
+  // dynamic scheduler.
+  void commit(const WarpCtx& ctx) { sim_.commit_task(ctx); }
 
   LaunchResult finish() {
     RDBS_DCHECK(!finished_);
