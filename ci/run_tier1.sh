@@ -9,7 +9,15 @@
 #   serial    -DRDBS_PARALLEL=OFF  (no OpenMP dependency)
 #   tsan      -DRDBS_PARALLEL=ON -fsanitize=thread, runs only
 #             test_gpusim_parallel (the suite that exercises the replay
-#             workers) — a data race between L1 shards would surface here.
+#             workers) — a data race between L1 shards would surface here —
+#             plus test_query_batch (batch determinism across concurrent
+#             streams with multi-threaded replay).
+#
+# Environment:
+#   RDBS_FUZZ_ITERS  differential-fuzz case count (default 50 in the test;
+#                    the nightly workflow raises it — see
+#                    .github/workflows/ci.yml). Exported to ctest, so it
+#                    applies wherever test_fuzz_differential runs.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,11 +43,16 @@ cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDBS_PARALLEL=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$TSAN_DIR" -j "$JOBS" --target test_gpusim_parallel
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+  --target test_gpusim_parallel test_query_batch
 echo "=== [tsan] test_gpusim_parallel ==="
 # The two Kronecker engine tests simulate millions of warp tasks and take
 # tens of minutes under TSan instrumentation; the road-graph engine tests
 # and the direct-simulator tests drive the same parallel replay path.
 "$TSAN_DIR/tests/test_gpusim_parallel" --gtest_filter='-*Kron*'
+echo "=== [tsan] test_query_batch ==="
+# Batch determinism with sim_threads=8 over concurrent streams: races
+# between replay workers and the per-stream accounting would surface here.
+"$TSAN_DIR/tests/test_query_batch"
 
 echo "tier-1: all configurations passed"

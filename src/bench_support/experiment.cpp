@@ -18,6 +18,7 @@ HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
   config.device = args.get_string("device", "v100");
   config.csv = args.get_bool("csv", false);
   config.sim_threads = static_cast<int>(args.get_int("sim-threads", 0));
+  config.batch_streams = static_cast<int>(args.get_int("batch-streams", 4));
   // Engines construct their GpuSim internally; the process-wide default is
   // how one flag reaches every solver a bench binary creates.
   gpusim::GpuSim::set_default_worker_threads(config.sim_threads);

@@ -37,6 +37,9 @@ struct HarnessConfig {
   // gpusim replay worker threads (0 = all available). Applied process-wide
   // by from_cli; results are bit-identical for every value.
   int sim_threads = 0;
+  // Concurrent gpusim streams for batched multi-source runs (QueryBatch);
+  // 1 = sequential. Distances are identical for every value.
+  int batch_streams = 4;
 
   static HarnessConfig from_cli(const CliArgs& args);
 };

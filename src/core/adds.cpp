@@ -18,35 +18,46 @@ constexpr std::uint32_t kDeviceWord = 4;
 
 AddsLike::AddsLike(gpusim::DeviceSpec device, const graph::Csr& csr,
                    AddsOptions options)
-    : sim_(std::move(device)), csr_(csr), options_(options) {
-  sim_.set_worker_threads(options_.sim_threads);
+    : owned_sim_(std::make_unique<gpusim::GpuSim>(std::move(device))),
+      sim_(owned_sim_.get()),
+      csr_(csr),
+      options_(options) {
+  sim_->set_worker_threads(options_.sim_threads);
+  init_device_state(nullptr);
+}
+
+AddsLike::AddsLike(gpusim::GpuSim& sim, gpusim::StreamId stream,
+                   const graph::Csr& csr, AddsOptions options,
+                   const DeviceCsrBuffers* shared_graph)
+    : sim_(&sim), stream_(stream), csr_(csr), options_(options) {
+  init_device_state(shared_graph);
+}
+
+void AddsLike::init_device_state(const DeviceCsrBuffers* shared_graph) {
   RDBS_CHECK(options_.delta > 0);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();
-  row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
-  adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
-  weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
-  dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
-  near_queue_ = sim_.alloc<VertexId>("near_queue",
-                                     std::max<std::size_t>(n, 64), kDeviceWord);
+  if (shared_graph != nullptr) {
+    graph_bufs_ = shared_graph;
+  } else {
+    owned_graph_ = std::make_unique<DeviceCsrBuffers>(
+        DeviceCsrBuffers::upload(*sim_, csr_));
+    graph_bufs_ = owned_graph_.get();
+  }
+  dist_ = sim_->alloc<Distance>("dist", n, kDeviceWord);
+  near_queue_ = sim_->alloc<VertexId>("near_queue",
+                                      std::max<std::size_t>(n, 64), kDeviceWord);
   // The Far pile admits duplicates (lazy deletion at split time).
-  far_pile_ = sim_.alloc<VertexId>("far_pile",
-                                   std::max<std::size_t>(2 * m + 64, 64),
-                                   kDeviceWord);
-  in_near_ = sim_.alloc<std::uint8_t>("in_near", n, 1);
-
-  std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
-            row_offsets_.data().begin());
-  std::copy(csr_.adjacency().begin(), csr_.adjacency().end(),
-            adjacency_.data().begin());
-  std::copy(csr_.weights().begin(), csr_.weights().end(),
-            weights_.data().begin());
+  far_pile_ = sim_->alloc<VertexId>("far_pile",
+                                    std::max<std::size_t>(2 * m + 64, 64),
+                                    kDeviceWord);
+  in_near_ = sim_->alloc<std::uint8_t>("in_near", n, 1);
 }
 
 void AddsLike::init_distances_kernel(VertexId source) {
   const VertexId n = csr_.num_vertices();
   const std::uint64_t warps = (n + 31) / 32;
-  sim_.run_kernel(
+  sim_->run_kernel(
       gpusim::Schedule::kStatic, warps, 8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
         const std::uint64_t begin = w * 32;
@@ -64,16 +75,21 @@ void AddsLike::init_distances_kernel(VertexId source) {
                   std::span<const Distance>(inf.data(), lanes));
         ctx.store(in_near_, std::span<const std::uint64_t>(idx.data(), lanes),
                   std::span<const std::uint8_t>(zero.data(), lanes));
-      });
-  sim_.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+      },
+      /*host_launch=*/true, stream_);
+  sim_->run_kernel(gpusim::Schedule::kStatic, 1, 1,
                   [&](gpusim::WarpCtx& ctx, std::uint64_t) {
                     ctx.store_one(dist_, source, Distance{0});
-                  });
+                  },
+                  /*host_launch=*/true, stream_);
 }
 
 GpuRunResult AddsLike::run(VertexId source) {
   RDBS_CHECK(source < csr_.num_vertices());
-  sim_.reset_all();
+  if (owned_sim_) sim_->reset_all();
+  const double ms_before = sim_->stream_elapsed_ms(stream_);
+  const double wait_before = sim_->stream_queue_wait_ms(stream_);
+  const gpusim::Counters counters_before = sim_->counters();
   work_ = sssp::WorkStats{};
   std::fill(in_near_.data().begin(), in_near_.data().end(), 0);
 
@@ -111,7 +127,8 @@ GpuRunResult AddsLike::run(VertexId source) {
       // distance, promote entries below it, drop stale duplicates.
       Distance min_far = graph::kInfiniteDistance;
       std::vector<VertexId> still_far;
-      gpusim::KernelScope split(sim_, gpusim::Schedule::kStatic, true);
+      gpusim::KernelScope split(*sim_, gpusim::Schedule::kStatic, true,
+                                /*warps_per_block=*/8, stream_);
       for (std::size_t base = 0; base < far.size(); base += 32) {
         const auto cnt = static_cast<std::uint32_t>(
             std::min<std::size_t>(32, far.size() - base));
@@ -180,7 +197,8 @@ GpuRunResult AddsLike::run(VertexId source) {
     // --- Near processing: one persistent asynchronous kernel that drains
     // the Near pile, thread-per-vertex, relaxing ALL edges of each vertex
     // (no light/heavy split in ADDS's data layout).
-    gpusim::KernelScope kernel(sim_, gpusim::Schedule::kDynamic, true);
+    gpusim::KernelScope kernel(*sim_, gpusim::Schedule::kDynamic, true,
+                               /*warps_per_block=*/8, stream_);
     while (!near.empty()) {
       std::array<VertexId, 32> lanes{};
       std::uint32_t lane_count = 0;
@@ -211,10 +229,10 @@ GpuRunResult AddsLike::run(VertexId source) {
         std::array<std::uint64_t, 32> idx2{};
         for (std::uint32_t i = 0; i < lane_count; ++i) idx2[i] = lanes[i] + 1;
         std::array<EdgeIndex, 32> tmp{};
-        ctx.load(row_offsets_, vspan,
+        ctx.load(graph_bufs_->row_offsets, vspan,
                  std::span<EdgeIndex>(tmp.data(), lane_count));
         for (std::uint32_t i = 0; i < lane_count; ++i) row_begin[i] = tmp[i];
-        ctx.load(row_offsets_,
+        ctx.load(graph_bufs_->row_offsets,
                  std::span<const std::uint64_t>(idx2.data(), lane_count),
                  std::span<EdgeIndex>(tmp.data(), lane_count));
         for (std::uint32_t i = 0; i < lane_count; ++i) row_end[i] = tmp[i];
@@ -242,8 +260,8 @@ GpuRunResult AddsLike::run(VertexId source) {
         std::span<const std::uint64_t> espan(eidx.data(), active);
         std::array<VertexId, 32> dsts{};
         std::array<Weight, 32> ws{};
-        ctx.load(adjacency_, espan, std::span<VertexId>(dsts.data(), active));
-        ctx.load(weights_, espan, std::span<Weight>(ws.data(), active));
+        ctx.load(graph_bufs_->adjacency, espan, std::span<VertexId>(dsts.data(), active));
+        ctx.load(graph_bufs_->weights, espan, std::span<Weight>(ws.data(), active));
         ctx.alu(2, active);
         work_.relaxations += active;
 
@@ -287,8 +305,9 @@ GpuRunResult AddsLike::run(VertexId source) {
   result.sssp.distances = dist_.data();
   result.sssp.work = work_;
   sssp::finalize_valid_updates(result.sssp, source);
-  result.device_ms = sim_.elapsed_ms();
-  result.counters = sim_.counters();
+  result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
+  result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
+  result.counters = sim_->counters() - counters_before;
   return result;
 }
 

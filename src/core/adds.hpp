@@ -14,7 +14,9 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 
+#include "core/device_graph.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
 #include "graph/csr.hpp"
@@ -32,20 +34,31 @@ class AddsLike {
   AddsLike(gpusim::DeviceSpec device, const graph::Csr& csr,
            AddsOptions options);
 
+  // Shared-simulator variant for batched queries: kernels go to `stream` of
+  // an externally owned simulator (never reset by the engine; metrics are
+  // per-query deltas). With `shared_graph` set, the device CSR arrays are
+  // reused instead of uploaded again. See GpuDeltaStepping for the pattern.
+  AddsLike(gpusim::GpuSim& sim, gpusim::StreamId stream,
+           const graph::Csr& csr, AddsOptions options,
+           const DeviceCsrBuffers* shared_graph = nullptr);
+
   GpuRunResult run(graph::VertexId source);
 
-  gpusim::GpuSim& sim() { return sim_; }
+  gpusim::GpuSim& sim() { return *sim_; }
+  gpusim::StreamId stream() const { return stream_; }
 
  private:
+  void init_device_state(const DeviceCsrBuffers* shared_graph);
   void init_distances_kernel(graph::VertexId source);
 
-  gpusim::GpuSim sim_;
+  std::unique_ptr<gpusim::GpuSim> owned_sim_;  // null in shared-sim mode
+  gpusim::GpuSim* sim_;                        // never null
+  gpusim::StreamId stream_ = 0;
   const graph::Csr& csr_;
   AddsOptions options_;
 
-  gpusim::Buffer<graph::EdgeIndex> row_offsets_;
-  gpusim::Buffer<graph::VertexId> adjacency_;
-  gpusim::Buffer<graph::Weight> weights_;
+  std::unique_ptr<DeviceCsrBuffers> owned_graph_;
+  const DeviceCsrBuffers* graph_bufs_ = nullptr;  // never null after ctor
   gpusim::Buffer<graph::Distance> dist_;
   gpusim::Buffer<graph::VertexId> near_queue_;
   gpusim::Buffer<graph::VertexId> far_pile_;

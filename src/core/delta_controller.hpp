@@ -11,9 +11,12 @@
 // falls, Δ grows — matching the paper's "as the utilization of GPU
 // increases, we reduce Δ, otherwise we increase Δ".
 //
-// The paper leaves Δ's range open; we clamp to [Δ0/8, 8Δ0] so a degenerate
-// feedback sequence can never collapse the bucket to zero width or blow it
-// up to Bellman-Ford (documented substitution, see DESIGN.md).
+// The paper leaves Δ's range open; we bound the feedback so a degenerate
+// sequence can never collapse the bucket to zero width or blow it up to
+// Bellman-Ford (documented substitution, see DESIGN.md): each step is
+// damped to ε_i ∈ [-Δ0/4, +Δ0/4] and the width itself is clamped to
+// Δ_i ∈ [Δ0/2, 4Δ0]. When a denominator of Eq. (1) is zero (no converged
+// vertices or no threads in either window bucket), ε_i = 0.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,29 @@
+#include "core/device_graph.hpp"
+
+#include <algorithm>
+
+namespace rdbs::core {
+
+namespace {
+constexpr std::uint32_t kDeviceWord = 4;
+}
+
+DeviceCsrBuffers DeviceCsrBuffers::upload(gpusim::GpuSim& sim,
+                                          const graph::Csr& csr) {
+  const graph::VertexId n = csr.num_vertices();
+  const graph::EdgeIndex m = csr.num_edges();
+  DeviceCsrBuffers bufs;
+  bufs.row_offsets =
+      sim.alloc<graph::EdgeIndex>("row_offsets", n + 1, kDeviceWord);
+  bufs.adjacency = sim.alloc<graph::VertexId>("adjacency", m, kDeviceWord);
+  bufs.weights = sim.alloc<graph::Weight>("weights", m, kDeviceWord);
+  std::copy(csr.row_offsets().begin(), csr.row_offsets().end(),
+            bufs.row_offsets.data().begin());
+  std::copy(csr.adjacency().begin(), csr.adjacency().end(),
+            bufs.adjacency.data().begin());
+  std::copy(csr.weights().begin(), csr.weights().end(),
+            bufs.weights.data().begin());
+  return bufs;
+}
+
+}  // namespace rdbs::core

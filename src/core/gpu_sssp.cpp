@@ -18,8 +18,23 @@ constexpr std::uint32_t kDeviceWord = 4;
 
 GpuDeltaStepping::GpuDeltaStepping(gpusim::DeviceSpec device, const Csr& csr,
                                    GpuSsspOptions options)
-    : sim_(std::move(device)), csr_(csr), options_(options) {
-  sim_.set_worker_threads(options_.sim_threads);
+    : owned_sim_(std::make_unique<gpusim::GpuSim>(std::move(device))),
+      sim_(owned_sim_.get()),
+      csr_(csr),
+      options_(options) {
+  sim_->set_worker_threads(options_.sim_threads);
+  init_device_state(nullptr);
+}
+
+GpuDeltaStepping::GpuDeltaStepping(gpusim::GpuSim& sim,
+                                   gpusim::StreamId stream, const Csr& csr,
+                                   GpuSsspOptions options,
+                                   const DeviceCsrBuffers* shared_graph)
+    : sim_(&sim), stream_(stream), csr_(csr), options_(options) {
+  init_device_state(shared_graph);
+}
+
+void GpuDeltaStepping::init_device_state(const DeviceCsrBuffers* shared_graph) {
   if (options_.pro) {
     RDBS_CHECK_MSG(csr_.weights_sorted_per_vertex(),
                    "PRO requires weight-sorted adjacency "
@@ -28,37 +43,32 @@ GpuDeltaStepping::GpuDeltaStepping(gpusim::DeviceSpec device, const Csr& csr,
                    "PRO requires heavy offsets attached to the CSR");
   }
   const VertexId n = csr_.num_vertices();
-  const EdgeIndex m = csr_.num_edges();
-  row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
-  if (options_.pro) {
-    heavy_offsets_ = sim_.alloc<EdgeIndex>("heavy_offsets", n, kDeviceWord);
+  if (shared_graph != nullptr) {
+    graph_bufs_ = shared_graph;
+  } else {
+    owned_graph_ = std::make_unique<DeviceCsrBuffers>(
+        DeviceCsrBuffers::upload(*sim_, csr_));
+    graph_bufs_ = owned_graph_.get();
   }
-  adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
-  weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
-  dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
-  queue_ = sim_.alloc<VertexId>("queue", std::max<std::size_t>(n, 64),
-                                kDeviceWord);
-  in_queue_ = sim_.alloc<std::uint8_t>("in_queue", n, 1);
-  epoch_.assign(n, ~0ull);
-
-  // Host-side upload (uncosted: the paper's timings exclude H2D transfer).
-  std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
-            row_offsets_.data().begin());
   if (options_.pro) {
+    // Per-engine mirror (not shared): phase-1 offset maintenance stores
+    // query-specific values when Δ is readjusted.
+    heavy_offsets_ = sim_->alloc<EdgeIndex>("heavy_offsets", n, kDeviceWord);
     std::copy(csr_.heavy_offsets().begin(), csr_.heavy_offsets().end(),
               heavy_offsets_.data().begin());
   }
-  std::copy(csr_.adjacency().begin(), csr_.adjacency().end(),
-            adjacency_.data().begin());
-  std::copy(csr_.weights().begin(), csr_.weights().end(),
-            weights_.data().begin());
+  dist_ = sim_->alloc<Distance>("dist", n, kDeviceWord);
+  queue_ = sim_->alloc<VertexId>("queue", std::max<std::size_t>(n, 64),
+                                 kDeviceWord);
+  in_queue_ = sim_->alloc<std::uint8_t>("in_queue", n, 1);
+  epoch_.assign(n, ~0ull);
 }
 
 void GpuDeltaStepping::init_distances_kernel(VertexId source) {
   const VertexId n = csr_.num_vertices();
   const std::uint64_t warps = (n + 31) / 32;
   // One coalesced store of 32 distances (and queue-flag clears) per warp.
-  sim_.run_kernel(
+  sim_->run_kernel(
       gpusim::Schedule::kStatic, warps, /*warps_per_block=*/8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
         const std::uint64_t begin = w * 32;
@@ -76,12 +86,14 @@ void GpuDeltaStepping::init_distances_kernel(VertexId source) {
                   std::span<const Distance>(inf.data(), lanes));
         ctx.store(in_queue_, std::span<const std::uint64_t>(idx.data(), lanes),
                   std::span<const std::uint8_t>(zero.data(), lanes));
-      });
+      },
+      /*host_launch=*/true, stream_);
   // Tiny kernel: dist[source] = 0.
-  sim_.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+  sim_->run_kernel(gpusim::Schedule::kStatic, 1, 1,
                   [&](gpusim::WarpCtx& ctx, std::uint64_t) {
                     ctx.store_one(dist_, source, Distance{0});
-                  });
+                  },
+                  /*host_launch=*/true, stream_);
 }
 
 EdgeIndex GpuDeltaStepping::light_end(VertexId v, Weight delta) const {
@@ -160,9 +172,9 @@ void GpuDeltaStepping::parent_warp(gpusim::WarpCtx& ctx,
     std::array<std::uint64_t, 32> idx2{};
     for (std::uint32_t i = 0; i < lane_count; ++i) idx2[i] = lanes[i] + 1;
     std::array<EdgeIndex, 32> tmp{};
-    ctx.load(row_offsets_, vspan, std::span<EdgeIndex>(tmp.data(), lane_count));
+    ctx.load(graph_bufs_->row_offsets, vspan, std::span<EdgeIndex>(tmp.data(), lane_count));
     for (std::uint32_t i = 0; i < lane_count; ++i) row_begin[i] = tmp[i];
-    ctx.load(row_offsets_, std::span<const std::uint64_t>(idx2.data(), lane_count),
+    ctx.load(graph_bufs_->row_offsets, std::span<const std::uint64_t>(idx2.data(), lane_count),
              std::span<EdgeIndex>(tmp.data(), lane_count));
     for (std::uint32_t i = 0; i < lane_count; ++i) row_end[i] = tmp[i];
   }
@@ -198,7 +210,7 @@ void GpuDeltaStepping::parent_warp(gpusim::WarpCtx& ctx,
                                                 : row_end[i] - 1);
       }
       std::array<Weight, 32> wtmp{};
-      ctx.load(weights_, std::span<const std::uint64_t>(probe.data(), lane_count),
+      ctx.load(graph_bufs_->weights, std::span<const std::uint64_t>(probe.data(), lane_count),
                std::span<Weight>(wtmp.data(), lane_count));
       ctx.alu(2, lane_count);
       std::array<EdgeIndex, 32> fresh{};
@@ -257,8 +269,8 @@ void GpuDeltaStepping::parent_warp(gpusim::WarpCtx& ctx,
 
     std::array<VertexId, 32> dsts{};
     std::array<Weight, 32> ws{};
-    ctx.load(adjacency_, espan, std::span<VertexId>(dsts.data(), active));
-    ctx.load(weights_, espan, std::span<Weight>(ws.data(), active));
+    ctx.load(graph_bufs_->adjacency, espan, std::span<VertexId>(dsts.data(), active));
+    ctx.load(graph_bufs_->weights, espan, std::span<Weight>(ws.data(), active));
 
     // Without PRO every edge pays the light/heavy branch and heavy lanes
     // sit idle for the rest of the step (divergence).
@@ -319,8 +331,8 @@ void GpuDeltaStepping::child_warp(gpusim::WarpCtx& ctx,
 
   std::array<VertexId, 32> dsts{};
   std::array<Weight, 32> ws{};
-  ctx.load(adjacency_, espan, std::span<VertexId>(dsts.data(), count));
-  ctx.load(weights_, espan, std::span<Weight>(ws.data(), count));
+  ctx.load(graph_bufs_->adjacency, espan, std::span<VertexId>(dsts.data(), count));
+  ctx.load(graph_bufs_->weights, espan, std::span<Weight>(ws.data(), count));
   ctx.alu(2, count);
 
   // Chunks lie entirely in the light range with PRO; otherwise each lane
@@ -361,8 +373,9 @@ void GpuDeltaStepping::phase1_async(Weight lo, Weight hi, Weight delta,
   // One persistent kernel per bucket: manager threads feed worker warps
   // from the workload lists; updates are immediately visible and newly
   // activated vertices are processed in the same launch.
-  gpusim::KernelScope kernel(sim_, gpusim::Schedule::kDynamic,
-                             /*host_launch=*/true);
+  gpusim::KernelScope kernel(*sim_, gpusim::Schedule::kDynamic,
+                             /*host_launch=*/true, /*warps_per_block=*/8,
+                             stream_);
   std::vector<ChildChunk> children;
   std::vector<VertexId> lanes;
   while (!vqueue_.empty()) {
@@ -400,9 +413,9 @@ void GpuDeltaStepping::phase1_sync(Weight lo, Weight hi, Weight delta,
     // Functional note: the in_queue flags of frontier members stay set
     // until their parent warp pops them inside the kernel.
     gpusim::KernelScope kernel(
-        sim_, options_.adwl ? gpusim::Schedule::kDynamic
-                            : gpusim::Schedule::kStatic,
-        /*host_launch=*/true);
+        *sim_, options_.adwl ? gpusim::Schedule::kDynamic
+                             : gpusim::Schedule::kStatic,
+        /*host_launch=*/true, /*warps_per_block=*/8, stream_);
     std::vector<ChildChunk> children;
     std::vector<VertexId> lanes;
     for (std::size_t i = 0; i < frontier.size(); i += 32) {
@@ -421,7 +434,7 @@ void GpuDeltaStepping::phase1_sync(Weight lo, Weight hi, Weight delta,
       kernel.commit(cctx);
     }
     kernel.finish();
-    sim_.host_barrier();
+    sim_->host_barrier(stream_);
     ++stats.phase1_iterations;
     ++work_.iterations;
   }
@@ -463,7 +476,7 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
     if (cnt == 0) return;
     ctx.alu(2, cnt);
     std::array<EdgeIndex, 32> tmp{};
-    ctx.load(row_offsets_, std::span<const std::uint64_t>(idx.data(), cnt),
+    ctx.load(graph_bufs_->row_offsets, std::span<const std::uint64_t>(idx.data(), cnt),
              std::span<EdgeIndex>(tmp.data(), cnt));
     if (options_.pro) {
       ctx.load(heavy_offsets_, std::span<const std::uint64_t>(idx.data(), cnt),
@@ -482,8 +495,8 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
     std::span<const std::uint64_t> espan(eidx.data(), cnt);
     std::array<VertexId, 32> dsts{};
     std::array<Weight, 32> ws{};
-    ctx.load(adjacency_, espan, std::span<VertexId>(dsts.data(), cnt));
-    ctx.load(weights_, espan, std::span<Weight>(ws.data(), cnt));
+    ctx.load(graph_bufs_->adjacency, espan, std::span<VertexId>(dsts.data(), cnt));
+    ctx.load(graph_bufs_->weights, espan, std::span<Weight>(ws.data(), cnt));
     if (!options_.pro) ctx.alu(1, cnt);  // heavy test branch
 
     std::array<std::uint64_t, 32> relax_idx{};
@@ -562,7 +575,8 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
 
   const bool fused = options_.adwl;  // kernel fusion rides with ADWL (§4.2)
   if (fused) {
-    gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
+    gpusim::KernelScope kernel(*sim_, gpusim::Schedule::kStatic, true,
+                               /*warps_per_block=*/8, stream_);
     for (std::uint64_t w = 0; w < warps; ++w) {
       auto ctx = kernel.make_warp();
       std::array<Distance, 32> dist_vals{};
@@ -575,7 +589,8 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
     kernel.finish();
   } else {
     if (relax_heavy) {
-      gpusim::KernelScope phase2(sim_, gpusim::Schedule::kStatic, true);
+      gpusim::KernelScope phase2(*sim_, gpusim::Schedule::kStatic, true,
+                                 /*warps_per_block=*/8, stream_);
       for (std::uint64_t w = 0; w < warps; ++w) {
         auto ctx = phase2.make_warp();
         std::array<Distance, 32> dist_vals{};
@@ -585,9 +600,10 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
       }
       process_heavy_chunks(phase2);
       phase2.finish();
-      sim_.host_barrier();
+      sim_->host_barrier(stream_);
     }
-    gpusim::KernelScope phase3(sim_, gpusim::Schedule::kStatic, true);
+    gpusim::KernelScope phase3(*sim_, gpusim::Schedule::kStatic, true,
+                               /*warps_per_block=*/8, stream_);
     for (std::uint64_t w = 0; w < warps; ++w) {
       auto ctx = phase3.make_warp();
       std::array<Distance, 32> dist_vals{};
@@ -596,7 +612,7 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
       phase3.commit(ctx);
     }
     phase3.finish();
-    sim_.host_barrier();
+    sim_->host_barrier(stream_);
   }
 
   // Final reduction (remaining count / minimum unsettled distance) over the
@@ -616,7 +632,14 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
 
 GpuRunResult GpuDeltaStepping::run(VertexId source) {
   RDBS_CHECK(source < csr_.num_vertices());
-  sim_.reset_all();
+  // Owning mode: fresh timeline/counters/caches per run (the paper's
+  // single-query methodology). Shared mode: the simulator belongs to the
+  // batch — time and cache state accumulate across queries, and this run's
+  // metrics are reported as deltas of its stream.
+  if (owned_sim_) sim_->reset_all();
+  const double ms_before = sim_->stream_elapsed_ms(stream_);
+  const double wait_before = sim_->stream_queue_wait_ms(stream_);
+  const gpusim::Counters counters_before = sim_->counters();
   work_ = sssp::WorkStats{};
   vqueue_.clear();
   queue_tail_ = 0;
@@ -641,8 +664,9 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
     result.sssp.distances = dist_.data();
     result.sssp.work = work_;
     sssp::finalize_valid_updates(result.sssp, source);
-    result.device_ms = sim_.elapsed_ms();
-    result.counters = sim_.counters();
+    result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
+    result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
+    result.counters = sim_->counters() - counters_before;
     return result;
   }
 
@@ -669,8 +693,8 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
     bs.high = hi;
     bs.initial_active = vqueue_.size();
 
-    const std::uint64_t threads_before = sim_.counters().active_lane_ops;
-    const double ms_before_phase1 = sim_.elapsed_ms();
+    const std::uint64_t threads_before = sim_->counters().active_lane_ops;
+    const double ms_before_phase1 = sim_->stream_elapsed_ms(stream_);
     if (!vqueue_.empty()) {
       if (options_.basyn) {
         phase1_async(lo, hi, delta, bs);
@@ -678,8 +702,8 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
         phase1_sync(lo, hi, delta, bs);
       }
     }
-    bs.threads_used = sim_.counters().active_lane_ops - threads_before;
-    bs.phase1_ms = sim_.elapsed_ms() - ms_before_phase1;
+    bs.threads_used = sim_->counters().active_lane_ops - threads_before;
+    bs.phase1_ms = sim_->stream_elapsed_ms(stream_) - ms_before_phase1;
 
     // Δ readjustment (Algorithm 2, line 11): after phase 1, using this
     // bucket's converged count and thread usage, before phases 2&3 collect
@@ -689,10 +713,10 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
 
     Weight next_lo = hi;
     Weight next_hi = next_lo + delta_next;
-    const double ms_before_phase23 = sim_.elapsed_ms();
+    const double ms_before_phase23 = sim_->stream_elapsed_ms(stream_);
     const ScanOutcome outcome =
         phase23(lo, hi, delta, next_lo, next_hi, /*relax_heavy=*/true);
-    bs.phase23_ms = sim_.elapsed_ms() - ms_before_phase23;
+    bs.phase23_ms = sim_->stream_elapsed_ms(stream_) - ms_before_phase23;
     // The scan's settled count must agree with the queue-side count: every
     // vertex of the bucket passed through the queue exactly once.
     RDBS_DCHECK(outcome.converged == bs.converged);
@@ -718,8 +742,9 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
   result.sssp.distances = dist_.data();
   result.sssp.work = work_;
   sssp::finalize_valid_updates(result.sssp, source);
-  result.device_ms = sim_.elapsed_ms();
-  result.counters = sim_.counters();
+  result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
+  result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
+  result.counters = sim_->counters() - counters_before;
   return result;
 }
 

@@ -24,9 +24,11 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/delta_controller.hpp"
+#include "core/device_graph.hpp"
 #include "core/options.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
@@ -48,12 +50,26 @@ class GpuDeltaStepping {
   GpuDeltaStepping(gpusim::DeviceSpec device, const Csr& csr,
                    GpuSsspOptions options);
 
+  // Shared-simulator variant for batched queries: the engine issues all its
+  // kernels on `stream` of an externally owned simulator (which must outlive
+  // the engine) and never resets it — run() reports per-query deltas of the
+  // stream clock and counters instead. With `shared_graph` set (same sim,
+  // same csr) the engine uses those device CSR arrays instead of uploading
+  // its own copy; otherwise it uploads one. Per-query buffers (distances,
+  // queues, heavy-offset mirror) are allocated once here and pooled across
+  // run() calls.
+  GpuDeltaStepping(gpusim::GpuSim& sim, gpusim::StreamId stream,
+                   const Csr& csr, GpuSsspOptions options,
+                   const DeviceCsrBuffers* shared_graph = nullptr);
+
   // Runs SSSP from `source` (in the *engine graph's* vertex numbering).
-  // Resets simulated time/counters first, so the result's device_ms and
-  // counters describe exactly this run.
+  // When the engine owns its simulator, simulated time/counters are reset
+  // first; either way the result's device_ms / queue_wait_ms / counters
+  // describe exactly this run.
   GpuRunResult run(VertexId source);
 
-  gpusim::GpuSim& sim() { return sim_; }
+  gpusim::GpuSim& sim() { return *sim_; }
+  gpusim::StreamId stream() const { return stream_; }
   const GpuSsspOptions& options() const { return options_; }
 
  private:
@@ -102,16 +118,22 @@ class GpuDeltaStepping {
   void enqueue(gpusim::WarpCtx& ctx, VertexId v, std::uint32_t lanes);
   void charge_enqueue(gpusim::WarpCtx& ctx, std::uint32_t lanes);
 
-  gpusim::GpuSim sim_;
+  // Allocates per-query device buffers and resolves the graph arrays
+  // (shared or freshly uploaded). Common tail of both constructors.
+  void init_device_state(const DeviceCsrBuffers* shared_graph);
+
+  std::unique_ptr<gpusim::GpuSim> owned_sim_;  // null in shared-sim mode
+  gpusim::GpuSim* sim_;                        // never null
+  gpusim::StreamId stream_ = 0;
   const Csr& csr_;
   GpuSsspOptions options_;
 
   // Device-resident data (device element sizes match the CUDA layout:
-  // 4-byte offsets/ids/weights/distances).
-  gpusim::Buffer<EdgeIndex> row_offsets_;
+  // 4-byte offsets/ids/weights/distances). The read-only CSR arrays live in
+  // *graph_bufs_ — either this engine's own upload or a shared one.
+  std::unique_ptr<DeviceCsrBuffers> owned_graph_;
+  const DeviceCsrBuffers* graph_bufs_ = nullptr;  // never null after ctor
   gpusim::Buffer<EdgeIndex> heavy_offsets_;  // present with PRO
-  gpusim::Buffer<VertexId> adjacency_;
-  gpusim::Buffer<Weight> weights_;
   gpusim::Buffer<Distance> dist_;
   gpusim::Buffer<VertexId> queue_;     // phase-1 work queue (ring)
   gpusim::Buffer<std::uint8_t> in_queue_;

@@ -1,0 +1,101 @@
+#include "core/query_batch.hpp"
+
+#include <algorithm>
+
+#include "common/macros.hpp"
+
+namespace rdbs::core {
+
+QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
+                       QueryBatchOptions options)
+    : options_(options) {
+  RDBS_CHECK(options_.streams >= 1);
+  if (options_.engine == BatchEngine::kRdbs && options_.gpu.pro) {
+    reorder::ProResult pro =
+        reorder::property_driven_reorder(csr, options_.gpu.delta0);
+    graph_ = std::move(pro.csr);
+    perm_ = std::move(pro.perm);
+    permuted_ = true;
+  } else {
+    graph_ = csr;
+  }
+
+  sim_ = std::make_unique<gpusim::GpuSim>(std::move(device));
+  sim_->set_worker_threads(options_.gpu.sim_threads);
+  graph_bufs_ = std::make_unique<DeviceCsrBuffers>(
+      DeviceCsrBuffers::upload(*sim_, graph_));
+
+  lanes_.reserve(static_cast<std::size_t>(options_.streams));
+  for (int s = 0; s < options_.streams; ++s) {
+    Lane lane;
+    lane.stream = s;
+    if (options_.engine == BatchEngine::kRdbs) {
+      lane.rdbs = std::make_unique<GpuDeltaStepping>(
+          *sim_, s, graph_, options_.gpu, graph_bufs_.get());
+    } else {
+      AddsOptions adds;
+      adds.delta = options_.adds_delta;
+      adds.sim_threads = options_.gpu.sim_threads;
+      lane.adds = std::make_unique<AddsLike>(*sim_, s, graph_, adds,
+                                             graph_bufs_.get());
+    }
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+QueryBatch::~QueryBatch() = default;
+
+BatchResult QueryBatch::run(std::span<const VertexId> sources) {
+  BatchResult batch;
+  batch.queries.reserve(sources.size());
+  batch.stats.reserve(sources.size());
+  const double batch_start_ms = sim_->elapsed_ms();
+  const gpusim::Counters counters_before = sim_->counters();
+
+  for (const VertexId source : sources) {
+    RDBS_CHECK(source < graph_.num_vertices());
+    // Earliest-available lane, ties to the lowest stream id.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < lanes_.size(); ++i) {
+      if (sim_->stream_elapsed_ms(lanes_[i].stream) <
+          sim_->stream_elapsed_ms(lanes_[best].stream)) {
+        best = i;
+      }
+    }
+    Lane& lane = lanes_[best];
+
+    const VertexId engine_source =
+        permuted_ ? perm_.to_reordered(source) : source;
+    GpuRunResult result = lane.run(engine_source);
+    if (permuted_) {
+      result.sssp.distances = perm_.unpermute(result.sssp.distances);
+    }
+
+    QueryStats qs;
+    qs.source = source;
+    qs.stream = lane.stream;
+    qs.device_ms = result.device_ms;
+    qs.queue_wait_ms = result.queue_wait_ms;
+    qs.warp_instructions = result.counters.warp_instructions();
+    qs.mwips = qs.device_ms <= 0
+                   ? 0.0
+                   : static_cast<double>(qs.warp_instructions) /
+                         (qs.device_ms * 1e3);
+    batch.sum_latency_ms += qs.device_ms;
+    batch.queue_wait_ms += qs.queue_wait_ms;
+    batch.warp_instructions += qs.warp_instructions;
+    batch.stats.push_back(qs);
+    batch.queries.push_back(std::move(result));
+  }
+
+  batch.makespan_ms = sim_->elapsed_ms() - batch_start_ms;
+  batch.counters = sim_->counters() - counters_before;
+  batch.aggregate_mwips =
+      batch.makespan_ms <= 0
+          ? 0.0
+          : static_cast<double>(batch.warp_instructions) /
+                (batch.makespan_ms * 1e3);
+  return batch;
+}
+
+}  // namespace rdbs::core

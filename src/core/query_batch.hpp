@@ -1,0 +1,112 @@
+// QueryBatch — batched multi-source SSSP over one resident graph.
+//
+// The ROADMAP's production shape: a "server" that accepts N source queries
+// against a shared Csr (+ PRO reordering, done once), schedules them onto a
+// fixed set of concurrent gpusim streams, and reports per-query latency and
+// aggregate throughput. Each stream lane owns one persistent engine whose
+// frontier/bucket/distance buffers are pooled across the queries it serves;
+// the read-only CSR arrays are uploaded once and shared by every lane, so
+// one query's cache residency benefits the next (shared caching).
+//
+// Scheduling: queries are admitted in order onto the lane whose stream
+// clock is lowest (earliest-available, ties to the lowest stream id) — the
+// classic m-machine FCFS dispatch. Kernel-level overlap and the device's
+// concurrent-kernel cap are modeled inside gpusim (see gpusim/sim.hpp).
+//
+// Determinism: lane selection and engine execution are host-serial, so the
+// distances of a batch are bit-identical to the same queries run one at a
+// time on a fresh engine, for any sim_threads and any stream count —
+// streams repartition simulated *time*, never functional state.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/adds.hpp"
+#include "core/gpu_sssp.hpp"
+#include "core/options.hpp"
+#include "core/run_metrics.hpp"
+#include "gpusim/sim.hpp"
+#include "graph/csr.hpp"
+#include "reorder/pro.hpp"
+
+namespace rdbs::core {
+
+enum class BatchEngine {
+  kRdbs,  // GpuDeltaStepping under QueryBatchOptions::gpu (PRO honored)
+  kAdds,  // AddsLike comparator with QueryBatchOptions::adds_delta
+};
+
+struct QueryBatchOptions {
+  int streams = 4;  // concurrent query lanes (>= 1)
+  BatchEngine engine = BatchEngine::kRdbs;
+  GpuSsspOptions gpu;           // RDBS configuration; gpu.sim_threads also
+                                // sets the shared simulator's replay threads
+  graph::Weight adds_delta = 100.0;  // Near/Far increment for kAdds
+};
+
+// Per-query scheduling/throughput summary (full per-query GpuRunResult is
+// in BatchResult::queries at the same index).
+struct QueryStats {
+  VertexId source = 0;               // in the caller's original numbering
+  gpusim::StreamId stream = 0;       // lane the query ran on
+  double device_ms = 0;              // query latency on its stream
+  double queue_wait_ms = 0;          // time queued behind the kernel cap
+  std::uint64_t warp_instructions = 0;
+  double mwips = 0;                  // warp instructions / latency
+};
+
+struct BatchResult {
+  std::vector<GpuRunResult> queries;  // distances in original numbering
+  std::vector<QueryStats> stats;      // parallel to `queries`
+  // Aggregates over the whole batch:
+  double makespan_ms = 0;       // device time from batch start to last finish
+  double sum_latency_ms = 0;    // what the queries would cost back-to-back
+  double queue_wait_ms = 0;     // total cap-induced waiting
+  std::uint64_t warp_instructions = 0;
+  double aggregate_mwips = 0;   // total instructions / makespan
+  gpusim::Counters counters;    // whole-batch counter deltas
+};
+
+class QueryBatch {
+ public:
+  // Copies `csr` (reordering it once when options.gpu.pro is set and the
+  // engine is kRdbs), uploads it to a shared simulator, and builds one
+  // pooled engine per stream lane.
+  QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
+             QueryBatchOptions options = {});
+  ~QueryBatch();
+
+  // Runs the batch. Sources are in the ORIGINAL vertex numbering; result
+  // distances are mapped back to it. Callable repeatedly — lanes, buffers
+  // and cache state persist (metrics are per-batch deltas).
+  BatchResult run(std::span<const VertexId> sources);
+
+  int streams() const { return static_cast<int>(lanes_.size()); }
+  const graph::Csr& engine_graph() const { return graph_; }
+  gpusim::GpuSim& sim() { return *sim_; }
+  const QueryBatchOptions& options() const { return options_; }
+
+ private:
+  // One stream and its persistent engine (pooled buffers across queries).
+  struct Lane {
+    gpusim::StreamId stream = 0;
+    std::unique_ptr<GpuDeltaStepping> rdbs;
+    std::unique_ptr<AddsLike> adds;
+
+    GpuRunResult run(VertexId source) {
+      return rdbs ? rdbs->run(source) : adds->run(source);
+    }
+  };
+
+  QueryBatchOptions options_;
+  graph::Csr graph_;             // engine-facing (possibly reordered) CSR
+  reorder::Permutation perm_;    // identity when PRO is off
+  bool permuted_ = false;
+  std::unique_ptr<gpusim::GpuSim> sim_;
+  std::unique_ptr<DeviceCsrBuffers> graph_bufs_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace rdbs::core

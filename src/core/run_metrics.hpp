@@ -32,6 +32,10 @@ struct BucketStats {
 struct GpuRunResult {
   sssp::SsspResult sssp;
   double device_ms = 0;               // simulated kernel time
+  // Time this run's kernels spent queued behind the device's concurrent-
+  // kernel cap (always 0 for a single query on its own simulator; nonzero
+  // only when sharing the device with other streams in a batch).
+  double queue_wait_ms = 0;
   gpusim::Counters counters;          // profiling deltas for this run
   std::vector<BucketStats> buckets;   // per-bucket trace (if instrumented)
 

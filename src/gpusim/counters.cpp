@@ -21,6 +21,28 @@ Counters& Counters::operator+=(const Counters& other) {
   return *this;
 }
 
+Counters Counters::operator-(const Counters& other) const {
+  Counters d;
+  d.inst_executed_global_loads =
+      inst_executed_global_loads - other.inst_executed_global_loads;
+  d.inst_executed_global_stores =
+      inst_executed_global_stores - other.inst_executed_global_stores;
+  d.inst_executed_atomics = inst_executed_atomics - other.inst_executed_atomics;
+  d.l1_sector_accesses = l1_sector_accesses - other.l1_sector_accesses;
+  d.l1_sector_hits = l1_sector_hits - other.l1_sector_hits;
+  d.l2_sector_accesses = l2_sector_accesses - other.l2_sector_accesses;
+  d.l2_sector_hits = l2_sector_hits - other.l2_sector_hits;
+  d.alu_instructions = alu_instructions - other.alu_instructions;
+  d.memory_transactions = memory_transactions - other.memory_transactions;
+  d.dram_bytes = dram_bytes - other.dram_bytes;
+  d.atomic_conflicts = atomic_conflicts - other.atomic_conflicts;
+  d.kernel_launches = kernel_launches - other.kernel_launches;
+  d.child_launches = child_launches - other.child_launches;
+  d.active_lane_ops = active_lane_ops - other.active_lane_ops;
+  d.issued_lane_ops = issued_lane_ops - other.issued_lane_ops;
+  return d;
+}
+
 bool Counters::operator==(const Counters& other) const {
   return inst_executed_global_loads == other.inst_executed_global_loads &&
          inst_executed_global_stores == other.inst_executed_global_stores &&

@@ -38,6 +38,12 @@ struct Counters {
                : static_cast<double>(l1_sector_hits) /
                      static_cast<double>(l1_sector_accesses);
   }
+  // Total warp-level instructions issued (ALU + loads + stores + atomics) —
+  // the numerator of the MWIPS throughput metric.
+  std::uint64_t warp_instructions() const {
+    return alu_instructions + inst_executed_global_loads +
+           inst_executed_global_stores + inst_executed_atomics;
+  }
   // SIMT lane utilization: 1.0 means no divergence waste.
   double lane_efficiency() const {
     return issued_lane_ops == 0
@@ -47,6 +53,10 @@ struct Counters {
   }
 
   Counters& operator+=(const Counters& other);
+  // Per-query counter deltas: batch engines snapshot the shared simulator's
+  // counters before a query and subtract after. All counters are monotone
+  // within a simulator lifetime, so the subtraction never underflows.
+  Counters operator-(const Counters& other) const;
   // Exact (bitwise) comparison — the parallel-determinism tests assert that
   // every counter is identical across worker-thread counts.
   bool operator==(const Counters& other) const;

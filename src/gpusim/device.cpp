@@ -37,6 +37,8 @@ DeviceSpec test_device() {
   spec.l2_kb = 64;
   spec.kernel_launch_us = 5.0;
   spec.child_launch_us = 0.5;
+  // Small cap so concurrency-limit effects are visible in unit tests.
+  spec.max_concurrent_kernels = 4;
   return spec;
 }
 

@@ -34,6 +34,9 @@ struct DeviceSpec {
   double child_launch_us = 0.7;
   // Extra cycles a conflicting atomic lane serializes for.
   int atomic_conflict_cycles = 4;
+  // Hyper-Q: how many kernels (from any stream) the device can have resident
+  // at once. Kernels beyond the cap queue and accrue stream queue-wait.
+  int max_concurrent_kernels = 32;
 
   double cycles_to_ms(double cycles) const {
     return cycles / (clock_ghz * 1e6);

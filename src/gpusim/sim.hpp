@@ -21,6 +21,11 @@
 // launching warp and their work is scheduled like any other dynamic task
 // (Hyper-Q overlap).
 //
+// Launches carry a StreamId (default 0). Kernels on distinct streams overlap
+// in simulated time under an m-slot Hyper-Q admission model
+// (DeviceSpec::max_concurrent_kernels) with an aggregate device-throughput
+// floor; see docs/costmodel.md, "Streams & concurrent kernels".
+//
 // Execution pipeline (see docs/costmodel.md, "Parallel execution &
 // determinism"): each launch runs in two phases. The *record* phase executes
 // task bodies serially in canonical task order — all functional effects
@@ -51,6 +56,16 @@ namespace rdbs::gpusim {
 
 class GpuSim;
 class KernelScope;
+
+// Identifies a CUDA-style stream on the simulated device. Work on one stream
+// is ordered; work on different streams may overlap in simulated time
+// (Hyper-Q), bounded by DeviceSpec::max_concurrent_kernels and the device's
+// aggregate compute/DRAM throughput. Stream 0 is the default stream; all
+// pre-existing single-query call sites use it implicitly and see exactly the
+// old single-timeline accounting. Streams partition *time accounting only* —
+// functional execution stays serial in host call order, so results remain
+// bit-identical for any sim_threads and any stream assignment.
+using StreamId = int;
 
 // A typed region of simulated device memory. Host code initializes and
 // reads back through data(); device code (warp tasks) must go through
@@ -268,8 +283,8 @@ class GpuSim {
   template <typename F>
   LaunchResult run_kernel(Schedule schedule, std::uint64_t num_tasks,
                           int warps_per_block, F&& run,
-                          bool host_launch = true) {
-    begin_launch(host_launch);
+                          bool host_launch = true, StreamId stream = 0) {
+    begin_launch(host_launch, stream);
     for (std::uint64_t t = 0; t < num_tasks; ++t) {
       const int sm = pick_sm(schedule, t, warps_per_block);
       WarpCtx ctx = begin_task(sm);
@@ -286,8 +301,8 @@ class GpuSim {
   // i)` may append to it.
   template <typename TaskVec, typename F>
   LaunchResult run_persistent(TaskVec& tasks, F&& run,
-                              bool host_launch = true) {
-    begin_launch(host_launch);
+                              bool host_launch = true, StreamId stream = 0) {
+    begin_launch(host_launch, stream);
     std::uint64_t consumed = 0;
     while (consumed < tasks.size()) {
       const int sm = pick_sm(Schedule::kDynamic, consumed, 1);
@@ -308,8 +323,10 @@ class GpuSim {
   // See KernelScope below.
 
   // Adds a fixed host-side overhead (e.g. a stream synchronize between
-  // dependent kernels in synchronous mode).
-  void host_barrier() { total_ms_ += spec_.kernel_launch_us * 1e-3 * 0.5; }
+  // dependent kernels in synchronous mode) to one stream's timeline.
+  void host_barrier(StreamId stream = 0) {
+    stream_state(stream).time_ms += spec_.kernel_launch_us * 1e-3 * 0.5;
+  }
 
   // Host<->device transfer over PCIe (the paper's timings EXCLUDE these, as
   // do the engines here; exposed for end-to-end accounting in user code).
@@ -320,12 +337,33 @@ class GpuSim {
     return kSetupUs * 1e-3 + static_cast<double>(bytes) /
                                  (kPcieBandwidthGbps * 1e6);
   }
-  // Charges a transfer onto the simulated timeline.
-  void memcpy_h2d(std::uint64_t bytes) { total_ms_ += memcpy_ms(bytes); }
-  void memcpy_d2h(std::uint64_t bytes) { total_ms_ += memcpy_ms(bytes); }
+  // Charges a transfer onto the simulated timeline of one stream.
+  void memcpy_h2d(std::uint64_t bytes, StreamId stream = 0) {
+    stream_state(stream).time_ms += memcpy_ms(bytes);
+  }
+  void memcpy_d2h(std::uint64_t bytes, StreamId stream = 0) {
+    stream_state(stream).time_ms += memcpy_ms(bytes);
+  }
 
-  double elapsed_ms() const { return total_ms_; }
-  void reset_time() { total_ms_ = 0; }
+  // --- simulated time -------------------------------------------------------
+  // Device wall time: the latest stream clock, floored by the aggregate
+  // device-throughput bound (total busy cycles across all launches cannot
+  // retire faster than every SM issuing flat out, nor can total DRAM traffic
+  // beat peak bandwidth). With a single stream this equals the old
+  // accumulate-every-launch timeline exactly.
+  double elapsed_ms() const;
+  // Per-stream clock: completion time of the last operation on `stream`.
+  double stream_elapsed_ms(StreamId stream) const;
+  // Time kernels on `stream` spent waiting for one of the device's
+  // max_concurrent_kernels slots (Hyper-Q admission queue).
+  double stream_queue_wait_ms(StreamId stream) const;
+  // Kernels admitted on `stream` (host launches and device-side scopes).
+  std::uint64_t stream_kernels(StreamId stream) const;
+  // Aggregate-throughput lower bound on elapsed_ms (diagnostic).
+  double device_busy_floor_ms() const { return device_work_ms_; }
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+
+  void reset_time();
   void reset_all();
 
  private:
@@ -361,7 +399,7 @@ class GpuSim {
     std::uint64_t atomic_conflicts = 0;
   };
 
-  void begin_launch(bool host_launch);
+  void begin_launch(bool host_launch, StreamId stream = 0);
   int pick_sm(Schedule schedule, std::uint64_t task_index,
               int warps_per_block);
   WarpCtx begin_task(int sm);
@@ -374,10 +412,29 @@ class GpuSim {
   void replay_launch();
   void replay_shard(int sm);
 
+  // --- stream timelines (Hyper-Q admission model) --------------------------
+  // Each stream carries its own clock. A kernel "arrives" at its stream's
+  // current clock; admission retires every in-flight kernel that ended by
+  // then, and if all max_concurrent_kernels slots are still held the kernel
+  // starts when the earliest in-flight kernel ends (FCFS, m identical
+  // slots). The gap is the stream's queue wait. All arithmetic is serial
+  // host-side doubles — deterministic for any sim_threads.
+  struct StreamState {
+    double time_ms = 0;
+    double queue_wait_ms = 0;
+    std::uint64_t kernels = 0;
+  };
+  StreamState& stream_state(StreamId stream);
+  const StreamState* stream_state_if(StreamId stream) const;
+  // Charges `duration_ms` as one kernel on `stream`; returns its start time.
+  double admit_kernel(StreamId stream, double duration_ms);
+
   DeviceSpec spec_;
   MemorySim memory_;
   Counters counters_;
-  double total_ms_ = 0;
+  std::vector<StreamState> streams_;
+  std::vector<double> inflight_end_ms_;  // end times of resident kernels
+  double device_work_ms_ = 0;            // aggregate-throughput floor
   int worker_threads_ = 0;
 
   // --- record-phase state (one launch at a time) ---------------------------
@@ -387,6 +444,7 @@ class GpuSim {
   std::vector<TaskRecord> task_records_;
   std::uint32_t active_task_ = kNoTask;
   bool launch_open_ = false;
+  StreamId launch_stream_ = 0;
 
   // Dynamic scheduling: per-SM weight plus a lazy min-heap over
   // (weight, sm) so pick_sm is O(log num_sms) instead of a linear argmin.
@@ -416,12 +474,12 @@ class GpuSim {
 class KernelScope {
  public:
   KernelScope(GpuSim& sim, Schedule schedule, bool host_launch = true,
-              int warps_per_block = 8)
+              int warps_per_block = 8, StreamId stream = 0)
       : sim_(sim),
         schedule_(schedule),
         host_launch_(host_launch),
         warps_per_block_(warps_per_block) {
-    sim_.begin_launch(host_launch_);
+    sim_.begin_launch(host_launch_, stream);
   }
 
   ~KernelScope() { RDBS_DCHECK(finished_); }

@@ -4,6 +4,9 @@
 // properties (the paper's qualitative claims), and determinism.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/rng.hpp"
 #include "core/adds.hpp"
 #include "core/delta_controller.hpp"
 #include "core/gpu_sssp.hpp"
@@ -92,6 +95,46 @@ TEST(DeltaController, ZeroCountsSafe) {
   controller.record_bucket(0, 0);
   controller.record_bucket(0, 0);
   EXPECT_DOUBLE_EQ(controller.current_delta(), 50.0);  // no NaN, no change
+}
+
+TEST(DeltaController, ZeroDenominatorGivesZeroEpsilon) {
+  // Eq. (1) divides by C-sums and T-sums; either sum being zero must yield
+  // ε = 0 exactly, not NaN/inf (header contract).
+  DeltaController zero_converged(100.0);
+  zero_converged.record_bucket(0, 1000);  // every C-sum window is zero
+  zero_converged.record_bucket(0, 1);
+  zero_converged.record_bucket(0, 999999);
+  DeltaController zero_threads(100.0);
+  zero_threads.record_bucket(500, 0);     // every T-sum window is zero
+  zero_threads.record_bucket(1, 0);
+  zero_threads.record_bucket(999999, 0);
+  for (const DeltaController* c : {&zero_converged, &zero_threads}) {
+    for (const graph::Weight eps : c->epsilon_history()) {
+      EXPECT_DOUBLE_EQ(eps, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(c->current_delta(), 100.0);
+  }
+}
+
+TEST(DeltaController, AdversarialFeedbackNeverLeavesDocumentedRange) {
+  // The documented contract (delta_controller.hpp / DESIGN.md): every step
+  // |ε| ≤ Δ0/4 and Δ ∈ [Δ0/2, 4Δ0], for ANY feedback sequence. Drive the
+  // controller with seeded random extremes — including zero counts, spikes
+  // of six orders of magnitude, and constant runs — and check the bounds
+  // after every single step, not just at the end.
+  for (const graph::Weight delta0 : {0.1, 1.0, 100.0, 1e6}) {
+    Xoshiro256 rng(0xadd5 + static_cast<std::uint64_t>(delta0));
+    DeltaController controller(delta0);
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t magnitude = 1ull << rng.next_below(21);
+      controller.record_bucket(rng.next_below(2) ? 0 : rng.next_below(magnitude + 1),
+                               rng.next_below(2) ? 0 : rng.next_below(magnitude + 1));
+      EXPECT_GE(controller.current_delta(), delta0 / 2) << "step " << step;
+      EXPECT_LE(controller.current_delta(), delta0 * 4) << "step " << step;
+      const graph::Weight eps = controller.epsilon_history().back();
+      EXPECT_LE(std::abs(eps), delta0 / 4 + 1e-12) << "step " << step;
+    }
+  }
 }
 
 // --- engine correctness across the ablation space --------------------------

@@ -146,6 +146,49 @@ TEST(Pro, FullPipelinePreservesShortestDistances) {
   }
 }
 
+TEST(Pro, InvariantsHoldOnRandomGraphsForEveryDelta) {
+  // The full PRO contract (§4.1, Fig. 4) as one property test over random
+  // graph families and Δ choices. After property_driven_reorder:
+  //   1. vertex ids are degree-sorted: degree(v) is non-increasing in v;
+  //   2. each adjacency row's weights are ascending;
+  //   3. heavy_begin(v) splits every row exactly at Δ:
+  //      weights[row_begin, heavy_begin) < Δ ≤ weights[heavy_begin, row_end).
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    for (const Weight delta : {1.0, 100.0, 250.0, 1e9}) {
+      const Csr original = (seed % 2 == 0)
+                               ? random_powerlaw_graph(300, 2400, seed)
+                               : test::random_grid_graph(18, seed);
+      const ProResult pro = property_driven_reorder(original, delta);
+      const Csr& csr = pro.csr;
+      ASSERT_EQ(csr.num_vertices(), original.num_vertices());
+      ASSERT_EQ(csr.num_edges(), original.num_edges());
+      ASSERT_TRUE(csr.has_heavy_offsets());
+      for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+        if (v + 1 < csr.num_vertices()) {
+          EXPECT_GE(csr.degree(v), csr.degree(v + 1))
+              << "seed " << seed << " delta " << delta << " vertex " << v;
+        }
+        const EdgeIndex split = csr.heavy_begin(v);
+        ASSERT_GE(split, csr.row_begin(v));
+        ASSERT_LE(split, csr.row_end(v));
+        for (EdgeIndex e = csr.row_begin(v); e < csr.row_end(v); ++e) {
+          if (e + 1 < csr.row_end(v)) {
+            EXPECT_LE(csr.weight(e), csr.weight(e + 1))
+                << "seed " << seed << " delta " << delta << " vertex " << v;
+          }
+          if (e < split) {
+            EXPECT_LT(csr.weight(e), delta)
+                << "seed " << seed << " delta " << delta << " vertex " << v;
+          } else {
+            EXPECT_GE(csr.weight(e), delta)
+                << "seed " << seed << " delta " << delta << " vertex " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(Pro, HeavyDeltaRecorded) {
   const Csr csr = random_powerlaw_graph(64, 512, 9);
   const ProResult pro = property_driven_reorder(csr, 77.0);
