@@ -71,8 +71,12 @@ int main(int argc, char** argv) {
                      format_speedup(m_adds.mean_ms / m_rdbs.mean_ms),
                      format_fixed(paper.gteps, 2),
                      format_speedup(paper.speedup_vs_adds)});
-      const std::string tag =
-          "s" + std::to_string(scale) + "_ef" + std::to_string(edgefactor);
+      // Built with += : `const char* + std::string&&` trips a GCC 12
+      // -Wrestrict false positive through the inlined insert().
+      std::string tag = "s";
+      tag += std::to_string(scale);
+      tag += "_ef";
+      tag += std::to_string(edgefactor);
       gbench_rows.push_back(
           {"fig11/RDBS/" + tag, m_rdbs.mean_ms, m_rdbs.mean_gteps});
       gbench_rows.push_back(

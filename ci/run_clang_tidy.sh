@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# clang-tidy gate: run the repo profile (.clang-tidy) over every
+# translation unit under src/, using a compile_commands.json exported by
+# CMake.
+#
+#   ci/run_clang_tidy.sh [build-dir]
+#
+# Environment:
+#   CLANG_TIDY   binary to use (default: clang-tidy from PATH; versioned
+#                names like clang-tidy-18 work too).
+#   TIDY_JOBS    parallel tidy processes (default: nproc).
+#
+# The script fails fast with a clear message when clang-tidy is not
+# installed — the dev container ships only g++; CI installs clang-tidy
+# (see .github/workflows/ci.yml job analysis-tidy).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-tidy}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+JOBS="${TIDY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "error: '$TIDY' not found on PATH." >&2
+  echo "Install clang-tidy (e.g. 'apt-get install clang-tidy') or point" >&2
+  echo "CLANG_TIDY at a versioned binary such as clang-tidy-18." >&2
+  exit 2
+fi
+
+# Configure only — tidy needs the compilation database, not object files.
+# Tests/bench/examples are excluded from the tidy sweep (they are covered
+# by -Werror and the sanitizer builds), so skip configuring them.
+cmake -S "$ROOT" -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DRDBS_ENABLE_TESTS=OFF -DRDBS_ENABLE_BENCH=OFF \
+  -DRDBS_ENABLE_EXAMPLES=OFF > /dev/null
+
+mapfile -t SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
+echo "clang-tidy ($("$TIDY" --version | head -n1)) over ${#SOURCES[@]} files"
+
+# xargs fans the files out; tidy exits non-zero on any WarningsAsErrors
+# hit, and xargs propagates the worst exit status.
+printf '%s\n' "${SOURCES[@]}" |
+  xargs -P "$JOBS" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet
+
+echo "clang-tidy: clean"

@@ -2,9 +2,9 @@
 # Tier-1 gate: build + full ctest in both replay configurations, then a
 # ThreadSanitizer pass over the parallel-determinism test.
 #
-#   ci/run_tier1.sh [build-root]
+#   ci/run_tier1.sh [--asan] [build-root]
 #
-# Configurations:
+# Configurations (default run):
 #   parallel  -DRDBS_PARALLEL=ON   (default build; OpenMP replay workers)
 #   serial    -DRDBS_PARALLEL=OFF  (no OpenMP dependency)
 #   tsan      -DRDBS_PARALLEL=ON -fsanitize=thread, runs only
@@ -12,6 +12,14 @@
 #             workers) — a data race between L1 shards would surface here —
 #             plus test_query_batch (batch determinism across concurrent
 #             streams with multi-threaded replay).
+#
+# With --asan, runs ONLY the asan configuration: -DRDBS_ASAN=ON
+# (AddressSanitizer + UBSan, -fno-sanitize-recover=all) with the full
+# ctest suite. CI runs it as its own job (analysis-asan) so the memory
+# gate fails independently of the functional gate.
+#
+# All configurations build with -DRDBS_WERROR=ON (-Wall -Wextra -Wshadow
+# -Werror): a new warning anywhere in the tree fails the gate.
 #
 # Environment:
 #   RDBS_FUZZ_ITERS  differential-fuzz case count (default 50 in the test;
@@ -21,6 +29,13 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+ASAN_ONLY=0
+if [[ "${1:-}" == "--asan" ]]; then
+  ASAN_ONLY=1
+  shift
+fi
+
 BUILD_ROOT="${1:-$ROOT/build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
@@ -28,11 +43,22 @@ run_config() {
   local name="$1"; shift
   local dir="$BUILD_ROOT/$name"
   echo "=== [$name] configure: $* ==="
-  cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRDBS_WERROR=ON "$@"
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
+
+if [[ "$ASAN_ONLY" == 1 ]]; then
+  # halt_on_error is the default with -fno-sanitize-recover=all; the
+  # detect_* knobs widen coverage beyond the defaults.
+  export ASAN_OPTIONS="detect_stack_use_after_return=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1"
+  run_config asan -DRDBS_PARALLEL=ON -DRDBS_ASAN=ON
+  echo "tier-1 (asan): passed"
+  exit 0
+fi
 
 run_config parallel -DRDBS_PARALLEL=ON
 run_config serial -DRDBS_PARALLEL=OFF
@@ -40,7 +66,7 @@ run_config serial -DRDBS_PARALLEL=OFF
 echo "=== [tsan] configure ==="
 TSAN_DIR="$BUILD_ROOT/tsan"
 cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DRDBS_PARALLEL=ON \
+  -DRDBS_PARALLEL=ON -DRDBS_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$TSAN_DIR" -j "$JOBS" \

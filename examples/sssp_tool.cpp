@@ -69,40 +69,50 @@ struct RunOutcome {
   sssp::SsspResult sssp;
   gpusim::Counters counters;
   bool simulated = true;
+  std::string sanitizer_report;  // gsan hazards (empty = clean or off)
 };
 
 RunOutcome run_algorithm(const std::string& algorithm, const graph::Csr& csr,
                          const gpusim::DeviceSpec& device,
-                         graph::Weight delta0, graph::VertexId source) {
+                         graph::Weight delta0, graph::VertexId source,
+                         gpusim::SanitizeMode sanitize) {
   RunOutcome outcome;
   if (algorithm == "rdbs") {
     core::GpuSsspOptions options;
     options.delta0 = delta0;
+    options.sanitize = sanitize;
     core::RdbsSolver solver(csr, device, options);
     auto result = solver.solve(source);
     outcome.ms = result.device_ms;
     outcome.sssp = std::move(result.sssp);
     outcome.counters = result.counters;
+    outcome.sanitizer_report = std::move(result.sanitizer_report);
   } else if (algorithm == "adds") {
     core::AddsOptions options;
     options.delta = delta0;
+    options.sanitize = sanitize;
     core::AddsLike adds(device, csr, options);
     auto result = adds.run(source);
     outcome.ms = result.device_ms;
     outcome.sssp = std::move(result.sssp);
     outcome.counters = result.counters;
+    outcome.sanitizer_report = std::move(result.sanitizer_report);
   } else if (algorithm == "sep") {
-    core::SepHybrid sep(device, csr);
+    core::SepHybridOptions options;
+    options.sanitize = sanitize;
+    core::SepHybrid sep(device, csr, options);
     auto result = sep.run(source);
     outcome.ms = result.gpu.device_ms;
     outcome.sssp = std::move(result.gpu.sssp);
     outcome.counters = result.gpu.counters;
+    outcome.sanitizer_report = std::move(result.gpu.sanitizer_report);
   } else if (algorithm == "hn07") {
-    core::HarishNarayanan hn(device, csr);
+    core::HarishNarayanan hn(device, csr, sanitize);
     auto result = hn.run(source);
     outcome.ms = result.device_ms;
     outcome.sssp = std::move(result.sssp);
     outcome.counters = result.counters;
+    outcome.sanitizer_report = std::move(result.sanitizer_report);
   } else if (algorithm == "dijkstra") {
     Timer timer;
     outcome.sssp = sssp::dijkstra(csr, source);
@@ -152,6 +162,11 @@ int main(int argc, char** argv) {
       args.get_int("source", static_cast<std::int64_t>(
                                  bench::pick_sources(csr, 1, config.seed)[0])));
   const std::string algorithm = args.get_string("algorithm", "rdbs");
+  // --sanitize: run every simulated engine under gsan (docs/sanitizer.md);
+  // hazard reports go to stderr and the exit code becomes 3.
+  const gpusim::SanitizeMode sanitize = args.get_bool("sanitize", false)
+                                            ? gpusim::SanitizeMode::kOn
+                                            : gpusim::SanitizeMode::kOff;
 
   if (args.get_bool("batch", false)) {
     // Batched multi-source mode: --sources queries over --batch-streams
@@ -161,6 +176,7 @@ int main(int argc, char** argv) {
     core::QueryBatchOptions bopts;
     bopts.streams = config.batch_streams;
     bopts.gpu.sim_threads = config.sim_threads;
+    bopts.gpu.sanitize = sanitize;
     if (algorithm == "adds") {
       bopts.engine = core::BatchEngine::kAdds;
       bopts.adds_delta = delta0;
@@ -200,6 +216,15 @@ int main(int argc, char** argv) {
         result.makespan_ms <= 0 ? 0.0
                                 : result.sum_latency_ms / result.makespan_ms,
         result.queue_wait_ms, result.aggregate_mwips);
+    if (const gpusim::Sanitizer* san = batch.sim().sanitizer()) {
+      if (!san->hazards().empty()) {
+        std::fputs(san->report().c_str(), stderr);
+        std::fprintf(stderr, "sanitize: %zu hazard record(s) detected\n",
+                     san->hazards().size());
+        return 3;
+      }
+      std::printf("sanitize: clean (0 hazards)\n");
+    }
     return 0;
   }
 
@@ -212,8 +237,13 @@ int main(int argc, char** argv) {
   TextTable table({"algorithm", "time ms", "kind", "reached", "updates",
                    "redundancy", "valid"});
   RunOutcome last;
+  std::string hazards;
   for (const std::string& name : algorithms) {
-    RunOutcome outcome = run_algorithm(name, csr, device, delta0, source);
+    RunOutcome outcome =
+        run_algorithm(name, csr, device, delta0, source, sanitize);
+    if (!outcome.sanitizer_report.empty()) {
+      hazards += "--- " + name + " ---\n" + outcome.sanitizer_report;
+    }
     const auto verdict =
         sssp::validate_distances(csr, source, outcome.sssp.distances);
     table.add_row({name, format_fixed(outcome.ms, 3),
@@ -248,6 +278,14 @@ int main(int argc, char** argv) {
 
   if (args.get_bool("profile", false) && last.simulated) {
     std::printf("\n%s", gpusim::profiler_report(last.counters, device).c_str());
+  }
+  if (sanitize == gpusim::SanitizeMode::kOn) {
+    if (!hazards.empty()) {
+      std::fputs(hazards.c_str(), stderr);
+      std::fputs("sanitize: hazards detected\n", stderr);
+      return 3;
+    }
+    std::printf("sanitize: clean (0 hazards)\n");
   }
   return 0;
 }

@@ -14,6 +14,10 @@ using graph::Weight;
 
 namespace {
 constexpr std::uint32_t kDeviceWord = 4;
+// Cells of the queue control buffer (atomically claimed cursors).
+constexpr std::uint64_t kNearTailCell[1] = {0};
+constexpr std::uint64_t kNearHeadCell[1] = {1};
+constexpr std::uint64_t kFarTailCell[1] = {2};
 }
 
 AddsLike::AddsLike(gpusim::DeviceSpec device, const graph::Csr& csr,
@@ -23,6 +27,9 @@ AddsLike::AddsLike(gpusim::DeviceSpec device, const graph::Csr& csr,
       csr_(csr),
       options_(options) {
   sim_->set_worker_threads(options_.sim_threads);
+  if (options_.sanitize != gpusim::SanitizeMode::kOff) {
+    sim_->enable_sanitizer(options_.sanitize);
+  }
   init_device_state(nullptr);
 }
 
@@ -30,6 +37,10 @@ AddsLike::AddsLike(gpusim::GpuSim& sim, gpusim::StreamId stream,
                    const graph::Csr& csr, AddsOptions options,
                    const DeviceCsrBuffers* shared_graph)
     : sim_(&sim), stream_(stream), csr_(csr), options_(options) {
+  // Never *disable* here: in shared-sim mode the batch owns the setting.
+  if (options_.sanitize != gpusim::SanitizeMode::kOff) {
+    sim_->enable_sanitizer(options_.sanitize);
+  }
   init_device_state(shared_graph);
 }
 
@@ -51,12 +62,15 @@ void AddsLike::init_device_state(const DeviceCsrBuffers* shared_graph) {
   far_pile_ = sim_->alloc<VertexId>("far_pile",
                                     std::max<std::size_t>(2 * m + 64, 64),
                                     kDeviceWord);
+  queue_ctrl_ = sim_->alloc<std::uint32_t>("queue_ctrl", 3, kDeviceWord);
+  sim_->mark_initialized(queue_ctrl_);
   in_near_ = sim_->alloc<std::uint8_t>("in_near", n, 1);
 }
 
 void AddsLike::init_distances_kernel(VertexId source) {
   const VertexId n = csr_.num_vertices();
   const std::uint64_t warps = (n + 31) / 32;
+  sim_->label_next_launch("init_distances");
   sim_->run_kernel(
       gpusim::Schedule::kStatic, warps, 8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
@@ -77,6 +91,7 @@ void AddsLike::init_distances_kernel(VertexId source) {
                   std::span<const std::uint8_t>(zero.data(), lanes));
       },
       /*host_launch=*/true, stream_);
+  sim_->label_next_launch("seed_source");
   sim_->run_kernel(gpusim::Schedule::kStatic, 1, 1,
                   [&](gpusim::WarpCtx& ctx, std::uint64_t) {
                     ctx.store_one(dist_, source, Distance{0});
@@ -96,28 +111,45 @@ GpuRunResult AddsLike::run(VertexId source) {
   GpuRunResult result;
   init_distances_kernel(source);
 
+  // Host seed modeled as an H2D upload of the first ring slot + flag.
   std::deque<VertexId> near{source};
   in_near_[source] = 1;
+  near_queue_[0] = source;
+  sim_->mark_initialized(near_queue_, 0, 1);
+  sim_->mark_initialized(in_near_, source, 1);
   std::vector<VertexId> far;
-  std::uint64_t near_tail = 0;
+  std::uint64_t near_tail = 1;
+  std::uint64_t near_head = 0;
   std::uint64_t far_tail = 0;
   Distance threshold = options_.delta;
 
-  auto charge_push = [&](gpusim::WarpCtx& ctx, std::uint32_t lanes,
+  // Warp-aggregated pile append: one tail atomic for the warp on the
+  // control cell, an atomicExch per near flag, and a volatile (st.cg) store
+  // of the vertex ids into the claimed ring slots — concurrent warps of the
+  // same persistent kernel pop/re-split these slots, so plain cached stores
+  // would race. The caller already appended `ids` to the host mirror.
+  auto charge_push = [&](gpusim::WarpCtx& ctx, std::span<const VertexId> ids,
                          bool to_near) {
+    const auto lanes = static_cast<std::uint32_t>(ids.size());
     if (lanes == 0) return;
-    std::array<std::uint64_t, 32> idx{};
-    std::array<VertexId, 32> ids{};
+    std::array<std::uint64_t, 32> slot{};
     std::uint64_t& tail = to_near ? near_tail : far_tail;
     auto& buf = to_near ? near_queue_ : far_pile_;
     for (std::uint32_t i = 0; i < lanes; ++i) {
-      idx[i] = (tail + i) % buf.size();
-      ids[i] = 0;
+      slot[i] = (tail + i) % buf.size();
+      buf[slot[i]] = ids[i];
     }
-    const std::uint64_t tail_idx[1] = {tail % buf.size()};
-    ctx.atomic_touch(buf, std::span<const std::uint64_t>(tail_idx, 1));
-    ctx.store(buf, std::span<const std::uint64_t>(idx.data(), lanes),
-              std::span<const VertexId>(ids.data(), lanes));
+    ctx.atomic_touch(queue_ctrl_,
+                     std::span<const std::uint64_t>(
+                         to_near ? kNearTailCell : kFarTailCell, 1));
+    if (to_near) {
+      std::array<std::uint64_t, 32> flag{};
+      for (std::uint32_t i = 0; i < lanes; ++i) flag[i] = ids[i];
+      ctx.atomic_touch(in_near_,
+                       std::span<const std::uint64_t>(flag.data(), lanes));
+    }
+    ctx.volatile_touch(buf, std::span<const std::uint64_t>(slot.data(), lanes),
+                       /*is_store=*/true);
     tail += lanes;
   };
 
@@ -127,6 +159,10 @@ GpuRunResult AddsLike::run(VertexId source) {
       // distance, promote entries below it, drop stale duplicates.
       Distance min_far = graph::kInfiniteDistance;
       std::vector<VertexId> still_far;
+      // The live entries occupy the last far.size() pile slots (every push
+      // went through charge_push, so pushes and slots are in lockstep).
+      const std::uint64_t pile_base = far_tail - far.size();
+      sim_->label_next_launch("far_split");
       gpusim::KernelScope split(*sim_, gpusim::Schedule::kStatic, true,
                                 /*warps_per_block=*/8, stream_);
       for (std::size_t base = 0; base < far.size(); base += 32) {
@@ -134,12 +170,17 @@ GpuRunResult AddsLike::run(VertexId source) {
             std::min<std::size_t>(32, far.size() - base));
         auto ctx = split.make_warp();
         std::array<std::uint64_t, 32> vidx{};
+        std::array<std::uint64_t, 32> slot{};
         std::array<Distance, 32> dvals{};
-        for (std::uint32_t i = 0; i < cnt; ++i) vidx[i] = far[base + i];
-        // Load the pile slots and the current distances of the entries.
-        std::array<VertexId, 32> tmp{};
-        ctx.load(far_pile_, std::span<const std::uint64_t>(vidx.data(), cnt),
-                 std::span<VertexId>(tmp.data(), cnt));
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          vidx[i] = far[base + i];
+          slot[i] = (pile_base + base + i) % far_pile_.size();
+        }
+        // Read the pile slots (volatile — written by concurrent warps'
+        // st.cg appends) and the current distances of the entries.
+        ctx.volatile_touch(far_pile_,
+                           std::span<const std::uint64_t>(slot.data(), cnt),
+                           /*is_store=*/false);
         ctx.load(dist_, std::span<const std::uint64_t>(vidx.data(), cnt),
                  std::span<Distance>(dvals.data(), cnt));
         ctx.alu(2, cnt);
@@ -167,8 +208,10 @@ GpuRunResult AddsLike::run(VertexId source) {
         ctx.load(dist_, std::span<const std::uint64_t>(vidx.data(), cnt),
                  std::span<Distance>(dvals.data(), cnt));
         ctx.alu(2, cnt);
-        std::uint32_t promoted = 0;
-        std::uint32_t kept = 0;
+        std::array<VertexId, 32> promoted{};
+        std::array<VertexId, 32> kept{};
+        std::uint32_t promoted_count = 0;
+        std::uint32_t kept_count = 0;
         for (std::uint32_t i = 0; i < cnt; ++i) {
           const VertexId v = far[base + i];
           const Distance d = dvals[i];
@@ -178,15 +221,18 @@ GpuRunResult AddsLike::run(VertexId source) {
             if (!in_near_[v]) {
               in_near_[v] = 1;
               near.push_back(v);
-              ++promoted;
+              promoted[promoted_count++] = v;
             }
           } else {
             still_far.push_back(v);
-            ++kept;
+            kept[kept_count++] = v;
           }
         }
-        charge_push(ctx, promoted, /*to_near=*/true);
-        charge_push(ctx, kept, /*to_near=*/false);
+        charge_push(ctx, std::span<const VertexId>(promoted.data(),
+                                                   promoted_count),
+                    /*to_near=*/true);
+        charge_push(ctx, std::span<const VertexId>(kept.data(), kept_count),
+                    /*to_near=*/false);
         split.commit(ctx);
       }
       split.finish();
@@ -197,6 +243,7 @@ GpuRunResult AddsLike::run(VertexId source) {
     // --- Near processing: one persistent asynchronous kernel that drains
     // the Near pile, thread-per-vertex, relaxing ALL edges of each vertex
     // (no light/heavy split in ADDS's data layout).
+    sim_->label_next_launch("near_relax");
     gpusim::KernelScope kernel(*sim_, gpusim::Schedule::kDynamic, true,
                                /*warps_per_block=*/8, stream_);
     while (!near.empty()) {
@@ -212,12 +259,20 @@ GpuRunResult AddsLike::run(VertexId source) {
       for (std::uint32_t i = 0; i < lane_count; ++i) vidx[i] = lanes[i];
       std::span<const std::uint64_t> vspan(vidx.data(), lane_count);
       {
-        std::array<VertexId, 32> tmp{};
-        ctx.load(near_queue_, vspan,
-                 std::span<VertexId>(tmp.data(), lane_count));
-        std::array<std::uint8_t, 32> zero{};
-        ctx.store(in_near_, vspan,
-                  std::span<const std::uint8_t>(zero.data(), lane_count));
+        // Pop: one head atomic for the warp, a volatile read of the claimed
+        // ring slots, and an atomicExch per lane clearing the near flag.
+        std::array<std::uint64_t, 32> slot{};
+        for (std::uint32_t i = 0; i < lane_count; ++i) {
+          slot[i] = (near_head + i) % near_queue_.size();
+        }
+        near_head += lane_count;
+        ctx.atomic_touch(queue_ctrl_,
+                         std::span<const std::uint64_t>(kNearHeadCell, 1));
+        ctx.volatile_touch(
+            near_queue_,
+            std::span<const std::uint64_t>(slot.data(), lane_count),
+            /*is_store=*/false);
+        ctx.atomic_touch(in_near_, vspan);
       }
       for (std::uint32_t i = 0; i < lane_count; ++i) in_near_[lanes[i]] = 0;
 
@@ -276,8 +331,10 @@ GpuRunResult AddsLike::run(VertexId source) {
                        std::span<const std::uint64_t>(relax_idx.data(), active),
                        std::span<const Distance>(relax_val.data(), active),
                        std::span<std::uint8_t>(improved.data(), active));
-        std::uint32_t to_near = 0;
-        std::uint32_t to_far = 0;
+        std::array<VertexId, 32> to_near{};
+        std::array<VertexId, 32> to_far{};
+        std::uint32_t to_near_count = 0;
+        std::uint32_t to_far_count = 0;
         for (std::uint32_t i = 0; i < active; ++i) {
           if (!improved[i]) continue;
           ++work_.total_updates;
@@ -286,15 +343,18 @@ GpuRunResult AddsLike::run(VertexId source) {
             if (!in_near_[v]) {
               in_near_[v] = 1;
               near.push_back(v);
-              ++to_near;
+              to_near[to_near_count++] = v;
             }
           } else {
             far.push_back(v);
-            ++to_far;
+            to_far[to_far_count++] = v;
           }
         }
-        charge_push(ctx, to_near, /*to_near=*/true);
-        charge_push(ctx, to_far, /*to_near=*/false);
+        charge_push(ctx,
+                    std::span<const VertexId>(to_near.data(), to_near_count),
+                    /*to_near=*/true);
+        charge_push(ctx, std::span<const VertexId>(to_far.data(), to_far_count),
+                    /*to_near=*/false);
       }
       kernel.commit(ctx);
       ++work_.iterations;
@@ -308,6 +368,9 @@ GpuRunResult AddsLike::run(VertexId source) {
   result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
   result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
   result.counters = sim_->counters() - counters_before;
+  if (const gpusim::Sanitizer* san = sim_->sanitizer()) {
+    result.sanitizer_report = san->report();
+  }
   return result;
 }
 

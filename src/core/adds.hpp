@@ -27,6 +27,8 @@ struct AddsOptions {
   graph::Weight delta = 100.0;  // Near/Far threshold increment
   bool instrument = false;
   int sim_threads = 0;          // gpusim replay threads (0 = library default)
+  // gsan hazard analysis over every launch (docs/sanitizer.md).
+  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
 };
 
 class AddsLike {
@@ -62,6 +64,8 @@ class AddsLike {
   gpusim::Buffer<graph::Distance> dist_;
   gpusim::Buffer<graph::VertexId> near_queue_;
   gpusim::Buffer<graph::VertexId> far_pile_;
+  gpusim::Buffer<std::uint32_t> queue_ctrl_;  // [0]=near tail, [1]=near head,
+                                              // [2]=far tail
   gpusim::Buffer<std::uint8_t> in_near_;
 
   sssp::WorkStats work_;

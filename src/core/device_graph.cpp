@@ -23,6 +23,15 @@ DeviceCsrBuffers DeviceCsrBuffers::upload(gpusim::GpuSim& sim,
             bufs.adjacency.data().begin());
   std::copy(csr.weights().begin(), csr.weights().end(),
             bufs.weights.data().begin());
+  // The CSR arrays are an H2D upload and immutable for the buffers'
+  // lifetime: mark them initialized and read-only so gsan flags any kernel
+  // that stores into them (they may be shared across query streams).
+  sim.mark_initialized(bufs.row_offsets);
+  sim.mark_initialized(bufs.adjacency);
+  sim.mark_initialized(bufs.weights);
+  sim.mark_read_only(bufs.row_offsets);
+  sim.mark_read_only(bufs.adjacency);
+  sim.mark_read_only(bufs.weights);
   return bufs;
 }
 

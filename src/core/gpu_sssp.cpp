@@ -14,6 +14,10 @@ namespace {
 // row offsets / vertex ids / weights / distances.
 constexpr std::uint32_t kDeviceWord = 4;
 
+// Cells of the queue control buffer (atomically claimed cursors).
+constexpr std::uint64_t kTailCell[1] = {0};
+constexpr std::uint64_t kHeadCell[1] = {1};
+
 }  // namespace
 
 GpuDeltaStepping::GpuDeltaStepping(gpusim::DeviceSpec device, const Csr& csr,
@@ -23,6 +27,9 @@ GpuDeltaStepping::GpuDeltaStepping(gpusim::DeviceSpec device, const Csr& csr,
       csr_(csr),
       options_(options) {
   sim_->set_worker_threads(options_.sim_threads);
+  if (options_.sanitize != gpusim::SanitizeMode::kOff) {
+    sim_->enable_sanitizer(options_.sanitize);
+  }
   init_device_state(nullptr);
 }
 
@@ -31,6 +38,11 @@ GpuDeltaStepping::GpuDeltaStepping(gpusim::GpuSim& sim,
                                    GpuSsspOptions options,
                                    const DeviceCsrBuffers* shared_graph)
     : sim_(&sim), stream_(stream), csr_(csr), options_(options) {
+  // Never *disable* here: in shared-sim mode the batch owns the sanitizer
+  // setting and may have enabled it for all lanes.
+  if (options_.sanitize != gpusim::SanitizeMode::kOff) {
+    sim_->enable_sanitizer(options_.sanitize);
+  }
   init_device_state(shared_graph);
 }
 
@@ -56,10 +68,15 @@ void GpuDeltaStepping::init_device_state(const DeviceCsrBuffers* shared_graph) {
     heavy_offsets_ = sim_->alloc<EdgeIndex>("heavy_offsets", n, kDeviceWord);
     std::copy(csr_.heavy_offsets().begin(), csr_.heavy_offsets().end(),
               heavy_offsets_.data().begin());
+    sim_->mark_initialized(heavy_offsets_);  // H2D upload
   }
   dist_ = sim_->alloc<Distance>("dist", n, kDeviceWord);
   queue_ = sim_->alloc<VertexId>("queue", std::max<std::size_t>(n, 64),
                                  kDeviceWord);
+  // Queue cursors ([0]=tail, [1]=head), claimed with warp-aggregated
+  // atomics. Host-initialized at upload time (cudaMemset).
+  queue_ctrl_ = sim_->alloc<std::uint32_t>("queue_ctrl", 2, kDeviceWord);
+  sim_->mark_initialized(queue_ctrl_);
   in_queue_ = sim_->alloc<std::uint8_t>("in_queue", n, 1);
   epoch_.assign(n, ~0ull);
 }
@@ -68,6 +85,7 @@ void GpuDeltaStepping::init_distances_kernel(VertexId source) {
   const VertexId n = csr_.num_vertices();
   const std::uint64_t warps = (n + 31) / 32;
   // One coalesced store of 32 distances (and queue-flag clears) per warp.
+  sim_->label_next_launch("init_distances");
   sim_->run_kernel(
       gpusim::Schedule::kStatic, warps, /*warps_per_block=*/8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
@@ -89,6 +107,7 @@ void GpuDeltaStepping::init_distances_kernel(VertexId source) {
       },
       /*host_launch=*/true, stream_);
   // Tiny kernel: dist[source] = 0.
+  sim_->label_next_launch("seed_source");
   sim_->run_kernel(gpusim::Schedule::kStatic, 1, 1,
                   [&](gpusim::WarpCtx& ctx, std::uint64_t) {
                     ctx.store_one(dist_, source, Distance{0});
@@ -107,20 +126,36 @@ EdgeIndex GpuDeltaStepping::light_end(VertexId v, Weight delta) const {
 void GpuDeltaStepping::charge_enqueue(gpusim::WarpCtx& ctx,
                                       std::uint32_t lanes) {
   if (lanes == 0) return;
-  // Warp-aggregated queue append: one tail atomic for the warp, a flag
-  // atomicExch per enqueued vertex (batched in one warp instruction), and a
-  // coalesced store of the vertex ids into consecutive ring slots.
-  std::array<std::uint64_t, 32> idx{};
-  std::array<VertexId, 32> ids{};
+  // Warp-aggregated queue append (enqueue() already performed the
+  // functional writes and advanced queue_tail_, so the warp's slots are the
+  // `lanes` positions just below the tail): one tail atomic for the warp on
+  // the control cell, a flag atomicExch per enqueued vertex, and a volatile
+  // (st.cg) store of the vertex ids into the claimed ring slots — volatile
+  // because concurrent warps of the same persistent kernel pop these slots,
+  // so a plain cached store would race with the pop (gsan: race-rw).
+  std::array<std::uint64_t, 32> slot{};
+  std::array<std::uint64_t, 32> flag{};
   for (std::uint32_t i = 0; i < lanes; ++i) {
-    idx[i] = (queue_tail_ + i) % queue_.size();
-    ids[i] = 0;  // contents are written functionally by enqueue()
+    slot[i] = (queue_tail_ - lanes + i) % queue_.size();
+    flag[i] = queue_[slot[i]];  // the vertex id enqueue() put there
   }
-  const std::uint64_t tail_idx[1] = {queue_tail_ % queue_.size()};
-  ctx.atomic_touch(queue_, std::span<const std::uint64_t>(tail_idx, 1));
-  ctx.atomic_touch(in_queue_, std::span<const std::uint64_t>(idx.data(), lanes));
-  ctx.store(queue_, std::span<const std::uint64_t>(idx.data(), lanes),
-            std::span<const VertexId>(ids.data(), lanes));
+  ctx.atomic_touch(queue_ctrl_, std::span<const std::uint64_t>(kTailCell, 1));
+  ctx.atomic_touch(in_queue_,
+                   std::span<const std::uint64_t>(flag.data(), lanes));
+  ctx.volatile_touch(queue_, std::span<const std::uint64_t>(slot.data(), lanes),
+                     /*is_store=*/true);
+}
+
+void GpuDeltaStepping::seed_queue(VertexId source) {
+  // The host seeds the ring with the source vertex — modeled as an H2D
+  // upload (slot 0 plus the in-queue flag), so the cursors and the first
+  // pop's slot read are accounted for.
+  vqueue_.push_back(source);
+  in_queue_[source] = 1;
+  queue_[0] = source;
+  queue_tail_ = 1;
+  sim_->mark_initialized(queue_, 0, 1);
+  sim_->mark_initialized(in_queue_, source, 1);
 }
 
 void GpuDeltaStepping::enqueue(gpusim::WarpCtx& /*ctx*/, VertexId v,
@@ -142,17 +177,26 @@ void GpuDeltaStepping::parent_warp(gpusim::WarpCtx& ctx,
   const auto lane_count = static_cast<std::uint32_t>(lanes.size());
   RDBS_DCHECK(lane_count > 0 && lane_count <= 32);
 
-  // Pop bookkeeping: read the vertex ids from the queue, clear the
-  // in-queue flags, gather distances and row bounds.
+  // Pop bookkeeping: one head atomic for the warp on the control cell, a
+  // volatile (ld.cg) read of the vertex ids from the claimed ring slots
+  // (they were written by concurrent warps' volatile stores), and an
+  // atomicExch per lane clearing the in-queue flag — atomic because
+  // enqueuing warps touch the same flag cells concurrently.
   std::array<std::uint64_t, 32> vidx{};
   for (std::uint32_t i = 0; i < lane_count; ++i) vidx[i] = lanes[i];
   std::span<const std::uint64_t> vspan(vidx.data(), lane_count);
   {
-    std::array<VertexId, 32> tmp{};
-    ctx.load(queue_, vspan, std::span<VertexId>(tmp.data(), lane_count));
-    std::array<std::uint8_t, 32> zero{};
-    ctx.store(in_queue_, vspan,
-              std::span<const std::uint8_t>(zero.data(), lane_count));
+    std::array<std::uint64_t, 32> slot{};
+    for (std::uint32_t i = 0; i < lane_count; ++i) {
+      slot[i] = (queue_head_ + i) % queue_.size();
+    }
+    queue_head_ += lane_count;
+    ctx.atomic_touch(queue_ctrl_, std::span<const std::uint64_t>(kHeadCell, 1));
+    ctx.volatile_touch(queue_,
+                       std::span<const std::uint64_t>(slot.data(), lane_count),
+                       /*is_store=*/false);
+    ctx.atomic_touch(in_queue_, vspan);
+    for (std::uint32_t i = 0; i < lane_count; ++i) in_queue_[lanes[i]] = 0;
   }
   // Distinct-settlement count (C_i for the Δ-controller): every vertex of
   // the current bucket passes through the queue exactly until it settles.
@@ -198,25 +242,35 @@ void GpuDeltaStepping::parent_warp(gpusim::WarpCtx& ctx,
       // heavy edges can be changed immediately in phase 1 ... it can adapt
       // itself to the change of Δ value"). Cost: read the stale offset,
       // probe/adjust, write it back — one gather load, a couple of ALU
-      // steps, one boundary weight probe and a gather store.
+      // steps, one boundary weight probe and a gather store. The offset
+      // traffic is volatile (ld.cg/st.cg): several warps of the same
+      // persistent kernel may maintain the same vertex's offset, and the
+      // paper requires the change to be "immediately" visible.
       std::array<EdgeIndex, 32> stale{};
-      ctx.load(heavy_offsets_, vspan,
-               std::span<EdgeIndex>(stale.data(), lane_count));
+      ctx.volatile_load(heavy_offsets_, vspan,
+                        std::span<EdgeIndex>(stale.data(), lane_count));
       std::array<std::uint64_t, 32> probe{};
       for (std::uint32_t i = 0; i < lane_count; ++i) {
         lend[i] = light_end(lanes[i], delta);
-        probe[i] = std::min<std::uint64_t>(
-            lend[i], row_end[i] == row_begin[i] ? row_begin[i]
-                                                : row_end[i] - 1);
+        // Empty rows have no boundary edge to probe; keep the lane on
+        // slot 0 (the hardware would predicate it off). Clamping to
+        // row_begin would read one past the weights array for empty
+        // rows at the CSR tail (row_begin == num_edges).
+        probe[i] = row_end[i] == row_begin[i]
+                       ? 0
+                       : std::min<std::uint64_t>(lend[i], row_end[i] - 1);
       }
       std::array<Weight, 32> wtmp{};
-      ctx.load(graph_bufs_->weights, std::span<const std::uint64_t>(probe.data(), lane_count),
-               std::span<Weight>(wtmp.data(), lane_count));
+      if (graph_bufs_->weights.size() != 0) {
+        ctx.load(graph_bufs_->weights,
+                 std::span<const std::uint64_t>(probe.data(), lane_count),
+                 std::span<Weight>(wtmp.data(), lane_count));
+      }
       ctx.alu(2, lane_count);
       std::array<EdgeIndex, 32> fresh{};
       for (std::uint32_t i = 0; i < lane_count; ++i) fresh[i] = lend[i];
-      ctx.store(heavy_offsets_, vspan,
-                std::span<const EdgeIndex>(fresh.data(), lane_count));
+      ctx.volatile_store(heavy_offsets_, vspan,
+                         std::span<const EdgeIndex>(fresh.data(), lane_count));
     }
   } else {
     for (std::uint32_t i = 0; i < lane_count; ++i) lend[i] = row_end[i];
@@ -373,6 +427,7 @@ void GpuDeltaStepping::phase1_async(Weight lo, Weight hi, Weight delta,
   // One persistent kernel per bucket: manager threads feed worker warps
   // from the workload lists; updates are immediately visible and newly
   // activated vertices are processed in the same launch.
+  sim_->label_next_launch("phase1_async");
   gpusim::KernelScope kernel(*sim_, gpusim::Schedule::kDynamic,
                              /*host_launch=*/true, /*warps_per_block=*/8,
                              stream_);
@@ -412,6 +467,7 @@ void GpuDeltaStepping::phase1_sync(Weight lo, Weight hi, Weight delta,
     vqueue_.clear();
     // Functional note: the in_queue flags of frontier members stay set
     // until their parent warp pops them inside the kernel.
+    sim_->label_next_launch("phase1_sync");
     gpusim::KernelScope kernel(
         *sim_, options_.adwl ? gpusim::Schedule::kDynamic
                              : gpusim::Schedule::kStatic,
@@ -575,6 +631,7 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
 
   const bool fused = options_.adwl;  // kernel fusion rides with ADWL (§4.2)
   if (fused) {
+    sim_->label_next_launch("phase23_fused");
     gpusim::KernelScope kernel(*sim_, gpusim::Schedule::kStatic, true,
                                /*warps_per_block=*/8, stream_);
     for (std::uint64_t w = 0; w < warps; ++w) {
@@ -589,6 +646,7 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
     kernel.finish();
   } else {
     if (relax_heavy) {
+      sim_->label_next_launch("phase2");
       gpusim::KernelScope phase2(*sim_, gpusim::Schedule::kStatic, true,
                                  /*warps_per_block=*/8, stream_);
       for (std::uint64_t w = 0; w < warps; ++w) {
@@ -602,6 +660,7 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
       phase2.finish();
       sim_->host_barrier(stream_);
     }
+    sim_->label_next_launch("phase3");
     gpusim::KernelScope phase3(*sim_, gpusim::Schedule::kStatic, true,
                                /*warps_per_block=*/8, stream_);
     for (std::uint64_t w = 0; w < warps; ++w) {
@@ -643,6 +702,7 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
   work_ = sssp::WorkStats{};
   vqueue_.clear();
   queue_tail_ = 0;
+  queue_head_ = 0;
   std::fill(in_queue_.data().begin(), in_queue_.data().end(), 0);
 
   GpuRunResult result;
@@ -652,8 +712,7 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
     // BL: plain synchronous push SSSP. One frontier sweep per kernel
     // launch; every out-edge of every active vertex is relaxed (hi = ∞
     // treats all edges as "light" and re-enqueues every improvement).
-    vqueue_.push_back(source);
-    in_queue_[source] = 1;
+    seed_queue(source);
     ++current_epoch_;
     BucketStats bs;
     bs.delta = graph::kInfiniteDistance;
@@ -667,6 +726,9 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
     result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
     result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
     result.counters = sim_->counters() - counters_before;
+    if (const gpusim::Sanitizer* san = sim_->sanitizer()) {
+      result.sanitizer_report = san->report();
+    }
     return result;
   }
 
@@ -674,8 +736,7 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
   Weight delta = controller.current_delta();
   Weight lo = 0;
   Weight hi = delta;
-  vqueue_.push_back(source);
-  in_queue_[source] = 1;
+  seed_queue(source);
 
   // Guard against pathological non-termination (cannot occur with
   // non-negative weights, but an experiment harness should fail loudly,
@@ -745,6 +806,9 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
   result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
   result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
   result.counters = sim_->counters() - counters_before;
+  if (const gpusim::Sanitizer* san = sim_->sanitizer()) {
+    result.sanitizer_report = san->report();
+  }
   return result;
 }
 

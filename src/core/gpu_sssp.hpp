@@ -115,6 +115,7 @@ class GpuDeltaStepping {
   // device-side cost — offset load or incremental maintenance — is charged
   // at warp level by the callers).
   EdgeIndex light_end(VertexId v, Weight delta) const;
+  void seed_queue(VertexId source);
   void enqueue(gpusim::WarpCtx& ctx, VertexId v, std::uint32_t lanes);
   void charge_enqueue(gpusim::WarpCtx& ctx, std::uint32_t lanes);
 
@@ -136,11 +137,13 @@ class GpuDeltaStepping {
   gpusim::Buffer<EdgeIndex> heavy_offsets_;  // present with PRO
   gpusim::Buffer<Distance> dist_;
   gpusim::Buffer<VertexId> queue_;     // phase-1 work queue (ring)
+  gpusim::Buffer<std::uint32_t> queue_ctrl_;  // [0]=tail, [1]=head cursors
   gpusim::Buffer<std::uint8_t> in_queue_;
 
   // Host-side functional mirror of the work queue.
   std::deque<VertexId> vqueue_;
   std::uint64_t queue_tail_ = 0;  // ring cursor for store addressing
+  std::uint64_t queue_head_ = 0;  // ring cursor for pop addressing
 
   // Distinct-settlement tracking per bucket (C_i for the Δ-controller):
   // epoch_[v] == current_epoch_ iff v was already counted in this bucket.

@@ -9,20 +9,31 @@ namespace rdbs::core::gunrock {
 
 namespace {
 constexpr std::uint32_t kDeviceWord = 4;
+// Output-cursor cell of the frontier control buffer.
+constexpr std::uint64_t kOutCursorCell[1] = {0};
 }
 
-Enactor::Enactor(gpusim::DeviceSpec device, const graph::Csr& csr)
+Enactor::Enactor(gpusim::DeviceSpec device, const graph::Csr& csr,
+                 gpusim::SanitizeMode sanitize)
     : sim_(std::move(device)), csr_(csr) {
+  sim_.enable_sanitizer(sanitize);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();
   row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
   adjacency_ = sim_.alloc<VertexId>("adjacency", m, kDeviceWord);
   weights_ = sim_.alloc<Weight>("weights", m, kDeviceWord);
   dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
-  frontier_buf_ = sim_.alloc<VertexId>("frontier",
+  frontier_in_ = sim_.alloc<VertexId>("frontier_in",
+                                      std::max<EdgeIndex>(m + 64, 64),
+                                      kDeviceWord);
+  frontier_out_ = sim_.alloc<VertexId>("frontier_out",
                                        std::max<EdgeIndex>(m + 64, 64),
                                        kDeviceWord);
+  frontier_ctrl_ = sim_.alloc<std::uint32_t>("frontier_ctrl", 1, kDeviceWord);
+  sim_.mark_initialized(frontier_ctrl_);
+  // The dedup bitmap is cudaMemset at allocation time.
   visited_ = sim_.alloc<std::uint8_t>("visited", n, 1);
+  sim_.mark_initialized(visited_);
 
   std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
             row_offsets_.data().begin());
@@ -30,6 +41,21 @@ Enactor::Enactor(gpusim::DeviceSpec device, const graph::Csr& csr)
             adjacency_.data().begin());
   std::copy(csr_.weights().begin(), csr_.weights().end(),
             weights_.data().begin());
+  sim_.mark_initialized(row_offsets_);
+  sim_.mark_initialized(adjacency_);
+  sim_.mark_initialized(weights_);
+  sim_.mark_read_only(row_offsets_);
+  sim_.mark_read_only(adjacency_);
+  sim_.mark_read_only(weights_);
+}
+
+void Enactor::seed_frontier(const Frontier& frontier) {
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    frontier_in_[i % frontier_in_.size()] = frontier.vertices()[i];
+  }
+  sim_.mark_initialized(frontier_in_, 0,
+                        std::min<std::uint64_t>(frontier.size(),
+                                                frontier_in_.size()));
 }
 
 Frontier Enactor::advance(const Frontier& frontier, const AdvanceFunctor& f) {
@@ -43,6 +69,10 @@ Frontier Enactor::advance(const Frontier& frontier, const AdvanceFunctor& f) {
     EdgeIndex begin, end;
   };
   std::vector<Chunk> chunks;
+  // The enactor guarantees the input frontier is resident in frontier_in_
+  // (the previous operator's compact-store, or a host upload for seeds).
+  seed_frontier(frontier);
+  sim_.label_next_launch("advance");
   gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
   for (std::size_t base = 0; base < frontier.size(); base += 32) {
     const auto cnt = static_cast<std::uint32_t>(
@@ -50,12 +80,14 @@ Frontier Enactor::advance(const Frontier& frontier, const AdvanceFunctor& f) {
     auto ctx = kernel.make_warp();
     std::array<std::uint64_t, 32> vidx{};
     std::array<std::uint64_t, 32> vidx1{};
+    std::array<std::uint64_t, 32> slot{};
     for (std::uint32_t i = 0; i < cnt; ++i) {
       vidx[i] = frontier.vertices()[base + i];
       vidx1[i] = vidx[i] + 1;
+      slot[i] = (base + i) % frontier_in_.size();
     }
     std::array<VertexId, 32> tmp{};
-    ctx.load(frontier_buf_, std::span<const std::uint64_t>(vidx.data(), cnt),
+    ctx.load(frontier_in_, std::span<const std::uint64_t>(slot.data(), cnt),
              std::span<VertexId>(tmp.data(), cnt));
     std::array<EdgeIndex, 32> rb{};
     std::array<EdgeIndex, 32> re{};
@@ -97,24 +129,30 @@ Frontier Enactor::advance(const Frontier& frontier, const AdvanceFunctor& f) {
     // The functor's writes (e.g. atomicMin on dist) are charged as one
     // warp atomic over the emitting lanes.
     std::array<std::uint64_t, 32> emit_idx{};
+    std::array<VertexId, 32> vals{};
     std::uint32_t emitted = 0;
     for (std::uint32_t i = 0; i < cnt; ++i) {
       if (f(chunk.vertex, dsts[i], ws[i])) {
-        emit_idx[emitted++] = dsts[i];
+        emit_idx[emitted] = dsts[i];
+        vals[emitted] = dsts[i];
+        ++emitted;
         out.vertices_.push_back(dsts[i]);
       }
     }
     if (emitted > 0) {
       ctx.atomic_touch(dist_,
                        std::span<const std::uint64_t>(emit_idx.data(), emitted));
-      // Scatter the emissions into the output frontier.
+      // Scatter the emissions into the output frontier: one atomicAdd on
+      // the shared cursor reserves the slot range, then the warp stores
+      // its ids there (disjoint from every other warp's range).
+      ctx.atomic_touch(frontier_ctrl_,
+                       std::span<const std::uint64_t>(kOutCursorCell, 1));
       std::array<std::uint64_t, 32> slots{};
-      std::array<VertexId, 32> vals{};
       for (std::uint32_t i = 0; i < emitted; ++i) {
         slots[i] = (out.vertices_.size() - emitted + i) %
-                   frontier_buf_.size();
+                   frontier_out_.size();
       }
-      ctx.store(frontier_buf_,
+      ctx.store(frontier_out_,
                 std::span<const std::uint64_t>(slots.data(), emitted),
                 std::span<const VertexId>(vals.data(), emitted));
     }
@@ -122,6 +160,8 @@ Frontier Enactor::advance(const Frontier& frontier, const AdvanceFunctor& f) {
   }
   kernel.finish();
   sim_.host_barrier();
+  // Ping-pong: the advance output is the next operator's input.
+  std::swap(frontier_in_, frontier_out_);
   return out;
 }
 
@@ -130,7 +170,10 @@ Frontier Enactor::filter(const Frontier& frontier,
   Frontier out;
   if (frontier.empty()) return out;
   // One compaction kernel: load candidates, test the predicate, dedup via
-  // the visited bitmap (charged as byte loads/stores), compact-store.
+  // the visited bitmap (marked with atomicOr — plain byte stores from
+  // concurrent warps holding the same vertex would race), compact-store.
+  seed_frontier(frontier);
+  sim_.label_next_launch("filter");
   gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
   std::vector<char> seen_this_filter(csr_.num_vertices(), 0);
   for (std::size_t base = 0; base < frontier.size(); base += 32) {
@@ -138,35 +181,51 @@ Frontier Enactor::filter(const Frontier& frontier,
         std::min<std::size_t>(32, frontier.size() - base));
     auto ctx = kernel.make_warp();
     std::array<std::uint64_t, 32> vidx{};
+    std::array<std::uint64_t, 32> slot{};
     for (std::uint32_t i = 0; i < cnt; ++i) {
       vidx[i] = frontier.vertices()[base + i];
+      slot[i] = (base + i) % frontier_in_.size();
     }
     std::span<const std::uint64_t> vs(vidx.data(), cnt);
     std::array<VertexId, 32> tmp{};
-    ctx.load(frontier_buf_, vs, std::span<VertexId>(tmp.data(), cnt));
+    ctx.load(frontier_in_, std::span<const std::uint64_t>(slot.data(), cnt),
+             std::span<VertexId>(tmp.data(), cnt));
     std::array<std::uint8_t, 32> flags{};
     ctx.load(visited_, vs, std::span<std::uint8_t>(flags.data(), cnt));
     ctx.alu(2, cnt);
     std::uint32_t kept = 0;
     std::array<std::uint64_t, 32> keep_idx{};
+    std::array<VertexId, 32> keep_ids{};
     for (std::uint32_t i = 0; i < cnt; ++i) {
       const auto v = frontier.vertices()[base + i];
       if (seen_this_filter[v]) continue;  // bitmap dedup
       seen_this_filter[v] = 1;
       if (!pred(v)) continue;
-      keep_idx[kept++] = v;
+      keep_idx[kept] = v;
+      keep_ids[kept] = v;
+      ++kept;
       out.vertices_.push_back(v);
+      visited_[v] = 1;  // host mirror of the atomicOr below
     }
     if (kept > 0) {
-      std::array<std::uint8_t, 32> ones{};
-      for (std::uint32_t i = 0; i < kept; ++i) ones[i] = 1;
-      ctx.store(visited_, std::span<const std::uint64_t>(keep_idx.data(), kept),
-                std::span<const std::uint8_t>(ones.data(), kept));
+      ctx.atomic_touch(visited_,
+                       std::span<const std::uint64_t>(keep_idx.data(), kept));
+      // Compact-store the survivors into the output frontier.
+      ctx.atomic_touch(frontier_ctrl_,
+                       std::span<const std::uint64_t>(kOutCursorCell, 1));
+      std::array<std::uint64_t, 32> oslots{};
+      for (std::uint32_t i = 0; i < kept; ++i) {
+        oslots[i] = (out.vertices_.size() - kept + i) % frontier_out_.size();
+      }
+      ctx.store(frontier_out_,
+                std::span<const std::uint64_t>(oslots.data(), kept),
+                std::span<const VertexId>(keep_ids.data(), kept));
     }
     kernel.commit(ctx);
   }
   kernel.finish();
   sim_.host_barrier();
+  std::swap(frontier_in_, frontier_out_);
   // The visited bitmap is per-filter scratch in this model: clear the
   // functional flags (cost folded into the stores above).
   for (const VertexId v : out.vertices_) visited_[v] = 0;
@@ -175,17 +234,19 @@ Frontier Enactor::filter(const Frontier& frontier,
 
 void Enactor::compute(const Frontier& frontier, const ComputeFunctor& f) {
   if (frontier.empty()) return;
+  seed_frontier(frontier);
+  sim_.label_next_launch("compute");
   gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
   for (std::size_t base = 0; base < frontier.size(); base += 32) {
     const auto cnt = static_cast<std::uint32_t>(
         std::min<std::size_t>(32, frontier.size() - base));
     auto ctx = kernel.make_warp();
-    std::array<std::uint64_t, 32> vidx{};
+    std::array<std::uint64_t, 32> slot{};
     for (std::uint32_t i = 0; i < cnt; ++i) {
-      vidx[i] = frontier.vertices()[base + i];
+      slot[i] = (base + i) % frontier_in_.size();
     }
     std::array<VertexId, 32> tmp{};
-    ctx.load(frontier_buf_, std::span<const std::uint64_t>(vidx.data(), cnt),
+    ctx.load(frontier_in_, std::span<const std::uint64_t>(slot.data(), cnt),
              std::span<VertexId>(tmp.data(), cnt));
     ctx.alu(2, cnt);
     for (std::uint32_t i = 0; i < cnt; ++i) {
@@ -199,13 +260,14 @@ void Enactor::compute(const Frontier& frontier, const ComputeFunctor& f) {
 GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
                   VertexId source, const GunrockSsspOptions& options) {
   RDBS_CHECK(source < csr.num_vertices());
-  Enactor enactor(std::move(device), csr);
+  Enactor enactor(std::move(device), csr, options.sanitize);
   sssp::WorkStats work;
 
   auto& dist = enactor.dist();
   std::fill(dist.data().begin(), dist.data().end(),
             graph::kInfiniteDistance);
   // Init kernel (coalesced stores over dist).
+  enactor.sim().label_next_launch("init_distances");
   enactor.sim().run_kernel(
       gpusim::Schedule::kStatic, (csr.num_vertices() + 31) / 32, 8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
@@ -223,6 +285,7 @@ GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
                   std::span<const Distance>(inf.data(), cnt));
       });
   dist[source] = 0;
+  enactor.sim().mark_initialized(dist, source, 1);
 
   // Two-level priority split: the "near" pile is advanced immediately,
   // "far" emissions are re-split when near drains (Gunrock's sssp).
@@ -281,6 +344,9 @@ GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
   sssp::finalize_valid_updates(result.sssp, source);
   result.device_ms = enactor.sim().elapsed_ms();
   result.counters = enactor.sim().counters();
+  if (const gpusim::Sanitizer* san = enactor.sim().sanitizer()) {
+    result.sanitizer_report = san->report();
+  }
   return result;
 }
 

@@ -48,7 +48,8 @@ class Frontier;
 
 class Enactor {
  public:
-  Enactor(gpusim::DeviceSpec device, const graph::Csr& csr);
+  Enactor(gpusim::DeviceSpec device, const graph::Csr& csr,
+          gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff);
 
   // advance: expand `frontier` through `f`; the emitted destinations
   // (with duplicates) form the result.
@@ -67,6 +68,12 @@ class Enactor {
 
  private:
   friend class Frontier;
+
+  // Make `frontier` resident in frontier_in_ (slots [0, size)): the host
+  // mirror of the previous operator's compact-store, or an H2D upload for
+  // host-constructed frontiers (the source seed, far-pile re-splits).
+  void seed_frontier(const Frontier& frontier);
+
   gpusim::GpuSim sim_;
   const graph::Csr& csr_;
 
@@ -74,7 +81,13 @@ class Enactor {
   gpusim::Buffer<VertexId> adjacency_;
   gpusim::Buffer<Weight> weights_;
   gpusim::Buffer<Distance> dist_;
-  gpusim::Buffer<VertexId> frontier_buf_;
+  // Double-buffered frontier queues (Gunrock's ping-pong): each operator
+  // reads frontier_in_ and compact-stores its output into frontier_out_,
+  // then the buffers swap. Reading and writing the same array inside one
+  // bulk launch would be a data race.
+  gpusim::Buffer<VertexId> frontier_in_;
+  gpusim::Buffer<VertexId> frontier_out_;
+  gpusim::Buffer<std::uint32_t> frontier_ctrl_;  // [0]=output cursor
   gpusim::Buffer<std::uint8_t> visited_;
 };
 
@@ -100,6 +113,8 @@ struct GunrockSsspOptions {
   // Near/far priority split (Gunrock's sssp uses a two-level priority
   // queue); 0 disables the split (plain Bellman-Ford iterations).
   Weight delta = 100.0;
+  // gsan hazard analysis over every launch (docs/sanitizer.md).
+  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
 };
 
 GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,

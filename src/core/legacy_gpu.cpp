@@ -15,6 +15,9 @@ using graph::Weight;
 
 namespace {
 constexpr std::uint32_t kDeviceWord = 4;
+// Cells of Davidson's queue control buffer (atomically claimed cursors).
+constexpr std::uint64_t kNearTailCell[1] = {0};
+constexpr std::uint64_t kFarTailCell[1] = {1};
 }
 
 // ---------------------------------------------------------------------------
@@ -22,8 +25,10 @@ constexpr std::uint32_t kDeviceWord = 4;
 // ---------------------------------------------------------------------------
 
 HarishNarayanan::HarishNarayanan(gpusim::DeviceSpec device,
-                                 const graph::Csr& csr)
+                                 const graph::Csr& csr,
+                                 gpusim::SanitizeMode sanitize)
     : sim_(std::move(device)), csr_(csr) {
+  sim_.enable_sanitizer(sanitize);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();
   row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
@@ -39,6 +44,12 @@ HarishNarayanan::HarishNarayanan(gpusim::DeviceSpec device,
             adjacency_.data().begin());
   std::copy(csr_.weights().begin(), csr_.weights().end(),
             weights_.data().begin());
+  sim_.mark_initialized(row_offsets_);
+  sim_.mark_initialized(adjacency_);
+  sim_.mark_initialized(weights_);
+  sim_.mark_read_only(row_offsets_);
+  sim_.mark_read_only(adjacency_);
+  sim_.mark_read_only(weights_);
 }
 
 GpuRunResult HarishNarayanan::run(VertexId source) {
@@ -50,6 +61,7 @@ GpuRunResult HarishNarayanan::run(VertexId source) {
 
   // Initialization kernel: cost = updating_cost = inf, mask = 0; then the
   // source seeded by a one-thread kernel (exactly the 2007 structure).
+  sim_.label_next_launch("init_arrays");
   sim_.run_kernel(
       gpusim::Schedule::kStatic, warps, 8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
@@ -71,6 +83,7 @@ GpuRunResult HarishNarayanan::run(VertexId source) {
         ctx.store(mask_, is,
                   std::span<const std::uint8_t>(zero.data(), lanes));
       });
+  sim_.label_next_launch("seed_source");
   sim_.run_kernel(gpusim::Schedule::kStatic, 1, 1,
                   [&](gpusim::WarpCtx& ctx, std::uint64_t) {
                     ctx.store_one(dist_, source, Distance{0});
@@ -87,6 +100,7 @@ GpuRunResult HarishNarayanan::run(VertexId source) {
 
     // Kernel 1 (topology-driven): every vertex loads its mask; masked lanes
     // relax all out-edges into updating_cost via atomicMin.
+    sim_.label_next_launch("relax_scatter");
     sim_.run_kernel(
         gpusim::Schedule::kStatic, warps, 8,
         [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
@@ -166,6 +180,7 @@ GpuRunResult HarishNarayanan::run(VertexId source) {
 
     // Kernel 2: commit improvements, rebuild the mask, resync the shadow.
     changed = false;
+    sim_.label_next_launch("commit_mask");
     sim_.run_kernel(
         gpusim::Schedule::kStatic, warps, 8,
         [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
@@ -207,6 +222,9 @@ GpuRunResult HarishNarayanan::run(VertexId source) {
   sssp::finalize_valid_updates(result.sssp, source);
   result.device_ms = sim_.elapsed_ms();
   result.counters = sim_.counters();
+  if (const gpusim::Sanitizer* san = sim_.sanitizer()) {
+    result.sanitizer_report = san->report();
+  }
   return result;
 }
 
@@ -219,6 +237,7 @@ DavidsonNearFar::DavidsonNearFar(gpusim::DeviceSpec device,
                                  DavidsonOptions options)
     : sim_(std::move(device)), csr_(csr), options_(options) {
   RDBS_CHECK(options_.delta > 0);
+  sim_.enable_sanitizer(options_.sanitize);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();
   row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
@@ -229,6 +248,8 @@ DavidsonNearFar::DavidsonNearFar(gpusim::DeviceSpec device,
                                      kDeviceWord);
   far_pile_ = sim_.alloc<VertexId>("far", std::max<std::size_t>(2 * m + 64, 64),
                                    kDeviceWord);
+  queue_ctrl_ = sim_.alloc<std::uint32_t>("queue_ctrl", 2, kDeviceWord);
+  sim_.mark_initialized(queue_ctrl_);
   in_near_ = sim_.alloc<std::uint8_t>("in_near", n, 1);
 
   std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
@@ -237,6 +258,12 @@ DavidsonNearFar::DavidsonNearFar(gpusim::DeviceSpec device,
             adjacency_.data().begin());
   std::copy(csr_.weights().begin(), csr_.weights().end(),
             weights_.data().begin());
+  sim_.mark_initialized(row_offsets_);
+  sim_.mark_initialized(adjacency_);
+  sim_.mark_initialized(weights_);
+  sim_.mark_read_only(row_offsets_);
+  sim_.mark_read_only(adjacency_);
+  sim_.mark_read_only(weights_);
 }
 
 GpuRunResult DavidsonNearFar::run(VertexId source) {
@@ -248,6 +275,7 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
   std::fill(dist_.data().begin(), dist_.data().end(),
             graph::kInfiniteDistance);
   // Init kernel cost: one coalesced pass over dist.
+  sim_.label_next_launch("init_distances");
   sim_.run_kernel(gpusim::Schedule::kStatic, (n + 31) / 32, 8,
                   [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
                     const std::uint64_t begin = w * 32;
@@ -264,12 +292,41 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
                               std::span<const std::uint64_t>(idx.data(), lanes),
                               std::span<const Distance>(inf.data(), lanes));
                   });
+  // Host seed: dist[source] plus the first near-queue slot, modeled as H2D
+  // uploads.
   dist_[source] = 0;
+  sim_.mark_initialized(dist_, source, 1);
 
   std::vector<VertexId> near{source};
   in_near_[source] = 1;
+  near_queue_[0] = source;
+  sim_.mark_initialized(near_queue_, 0, 1);
   std::vector<VertexId> far;
+  std::uint64_t near_tail = 1;
+  std::uint64_t far_tail = 0;
   Distance threshold = options_.delta;
+
+  // Warp-aggregated pile append (caller already appended `ids` to the host
+  // mirror): one tail atomic on the control cell plus a volatile (st.cg)
+  // store of the ids into the claimed ring slots.
+  auto charge_push = [&](gpusim::WarpCtx& ctx, std::span<const VertexId> ids,
+                         bool to_near) {
+    const auto cnt = static_cast<std::uint32_t>(ids.size());
+    if (cnt == 0) return;
+    std::uint64_t& tail = to_near ? near_tail : far_tail;
+    auto& buf = to_near ? near_queue_ : far_pile_;
+    std::array<std::uint64_t, 32> slot{};
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      slot[i] = (tail + i) % buf.size();
+      buf[slot[i]] = ids[i];
+    }
+    ctx.atomic_touch(queue_ctrl_,
+                     std::span<const std::uint64_t>(
+                         to_near ? kNearTailCell : kFarTailCell, 1));
+    ctx.volatile_touch(buf, std::span<const std::uint64_t>(slot.data(), cnt),
+                       /*is_store=*/true);
+    tail += cnt;
+  };
 
   // Flattened (vertex, edge) workfront chunk: Workfront Sweep's
   // edge-balanced mapping — each warp handles 32 consecutive frontier
@@ -281,16 +338,27 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
 
   while (!near.empty() || !far.empty()) {
     if (near.empty()) {
-      // Far split (synchronous kernel over the pile).
+      // Far split (synchronous kernel over the pile). The live entries
+      // occupy the last far.size() pile slots (pushes and slots are in
+      // lockstep through charge_push).
       Distance min_far = graph::kInfiniteDistance;
+      const std::uint64_t pile_base = far_tail - far.size();
+      sim_.label_next_launch("far_split");
       gpusim::KernelScope split(sim_, gpusim::Schedule::kStatic, true);
       for (std::size_t base = 0; base < far.size(); base += 32) {
         const auto cnt = static_cast<std::uint32_t>(
             std::min<std::size_t>(32, far.size() - base));
         auto ctx = split.make_warp();
         std::array<std::uint64_t, 32> vidx{};
+        std::array<std::uint64_t, 32> slot{};
         std::array<Distance, 32> dvals{};
-        for (std::uint32_t i = 0; i < cnt; ++i) vidx[i] = far[base + i];
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          vidx[i] = far[base + i];
+          slot[i] = (pile_base + base + i) % far_pile_.size();
+        }
+        ctx.volatile_touch(far_pile_,
+                           std::span<const std::uint64_t>(slot.data(), cnt),
+                           /*is_store=*/false);
         ctx.load(dist_, std::span<const std::uint64_t>(vidx.data(), cnt),
                  std::span<Distance>(dvals.data(), cnt));
         ctx.alu(2, cnt);
@@ -311,29 +379,30 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
             std::min<std::size_t>(32, far.size() - base));
         auto ctx = split.make_warp();
         ctx.alu(2, cnt);
-        std::uint32_t stored = 0;
+        std::array<VertexId, 32> promoted{};
+        std::array<VertexId, 32> kept{};
+        std::uint32_t promoted_count = 0;
+        std::uint32_t kept_count = 0;
         for (std::uint32_t i = 0; i < cnt; ++i) {
           const VertexId v = far[base + i];
           const Distance d = dist_[v];
           if (d == graph::kInfiniteDistance || d < old_threshold) continue;
-          ++stored;
           if (d < threshold) {
             if (!in_near_[v]) {
               in_near_[v] = 1;
               near.push_back(v);
+              promoted[promoted_count++] = v;
             }
           } else {
             still_far.push_back(v);
+            kept[kept_count++] = v;
           }
         }
-        if (stored > 0) {
-          std::array<std::uint64_t, 32> slot{};
-          std::array<VertexId, 32> ids{};
-          for (std::uint32_t i = 0; i < stored; ++i) slot[i] = i;
-          ctx.store(near_queue_,
-                    std::span<const std::uint64_t>(slot.data(), stored),
-                    std::span<const VertexId>(ids.data(), stored));
-        }
+        charge_push(ctx,
+                    std::span<const VertexId>(promoted.data(), promoted_count),
+                    /*to_near=*/true);
+        charge_push(ctx, std::span<const VertexId>(kept.data(), kept_count),
+                    /*to_near=*/false);
         split.commit(ctx);
       }
       split.finish();
@@ -347,7 +416,10 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
     std::vector<Chunk> chunks;
     {
       // The flattening itself is a scan+compact on device; charge one pass
-      // over the frontier (row-bound loads + prefix-sum ALU).
+      // over the frontier (queue-slot reads + row-bound loads + prefix-sum
+      // ALU). The frontier occupies the last near.size() queue slots.
+      const std::uint64_t near_base = near_tail - near.size();
+      sim_.label_next_launch("workfront_setup");
       gpusim::KernelScope setup(sim_, gpusim::Schedule::kStatic, true);
       for (std::size_t base = 0; base < near.size(); base += 32) {
         const auto cnt = static_cast<std::uint32_t>(
@@ -355,10 +427,15 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
         auto ctx = setup.make_warp();
         std::array<std::uint64_t, 32> vidx{};
         std::array<std::uint64_t, 32> vidx1{};
+        std::array<std::uint64_t, 32> slot{};
         for (std::uint32_t i = 0; i < cnt; ++i) {
           vidx[i] = near[base + i];
           vidx1[i] = vidx[i] + 1;
+          slot[i] = (near_base + base + i) % near_queue_.size();
         }
+        ctx.volatile_touch(near_queue_,
+                           std::span<const std::uint64_t>(slot.data(), cnt),
+                           /*is_store=*/false);
         std::array<EdgeIndex, 32> rb{};
         std::array<EdgeIndex, 32> re{};
         ctx.load(row_offsets_, std::span<const std::uint64_t>(vidx.data(), cnt),
@@ -381,6 +458,7 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
     near.clear();
     sim_.host_barrier();
 
+    sim_.label_next_launch("workfront_sweep");
     gpusim::KernelScope sweep(sim_, gpusim::Schedule::kStatic, true);
     for (const Chunk& chunk : chunks) {
       auto ctx = sweep.make_warp();
@@ -405,7 +483,10 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
       ctx.atomic_min(dist_, std::span<const std::uint64_t>(tgt.data(), cnt),
                      std::span<const Distance>(val.data(), cnt),
                      std::span<std::uint8_t>(improved.data(), cnt));
-      std::uint32_t pushed = 0;
+      std::array<VertexId, 32> to_near{};
+      std::array<VertexId, 32> to_far{};
+      std::uint32_t to_near_count = 0;
+      std::uint32_t to_far_count = 0;
       for (std::uint32_t i = 0; i < cnt; ++i) {
         if (!improved[i]) continue;
         ++work.total_updates;
@@ -414,22 +495,17 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
           if (!in_near_[v]) {
             in_near_[v] = 1;
             near.push_back(v);
-            ++pushed;
+            to_near[to_near_count++] = v;
           }
         } else {
           far.push_back(v);
-          ++pushed;
+          to_far[to_far_count++] = v;
         }
       }
-      if (pushed > 0) {
-        const std::uint64_t tail[1] = {0};
-        ctx.atomic_touch(near_queue_, std::span<const std::uint64_t>(tail, 1));
-        std::array<std::uint64_t, 32> slot{};
-        std::array<VertexId, 32> ids{};
-        for (std::uint32_t i = 0; i < pushed; ++i) slot[i] = i;
-        ctx.store(near_queue_, std::span<const std::uint64_t>(slot.data(), pushed),
-                  std::span<const VertexId>(ids.data(), pushed));
-      }
+      charge_push(ctx, std::span<const VertexId>(to_near.data(), to_near_count),
+                  /*to_near=*/true);
+      charge_push(ctx, std::span<const VertexId>(to_far.data(), to_far_count),
+                  /*to_near=*/false);
       sweep.commit(ctx);
     }
     sweep.finish();
@@ -442,6 +518,9 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
   sssp::finalize_valid_updates(result.sssp, source);
   result.device_ms = sim_.elapsed_ms();
   result.counters = sim_.counters();
+  if (const gpusim::Sanitizer* san = sim_.sanitizer()) {
+    result.sanitizer_report = san->report();
+  }
   return result;
 }
 

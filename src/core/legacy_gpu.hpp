@@ -28,7 +28,8 @@ namespace rdbs::core {
 
 class HarishNarayanan {
  public:
-  HarishNarayanan(gpusim::DeviceSpec device, const graph::Csr& csr);
+  HarishNarayanan(gpusim::DeviceSpec device, const graph::Csr& csr,
+                  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff);
 
   GpuRunResult run(graph::VertexId source);
 
@@ -48,6 +49,8 @@ class HarishNarayanan {
 
 struct DavidsonOptions {
   graph::Weight delta = 100.0;  // Near/Far threshold increment
+  // gsan hazard analysis over every launch (docs/sanitizer.md).
+  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
 };
 
 class DavidsonNearFar {
@@ -70,6 +73,7 @@ class DavidsonNearFar {
   gpusim::Buffer<graph::Distance> dist_;
   gpusim::Buffer<graph::VertexId> near_queue_;
   gpusim::Buffer<graph::VertexId> far_pile_;
+  gpusim::Buffer<std::uint32_t> queue_ctrl_;  // [0]=near tail, [1]=far tail
   gpusim::Buffer<std::uint8_t> in_near_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <string>
 
 #include "common/macros.hpp"
 
@@ -17,6 +18,9 @@ namespace {
 constexpr std::uint32_t kDeviceWord = 4;
 // One remote relaxation message: packed (vertex id, fp32 distance).
 constexpr double kMessageBytes = 8.0;
+// Cursor cells of the per-shard queue control buffer.
+constexpr std::uint64_t kTailCell[1] = {0};
+constexpr std::uint64_t kOutboxCell[1] = {1};
 }  // namespace
 
 // Per-device state: its own simulator and device-resident buffers covering
@@ -32,10 +36,25 @@ struct MultiGpuDeltaStepping::Shard {
   gpusim::Buffer<Weight> weights;
   gpusim::Buffer<Distance> dist;          // owned shard
   gpusim::Buffer<VertexId> queue;
+  // [0]=local queue tail, [1]=outbox (remote message) cursor.
+  gpusim::Buffer<std::uint32_t> queue_ctrl;
   gpusim::Buffer<std::uint8_t> in_queue;
 
   std::deque<VertexId> frontier;          // local ids of queued vertices
+  std::uint64_t queue_tail = 0;           // host mirror of queue_ctrl[0]
   double busy_ms = 0;
+
+  // Push `lv` into the device work queue: atomicAdd on the tail cursor
+  // reserves the slot, then the id is written with st.cg (the slot may be
+  // consumed concurrently by another warp of a later launch's pop).
+  void charge_push(gpusim::WarpCtx& ctx, VertexId lv) {
+    ctx.atomic_touch(queue_ctrl, std::span<const std::uint64_t>(kTailCell, 1));
+    const std::uint64_t slot[1] = {queue_tail % queue.size()};
+    queue[slot[0]] = lv;
+    ++queue_tail;
+    ctx.volatile_touch(queue, std::span<const std::uint64_t>(slot, 1),
+                       /*is_store=*/true);
+  }
 
   bool owns(VertexId v) const { return v >= first && v < last; }
 };
@@ -53,6 +72,7 @@ MultiGpuDeltaStepping::MultiGpuDeltaStepping(gpusim::DeviceSpec device_template,
 
   for (int d = 0; d < options_.num_devices; ++d) {
     auto shard = std::make_unique<Shard>(device_template);
+    shard->sim.enable_sanitizer(options_.sanitize);
     shard->first = static_cast<VertexId>(d) * shard_size_;
     shard->last = std::min<VertexId>(n, shard->first + shard_size_);
     const VertexId local_n =
@@ -71,6 +91,9 @@ MultiGpuDeltaStepping::MultiGpuDeltaStepping(gpusim::DeviceSpec device_template,
         "dist", std::max<VertexId>(local_n, 1), kDeviceWord);
     shard->queue = shard->sim.alloc<VertexId>(
         "queue", std::max<VertexId>(local_n, 64), kDeviceWord);
+    shard->queue_ctrl =
+        shard->sim.alloc<std::uint32_t>("queue_ctrl", 2, kDeviceWord);
+    shard->sim.mark_initialized(shard->queue_ctrl);
     shard->in_queue = shard->sim.alloc<std::uint8_t>(
         "in_queue", std::max<VertexId>(local_n, 1), 1);
 
@@ -84,8 +107,34 @@ MultiGpuDeltaStepping::MultiGpuDeltaStepping(gpusim::DeviceSpec device_template,
       shard->adjacency[e] = csr_.adjacency()[base + e];
       shard->weights[e] = csr_.weights()[base + e];
     }
+    // H2D upload of the immutable CSR slice.
+    shard->sim.mark_initialized(shard->row_offsets);
+    shard->sim.mark_initialized(shard->adjacency);
+    shard->sim.mark_initialized(shard->weights);
+    shard->sim.mark_read_only(shard->row_offsets);
+    shard->sim.mark_read_only(shard->adjacency);
+    shard->sim.mark_read_only(shard->weights);
     shards_.push_back(std::move(shard));
   }
+}
+
+std::string MultiGpuDeltaStepping::sanitizer_report() const {
+  std::string out;
+  for (std::size_t d = 0; d < shards_.size(); ++d) {
+    const gpusim::Sanitizer* san = shards_[d]->sim.sanitizer();
+    if (san == nullptr) continue;
+    const std::string rep = san->report();
+    std::size_t pos = 0;
+    while (pos < rep.size()) {
+      std::size_t nl = rep.find('\n', pos);
+      if (nl == std::string::npos) nl = rep.size();
+      out += "[gpu" + std::to_string(d) + "] ";
+      out.append(rep, pos, nl - pos);
+      out += '\n';
+      pos = nl + 1;
+    }
+  }
+  return out;
 }
 
 MultiGpuDeltaStepping::~MultiGpuDeltaStepping() = default;
@@ -98,6 +147,7 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
   for (auto& shard : shards_) {
     shard->sim.reset_all();
     shard->frontier.clear();
+    shard->queue_tail = 0;
     shard->busy_ms = 0;
     std::fill(shard->dist.data().begin(), shard->dist.data().end(),
               graph::kInfiniteDistance);
@@ -106,6 +156,7 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
     // Init kernel per device (parallel across devices: makespan takes max).
     const VertexId local_n = shard->last - shard->first;
     if (local_n == 0) continue;
+    shard->sim.label_next_launch("init_distances");
     shard->sim.run_kernel(
         gpusim::Schedule::kStatic, (local_n + 31) / 32, 8,
         [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
@@ -137,6 +188,12 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
   source_shard.dist[source - source_shard.first] = 0;
   source_shard.frontier.push_back(source - source_shard.first);
   source_shard.in_queue[source - source_shard.first] = 1;
+  // Host-side seed of the owner's device queue (H2D upload).
+  source_shard.queue[0] = source - source_shard.first;
+  source_shard.sim.mark_initialized(source_shard.queue, 0, 1);
+  source_shard.sim.mark_initialized(source_shard.dist,
+                                    source - source_shard.first, 1);
+  source_shard.queue_tail = 1;
 
   auto dist_of = [&](VertexId v) -> Distance& {
     Shard& shard = *shards_[static_cast<std::size_t>(owner_of(v))];
@@ -187,6 +244,7 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
       Shard& shard = *shards_[d];
       auto& box = outbox[d];
       if (box.empty()) continue;
+      shard.sim.label_next_launch("apply_messages");
       gpusim::KernelScope apply(shard.sim, gpusim::Schedule::kStatic, true);
       for (std::size_t base = 0; base < box.size(); base += 32) {
         const auto cnt = static_cast<std::uint32_t>(
@@ -209,6 +267,7 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
           if (val[i] < hi && !shard.in_queue[local]) {
             shard.in_queue[local] = 1;
             shard.frontier.push_back(local);
+            shard.charge_push(ctx, local);
           }
         }
         apply.commit(ctx);
@@ -248,20 +307,17 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
             if (through < hi && !shard.in_queue[local]) {
               shard.in_queue[local] = 1;
               shard.frontier.push_back(local);
-              // Queue append cost.
-              const std::uint64_t slot[1] = {local % shard.queue.size()};
-              ctx.atomic_touch(shard.queue,
-                               std::span<const std::uint64_t>(slot, 1));
+              shard.charge_push(ctx, local);
             }
           }
         } else {
-          // Remote: stage a message (the device-side buffer append).
+          // Remote: stage a message (atomicAdd on the outbox cursor; the
+          // message payload buffer itself is not modeled).
           if (through < dist_of(target)) {
             outbox[static_cast<std::size_t>(owner_of(target))].emplace_back(
                 target, through);
-            const std::uint64_t slot[1] = {0};
-            ctx.atomic_touch(shard.queue,
-                             std::span<const std::uint64_t>(slot, 1));
+            ctx.atomic_touch(shard.queue_ctrl,
+                             std::span<const std::uint64_t>(kOutboxCell, 1));
           }
         }
       }
@@ -279,6 +335,7 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
       double round_ms = 0;
       for (auto& shard : shards_) {
         if (shard->frontier.empty()) continue;
+        shard->sim.label_next_launch("phase1_light");
         gpusim::KernelScope kernel(shard->sim, gpusim::Schedule::kDynamic,
                                    true);
         while (!shard->frontier.empty()) {
@@ -312,6 +369,7 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
     for (auto& shard : shards_) {
       const VertexId local_n = shard->last - shard->first;
       if (local_n == 0) continue;
+      shard->sim.label_next_launch("phase2_heavy");
       gpusim::KernelScope scan(shard->sim, gpusim::Schedule::kStatic, true);
       for (VertexId base = 0; base < local_n; base += 32) {
         const auto cnt =
@@ -343,6 +401,7 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
     for (auto& shard : shards_) {
       const VertexId local_n = shard->last - shard->first;
       if (local_n == 0) continue;
+      shard->sim.label_next_launch("collect_bucket");
       gpusim::KernelScope collect(shard->sim, gpusim::Schedule::kStatic,
                                   true);
       for (VertexId base = 0; base < local_n; base += 32) {
@@ -355,7 +414,6 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
         ctx.load(shard->dist, std::span<const std::uint64_t>(idx.data(), cnt),
                  std::span<Distance>(dvals.data(), cnt));
         ctx.alu(3, cnt);
-        std::uint32_t enq = 0;
         for (std::uint32_t i = 0; i < cnt; ++i) {
           const VertexId lv = base + i;
           const Distance d = shard->dist[lv];
@@ -366,14 +424,9 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
             if (d < hi + delta && !shard->in_queue[lv]) {
               shard->in_queue[lv] = 1;
               shard->frontier.push_back(lv);
-              ++enq;
+              shard->charge_push(ctx, lv);
             }
           }
-        }
-        if (enq > 0) {
-          const std::uint64_t slot[1] = {0};
-          ctx.atomic_touch(shard->queue,
-                           std::span<const std::uint64_t>(slot, 1));
         }
         collect.commit(ctx);
       }

@@ -43,6 +43,8 @@ struct MultiGpuOptions {
   int num_devices = 2;
   graph::Weight delta0 = 100.0;
   InterconnectSpec interconnect;
+  // gsan hazard analysis on every per-device simulator (docs/sanitizer.md).
+  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
 };
 
 struct MultiGpuRunResult {
@@ -74,6 +76,10 @@ class MultiGpuDeltaStepping {
   int owner_of(graph::VertexId v) const {
     return static_cast<int>(v / shard_size_);
   }
+
+  // Aggregated gsan report across all device shards ("[gpu<d>] " prefix
+  // per line); empty when clean or when sanitizing is off.
+  std::string sanitizer_report() const;
 
  private:
   struct Shard;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "gpusim/device.hpp"
+#include "gpusim/sanitizer.hpp"
 #include "graph/types.hpp"
 
 namespace rdbs::core {
@@ -56,6 +57,10 @@ struct GpuSsspOptions {
   // for every value (see docs/costmodel.md, "Parallel execution &
   // determinism").
   int sim_threads = 0;
+
+  // gsan hazard analysis over every launch (docs/sanitizer.md). Off by
+  // default; results are unchanged either way — sanitizing only observes.
+  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
 };
 
 }  // namespace rdbs::core

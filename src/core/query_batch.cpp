@@ -22,6 +22,7 @@ QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
 
   sim_ = std::make_unique<gpusim::GpuSim>(std::move(device));
   sim_->set_worker_threads(options_.gpu.sim_threads);
+  sim_->enable_sanitizer(options_.gpu.sanitize);
   graph_bufs_ = std::make_unique<DeviceCsrBuffers>(
       DeviceCsrBuffers::upload(*sim_, graph_));
 

@@ -38,6 +38,9 @@ struct GpuRunResult {
   double queue_wait_ms = 0;
   gpusim::Counters counters;          // profiling deltas for this run
   std::vector<BucketStats> buckets;   // per-bucket trace (if instrumented)
+  // gsan hazard report accumulated on the engine's simulator (empty when
+  // clean or when the sanitizer is off; see docs/sanitizer.md).
+  std::string sanitizer_report;
 
   double gteps(std::uint64_t edges_traversed_basis) const {
     return device_ms <= 0 ? 0.0

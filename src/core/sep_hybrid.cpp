@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <tuple>
+#include <vector>
 
 #include "common/macros.hpp"
 
@@ -14,11 +16,15 @@ using graph::Weight;
 
 namespace {
 constexpr std::uint32_t kDeviceWord = 4;
+// Cursor cells of the queue control buffer.
+constexpr std::uint64_t kTailCell[1] = {0};
+constexpr std::uint64_t kHeadCell[1] = {1};
 }
 
 SepHybrid::SepHybrid(gpusim::DeviceSpec device, const graph::Csr& csr,
                      SepHybridOptions options)
     : sim_(std::move(device)), csr_(csr), options_(options) {
+  sim_.enable_sanitizer(options_.sanitize);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();
   row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
@@ -27,6 +33,8 @@ SepHybrid::SepHybrid(gpusim::DeviceSpec device, const graph::Csr& csr,
   dist_ = sim_.alloc<Distance>("dist", n, kDeviceWord);
   queue_ = sim_.alloc<VertexId>("queue", std::max<std::size_t>(n, 64),
                                 kDeviceWord);
+  queue_ctrl_ = sim_.alloc<std::uint32_t>("queue_ctrl", 2, kDeviceWord);
+  sim_.mark_initialized(queue_ctrl_);
   in_queue_ = sim_.alloc<std::uint8_t>("in_queue", n, 1);
 
   std::copy(csr_.row_offsets().begin(), csr_.row_offsets().end(),
@@ -35,13 +43,40 @@ SepHybrid::SepHybrid(gpusim::DeviceSpec device, const graph::Csr& csr,
             adjacency_.data().begin());
   std::copy(csr_.weights().begin(), csr_.weights().end(),
             weights_.data().begin());
+  // H2D upload of the immutable CSR.
+  sim_.mark_initialized(row_offsets_);
+  sim_.mark_initialized(adjacency_);
+  sim_.mark_initialized(weights_);
+  sim_.mark_read_only(row_offsets_);
+  sim_.mark_read_only(adjacency_);
+  sim_.mark_read_only(weights_);
+
+  // Symmetry detection: the weighted edge multiset must equal its own
+  // reverse. Sort-and-compare keeps it O(m log m) with no hashing.
+  {
+    std::vector<std::tuple<VertexId, VertexId, Weight>> fwd, rev;
+    fwd.reserve(m);
+    rev.reserve(m);
+    for (VertexId u = 0; u < n; ++u) {
+      const auto dsts = csr_.neighbors(u);
+      const auto ws = csr_.edge_weights(u);
+      for (std::size_t i = 0; i < dsts.size(); ++i) {
+        fwd.emplace_back(u, dsts[i], ws[i]);
+        rev.emplace_back(dsts[i], u, ws[i]);
+      }
+    }
+    std::sort(fwd.begin(), fwd.end());
+    std::sort(rev.begin(), rev.end());
+    csr_symmetric_ = fwd == rev;
+  }
 }
 
 SepMode SepHybrid::choose_mode(std::uint64_t frontier_vertices,
                                std::uint64_t frontier_edges) const {
-  if (frontier_edges >
-      static_cast<std::uint64_t>(options_.pull_edge_fraction *
-                                 static_cast<double>(csr_.num_edges()))) {
+  if (csr_symmetric_ &&
+      frontier_edges >
+          static_cast<std::uint64_t>(options_.pull_edge_fraction *
+                                     static_cast<double>(csr_.num_edges()))) {
     return SepMode::kSyncPull;
   }
   if (frontier_vertices <= options_.async_frontier_limit) {
@@ -59,6 +94,7 @@ SepRunResult SepHybrid::run(VertexId source) {
   std::fill(in_queue_.data().begin(), in_queue_.data().end(), 0);
 
   // Init kernel.
+  sim_.label_next_launch("init_distances");
   sim_.run_kernel(gpusim::Schedule::kStatic, (n + 31) / 32, 8,
                   [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
                     const std::uint64_t begin = w * 32;
@@ -79,6 +115,7 @@ SepRunResult SepHybrid::run(VertexId source) {
                     ctx.store(in_queue_, is,
                               std::span<const std::uint8_t>(zero.data(), lanes));
                   });
+  sim_.label_next_launch("seed_source");
   sim_.run_kernel(gpusim::Schedule::kStatic, 1, 1,
                   [&](gpusim::WarpCtx& ctx, std::uint64_t) {
                     ctx.store_one(dist_, source, Distance{0});
@@ -86,6 +123,11 @@ SepRunResult SepHybrid::run(VertexId source) {
 
   std::deque<VertexId> frontier{source};
   in_queue_[source] = 1;
+  // Host-side seed of the device work queue (H2D upload).
+  queue_[0] = source;
+  sim_.mark_initialized(queue_, 0, 1);
+  queue_tail_ = 1;
+  queue_head_ = 0;
 
   // Relax the out-edges of one popped vertex batch, thread-per-vertex.
   auto push_warp = [&](gpusim::WarpCtx& ctx,
@@ -100,11 +142,21 @@ SepRunResult SepHybrid::run(VertexId source) {
     }
     std::span<const std::uint64_t> vs(vidx.data(), lane_count);
     {
-      std::array<VertexId, 32> tmp{};
-      ctx.load(queue_, vs, std::span<VertexId>(tmp.data(), lane_count));
-      std::array<std::uint8_t, 32> zero{};
-      ctx.store(in_queue_, vs,
-                std::span<const std::uint8_t>(zero.data(), lane_count));
+      // Pop: bump the shared head cursor, then read the claimed ring
+      // slots (ld.cg — concurrent producers write them with st.cg).
+      ctx.atomic_touch(queue_ctrl_,
+                       std::span<const std::uint64_t>(kHeadCell, 1));
+      std::array<std::uint64_t, 32> slot{};
+      for (std::uint32_t i = 0; i < lane_count; ++i) {
+        slot[i] = (queue_head_ + i) % queue_.size();
+      }
+      queue_head_ += lane_count;
+      ctx.volatile_touch(queue_,
+                         std::span<const std::uint64_t>(slot.data(), lane_count),
+                         /*is_store=*/false);
+      // Clear the membership flags with atomicExch: concurrent relaxers
+      // set them with atomics, so a plain byte store would race.
+      ctx.atomic_touch(in_queue_, vs);
     }
     std::array<Distance, 32> du{};
     ctx.load(dist_, vs, std::span<Distance>(du.data(), lane_count));
@@ -154,6 +206,8 @@ SepRunResult SepHybrid::run(VertexId source) {
                      std::span<const Distance>(val.data(), cnt),
                      std::span<std::uint8_t>(improved.data(), cnt));
       std::uint32_t enq = 0;
+      std::array<std::uint64_t, 32> flag_idx{};
+      std::array<std::uint64_t, 32> slot{};
       for (std::uint32_t i = 0; i < cnt; ++i) {
         if (!improved[i]) continue;
         ++work.total_updates;
@@ -161,17 +215,23 @@ SepRunResult SepHybrid::run(VertexId source) {
         if (!in_queue_[v]) {
           in_queue_[v] = 1;
           frontier.push_back(v);
+          flag_idx[enq] = v;
+          slot[enq] = queue_tail_ % queue_.size();
+          queue_[slot[enq]] = v;
+          ++queue_tail_;
           ++enq;
         }
       }
       if (enq > 0) {
-        const std::uint64_t tail[1] = {0};
-        ctx.atomic_touch(queue_, std::span<const std::uint64_t>(tail, 1));
-        std::array<std::uint64_t, 32> slot{};
-        std::array<VertexId, 32> ids{};
-        for (std::uint32_t i = 0; i < enq; ++i) slot[i] = i;
-        ctx.store(queue_, std::span<const std::uint64_t>(slot.data(), enq),
-                  std::span<const VertexId>(ids.data(), enq));
+        // Push: atomicAdd on the shared tail cursor reserves slots, set
+        // the membership flags atomically, then st.cg the vertex ids.
+        ctx.atomic_touch(queue_ctrl_,
+                         std::span<const std::uint64_t>(kTailCell, 1));
+        ctx.atomic_touch(in_queue_,
+                         std::span<const std::uint64_t>(flag_idx.data(), enq));
+        ctx.volatile_touch(queue_,
+                           std::span<const std::uint64_t>(slot.data(), enq),
+                           /*is_store=*/true);
       }
     }
   };
@@ -198,7 +258,10 @@ SepRunResult SepHybrid::run(VertexId source) {
       // entire frontier is consumed; improved vertices form the next one.
       for (const VertexId v : frontier) in_queue_[v] = 0;
       frontier.clear();
+      // The scan consumes the whole pending queue window.
+      queue_head_ = queue_tail_;
       const std::uint64_t warps = (n + 31) / 32;
+      sim_.label_next_launch("pull_sweep");
       sim_.run_kernel(
           gpusim::Schedule::kStatic, warps, 8,
           [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
@@ -280,17 +343,30 @@ SepRunResult SepHybrid::run(VertexId source) {
               }
             }
             if (scnt > 0) {
-              // Plain store: pull writes only the lane's own vertex, so no
-              // atomic is needed (the mode's key saving).
-              ctx.store(dist_, std::span<const std::uint64_t>(sidx.data(), scnt),
-                        std::span<const Distance>(sval.data(), scnt));
+              // st.cg write-back: pull writes only the lane's own vertex,
+              // so no atomic is needed (the mode's key saving) — but other
+              // warps gather these cells concurrently, so the store must
+              // bypass L1 (a plain cached store would be a data race).
+              ctx.volatile_store(dist_,
+                                 std::span<const std::uint64_t>(sidx.data(),
+                                                                scnt),
+                                 std::span<const Distance>(sval.data(), scnt));
             }
           });
       sim_.host_barrier();
+      // The sweep's improved vertices become the next frontier; mirror the
+      // compaction kernel's output into the device queue window.
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const std::uint64_t slot = (queue_tail_ + i) % queue_.size();
+        queue_[slot] = frontier[i];
+        sim_.mark_initialized(queue_, slot, 1);
+      }
+      queue_tail_ += frontier.size();
     } else if (mode == SepMode::kAsyncPush) {
       // Async drains continuously, but SEP re-evaluates its decision when
       // the signal changes: once the frontier outgrows the async regime,
       // the persistent kernel retires and the next round re-decides.
+      sim_.label_next_launch("async_push");
       gpusim::KernelScope kernel(sim_, gpusim::Schedule::kDynamic, true);
       while (!frontier.empty() &&
              frontier.size() <= 4 * options_.async_frontier_limit) {
@@ -308,6 +384,7 @@ SepRunResult SepHybrid::run(VertexId source) {
     } else {  // kSyncPush
       std::vector<VertexId> sweep(frontier.begin(), frontier.end());
       frontier.clear();
+      sim_.label_next_launch("sync_push");
       gpusim::KernelScope kernel(sim_, gpusim::Schedule::kStatic, true);
       for (std::size_t base = 0; base < sweep.size(); base += 32) {
         const auto cnt = static_cast<std::uint32_t>(
@@ -330,6 +407,9 @@ SepRunResult SepHybrid::run(VertexId source) {
   sssp::finalize_valid_updates(result.gpu.sssp, source);
   result.gpu.device_ms = sim_.elapsed_ms();
   result.gpu.counters = sim_.counters();
+  if (const gpusim::Sanitizer* san = sim_.sanitizer()) {
+    result.gpu.sanitizer_report = san->report();
+  }
   return result;
 }
 

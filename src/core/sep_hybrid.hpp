@@ -33,6 +33,8 @@ struct SepHybridOptions {
   double pull_edge_fraction = 0.10;
   std::uint64_t async_frontier_limit = 1024;
   bool instrument = true;
+  // gsan hazard analysis over every launch (docs/sanitizer.md).
+  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
 };
 
 enum class SepMode : std::uint8_t {
@@ -69,13 +71,21 @@ class SepHybrid {
   gpusim::GpuSim sim_;
   const graph::Csr& csr_;
   SepHybridOptions options_;
+  // Pull sweeps reuse the out-edge CSR as the in-edge list, which is
+  // only valid on symmetric graphs; detected once at construction so
+  // choose_mode can fall back to push on directed inputs.
+  bool csr_symmetric_ = false;
 
   gpusim::Buffer<graph::EdgeIndex> row_offsets_;
   gpusim::Buffer<graph::VertexId> adjacency_;
   gpusim::Buffer<graph::Weight> weights_;
   gpusim::Buffer<graph::Distance> dist_;
   gpusim::Buffer<graph::VertexId> queue_;
+  gpusim::Buffer<std::uint32_t> queue_ctrl_;  // [0]=tail, [1]=head cursors
   gpusim::Buffer<std::uint8_t> in_queue_;
+  // Host mirrors of the device queue cursors (ring positions).
+  std::uint64_t queue_tail_ = 0;
+  std::uint64_t queue_head_ = 0;
 };
 
 }  // namespace rdbs::core

@@ -18,6 +18,7 @@ Counters& Counters::operator+=(const Counters& other) {
   child_launches += other.child_launches;
   active_lane_ops += other.active_lane_ops;
   issued_lane_ops += other.issued_lane_ops;
+  volatile_accesses += other.volatile_accesses;
   return *this;
 }
 
@@ -40,6 +41,7 @@ Counters Counters::operator-(const Counters& other) const {
   d.child_launches = child_launches - other.child_launches;
   d.active_lane_ops = active_lane_ops - other.active_lane_ops;
   d.issued_lane_ops = issued_lane_ops - other.issued_lane_ops;
+  d.volatile_accesses = volatile_accesses - other.volatile_accesses;
   return d;
 }
 
@@ -58,7 +60,8 @@ bool Counters::operator==(const Counters& other) const {
          kernel_launches == other.kernel_launches &&
          child_launches == other.child_launches &&
          active_lane_ops == other.active_lane_ops &&
-         issued_lane_ops == other.issued_lane_ops;
+         issued_lane_ops == other.issued_lane_ops &&
+         volatile_accesses == other.volatile_accesses;
 }
 
 }  // namespace rdbs::gpusim

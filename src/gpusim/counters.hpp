@@ -25,6 +25,11 @@ struct Counters {
   std::uint64_t child_launches = 0;       // dynamic-parallelism launches
   std::uint64_t active_lane_ops = 0;      // lanes doing useful work
   std::uint64_t issued_lane_ops = 0;      // lanes occupied (incl. disabled)
+  // Volatile (L1-bypassing) loads/stores. These also count into the
+  // inst_executed_global_* totals above; this tracks how much of the
+  // traffic took the "updates immediately visible" path the paper's
+  // asynchronous queues rely on.
+  std::uint64_t volatile_accesses = 0;
 
   double l2_hit_rate() const {
     return l2_sector_accesses == 0

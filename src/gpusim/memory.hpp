@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "gpusim/cache.hpp"
@@ -17,8 +19,54 @@ class MemorySim {
  public:
   explicit MemorySim(const DeviceSpec& spec);
 
-  // Reserves a 128-byte-aligned region of the simulated address space.
-  std::uint64_t allocate(std::uint64_t bytes);
+  // One entry of the allocation table. The bump allocator never reuses
+  // addresses, so a freed region keeps its entry with live = false — a
+  // later access to its address range is an exact use-after-free.
+  // Host-initialization marks (cudaMemcpy/cudaMemset modeling) are kept
+  // here rather than in the sanitizer so that engines may mark buffers in
+  // their constructors regardless of when (or whether) the sanitizer is
+  // enabled on the owning GpuSim.
+  struct Region {
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t elem_bytes = 1;
+    std::string name;
+    bool live = true;
+    bool read_only = false;
+    bool fully_host_init = false;
+    // Host-initialized byte ranges [begin, end), absolute addresses,
+    // deduplicated on insert (engines re-mark the same seed slot per run).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> host_init;
+
+    std::uint64_t end() const { return base + bytes; }
+    std::uint64_t element_of(std::uint64_t addr) const {
+      return (addr - base) / (elem_bytes ? elem_bytes : 1);
+    }
+    bool host_initialized(std::uint64_t begin_addr,
+                          std::uint64_t end_addr) const;
+  };
+
+  // Reserves a 128-byte-aligned region of the simulated address space and
+  // records it in the allocation table.
+  std::uint64_t allocate(std::uint64_t bytes, std::string name = {},
+                         std::uint32_t elem_bytes = 1);
+
+  // --- allocation-table maintenance (sanitizer support) --------------------
+  // Marks the region at `base` dead (simulated cudaFree). Host storage and
+  // the address range stay reserved, so stale accesses are detectable.
+  void free_region(std::uint64_t base);
+  // Marks the region at `base` immutable from device code (e.g. the CSR
+  // arrays shared read-only across QueryBatch streams).
+  void mark_read_only(std::uint64_t base, bool read_only = true);
+  // Records [begin_addr, end_addr) as initialized by a host transfer.
+  void mark_host_initialized(std::uint64_t begin_addr, std::uint64_t end_addr);
+  // Region containing `addr`, or nullptr. Regions are base-sorted by
+  // construction (bump allocation), so this is a binary search.
+  const Region* find_region(std::uint64_t addr) const;
+  // Index variant for shadow-state bookkeeping; returns npos when unmapped.
+  static constexpr std::size_t kNoRegion = ~static_cast<std::size_t>(0);
+  std::size_t find_region_index(std::uint64_t addr) const;
+  const std::vector<Region>& regions() const { return regions_; }
 
   struct AccessResult {
     std::uint32_t transactions = 0;  // distinct 32B sectors touched
@@ -47,6 +95,7 @@ class MemorySim {
   std::uint64_t next_address_ = 4096;
   std::vector<SectoredCache> l1_;
   SectoredCache l2_;
+  std::vector<Region> regions_;
 };
 
 }  // namespace rdbs::gpusim

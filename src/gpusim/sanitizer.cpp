@@ -1,0 +1,228 @@
+#include "gpusim/sanitizer.hpp"
+
+#include <algorithm>
+
+#include "common/macros.hpp"
+#include "gpusim/cache.hpp"
+
+namespace rdbs::gpusim {
+
+namespace {
+
+constexpr std::uint64_t kSectorBytes = SectoredCache::kSectorBytes;
+
+// Returns a task from `pair` different from `task`, or kNoTask.
+std::uint32_t other_than(std::uint32_t t1, std::uint32_t t2,
+                         std::uint32_t task) {
+  if (t1 != HazardRecord::kNoTask && t1 != task) return t1;
+  if (t2 != HazardRecord::kNoTask && t2 != task) return t2;
+  return HazardRecord::kNoTask;
+}
+
+}  // namespace
+
+const char* hazard_kind_name(HazardRecord::Kind kind) {
+  switch (kind) {
+    case HazardRecord::Kind::kOutOfBounds: return "out-of-bounds";
+    case HazardRecord::Kind::kUseAfterFree: return "use-after-free";
+    case HazardRecord::Kind::kUninitRead: return "uninit-read";
+    case HazardRecord::Kind::kRaceWW: return "race-ww";
+    case HazardRecord::Kind::kRaceRW: return "race-rw";
+    case HazardRecord::Kind::kAtomicMix: return "atomic-mix";
+    case HazardRecord::Kind::kReadOnlyWrite: return "read-only-write";
+  }
+  return "unknown";
+}
+
+void Sanitizer::begin_launch(std::string_view label, std::uint64_t ordinal) {
+  if (label.empty()) {
+    current_kernel_ = "kernel@" + std::to_string(ordinal);
+  } else {
+    current_kernel_.assign(label);
+  }
+}
+
+void Sanitizer::report_hazard(HazardRecord::Kind kind,
+                              const std::string& buffer, std::uint64_t element,
+                              std::uint32_t first_task,
+                              std::uint32_t second_task) {
+  std::string key;
+  key.reserve(current_kernel_.size() + buffer.size() + 24);
+  key += static_cast<char>('0' + static_cast<int>(kind));
+  key += '|';
+  key += current_kernel_;
+  key += '|';
+  key += buffer;
+  key += '|';
+  key += std::to_string(element);
+  const auto [it, inserted] = dedup_.emplace(std::move(key), hazards_.size());
+  if (!inserted) {
+    ++hazards_[it->second].count;
+    return;
+  }
+  HazardRecord record;
+  record.kind = kind;
+  record.kernel = current_kernel_;
+  record.buffer = buffer;
+  record.element = element;
+  record.first_task = first_task;
+  record.second_task = second_task;
+  hazards_.push_back(std::move(record));
+}
+
+std::uint64_t Sanitizer::checked_index(const std::string& buffer_name,
+                                       std::uint64_t index,
+                                       std::uint64_t size,
+                                       std::uint32_t task) {
+  if (index < size) return index;
+  report_hazard(HazardRecord::Kind::kOutOfBounds, buffer_name, index, task,
+                HazardRecord::kNoTask);
+  return size == 0 ? 0 : size - 1;
+}
+
+std::vector<std::uint64_t>& Sanitizer::shadow_for(std::size_t region_index) {
+  if (shadow_.size() <= region_index) shadow_.resize(region_index + 1);
+  std::vector<std::uint64_t>& bits = shadow_[region_index];
+  if (bits.empty()) {
+    const std::uint64_t sectors =
+        (memory_->regions()[region_index].bytes + kSectorBytes - 1) /
+        kSectorBytes;
+    bits.assign(static_cast<std::size_t>((sectors + 63) / 64), 0);
+  }
+  return bits;
+}
+
+void Sanitizer::races_for_address(std::uint64_t addr,
+                                  const AddressState& state) {
+  // Only plain stores create hazards; see header. The pairs hold the first
+  // two distinct tasks per kind group in canonical order, which is enough
+  // to always exhibit one cross-task pair when it exists.
+  const TaskPair& ps = state.plain_store;
+  if (ps.t1 == HazardRecord::kNoTask) return;
+  const MemorySim::Region* region = memory_->find_region(addr);
+  static const std::string kUnknown = "?";
+  const std::string& buffer = region ? region->name : kUnknown;
+  const std::uint64_t element = region ? region->element_of(addr) : addr;
+  if (ps.t2 != HazardRecord::kNoTask) {
+    report_hazard(HazardRecord::Kind::kRaceWW, buffer, element, ps.t1, ps.t2);
+  }
+  const std::uint32_t loader = other_than(state.plain_load.t1,
+                                          state.plain_load.t2, ps.t1);
+  if (loader != HazardRecord::kNoTask) {
+    report_hazard(HazardRecord::Kind::kRaceRW, buffer, element, ps.t1, loader);
+  }
+  const std::uint32_t synced = other_than(state.synced.t1, state.synced.t2,
+                                          ps.t1);
+  if (synced != HazardRecord::kNoTask) {
+    report_hazard(HazardRecord::Kind::kAtomicMix, buffer, element, ps.t1,
+                  synced);
+  }
+}
+
+void Sanitizer::scan_launch(std::span<const TraceOp> ops,
+                            std::span<const std::uint64_t> addrs,
+                            std::span<const TaskRecord> tasks) {
+  launch_state_.clear();
+  // Race-candidate addresses in canonical discovery order, so the final
+  // race pass (and therefore the report) is independent of the hash map's
+  // iteration order.
+  std::vector<std::uint64_t> touched;
+
+  for (std::uint32_t t = 0; t < tasks.size(); ++t) {
+    const TaskRecord& rec = tasks[t];
+    for (std::uint32_t i = rec.op_begin; i < rec.op_end; ++i) {
+      const TraceOp& op = ops[i];
+      for (std::uint32_t l = 0; l < op.lanes; ++l) {
+        const std::uint64_t addr = addrs[op.addr_begin + l];
+        const std::size_t region_index = memory_->find_region_index(addr);
+        if (region_index == MemorySim::kNoRegion) continue;
+        const MemorySim::Region& region = memory_->regions()[region_index];
+        const std::uint64_t element = region.element_of(addr);
+        if (!region.live) {
+          report_hazard(HazardRecord::Kind::kUseAfterFree, region.name,
+                        element, t, HazardRecord::kNoTask);
+        }
+        const std::uint64_t end_addr =
+            std::min(addr + region.elem_bytes, region.end());
+
+        if (op.is_write()) {
+          if (region.read_only) {
+            report_hazard(HazardRecord::Kind::kReadOnlyWrite, region.name,
+                          element, t, HazardRecord::kNoTask);
+          }
+          std::vector<std::uint64_t>& bits = shadow_for(region_index);
+          for (std::uint64_t s = (addr - region.base) / kSectorBytes;
+               s <= (end_addr - 1 - region.base) / kSectorBytes; ++s) {
+            bits[static_cast<std::size_t>(s / 64)] |= 1ull << (s % 64);
+          }
+        } else if (!region.host_initialized(addr, end_addr)) {
+          std::vector<std::uint64_t>& bits = shadow_for(region_index);
+          for (std::uint64_t s = (addr - region.base) / kSectorBytes;
+               s <= (end_addr - 1 - region.base) / kSectorBytes; ++s) {
+            if (!(bits[static_cast<std::size_t>(s / 64)] &
+                  (1ull << (s % 64)))) {
+              report_hazard(HazardRecord::Kind::kUninitRead, region.name,
+                            element, t, HazardRecord::kNoTask);
+              break;
+            }
+          }
+        }
+
+        // Race bookkeeping. Atomics and volatile accesses group together:
+        // they are safe against each other, hazardous against plain stores.
+        AddressState& state = launch_state_[addr];
+        if (state.plain_store.t1 == HazardRecord::kNoTask &&
+            state.plain_load.t1 == HazardRecord::kNoTask &&
+            state.synced.t1 == HazardRecord::kNoTask) {
+          touched.push_back(addr);
+        }
+        if (op.is_plain_store()) {
+          state.plain_store.add(t);
+        } else if (op.kind == TraceOp::kLoad) {
+          state.plain_load.add(t);
+        } else {
+          state.synced.add(t);
+        }
+      }
+    }
+  }
+
+  for (const std::uint64_t addr : touched) {
+    races_for_address(addr, launch_state_[addr]);
+  }
+}
+
+std::string Sanitizer::report() const {
+  std::string out;
+  for (const HazardRecord& hazard : hazards_) {
+    out += "[gsan] ";
+    out += hazard_kind_name(hazard.kind);
+    out += ": kernel=";
+    out += hazard.kernel;
+    out += " buffer=";
+    out += hazard.buffer;
+    out += " elem=";
+    out += std::to_string(hazard.element);
+    if (hazard.first_task != HazardRecord::kNoTask) {
+      out += " warp=";
+      out += std::to_string(hazard.first_task);
+      if (hazard.second_task != HazardRecord::kNoTask) {
+        out += '/';
+        out += std::to_string(hazard.second_task);
+      }
+    }
+    if (hazard.count > 1) {
+      out += " x";
+      out += std::to_string(hazard.count);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Sanitizer::clear() {
+  hazards_.clear();
+  dedup_.clear();
+}
+
+}  // namespace rdbs::gpusim

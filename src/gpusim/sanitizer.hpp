@@ -1,0 +1,153 @@
+// gsan — opt-in device-memory sanitizer & race detector for GpuSim.
+//
+// Every device access already flows through WarpCtx::load/store/atomic_min/
+// atomic_touch/volatile_* and lands in the per-launch record trace; gsan
+// exploits that single choke point to run four hazard analyses without a
+// second execution mode:
+//
+//   * out-of-bounds — checked at record time against Buffer::size() (the
+//     only place the element index and buffer extent are both known; the
+//     end-of-launch scan cannot distinguish "one past the end" from "first
+//     element of the neighboring 128-byte-aligned region"). The offending
+//     index is clamped so the functional access stays memory-safe.
+//   * use-after-free — the bump allocator never reuses addresses, so any
+//     access landing in a region freed via GpuSim::free_buffer is exact.
+//   * uninitialized read — per-32-byte-sector shadow state; device stores,
+//     atomics and volatile stores mark sectors written, host transfers are
+//     recorded in MemorySim's allocation table (mark_initialized), and a
+//     load touching an unmarked sector is flagged. Sector granularity can
+//     hide a read of an uninitialized element whose neighbor was written
+//     (false negative), but never flags initialized data (no false
+//     positives).
+//   * intra-kernel races — within one launch (no intervening barrier),
+//     a plain (non-atomic, non-volatile) store to an address paired with
+//     ANY access to the same address from a different warp task is a
+//     hazard: plain store + plain store (write/write race), plain store +
+//     plain load (read/write race), plain store + atomic or volatile
+//     access (the BASYN atomicity-violation class — one party assumed
+//     exclusive ownership, the other assumed synchronized access).
+//     Atomic/volatile accesses pair safely with each other by design.
+//   * read-only violations — any write-kind access to a region marked
+//     read-only (the CSR arrays shared across QueryBatch streams). This is
+//     the cross-stream hazard check: a stream scribbling on the shared
+//     graph would corrupt every other stream's queries.
+//
+// Reports are deterministic and rank-stable: hazards are deduplicated by
+// (kernel label, buffer, element, kind) in canonical discovery order — the
+// record phase is serial in task order — so two runs (any sim_threads
+// count) produce byte-identical reports and CI diffs are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/memory.hpp"
+#include "gpusim/trace.hpp"
+
+namespace rdbs::gpusim {
+
+// Plumbed through engine options; kOff leaves the simulator hot path with a
+// single never-taken branch per warp memory instruction.
+enum class SanitizeMode : std::uint8_t {
+  kOff = 0,
+  kOn = 1,
+};
+
+struct HazardRecord {
+  enum class Kind : std::uint8_t {
+    kOutOfBounds = 0,
+    kUseAfterFree,
+    kUninitRead,
+    kRaceWW,      // plain store vs. plain store, different warp tasks
+    kRaceRW,      // plain store vs. plain load, different warp tasks
+    kAtomicMix,   // plain store vs. atomic/volatile access (BASYN class)
+    kReadOnlyWrite,
+  };
+
+  Kind kind = Kind::kOutOfBounds;
+  std::string kernel;        // launch label, or "kernel@<ordinal>"
+  std::string buffer;        // region name ("?" when unmapped)
+  std::uint64_t element = 0; // element index within the buffer
+  // Offending warp tasks (canonical task indices within the launch).
+  // second_task is kNoTask for the single-site hazard kinds.
+  std::uint32_t first_task = kNoTask;
+  std::uint32_t second_task = kNoTask;
+  std::uint64_t count = 1;   // occurrences folded into this record
+
+  static constexpr std::uint32_t kNoTask = ~0u;
+};
+
+const char* hazard_kind_name(HazardRecord::Kind kind);
+
+class Sanitizer {
+ public:
+  explicit Sanitizer(MemorySim& memory) : memory_(&memory) {}
+
+  // --- hooks called by GpuSim / WarpCtx ------------------------------------
+  // Names the launch whose trace is being recorded. `label` may be empty
+  // (reports then use "kernel@<ordinal>").
+  void begin_launch(std::string_view label, std::uint64_t ordinal);
+  // Record-time bounds check: returns `index` when in bounds, otherwise
+  // reports an out-of-bounds hazard and returns the nearest valid index so
+  // the functional access stays memory-safe.
+  std::uint64_t checked_index(const std::string& buffer_name,
+                              std::uint64_t index, std::uint64_t size,
+                              std::uint32_t task);
+  // End-of-launch scan over the recorded trace (called after replay, before
+  // the trace is discarded). Serial; deterministic.
+  void scan_launch(std::span<const TraceOp> ops,
+                   std::span<const std::uint64_t> addrs,
+                   std::span<const TaskRecord> tasks);
+
+  // --- results -------------------------------------------------------------
+  const std::vector<HazardRecord>& hazards() const { return hazards_; }
+  // Human- and diff-friendly report, one line per deduplicated hazard in
+  // discovery order; empty string when clean.
+  std::string report() const;
+  void clear();
+
+ private:
+  // First two distinct warp tasks that issued accesses of one kind group to
+  // an address within the current launch.
+  struct TaskPair {
+    std::uint32_t t1 = HazardRecord::kNoTask;
+    std::uint32_t t2 = HazardRecord::kNoTask;
+    void add(std::uint32_t task) {
+      if (t1 == HazardRecord::kNoTask) {
+        t1 = task;
+      } else if (t1 != task && t2 == HazardRecord::kNoTask) {
+        t2 = task;
+      }
+    }
+  };
+  struct AddressState {
+    TaskPair plain_store;
+    TaskPair plain_load;
+    TaskPair synced;  // atomics + volatile accesses
+  };
+
+  void report_hazard(HazardRecord::Kind kind, const std::string& buffer,
+                     std::uint64_t element, std::uint32_t first_task,
+                     std::uint32_t second_task);
+  // Shadow bitvector (one bit per 32-byte sector) for region `index`,
+  // created on demand — regions may be allocated before or after the
+  // sanitizer is enabled.
+  std::vector<std::uint64_t>& shadow_for(std::size_t region_index);
+  void races_for_address(std::uint64_t addr, const AddressState& state);
+
+  MemorySim* memory_;
+  std::string current_kernel_ = "kernel@0";
+  std::vector<HazardRecord> hazards_;
+  // Dedup key -> index into hazards_ (string key: kind|kernel|buffer|elem).
+  std::unordered_map<std::string, std::size_t> dedup_;
+  // Device-store shadow, parallel to MemorySim::regions().
+  std::vector<std::vector<std::uint64_t>> shadow_;
+  // Per-launch race bookkeeping (cleared each scan; capacity reused).
+  std::unordered_map<std::uint64_t, AddressState> launch_state_;
+};
+
+}  // namespace rdbs::gpusim

@@ -61,7 +61,7 @@ inline void sort_addresses(std::array<std::uint64_t, 32>& a, std::uint32_t n) {
 
 void WarpCtx::alu(std::uint32_t instructions, std::uint32_t active_lanes) {
   RDBS_DCHECK(active_lanes <= 32);
-  GpuSim::TaskRecord& rec = sim_.task_records_[task_];
+  TaskRecord& rec = sim_.task_records_[task_];
   rec.cycles += instructions;
   rec.weight += instructions;
   sim_.counters_.alu_instructions += instructions;
@@ -80,17 +80,31 @@ void WarpCtx::record_mem(std::uint8_t kind, std::uint32_t lanes) {
   RDBS_DCHECK(active_task_valid());
   Counters& c = sim_.counters_;
   switch (kind) {
-    case 0: ++c.inst_executed_global_loads; break;
-    case 1: ++c.inst_executed_global_stores; break;
-    default: ++c.inst_executed_atomics; break;
+    case TraceOp::kLoad: ++c.inst_executed_global_loads; break;
+    case TraceOp::kStore: ++c.inst_executed_global_stores; break;
+    case TraceOp::kAtomic: ++c.inst_executed_atomics; break;
+    case TraceOp::kVolatileLoad:
+      ++c.inst_executed_global_loads;
+      ++c.volatile_accesses;
+      break;
+    default:  // TraceOp::kVolatileStore
+      ++c.inst_executed_global_stores;
+      ++c.volatile_accesses;
+      break;
   }
   c.active_lane_ops += lanes;
   c.issued_lane_ops += 32;
   const auto addr_begin =
       static_cast<std::uint32_t>(sim_.trace_addrs_.size() - lanes);
   sim_.trace_ops_.push_back(
-      GpuSim::TraceOp{kind, static_cast<std::uint8_t>(lanes), addr_begin});
+      TraceOp{kind, static_cast<std::uint8_t>(lanes), addr_begin});
   sim_.task_records_[task_].weight += kMemIssueWeight;
+}
+
+std::uint64_t WarpCtx::checked_index_slow(const std::string& buffer_name,
+                                          std::uint64_t index,
+                                          std::uint64_t size) {
+  return sim_.sanitizer_->checked_index(buffer_name, index, size, task_);
 }
 
 bool WarpCtx::active_task_valid() const {
@@ -102,7 +116,7 @@ void WarpCtx::child_launch() {
   ++sim_.launch_child_launches_;
   const auto cycles = static_cast<std::uint64_t>(
       sim_.spec_.child_launch_us * 1e3 * sim_.spec_.clock_ghz);
-  GpuSim::TaskRecord& rec = sim_.task_records_[task_];
+  TaskRecord& rec = sim_.task_records_[task_];
   rec.cycles += cycles;
   rec.weight += cycles;
 }
@@ -141,6 +155,14 @@ bool GpuSim::parallel_compiled() {
 #else
   return false;
 #endif
+}
+
+void GpuSim::enable_sanitizer(SanitizeMode mode) {
+  if (mode == SanitizeMode::kOff) {
+    sanitizer_.reset();
+    return;
+  }
+  if (!sanitizer_) sanitizer_ = std::make_unique<Sanitizer>(memory_);
 }
 
 // --- stream timelines --------------------------------------------------------
@@ -246,6 +268,11 @@ void GpuSim::begin_launch(bool host_launch, StreamId stream) {
   launch_dram_bytes_ = 0;
   launch_child_launches_ = 0;
   if (host_launch) ++counters_.kernel_launches;
+  ++launch_ordinal_;
+  if (sanitizer_) {
+    sanitizer_->begin_launch(pending_label_, launch_ordinal_);
+    pending_label_.clear();
+  }
 }
 
 int GpuSim::pick_sm(Schedule schedule, std::uint64_t task_index,
@@ -279,7 +306,7 @@ WarpCtx GpuSim::begin_task(int sm) {
   rec.sm = sm;
   task_records_.push_back(rec);
   active_task_ = index;
-  return WarpCtx(*this, sm, index);
+  return WarpCtx(*this, sm, index, sanitizer_ != nullptr);
 }
 
 void GpuSim::commit_task(const WarpCtx& ctx) {
@@ -336,13 +363,17 @@ void GpuSim::replay_shard(int sm) {
 
       sc.memory_transactions += sectors;
       cycles += sectors;
-      if (op.kind == 2) {
-        // Atomics resolve at L2: they bypass L1 but benefit from L2
-        // residency; only L2 misses travel to DRAM. Same-address lanes
-        // serialize: lanes minus distinct addresses collide.
-        const std::uint64_t conflicts = lanes - distinct_addrs;
-        sc.atomic_conflicts += conflicts;
-        cycles += conflicts * conflict_cycles;
+      if (op.kind == TraceOp::kAtomic || op.is_volatile()) {
+        // Atomics and volatile accesses resolve at L2: they bypass L1 but
+        // benefit from L2 residency; only L2 misses travel to DRAM.
+        // Same-address lanes serialize for atomics only: lanes minus
+        // distinct addresses collide (volatile accesses carry no RMW
+        // serialization).
+        if (op.kind == TraceOp::kAtomic) {
+          const std::uint64_t conflicts = lanes - distinct_addrs;
+          sc.atomic_conflicts += conflicts;
+          cycles += conflicts * conflict_cycles;
+        }
         for (std::uint32_t s = 0; s < sectors; ++s) {
           requests.push_back(sector_addrs[s]);
         }
@@ -454,6 +485,9 @@ LaunchResult GpuSim::end_launch(std::uint64_t tasks, bool host_launch) {
   RDBS_DCHECK(active_task_ == kNoTask);
   RDBS_DCHECK(tasks == task_records_.size());
   replay_launch();
+  if (sanitizer_) {
+    sanitizer_->scan_launch(trace_ops_, trace_addrs_, task_records_);
+  }
   launch_open_ = false;
 
   std::fill(sm_cycles_.begin(), sm_cycles_.end(), 0.0);

@@ -43,14 +43,18 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/macros.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/sanitizer.hpp"
+#include "gpusim/trace.hpp"
 
 namespace rdbs::gpusim {
 
@@ -122,9 +126,9 @@ class WarpCtx {
             std::span<T> out) {
     RDBS_DCHECK(indices.size() == out.size());
     record_addresses(buf, indices);
-    record_mem(/*kind=*/0, static_cast<std::uint32_t>(indices.size()));
+    record_mem(TraceOp::kLoad, static_cast<std::uint32_t>(indices.size()));
     for (std::size_t i = 0; i < indices.size(); ++i) {
-      out[i] = buf.data()[indices[i]];
+      out[i] = buf.data()[functional_index(buf, indices[i])];
     }
   }
 
@@ -142,9 +146,9 @@ class WarpCtx {
              std::span<const T> values) {
     RDBS_DCHECK(indices.size() == values.size());
     record_addresses(buf, indices);
-    record_mem(/*kind=*/1, static_cast<std::uint32_t>(indices.size()));
+    record_mem(TraceOp::kStore, static_cast<std::uint32_t>(indices.size()));
     for (std::size_t i = 0; i < indices.size(); ++i) {
-      buf.data()[indices[i]] = values[i];
+      buf.data()[functional_index(buf, indices[i])] = values[i];
     }
   }
 
@@ -165,9 +169,9 @@ class WarpCtx {
     RDBS_DCHECK(indices.size() == values.size());
     RDBS_DCHECK(indices.size() == improved.size());
     record_addresses(buf, indices);
-    record_mem(/*kind=*/2, static_cast<std::uint32_t>(indices.size()));
+    record_mem(TraceOp::kAtomic, static_cast<std::uint32_t>(indices.size()));
     for (std::size_t i = 0; i < indices.size(); ++i) {
-      T& cell = buf.data()[indices[i]];
+      T& cell = buf.data()[functional_index(buf, indices[i])];
       if (values[i] < cell) {
         cell = values[i];
         improved[i] = 1;
@@ -184,7 +188,57 @@ class WarpCtx {
   void atomic_touch(const Buffer<T>& buf,
                     std::span<const std::uint64_t> indices) {
     record_addresses(buf, indices);
-    record_mem(/*kind=*/2, static_cast<std::uint32_t>(indices.size()));
+    record_mem(TraceOp::kAtomic, static_cast<std::uint32_t>(indices.size()));
+  }
+
+  // --- volatile accesses ----------------------------------------------------
+  // Model the paper's `volatile` / st.cg queue traffic ("updates
+  // immediately visible"): like atomics they bypass the L1 and resolve at
+  // the coherence point (the shared L2), but carry no same-address
+  // serialization cost. Under the sanitizer they pair safely with atomics
+  // and with each other, while a *plain* store to the same address from
+  // another warp is still flagged (mixed-visibility hazard).
+  template <typename T>
+  void volatile_load(const Buffer<T>& buf,
+                     std::span<const std::uint64_t> indices,
+                     std::span<T> out) {
+    RDBS_DCHECK(indices.size() == out.size());
+    record_addresses(buf, indices);
+    record_mem(TraceOp::kVolatileLoad,
+               static_cast<std::uint32_t>(indices.size()));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      out[i] = buf.data()[functional_index(buf, indices[i])];
+    }
+  }
+
+  template <typename T>
+  void volatile_store(Buffer<T>& buf, std::span<const std::uint64_t> indices,
+                      std::span<const T> values) {
+    RDBS_DCHECK(indices.size() == values.size());
+    record_addresses(buf, indices);
+    record_mem(TraceOp::kVolatileStore,
+               static_cast<std::uint32_t>(indices.size()));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      buf.data()[functional_index(buf, indices[i])] = values[i];
+    }
+  }
+
+  // Charges one volatile warp load/store on the given elements without a
+  // data effect — the volatile counterpart of atomic_touch, for queue slot
+  // traffic whose functional side is maintained host-side.
+  template <typename T>
+  void volatile_touch(const Buffer<T>& buf,
+                      std::span<const std::uint64_t> indices, bool is_store) {
+    record_addresses(buf, indices);
+    record_mem(is_store ? TraceOp::kVolatileStore : TraceOp::kVolatileLoad,
+               static_cast<std::uint32_t>(indices.size()));
+  }
+
+  template <typename T>
+  void volatile_touch_one(const Buffer<T>& buf, std::uint64_t index,
+                          bool is_store) {
+    const std::uint64_t idx[1] = {index};
+    volatile_touch(buf, idx, is_store);
   }
 
   template <typename T>
@@ -205,29 +259,51 @@ class WarpCtx {
   friend class GpuSim;
   friend class KernelScope;
 
-  WarpCtx(GpuSim& sim, int sm_id, std::uint32_t task_index)
-      : sim_(sim), sm_id_(sm_id), task_(task_index) {}
+  WarpCtx(GpuSim& sim, int sm_id, std::uint32_t task_index, bool sanitize)
+      : sim_(sim), sm_id_(sm_id), task_(task_index), sanitize_(sanitize) {}
 
   // Translates lane element indices to device addresses directly into the
-  // launch trace's address pool (no per-call allocation).
+  // launch trace's address pool (no per-call allocation). Under the
+  // sanitizer, out-of-bounds indices are reported and clamped; the
+  // sanitizer-off hot path keeps the single debug assertion.
   template <typename T>
   void record_addresses(const Buffer<T>& buf,
                         std::span<const std::uint64_t> indices) {
     RDBS_DCHECK(indices.size() <= 32);
     std::uint64_t* slots = trace_slots(indices.size());
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-      RDBS_DCHECK(indices[i] < buf.size());
-      slots[i] = buf.address_of(indices[i]);
+    if (sanitize_) {
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        slots[i] = buf.address_of(
+            checked_index_slow(buf.name(), indices[i], buf.size()));
+      }
+    } else {
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        RDBS_DCHECK(indices[i] < buf.size());
+        slots[i] = buf.address_of(indices[i]);
+      }
     }
+  }
+
+  // Clamp applied to the *functional* access so a reported out-of-bounds
+  // index cannot corrupt host memory. No-op (one predicted branch) when the
+  // sanitizer is off.
+  template <typename T>
+  std::uint64_t functional_index(const Buffer<T>& buf,
+                                 std::uint64_t index) const {
+    if (!sanitize_ || index < buf.size()) return index;
+    return buf.size() == 0 ? 0 : buf.size() - 1;
   }
 
   std::uint64_t* trace_slots(std::size_t lanes);
   void record_mem(std::uint8_t kind, std::uint32_t lanes);
+  std::uint64_t checked_index_slow(const std::string& buffer_name,
+                                   std::uint64_t index, std::uint64_t size);
   bool active_task_valid() const;
 
   GpuSim& sim_;
   int sm_id_;
   std::uint32_t task_;
+  bool sanitize_;
 };
 
 // How blocks map to SMs.
@@ -253,6 +329,53 @@ class GpuSim {
   const Counters& counters() const { return counters_; }
   MemorySim& memory() { return memory_; }
 
+  // --- sanitizer (gsan) -----------------------------------------------------
+  // Opt-in hazard analysis over the launch trace; see gpusim/sanitizer.hpp
+  // and docs/sanitizer.md. Enable before running kernels. When off (the
+  // default) the only cost is one never-taken branch per warp memory
+  // instruction.
+  void enable_sanitizer(SanitizeMode mode);
+  Sanitizer* sanitizer() { return sanitizer_.get(); }
+  const Sanitizer* sanitizer() const { return sanitizer_.get(); }
+  // Names the next launch in sanitizer reports (no-op when the sanitizer is
+  // off). Labels make hazard reports self-describing and diffable.
+  void label_next_launch(std::string_view label) {
+    if (sanitizer_) pending_label_.assign(label);
+  }
+
+  // --- allocation-table maintenance ----------------------------------------
+  // Records a host-side transfer/memset into `buf` (whole buffer or the
+  // element range [first, first+count)) so the sanitizer's uninitialized-
+  // read check knows the data is defined. Cheap and always tracked, so
+  // engines may call it regardless of sanitize mode or enable order.
+  template <typename T>
+  void mark_initialized(const Buffer<T>& buf) {
+    if (buf.size() == 0) return;
+    memory_.mark_host_initialized(buf.address_of(0),
+                                  buf.address_of(buf.size()));
+  }
+  template <typename T>
+  void mark_initialized(const Buffer<T>& buf, std::uint64_t first,
+                        std::uint64_t count) {
+    memory_.mark_host_initialized(buf.address_of(first),
+                                  buf.address_of(first + count));
+  }
+  // Marks `buf` immutable from device code; any store/atomic to it becomes
+  // a read-only-write hazard (shared DeviceCsrBuffers across streams).
+  template <typename T>
+  void mark_read_only(const Buffer<T>& buf) {
+    if (buf.size() == 0) return;  // empty region: nothing to protect
+    memory_.mark_read_only(buf.address_of(0));
+  }
+  // Simulated cudaFree: later device accesses to the region are
+  // use-after-free hazards (addresses are never reused). The host-side
+  // vector in `buf` stays alive, so even un-sanitized code cannot corrupt
+  // host memory through a stale Buffer.
+  template <typename T>
+  void free_buffer(const Buffer<T>& buf) {
+    memory_.free_region(buf.address_of(0));
+  }
+
   // --- worker-thread control ----------------------------------------------
   // Replay-phase host threads for this simulator instance. 0 = use the
   // process default (set_default_worker_threads, else all OpenMP threads).
@@ -270,9 +393,9 @@ class GpuSim {
   template <typename T>
   Buffer<T> alloc(std::string name, std::size_t count,
                   std::uint32_t device_elem_bytes = sizeof(T)) {
-    const std::uint64_t base =
-        memory_.allocate(static_cast<std::uint64_t>(count) *
-                         device_elem_bytes);
+    const std::uint64_t base = memory_.allocate(
+        static_cast<std::uint64_t>(count) * device_elem_bytes, name,
+        device_elem_bytes);
     return Buffer<T>(std::move(name), count, device_elem_bytes, base);
   }
 
@@ -370,25 +493,8 @@ class GpuSim {
   friend class WarpCtx;
   friend class KernelScope;
 
-  // One warp-level memory instruction in the launch trace. `kind` is 0 =
-  // load, 1 = store, 2 = atomic; `addr_begin` indexes the address pool.
-  struct TraceOp {
-    std::uint8_t kind;
-    std::uint8_t lanes;
-    std::uint32_t addr_begin;
-  };
-
-  // Per-task record: trace extent, placement, record-time cycles and the
-  // scheduling weight, plus this task's slice of its SM's L2-request list.
-  struct TaskRecord {
-    std::uint32_t op_begin = 0;
-    std::uint32_t op_end = 0;
-    std::int32_t sm = 0;
-    std::uint64_t weight = 0;  // cache-independent load estimate (scheduling)
-    std::uint64_t cycles = 0;  // true cycles: record-time + replay charges
-    std::uint32_t l2_begin = 0;
-    std::uint32_t l2_count = 0;
-  };
+  // TraceOp / TaskRecord live in gpusim/trace.hpp (shared with the
+  // sanitizer, which scans the same per-launch trace after replay).
 
   // L1-shard counter partials, padded to avoid false sharing between the
   // replay workers.
@@ -436,6 +542,12 @@ class GpuSim {
   std::vector<double> inflight_end_ms_;  // end times of resident kernels
   double device_work_ms_ = 0;            // aggregate-throughput floor
   int worker_threads_ = 0;
+
+  // gsan state (null when off). pending_label_ names the next launch;
+  // launch_ordinal_ is a monotone id for unlabeled launches.
+  std::unique_ptr<Sanitizer> sanitizer_;
+  std::string pending_label_;
+  std::uint64_t launch_ordinal_ = 0;
 
   // --- record-phase state (one launch at a time) ---------------------------
   static constexpr std::uint32_t kNoTask = ~0u;

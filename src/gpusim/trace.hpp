@@ -1,0 +1,57 @@
+// Per-launch memory trace records shared between the simulator core
+// (sim.cpp records and replays them) and the sanitizer (sanitizer.cpp scans
+// them after replay). One launch at a time: the trace is cleared by
+// begin_launch and consumed by end_launch.
+#pragma once
+
+#include <cstdint>
+
+namespace rdbs::gpusim {
+
+// One warp-level memory instruction in the launch trace. `addr_begin`
+// indexes the launch's address pool (one entry per active lane).
+//
+// Kinds:
+//   0  plain load        (L1-cached)
+//   1  plain store       (write-through L1)
+//   2  atomic            (L1 bypass, resolves at L2, conflict serialization)
+//   3  volatile load     (L1 bypass — "updates immediately visible")
+//   4  volatile store    (L1 bypass)
+//
+// Volatile accesses model the paper's `volatile` / st.cg queue traffic:
+// they skip the L1 like atomics (no stale-line reuse, every access reaches
+// the coherence point) but carry no same-address serialization cost.
+struct TraceOp {
+  std::uint8_t kind;
+  std::uint8_t lanes;
+  std::uint32_t addr_begin;
+
+  static constexpr std::uint8_t kLoad = 0;
+  static constexpr std::uint8_t kStore = 1;
+  static constexpr std::uint8_t kAtomic = 2;
+  static constexpr std::uint8_t kVolatileLoad = 3;
+  static constexpr std::uint8_t kVolatileStore = 4;
+
+  bool is_read() const { return kind == kLoad || kind == kVolatileLoad; }
+  bool is_plain_store() const { return kind == kStore; }
+  bool is_write() const {
+    return kind == kStore || kind == kAtomic || kind == kVolatileStore;
+  }
+  bool is_volatile() const {
+    return kind == kVolatileLoad || kind == kVolatileStore;
+  }
+};
+
+// Per-task record: trace extent, placement, record-time cycles and the
+// scheduling weight, plus this task's slice of its SM's L2-request list.
+struct TaskRecord {
+  std::uint32_t op_begin = 0;
+  std::uint32_t op_end = 0;
+  std::int32_t sm = 0;
+  std::uint64_t weight = 0;  // cache-independent load estimate (scheduling)
+  std::uint64_t cycles = 0;  // true cycles: record-time + replay charges
+  std::uint32_t l2_begin = 0;
+  std::uint32_t l2_count = 0;
+};
+
+}  // namespace rdbs::gpusim

@@ -12,7 +12,8 @@
 //
 // The tier-1 run does kDefaultIters cases (a few per engine family);
 // the nightly job raises it via the RDBS_FUZZ_ITERS environment
-// variable (see ci/run_tier1.sh).
+// variable (see ci/run_tier1.sh) and additionally sets
+// RDBS_FUZZ_SANITIZE=1 so every simulated case runs under gsan.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -53,6 +54,17 @@ int fuzz_iterations() {
   if (env == nullptr || *env == '\0') return kDefaultIters;
   const int iters = std::atoi(env);
   return iters > 0 ? iters : kDefaultIters;
+}
+
+// RDBS_FUZZ_SANITIZE=1 runs every simulated engine under gsan
+// (docs/sanitizer.md) and fails the case if any hazard is reported.
+// The nightly workflow sets it, turning the long fuzz into a hazard
+// sweep over thousands of random graphs as well as an oracle check.
+gpusim::SanitizeMode fuzz_sanitize() {
+  const char* env = std::getenv("RDBS_FUZZ_SANITIZE");
+  return (env != nullptr && *env != '\0' && *env != '0')
+             ? gpusim::SanitizeMode::kOn
+             : gpusim::SanitizeMode::kOff;
 }
 
 // splitmix64: master seed + case index -> independent case seed.
@@ -188,8 +200,10 @@ Csr build_case_graph(const FuzzCase& c, Xoshiro256& rng) {
   return graph::build_csr(edges, build);
 }
 
-std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr) {
+std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
+                                        std::string* sanitizer_report) {
   const gpusim::DeviceSpec device = gpusim::test_device();
+  const gpusim::SanitizeMode sanitize = fuzz_sanitize();
   switch (c.engine) {
     case Engine::kRdbs: {
       core::GpuSsspOptions options;
@@ -197,8 +211,11 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr) {
       options.pro = c.pro;
       options.adwl = c.adwl;
       options.delta0 = c.delta0;
+      options.sanitize = sanitize;
       core::RdbsSolver solver(csr, device, options);
-      return solver.solve(c.source).sssp.distances;
+      auto result = solver.solve(c.source);
+      *sanitizer_report = std::move(result.sanitizer_report);
+      return std::move(result.sssp.distances);
     }
     case Engine::kBatch: {
       core::QueryBatchOptions options;
@@ -207,42 +224,64 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr) {
       options.gpu.pro = c.pro;
       options.gpu.adwl = c.adwl;
       options.gpu.delta0 = c.delta0;
+      options.gpu.sanitize = sanitize;
       core::QueryBatch batch(csr, device, options);
       const VertexId sources[1] = {c.source};
-      return batch.run(sources).queries[0].sssp.distances;
+      auto result = batch.run(sources);
+      if (const gpusim::Sanitizer* san = batch.sim().sanitizer()) {
+        *sanitizer_report = san->report();
+      }
+      return std::move(result.queries[0].sssp.distances);
     }
     case Engine::kAdds: {
       core::AddsOptions options;
       options.delta = c.delta0;
+      options.sanitize = sanitize;
       core::AddsLike adds(device, csr, options);
-      return adds.run(c.source).sssp.distances;
+      auto result = adds.run(c.source);
+      *sanitizer_report = std::move(result.sanitizer_report);
+      return std::move(result.sssp.distances);
     }
     case Engine::kGunrock: {
       core::gunrock::GunrockSsspOptions options;
       options.delta = c.delta0;
-      return core::gunrock::sssp(device, csr, c.source, options)
-          .sssp.distances;
+      options.sanitize = sanitize;
+      auto result = core::gunrock::sssp(device, csr, c.source, options);
+      *sanitizer_report = std::move(result.sanitizer_report);
+      return std::move(result.sssp.distances);
     }
     case Engine::kSepHybrid: {
-      core::SepHybrid sep(device, csr);
-      return sep.run(c.source).gpu.sssp.distances;
+      core::SepHybridOptions options;
+      options.sanitize = sanitize;
+      core::SepHybrid sep(device, csr, options);
+      auto result = sep.run(c.source);
+      *sanitizer_report = std::move(result.gpu.sanitizer_report);
+      return std::move(result.gpu.sssp.distances);
     }
     case Engine::kHarish: {
-      core::HarishNarayanan hn(device, csr);
-      return hn.run(c.source).sssp.distances;
+      core::HarishNarayanan hn(device, csr, sanitize);
+      auto result = hn.run(c.source);
+      *sanitizer_report = std::move(result.sanitizer_report);
+      return std::move(result.sssp.distances);
     }
     case Engine::kDavidson: {
       core::DavidsonOptions options;
       options.delta = c.delta0;
+      options.sanitize = sanitize;
       core::DavidsonNearFar davidson(device, csr, options);
-      return davidson.run(c.source).sssp.distances;
+      auto result = davidson.run(c.source);
+      *sanitizer_report = std::move(result.sanitizer_report);
+      return std::move(result.sssp.distances);
     }
     case Engine::kMultiGpu: {
       core::MultiGpuOptions options;
       options.num_devices = 2 + static_cast<int>(c.seed % 2);
       options.delta0 = c.delta0;
+      options.sanitize = sanitize;
       core::MultiGpuDeltaStepping multi(device, csr, options);
-      return multi.run(c.source).sssp.distances;
+      auto result = multi.run(c.source);
+      *sanitizer_report = multi.sanitizer_report();
+      return std::move(result.sssp.distances);
     }
     case Engine::kCpuDelta:
       return sssp::delta_stepping_distances(csr, c.source, c.delta0)
@@ -300,8 +339,12 @@ TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
 
     const std::vector<graph::Distance> expected =
         sssp::dijkstra(csr, c.source).distances;
-    const std::vector<graph::Distance> actual = run_engine(c, csr);
+    std::string sanitizer_report;
+    const std::vector<graph::Distance> actual =
+        run_engine(c, csr, &sanitizer_report);
 
+    ASSERT_TRUE(sanitizer_report.empty())
+        << "case " << i << ": " << c.describe() << "\n" << sanitizer_report;
     ASSERT_EQ(actual.size(), expected.size())
         << "case " << i << ": " << c.describe();
     for (VertexId v = 0; v < csr.num_vertices(); ++v) {

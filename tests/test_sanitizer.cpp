@@ -1,0 +1,378 @@
+// gsan — the device-memory sanitizer & race detector (gpusim/sanitizer.hpp).
+//
+// Two halves, both load-bearing:
+//
+//   1. Seeded-bug kernels: four deliberately broken kernels (out-of-bounds
+//      index, uninitialized read, non-atomic racy store, mixed plain-store/
+//      atomic access) plus use-after-free and read-only-write, each asserted
+//      against its EXACT report line — the reports are part of the tool's
+//      contract (deterministic, rank-stable, diffable in CI).
+//
+//   2. Clean sweeps: every engine family runs its full SSSP pipeline under
+//      the sanitizer and must produce an empty report while still matching
+//      Dijkstra — the sanitizer only observes; it never changes results.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/adds.hpp"
+#include "core/gunrock_like.hpp"
+#include "core/legacy_gpu.hpp"
+#include "core/multi_gpu.hpp"
+#include "core/query_batch.hpp"
+#include "core/rdbs.hpp"
+#include "core/sep_hybrid.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/sanitizer.hpp"
+#include "gpusim/sim.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_util.hpp"
+
+namespace rdbs {
+namespace {
+
+using graph::Csr;
+using graph::VertexId;
+using gpusim::GpuSim;
+using gpusim::SanitizeMode;
+
+std::string report_of(GpuSim& sim) {
+  const gpusim::Sanitizer* san = sim.sanitizer();
+  return san ? san->report() : std::string("<sanitizer off>");
+}
+
+// --- seeded-bug kernels -----------------------------------------------------
+
+TEST(GsanSeededBugs, OutOfBoundsIndexDetectedAndClamped) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+  sim.mark_initialized(data);
+
+  sim.label_next_launch("oob_kernel");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 100, 7u);  // buffer has 8 elements
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] out-of-bounds: kernel=oob_kernel buffer=data elem=100 "
+            "warp=0\n");
+  // The functional access was clamped into bounds: host memory is intact
+  // and the nearest valid element took the write.
+  EXPECT_EQ(data[7], 7u);
+}
+
+TEST(GsanSeededBugs, UninitializedReadDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 64);  // never initialized
+
+  sim.label_next_launch("uninit_kernel");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   (void)ctx.load_one(data, 5);
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] uninit-read: kernel=uninit_kernel buffer=data elem=5 "
+            "warp=0\n");
+}
+
+TEST(GsanSeededBugs, UninitializedReadClearedByDeviceStoreOrHostUpload) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto stored = sim.alloc<std::uint32_t>("stored", 64);
+  auto uploaded = sim.alloc<std::uint32_t>("uploaded", 64);
+  sim.mark_initialized(uploaded);  // cudaMemcpy H2D
+
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(stored, 9, 1u);
+                 });
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   (void)ctx.load_one(stored, 9);
+                   (void)ctx.load_one(uploaded, 31);
+                 });
+  EXPECT_EQ(report_of(sim), "");
+}
+
+TEST(GsanSeededBugs, NonAtomicRacyStoreDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+  sim.mark_initialized(data);
+
+  // Two warps of one launch plain-store the same element: write/write race.
+  sim.label_next_launch("racy_store");
+  sim.run_kernel(gpusim::Schedule::kStatic, 2, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                   ctx.store_one(data, 3, static_cast<std::uint32_t>(w));
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] race-ww: kernel=racy_store buffer=data elem=3 "
+            "warp=0/1\n");
+}
+
+TEST(GsanSeededBugs, PlainStoreVsLoadRaceDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+  sim.mark_initialized(data);
+
+  sim.label_next_launch("racy_readers");
+  sim.run_kernel(gpusim::Schedule::kStatic, 2, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                   if (w == 0) {
+                     ctx.store_one(data, 2, 1u);
+                   } else {
+                     (void)ctx.load_one(data, 2);
+                   }
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] race-rw: kernel=racy_readers buffer=data elem=2 "
+            "warp=0/1\n");
+}
+
+TEST(GsanSeededBugs, PlainStoreAtomicMinMixDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto dist = sim.alloc<float>("dist", 8);
+  sim.mark_initialized(dist);
+
+  // The BASYN atomicity-violation class: one warp assumes exclusive
+  // ownership (plain store), the other synchronizes (atomicMin).
+  sim.label_next_launch("mixed_relax");
+  sim.run_kernel(gpusim::Schedule::kStatic, 2, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                   if (w == 0) {
+                     ctx.store_one(dist, 4, 1.0f);
+                   } else {
+                     ctx.atomic_min_one(dist, 4, 2.0f);
+                   }
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] atomic-mix: kernel=mixed_relax buffer=dist elem=4 "
+            "warp=0/1\n");
+}
+
+TEST(GsanSeededBugs, AtomicsAndVolatilesPairSafely) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto flags = sim.alloc<std::uint32_t>("flags", 8);
+  sim.mark_initialized(flags);
+
+  sim.run_kernel(gpusim::Schedule::kStatic, 3, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                   const std::uint64_t idx[1] = {1};
+                   if (w == 0) {
+                     ctx.atomic_touch(flags, std::span<const std::uint64_t>(
+                                                 idx, 1));
+                   } else {
+                     ctx.volatile_touch(flags, std::span<const std::uint64_t>(
+                                                   idx, 1),
+                                        /*is_store=*/w == 1);
+                   }
+                 });
+  EXPECT_EQ(report_of(sim), "");
+}
+
+TEST(GsanSeededBugs, UseAfterFreeDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+  sim.mark_initialized(data);
+  sim.free_buffer(data);  // cudaFree; addresses are never reused
+
+  sim.label_next_launch("stale_access");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 0, 1u);
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] use-after-free: kernel=stale_access buffer=data elem=0 "
+            "warp=0\n");
+}
+
+TEST(GsanSeededBugs, ReadOnlyWriteDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto csr = sim.alloc<std::uint32_t>("row_offsets", 8);
+  sim.mark_initialized(csr);
+  sim.mark_read_only(csr);  // shared across QueryBatch streams
+
+  sim.label_next_launch("graph_scribbler");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(csr, 6, 0u);
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] read-only-write: kernel=graph_scribbler "
+            "buffer=row_offsets elem=6 warp=0\n");
+}
+
+TEST(GsanSeededBugs, DuplicateHazardsFoldWithCounts) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+
+  sim.label_next_launch("uninit_loop");
+  sim.run_kernel(gpusim::Schedule::kStatic, 3, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   (void)ctx.load_one(data, 0);
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] uninit-read: kernel=uninit_loop buffer=data elem=0 "
+            "warp=0 x3\n");
+}
+
+// Identical hazardous programs produce byte-identical reports for every
+// replay worker count — reports are rank-stable, so CI can diff them.
+TEST(GsanSeededBugs, ReportsAreDeterministicAcrossSimThreads) {
+  auto run_hazards = [](int workers) {
+    GpuSim sim(gpusim::test_device());
+    sim.set_worker_threads(workers);
+    sim.enable_sanitizer(SanitizeMode::kOn);
+    auto a = sim.alloc<std::uint32_t>("a", 32);
+    auto b = sim.alloc<std::uint32_t>("b", 32);
+    sim.mark_initialized(b);
+    sim.label_next_launch("hazard_soup");
+    sim.run_kernel(gpusim::Schedule::kStatic, 4, 2,
+                   [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                     ctx.store_one(b, 1, static_cast<std::uint32_t>(w));
+                     (void)ctx.load_one(a, w);
+                     ctx.store_one(a, 40 + w, 0u);
+                   });
+    return report_of(sim);
+  };
+  const std::string serial = run_hazards(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_hazards(4));
+  EXPECT_EQ(serial, run_hazards(8));
+}
+
+// --- clean sweeps across every engine family --------------------------------
+
+Csr sweep_graph() { return test::random_powerlaw_graph(300, 2200, 913); }
+
+TEST(GsanCleanSweep, RdbsEngine) {
+  const Csr csr = sweep_graph();
+  core::GpuSsspOptions options;
+  options.sanitize = SanitizeMode::kOn;
+  core::RdbsSolver solver(csr, gpusim::test_device(), options);
+  const core::GpuRunResult result = solver.solve(0);
+  EXPECT_EQ(result.sanitizer_report, "");
+  EXPECT_EQ(result.sssp.distances, sssp::dijkstra(csr, 0).distances);
+}
+
+TEST(GsanCleanSweep, RdbsEngineSynchronousBaseline) {
+  const Csr csr = sweep_graph();
+  core::GpuSsspOptions options;
+  options.basyn = false;
+  options.pro = false;
+  options.adwl = false;
+  options.sanitize = SanitizeMode::kOn;
+  core::RdbsSolver solver(csr, gpusim::test_device(), options);
+  const core::GpuRunResult result = solver.solve(0);
+  EXPECT_EQ(result.sanitizer_report, "");
+  EXPECT_EQ(result.sssp.distances, sssp::dijkstra(csr, 0).distances);
+}
+
+TEST(GsanCleanSweep, AddsEngine) {
+  const Csr csr = sweep_graph();
+  core::AddsOptions options;
+  options.sanitize = SanitizeMode::kOn;
+  core::AddsLike engine(gpusim::test_device(), csr, options);
+  const core::GpuRunResult result = engine.run(0);
+  EXPECT_EQ(result.sanitizer_report, "");
+  EXPECT_EQ(result.sssp.distances, sssp::dijkstra(csr, 0).distances);
+}
+
+TEST(GsanCleanSweep, GunrockEngine) {
+  const Csr csr = sweep_graph();
+  core::gunrock::GunrockSsspOptions options;
+  options.sanitize = SanitizeMode::kOn;
+  const core::GpuRunResult result =
+      core::gunrock::sssp(gpusim::test_device(), csr, 0, options);
+  EXPECT_EQ(result.sanitizer_report, "");
+  EXPECT_EQ(result.sssp.distances, sssp::dijkstra(csr, 0).distances);
+}
+
+TEST(GsanCleanSweep, HarishNarayananEngine) {
+  const Csr csr = sweep_graph();
+  core::HarishNarayanan engine(gpusim::test_device(), csr,
+                               SanitizeMode::kOn);
+  const core::GpuRunResult result = engine.run(0);
+  EXPECT_EQ(result.sanitizer_report, "");
+  EXPECT_EQ(result.sssp.distances, sssp::dijkstra(csr, 0).distances);
+}
+
+TEST(GsanCleanSweep, DavidsonEngine) {
+  const Csr csr = sweep_graph();
+  core::DavidsonOptions options;
+  options.sanitize = SanitizeMode::kOn;
+  core::DavidsonNearFar engine(gpusim::test_device(), csr, options);
+  const core::GpuRunResult result = engine.run(0);
+  EXPECT_EQ(result.sanitizer_report, "");
+  EXPECT_EQ(result.sssp.distances, sssp::dijkstra(csr, 0).distances);
+}
+
+TEST(GsanCleanSweep, SepHybridEngine) {
+  const Csr csr = sweep_graph();
+  core::SepHybridOptions options;
+  options.sanitize = SanitizeMode::kOn;
+  core::SepHybrid engine(gpusim::test_device(), csr, options);
+  const core::SepRunResult result = engine.run(0);
+  EXPECT_EQ(result.gpu.sanitizer_report, "");
+  EXPECT_EQ(result.gpu.sssp.distances, sssp::dijkstra(csr, 0).distances);
+}
+
+TEST(GsanCleanSweep, MultiGpuEngine) {
+  const Csr csr = sweep_graph();
+  core::MultiGpuOptions options;
+  options.num_devices = 3;
+  options.sanitize = SanitizeMode::kOn;
+  core::MultiGpuDeltaStepping engine(gpusim::test_device(), csr, options);
+  const core::MultiGpuRunResult result = engine.run(0);
+  EXPECT_EQ(engine.sanitizer_report(), "");
+  EXPECT_EQ(result.sssp.distances, sssp::dijkstra(csr, 0).distances);
+}
+
+// Cross-stream hazard check: four lanes share one simulator and the
+// read-only CSR buffers; a full batch must report zero hazards and stay
+// bit-identical to sequential runs.
+TEST(GsanCleanSweep, QueryBatchFourStreams) {
+  const Csr csr = sweep_graph();
+  const std::vector<VertexId> sources = {0, 13, 77, 150, 299};
+  core::QueryBatchOptions options;
+  options.streams = 4;
+  options.gpu.sanitize = SanitizeMode::kOn;
+  core::QueryBatch batch(csr, gpusim::test_device(), options);
+  const core::BatchResult result = batch.run(sources);
+  ASSERT_NE(batch.sim().sanitizer(), nullptr);
+  EXPECT_EQ(batch.sim().sanitizer()->report(), "");
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(result.queries[i].sssp.distances,
+              sssp::dijkstra(csr, sources[i]).distances);
+  }
+}
+
+// Sanitizing must not change functional results or simulated time.
+TEST(GsanCleanSweep, SanitizerOnlyObserves) {
+  const Csr csr = sweep_graph();
+  core::GpuSsspOptions off;
+  core::GpuSsspOptions on;
+  on.sanitize = SanitizeMode::kOn;
+  core::RdbsSolver solver_off(csr, gpusim::test_device(), off);
+  core::RdbsSolver solver_on(csr, gpusim::test_device(), on);
+  const core::GpuRunResult r_off = solver_off.solve(7);
+  const core::GpuRunResult r_on = solver_on.solve(7);
+  EXPECT_EQ(r_off.sssp.distances, r_on.sssp.distances);
+  EXPECT_EQ(r_off.device_ms, r_on.device_ms);
+  EXPECT_EQ(r_off.counters, r_on.counters);
+}
+
+}  // namespace
+}  // namespace rdbs
