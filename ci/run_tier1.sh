@@ -11,7 +11,9 @@
 #             test_gpusim_parallel (the suite that exercises the replay
 #             workers) — a data race between L1 shards would surface here —
 #             plus test_query_batch (batch determinism across concurrent
-#             streams with multi-threaded replay).
+#             streams with multi-threaded replay) and test_fault_injection
+#             (gfi chaos sweep: fault bookkeeping must stay race-free when
+#             faulted launches replay on multiple workers).
 #
 # With --asan, runs ONLY the asan configuration: -DRDBS_ASAN=ON
 # (AddressSanitizer + UBSan, -fno-sanitize-recover=all) with the full
@@ -70,7 +72,7 @@ cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-  --target test_gpusim_parallel test_query_batch
+  --target test_gpusim_parallel test_query_batch test_fault_injection
 echo "=== [tsan] test_gpusim_parallel ==="
 # The two Kronecker engine tests simulate millions of warp tasks and take
 # tens of minutes under TSan instrumentation; the road-graph engine tests
@@ -80,5 +82,10 @@ echo "=== [tsan] test_query_batch ==="
 # Batch determinism with sim_threads=8 over concurrent streams: races
 # between replay workers and the per-stream accounting would surface here.
 "$TSAN_DIR/tests/test_query_batch"
+echo "=== [tsan] test_fault_injection ==="
+# The chaos sweep retries faulted launches whose traces then replay on the
+# worker pool; the fault log, poison bookkeeping and recovery accounting
+# must stay race-free (and bit-identical — the sweep asserts that too).
+"$TSAN_DIR/tests/test_fault_injection"
 
 echo "tier-1: all configurations passed"

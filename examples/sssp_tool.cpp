@@ -70,49 +70,63 @@ struct RunOutcome {
   gpusim::Counters counters;
   bool simulated = true;
   std::string sanitizer_report;  // gsan hazards (empty = clean or off)
+  core::RecoveryStats recovery;  // gfi fault/recovery tallies
+  bool ok = true;                // false only with cpu_fallback disabled
 };
 
 RunOutcome run_algorithm(const std::string& algorithm, const graph::Csr& csr,
                          const gpusim::DeviceSpec& device,
                          graph::Weight delta0, graph::VertexId source,
-                         gpusim::SanitizeMode sanitize) {
+                         gpusim::SanitizeMode sanitize,
+                         const gpusim::FaultConfig& fault) {
   RunOutcome outcome;
   if (algorithm == "rdbs") {
     core::GpuSsspOptions options;
     options.delta0 = delta0;
     options.sanitize = sanitize;
+    options.fault = fault;
     core::RdbsSolver solver(csr, device, options);
     auto result = solver.solve(source);
     outcome.ms = result.device_ms;
     outcome.sssp = std::move(result.sssp);
     outcome.counters = result.counters;
     outcome.sanitizer_report = std::move(result.sanitizer_report);
+    outcome.recovery = result.recovery;
+    outcome.ok = result.ok;
   } else if (algorithm == "adds") {
     core::AddsOptions options;
     options.delta = delta0;
     options.sanitize = sanitize;
+    options.fault = fault;
     core::AddsLike adds(device, csr, options);
     auto result = adds.run(source);
     outcome.ms = result.device_ms;
     outcome.sssp = std::move(result.sssp);
     outcome.counters = result.counters;
     outcome.sanitizer_report = std::move(result.sanitizer_report);
+    outcome.recovery = result.recovery;
+    outcome.ok = result.ok;
   } else if (algorithm == "sep") {
     core::SepHybridOptions options;
     options.sanitize = sanitize;
+    options.fault = fault;
     core::SepHybrid sep(device, csr, options);
     auto result = sep.run(source);
     outcome.ms = result.gpu.device_ms;
     outcome.sssp = std::move(result.gpu.sssp);
     outcome.counters = result.gpu.counters;
     outcome.sanitizer_report = std::move(result.gpu.sanitizer_report);
+    outcome.recovery = result.gpu.recovery;
+    outcome.ok = result.gpu.ok;
   } else if (algorithm == "hn07") {
-    core::HarishNarayanan hn(device, csr, sanitize);
+    core::HarishNarayanan hn(device, csr, sanitize, fault);
     auto result = hn.run(source);
     outcome.ms = result.device_ms;
     outcome.sssp = std::move(result.sssp);
     outcome.counters = result.counters;
     outcome.sanitizer_report = std::move(result.sanitizer_report);
+    outcome.recovery = result.recovery;
+    outcome.ok = result.ok;
   } else if (algorithm == "dijkstra") {
     Timer timer;
     outcome.sssp = sssp::dijkstra(csr, source);
@@ -167,6 +181,17 @@ int main(int argc, char** argv) {
   const gpusim::SanitizeMode sanitize = args.get_bool("sanitize", false)
                                             ? gpusim::SanitizeMode::kOn
                                             : gpusim::SanitizeMode::kOff;
+  // --inject-faults=<spec>: deterministic fault injection + recovery (gfi;
+  // docs/fault_injection.md), e.g. --inject-faults=seed=7,launch=0.05,flip=1e-4
+  gpusim::FaultConfig fault;
+  if (args.has("inject-faults")) {
+    try {
+      fault = gpusim::parse_fault_spec(args.get_string("inject-faults", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --inject-faults spec: %s\n", e.what());
+      return 2;
+    }
+  }
 
   if (args.get_bool("batch", false)) {
     // Batched multi-source mode: --sources queries over --batch-streams
@@ -177,6 +202,7 @@ int main(int argc, char** argv) {
     bopts.streams = config.batch_streams;
     bopts.gpu.sim_threads = config.sim_threads;
     bopts.gpu.sanitize = sanitize;
+    bopts.gpu.fault = fault;
     if (algorithm == "adds") {
       bopts.engine = core::BatchEngine::kAdds;
       bopts.adds_delta = delta0;
@@ -216,6 +242,19 @@ int main(int argc, char** argv) {
         result.makespan_ms <= 0 ? 0.0
                                 : result.sum_latency_ms / result.makespan_ms,
         result.queue_wait_ms, result.aggregate_mwips);
+    if (fault.enabled) {
+      std::printf(
+          "faults: %llu injected (%llu ECC-corrected), %llu retried, "
+          "%llu recovered / %llu CPU-fallback / %llu failed quer%s%s\n",
+          static_cast<unsigned long long>(result.recovery.faults_injected),
+          static_cast<unsigned long long>(result.recovery.ecc_corrected),
+          static_cast<unsigned long long>(result.recovery.retries),
+          static_cast<unsigned long long>(result.recovered_queries),
+          static_cast<unsigned long long>(result.fallback_queries),
+          static_cast<unsigned long long>(result.failed_queries),
+          result.failed_queries == 1 ? "y" : "ies",
+          result.recovery.device_lost ? ", DEVICE LOST" : "");
+    }
     if (const gpusim::Sanitizer* san = batch.sim().sanitizer()) {
       if (!san->hazards().empty()) {
         std::fputs(san->report().c_str(), stderr);
@@ -240,9 +279,22 @@ int main(int argc, char** argv) {
   std::string hazards;
   for (const std::string& name : algorithms) {
     RunOutcome outcome =
-        run_algorithm(name, csr, device, delta0, source, sanitize);
+        run_algorithm(name, csr, device, delta0, source, sanitize, fault);
     if (!outcome.sanitizer_report.empty()) {
       hazards += "--- " + name + " ---\n" + outcome.sanitizer_report;
+    }
+    if (fault.enabled && outcome.simulated) {
+      std::printf(
+          "faults[%s]: %llu injected (%llu ECC-corrected), %llu "
+          "retr%s, %llu CPU fallback(s)%s%s\n",
+          name.c_str(),
+          static_cast<unsigned long long>(outcome.recovery.faults_injected),
+          static_cast<unsigned long long>(outcome.recovery.ecc_corrected),
+          static_cast<unsigned long long>(outcome.recovery.retries),
+          outcome.recovery.retries == 1 ? "y" : "ies",
+          static_cast<unsigned long long>(outcome.recovery.cpu_fallbacks),
+          outcome.recovery.device_lost ? ", DEVICE LOST" : "",
+          outcome.ok ? "" : ", FAILED (no distances)");
     }
     const auto verdict =
         sssp::validate_distances(csr, source, outcome.sssp.distances);

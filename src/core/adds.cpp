@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
 
 #include "common/macros.hpp"
+#include "core/recovery.hpp"
 
 namespace rdbs::core {
 
@@ -30,6 +32,7 @@ AddsLike::AddsLike(gpusim::DeviceSpec device, const graph::Csr& csr,
   if (options_.sanitize != gpusim::SanitizeMode::kOff) {
     sim_->enable_sanitizer(options_.sanitize);
   }
+  if (options_.fault.enabled) sim_->enable_fault_injection(options_.fault);
   init_device_state(nullptr);
 }
 
@@ -41,6 +44,7 @@ AddsLike::AddsLike(gpusim::GpuSim& sim, gpusim::StreamId stream,
   if (options_.sanitize != gpusim::SanitizeMode::kOff) {
     sim_->enable_sanitizer(options_.sanitize);
   }
+  if (options_.fault.enabled) sim_->enable_fault_injection(options_.fault);
   init_device_state(shared_graph);
 }
 
@@ -100,7 +104,25 @@ void AddsLike::init_distances_kernel(VertexId source) {
 }
 
 GpuRunResult AddsLike::run(VertexId source) {
-  RDBS_CHECK(source < csr_.num_vertices());
+  if (source >= csr_.num_vertices()) {
+    throw std::out_of_range("AddsLike: source vertex out of range");
+  }
+  return run_with_recovery(*sim_, stream_, options_.retry, csr_, source,
+                           [&] { return run_attempt(source); });
+}
+
+bool AddsLike::attempt_poisoned() const {
+  if (sim_->fault_injector() == nullptr) return false;
+  if (sim_->device_lost()) return true;
+  const auto& log = sim_->fault_log();
+  for (std::size_t i = fault_scan_begin_; i < log.size(); ++i) {
+    if (log[i].poisons()) return true;
+  }
+  return false;
+}
+
+GpuRunResult AddsLike::run_attempt(VertexId source) {
+  fault_scan_begin_ = sim_->fault_log().size();
   if (owned_sim_) sim_->reset_all();
   const double ms_before = sim_->stream_elapsed_ms(stream_);
   const double wait_before = sim_->stream_queue_wait_ms(stream_);
@@ -154,6 +176,7 @@ GpuRunResult AddsLike::run(VertexId source) {
   };
 
   while (!near.empty() || !far.empty()) {
+    if (sim_->device_lost()) break;  // attempt is void; recovery takes over
     if (near.empty()) {
       // --- Far split: advance the threshold past the smallest far
       // distance, promote entries below it, drop stale duplicates.

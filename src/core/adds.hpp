@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "core/device_graph.hpp"
+#include "core/options.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
 #include "graph/csr.hpp"
@@ -29,6 +30,9 @@ struct AddsOptions {
   int sim_threads = 0;          // gpusim replay threads (0 = library default)
   // gsan hazard analysis over every launch (docs/sanitizer.md).
   gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
+  // Deterministic fault injection + recovery (gfi; docs/fault_injection.md).
+  gpusim::FaultConfig fault;
+  RetryPolicy retry;
 };
 
 class AddsLike {
@@ -44,12 +48,21 @@ class AddsLike {
            const graph::Csr& csr, AddsOptions options,
            const DeviceCsrBuffers* shared_graph = nullptr);
 
+  // Runs SSSP from `source`. With fault injection enabled (options.fault)
+  // the run executes under options.retry — poisoned attempts are discarded
+  // and rerun, and the result carries the typed faults plus recovery
+  // counters. Throws std::out_of_range for an invalid source.
   GpuRunResult run(graph::VertexId source);
 
   gpusim::GpuSim& sim() { return *sim_; }
   gpusim::StreamId stream() const { return stream_; }
 
  private:
+  // One recovery attempt: the full Near-Far run, re-initializing all
+  // mutable device state first (so a retry starts clean).
+  GpuRunResult run_attempt(graph::VertexId source);
+  bool attempt_poisoned() const;
+
   void init_device_state(const DeviceCsrBuffers* shared_graph);
   void init_distances_kernel(graph::VertexId source);
 
@@ -67,6 +80,9 @@ class AddsLike {
   gpusim::Buffer<std::uint32_t> queue_ctrl_;  // [0]=near tail, [1]=near head,
                                               // [2]=far tail
   gpusim::Buffer<std::uint8_t> in_near_;
+
+  // Fault-log watermark of the current attempt (gfi).
+  std::size_t fault_scan_begin_ = 0;
 
   sssp::WorkStats work_;
 };

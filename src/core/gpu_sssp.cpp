@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/macros.hpp"
+#include "core/recovery.hpp"
 
 namespace rdbs::core {
 
@@ -30,6 +32,7 @@ GpuDeltaStepping::GpuDeltaStepping(gpusim::DeviceSpec device, const Csr& csr,
   if (options_.sanitize != gpusim::SanitizeMode::kOff) {
     sim_->enable_sanitizer(options_.sanitize);
   }
+  if (options_.fault.enabled) sim_->enable_fault_injection(options_.fault);
   init_device_state(nullptr);
 }
 
@@ -39,10 +42,11 @@ GpuDeltaStepping::GpuDeltaStepping(gpusim::GpuSim& sim,
                                    const DeviceCsrBuffers* shared_graph)
     : sim_(&sim), stream_(stream), csr_(csr), options_(options) {
   // Never *disable* here: in shared-sim mode the batch owns the sanitizer
-  // setting and may have enabled it for all lanes.
+  // and fault-injection settings and may have enabled them for all lanes.
   if (options_.sanitize != gpusim::SanitizeMode::kOff) {
     sim_->enable_sanitizer(options_.sanitize);
   }
+  if (options_.fault.enabled) sim_->enable_fault_injection(options_.fault);
   init_device_state(shared_graph);
 }
 
@@ -690,7 +694,25 @@ GpuDeltaStepping::ScanOutcome GpuDeltaStepping::phase23(
 }
 
 GpuRunResult GpuDeltaStepping::run(VertexId source) {
-  RDBS_CHECK(source < csr_.num_vertices());
+  if (source >= csr_.num_vertices()) {
+    throw std::out_of_range("GpuDeltaStepping: source vertex out of range");
+  }
+  return run_with_recovery(*sim_, stream_, options_.retry, csr_, source,
+                           [&] { return run_attempt(source); });
+}
+
+bool GpuDeltaStepping::attempt_poisoned() const {
+  if (!sim_->fault_injector()) return false;
+  if (sim_->device_lost()) return true;
+  const std::vector<gpusim::GpuFault>& log = sim_->fault_log();
+  for (std::size_t i = fault_scan_begin_; i < log.size(); ++i) {
+    if (log[i].poisons()) return true;
+  }
+  return false;
+}
+
+GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
+  fault_scan_begin_ = sim_->fault_log().size();
   // Owning mode: fresh timeline/counters/caches per run (the paper's
   // single-query methodology). Shared mode: the simulator belongs to the
   // batch — time and cache state accumulate across queries, and this run's
@@ -746,7 +768,14 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
 
   std::uint64_t bucket_count = 0;
   while (true) {
-    RDBS_CHECK_MSG(++bucket_count < max_buckets, "bucket loop runaway");
+    if (++bucket_count >= max_buckets) {
+      // Impossible with intact data; a poisoned attempt (corrupted
+      // distances) may legitimately spiral and is abandoned here — the
+      // retry driver discards it anyway.
+      RDBS_CHECK_MSG(attempt_poisoned(), "bucket loop runaway");
+      break;
+    }
+    if (sim_->device_lost()) break;  // attempt is void; stop burning work
     ++current_epoch_;
     BucketStats bs;
     bs.delta = delta;
@@ -780,7 +809,7 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
     bs.phase23_ms = sim_->stream_elapsed_ms(stream_) - ms_before_phase23;
     // The scan's settled count must agree with the queue-side count: every
     // vertex of the bucket passed through the queue exactly once.
-    RDBS_DCHECK(outcome.converged == bs.converged);
+    RDBS_DCHECK(outcome.converged == bs.converged || attempt_poisoned());
     if (options_.instrument) result.buckets.push_back(bs);
 
     if (vqueue_.empty()) {
@@ -791,8 +820,13 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
       next_hi = next_lo + delta_next;
       const ScanOutcome jump =
           phase23(hi, hi, delta, next_lo, next_hi, /*relax_heavy=*/false);
-      RDBS_CHECK_MSG(!vqueue_.empty() || jump.remaining == 0,
-                     "jump scan failed to find the minimum vertex");
+      if (vqueue_.empty() && jump.remaining != 0) {
+        // A flip between the two scans can shift the observed minimum; the
+        // attempt is poisoned and abandoned rather than aborting.
+        RDBS_CHECK_MSG(attempt_poisoned(),
+                       "jump scan failed to find the minimum vertex");
+        break;
+      }
       if (vqueue_.empty()) break;
     }
     lo = next_lo;

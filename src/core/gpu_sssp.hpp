@@ -65,7 +65,11 @@ class GpuDeltaStepping {
   // Runs SSSP from `source` (in the *engine graph's* vertex numbering).
   // When the engine owns its simulator, simulated time/counters are reset
   // first; either way the result's device_ms / queue_wait_ms / counters
-  // describe exactly this run.
+  // describe exactly this run. With fault injection enabled
+  // (options.fault), the run executes under options.retry: poisoned
+  // attempts are discarded and rerun, and the result carries the typed
+  // faults plus recovery counters (see docs/fault_injection.md). Throws
+  // std::out_of_range for an invalid source.
   GpuRunResult run(VertexId source);
 
   gpusim::GpuSim& sim() { return *sim_; }
@@ -78,6 +82,14 @@ class GpuDeltaStepping {
     EdgeIndex edge_begin;  // first edge of this chunk
     EdgeIndex edge_end;    // one past last (within the light range)
   };
+
+  // One recovery attempt: the full Δ-stepping run, re-initializing all
+  // mutable device state first (so a retry starts clean).
+  GpuRunResult run_attempt(VertexId source);
+  // Whether the current attempt already took a poisoning fault — loop
+  // invariants may legitimately break then, and the attempt aborts instead
+  // of the process (it will be discarded by the retry driver anyway).
+  bool attempt_poisoned() const;
 
   // --- kernel bodies -------------------------------------------------------
   void init_distances_kernel(VertexId source);
@@ -149,6 +161,9 @@ class GpuDeltaStepping {
   // epoch_[v] == current_epoch_ iff v was already counted in this bucket.
   std::vector<std::uint64_t> epoch_;
   std::uint64_t current_epoch_ = 0;
+
+  // Fault-log watermark of the current attempt (gfi).
+  std::size_t fault_scan_begin_ = 0;
 
   sssp::WorkStats work_;
 };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
 
 #include "common/macros.hpp"
+#include "core/recovery.hpp"
 
 namespace rdbs::core::gunrock {
 
@@ -259,8 +261,18 @@ void Enactor::compute(const Frontier& frontier, const ComputeFunctor& f) {
 
 GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
                   VertexId source, const GunrockSsspOptions& options) {
-  RDBS_CHECK(source < csr.num_vertices());
+  if (source >= csr.num_vertices()) {
+    throw std::out_of_range("gunrock::sssp: source vertex out of range");
+  }
   Enactor enactor(std::move(device), csr, options.sanitize);
+  if (options.fault.enabled) {
+    enactor.sim().enable_fault_injection(options.fault);
+  }
+  // One recovery attempt: the enactor (and its simulator clock) is shared
+  // across attempts, so metrics are measured as per-attempt deltas.
+  auto attempt = [&]() -> GpuRunResult {
+  const double ms_before = enactor.sim().elapsed_ms();
+  const gpusim::Counters counters_before = enactor.sim().counters();
   sssp::WorkStats work;
 
   auto& dist = enactor.dist();
@@ -295,6 +307,7 @@ GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
 
   Frontier frontier(std::vector<VertexId>{source});
   while (!frontier.empty() || !far.empty()) {
+    if (enactor.sim().device_lost()) break;  // attempt is void; recovery runs
     if (frontier.empty()) {
       // Re-split far: advance the threshold and filter the pile.
       Distance min_far = graph::kInfiniteDistance;
@@ -342,12 +355,16 @@ GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
   result.sssp.distances = dist.data();
   result.sssp.work = work;
   sssp::finalize_valid_updates(result.sssp, source);
-  result.device_ms = enactor.sim().elapsed_ms();
-  result.counters = enactor.sim().counters();
+  result.device_ms = enactor.sim().elapsed_ms() - ms_before;
+  result.counters = enactor.sim().counters() - counters_before;
   if (const gpusim::Sanitizer* san = enactor.sim().sanitizer()) {
     result.sanitizer_report = san->report();
   }
   return result;
+  };
+
+  return run_with_recovery(enactor.sim(), /*stream=*/0, options.retry, csr,
+                           source, attempt);
 }
 
 }  // namespace rdbs::core::gunrock

@@ -23,6 +23,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/options.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
 #include "graph/csr.hpp"
@@ -115,8 +116,15 @@ struct GunrockSsspOptions {
   Weight delta = 100.0;
   // gsan hazard analysis over every launch (docs/sanitizer.md).
   gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
+  // Deterministic fault injection + recovery (gfi; docs/fault_injection.md).
+  gpusim::FaultConfig fault;
+  RetryPolicy retry;
 };
 
+// Runs Gunrock's sssp app. With options.fault enabled the run executes
+// under options.retry (poisoned attempts discarded and rerun; typed faults
+// and recovery counters in the result). Throws std::out_of_range for an
+// invalid source.
 GpuRunResult sssp(gpusim::DeviceSpec device, const graph::Csr& csr,
                   VertexId source, const GunrockSsspOptions& options = {});
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
 #include <vector>
 
 #include "common/macros.hpp"
+#include "core/recovery.hpp"
 
 namespace rdbs::core {
 
@@ -26,9 +28,12 @@ constexpr std::uint64_t kFarTailCell[1] = {1};
 
 HarishNarayanan::HarishNarayanan(gpusim::DeviceSpec device,
                                  const graph::Csr& csr,
-                                 gpusim::SanitizeMode sanitize)
-    : sim_(std::move(device)), csr_(csr) {
+                                 gpusim::SanitizeMode sanitize,
+                                 const gpusim::FaultConfig& fault,
+                                 const RetryPolicy& retry)
+    : sim_(std::move(device)), csr_(csr), retry_(retry) {
   sim_.enable_sanitizer(sanitize);
+  if (fault.enabled) sim_.enable_fault_injection(fault);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();
   row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
@@ -53,7 +58,25 @@ HarishNarayanan::HarishNarayanan(gpusim::DeviceSpec device,
 }
 
 GpuRunResult HarishNarayanan::run(VertexId source) {
-  RDBS_CHECK(source < csr_.num_vertices());
+  if (source >= csr_.num_vertices()) {
+    throw std::out_of_range("HarishNarayanan: source vertex out of range");
+  }
+  return run_with_recovery(sim_, /*stream=*/0, retry_, csr_, source,
+                           [&] { return run_attempt(source); });
+}
+
+bool HarishNarayanan::attempt_poisoned() const {
+  if (sim_.fault_injector() == nullptr) return false;
+  if (sim_.device_lost()) return true;
+  const auto& log = sim_.fault_log();
+  for (std::size_t i = fault_scan_begin_; i < log.size(); ++i) {
+    if (log[i].poisons()) return true;
+  }
+  return false;
+}
+
+GpuRunResult HarishNarayanan::run_attempt(VertexId source) {
+  fault_scan_begin_ = sim_.fault_log().size();
   sim_.reset_all();
   const VertexId n = csr_.num_vertices();
   const std::uint64_t warps = (n + 31) / 32;
@@ -95,7 +118,13 @@ GpuRunResult HarishNarayanan::run(VertexId source) {
   const std::uint64_t max_iterations = 4 * (std::uint64_t(n) + 8);
   std::uint64_t iterations = 0;
   while (changed) {
-    RDBS_CHECK_MSG(++iterations < max_iterations, "HN07 failed to converge");
+    if (sim_.device_lost()) break;  // attempt is void; recovery takes over
+    if (++iterations >= max_iterations) {
+      // Corrupted distances can stall convergence; the poisoned attempt is
+      // discarded by the retry driver. A clean-device runaway is a bug.
+      RDBS_CHECK_MSG(attempt_poisoned(), "HN07 failed to converge");
+      break;
+    }
     ++work.iterations;
 
     // Kernel 1 (topology-driven): every vertex loads its mask; masked lanes
@@ -238,6 +267,7 @@ DavidsonNearFar::DavidsonNearFar(gpusim::DeviceSpec device,
     : sim_(std::move(device)), csr_(csr), options_(options) {
   RDBS_CHECK(options_.delta > 0);
   sim_.enable_sanitizer(options_.sanitize);
+  if (options_.fault.enabled) sim_.enable_fault_injection(options_.fault);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();
   row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
@@ -267,7 +297,25 @@ DavidsonNearFar::DavidsonNearFar(gpusim::DeviceSpec device,
 }
 
 GpuRunResult DavidsonNearFar::run(VertexId source) {
-  RDBS_CHECK(source < csr_.num_vertices());
+  if (source >= csr_.num_vertices()) {
+    throw std::out_of_range("DavidsonNearFar: source vertex out of range");
+  }
+  return run_with_recovery(sim_, /*stream=*/0, options_.retry, csr_, source,
+                           [&] { return run_attempt(source); });
+}
+
+bool DavidsonNearFar::attempt_poisoned() const {
+  if (sim_.fault_injector() == nullptr) return false;
+  if (sim_.device_lost()) return true;
+  const auto& log = sim_.fault_log();
+  for (std::size_t i = fault_scan_begin_; i < log.size(); ++i) {
+    if (log[i].poisons()) return true;
+  }
+  return false;
+}
+
+GpuRunResult DavidsonNearFar::run_attempt(VertexId source) {
+  fault_scan_begin_ = sim_.fault_log().size();
   sim_.reset_all();
   const VertexId n = csr_.num_vertices();
   sssp::WorkStats work;
@@ -337,6 +385,7 @@ GpuRunResult DavidsonNearFar::run(VertexId source) {
   };
 
   while (!near.empty() || !far.empty()) {
+    if (sim_.device_lost()) break;  // attempt is void; recovery takes over
     if (near.empty()) {
       // Far split (synchronous kernel over the pile). The live entries
       // occupy the last far.size() pile slots (pushes and slots are in

@@ -20,6 +20,7 @@
 
 #include <deque>
 
+#include "core/options.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
 #include "graph/csr.hpp"
@@ -29,15 +30,25 @@ namespace rdbs::core {
 class HarishNarayanan {
  public:
   HarishNarayanan(gpusim::DeviceSpec device, const graph::Csr& csr,
-                  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff);
+                  gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff,
+                  const gpusim::FaultConfig& fault = {},
+                  const RetryPolicy& retry = {});
 
+  // Runs SSSP from `source` (under `retry` when fault injection is on).
+  // Throws std::out_of_range for an invalid source.
   GpuRunResult run(graph::VertexId source);
 
   gpusim::GpuSim& sim() { return sim_; }
 
  private:
+  GpuRunResult run_attempt(graph::VertexId source);
+  bool attempt_poisoned() const;
+
   gpusim::GpuSim sim_;
   const graph::Csr& csr_;
+  RetryPolicy retry_;
+  // Fault-log watermark of the current attempt (gfi).
+  std::size_t fault_scan_begin_ = 0;
 
   gpusim::Buffer<graph::EdgeIndex> row_offsets_;
   gpusim::Buffer<graph::VertexId> adjacency_;
@@ -51,6 +62,9 @@ struct DavidsonOptions {
   graph::Weight delta = 100.0;  // Near/Far threshold increment
   // gsan hazard analysis over every launch (docs/sanitizer.md).
   gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
+  // Deterministic fault injection + recovery (gfi; docs/fault_injection.md).
+  gpusim::FaultConfig fault;
+  RetryPolicy retry;
 };
 
 class DavidsonNearFar {
@@ -58,14 +72,21 @@ class DavidsonNearFar {
   DavidsonNearFar(gpusim::DeviceSpec device, const graph::Csr& csr,
                   DavidsonOptions options);
 
+  // Runs SSSP from `source` (under options.retry when fault injection is
+  // on). Throws std::out_of_range for an invalid source.
   GpuRunResult run(graph::VertexId source);
 
   gpusim::GpuSim& sim() { return sim_; }
 
  private:
+  GpuRunResult run_attempt(graph::VertexId source);
+  bool attempt_poisoned() const;
+
   gpusim::GpuSim sim_;
   const graph::Csr& csr_;
   DavidsonOptions options_;
+  // Fault-log watermark of the current attempt (gfi).
+  std::size_t fault_scan_begin_ = 0;
 
   gpusim::Buffer<graph::EdgeIndex> row_offsets_;
   gpusim::Buffer<graph::VertexId> adjacency_;

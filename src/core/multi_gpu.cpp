@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <stdexcept>
 #include <string>
 
 #include "common/macros.hpp"
+#include "sssp/dijkstra.hpp"
 
 namespace rdbs::core {
 
@@ -73,6 +75,14 @@ MultiGpuDeltaStepping::MultiGpuDeltaStepping(gpusim::DeviceSpec device_template,
   for (int d = 0; d < options_.num_devices; ++d) {
     auto shard = std::make_unique<Shard>(device_template);
     shard->sim.enable_sanitizer(options_.sanitize);
+    if (options_.fault.enabled) {
+      // Independent per-device plan, still fully deterministic: derive the
+      // shard seed from the configured seed and the device index.
+      gpusim::FaultConfig shard_fault = options_.fault;
+      shard_fault.seed ^=
+          0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(d + 1);
+      shard->sim.enable_fault_injection(shard_fault);
+    }
     shard->first = static_cast<VertexId>(d) * shard_size_;
     shard->last = std::min<VertexId>(n, shard->first + shard_size_);
     const VertexId local_n =
@@ -139,8 +149,125 @@ std::string MultiGpuDeltaStepping::sanitizer_report() const {
 
 MultiGpuDeltaStepping::~MultiGpuDeltaStepping() = default;
 
+bool MultiGpuDeltaStepping::any_device_lost() const {
+  for (const auto& shard : shards_) {
+    if (shard->sim.device_lost()) return true;
+  }
+  return false;
+}
+
+bool MultiGpuDeltaStepping::attempt_poisoned() const {
+  if (any_device_lost()) return true;
+  for (std::size_t d = 0; d < shards_.size(); ++d) {
+    const auto& log = shards_[d]->sim.fault_log();
+    const std::size_t begin =
+        d < fault_scan_begin_.size() ? fault_scan_begin_[d] : 0;
+    for (std::size_t i = begin; i < log.size(); ++i) {
+      if (log[i].poisons()) return true;
+    }
+  }
+  return false;
+}
+
 MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
-  RDBS_CHECK(source < csr_.num_vertices());
+  if (source >= csr_.num_vertices()) {
+    throw std::out_of_range(
+        "MultiGpuDeltaStepping: source vertex out of range");
+  }
+  bool any_injection = any_device_lost();
+  for (const auto& shard : shards_) {
+    any_injection |= shard->sim.fault_injector() != nullptr;
+  }
+  if (!any_injection) {
+    MultiGpuRunResult result = run_attempt(source);
+    result.ok = true;
+    return result;
+  }
+
+  // Manual recovery loop (run_with_recovery drives a single simulator; here
+  // every shard has its own, so faults are scanned per shard and tagged
+  // with the device index).
+  RecoveryStats recovery;
+  std::vector<gpusim::GpuFault> faults;
+  double spent_compute = 0, spent_exchange = 0, spent_makespan = 0;
+  double backoff = std::max(0.0, options_.retry.backoff_ms);
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+
+  for (int attempt_no = 0; attempt_no < max_attempts; ++attempt_no) {
+    if (any_device_lost()) break;
+    MultiGpuRunResult result = run_attempt(source);
+    bool poisoned = false;
+    for (std::size_t d = 0; d < shards_.size(); ++d) {
+      const auto& log = shards_[d]->sim.fault_log();
+      for (std::size_t i = fault_scan_begin_[d]; i < log.size(); ++i) {
+        gpusim::GpuFault fault = log[i];
+        fault.device = static_cast<int>(d);
+        if (fault.correctable()) ++recovery.ecc_corrected;
+        if (fault.poisons()) poisoned = true;
+        ++recovery.faults_injected;
+        faults.push_back(fault);
+      }
+    }
+    const bool lost = any_device_lost();
+    recovery.device_lost = recovery.device_lost || lost;
+    if (lost) poisoned = true;
+
+    if (!poisoned) {
+      result.compute_ms += spent_compute;
+      result.exchange_ms += spent_exchange;
+      result.makespan_ms += spent_makespan;
+      result.ok = true;
+      result.faults = std::move(faults);
+      result.recovery = recovery;
+      return result;
+    }
+    spent_compute += result.compute_ms;
+    spent_exchange += result.exchange_ms;
+    spent_makespan += result.makespan_ms;
+    if (lost) break;  // a dead shard cannot be re-packed; fall back
+    if (attempt_no + 1 < max_attempts) {
+      ++recovery.retries;
+      spent_makespan += backoff;
+      spent_compute += backoff;
+      // Re-upload any poisoned read-only CSR slices (charged as the max
+      // across shards — the uploads run concurrently).
+      double reupload_ms = 0;
+      for (auto& shard : shards_) {
+        const std::uint64_t bytes =
+            shard->sim.memory().poisoned_read_only_bytes();
+        if (bytes > 0) {
+          reupload_ms = std::max(reupload_ms, shard->sim.memcpy_ms(bytes));
+          shard->sim.memory().clear_poison();
+        }
+      }
+      spent_makespan += reupload_ms;
+      spent_compute += reupload_ms;
+      backoff *= options_.retry.backoff_multiplier;
+    }
+  }
+
+  recovery.device_lost = recovery.device_lost || any_device_lost();
+  MultiGpuRunResult result;
+  result.compute_ms = spent_compute;
+  result.exchange_ms = spent_exchange;
+  result.makespan_ms = spent_makespan;
+  result.faults = std::move(faults);
+  if (options_.retry.cpu_fallback) {
+    result.sssp = sssp::dijkstra(csr_, source);
+    ++recovery.cpu_fallbacks;
+    result.ok = true;
+  } else {
+    result.ok = false;
+  }
+  result.recovery = recovery;
+  return result;
+}
+
+MultiGpuRunResult MultiGpuDeltaStepping::run_attempt(VertexId source) {
+  fault_scan_begin_.assign(shards_.size(), 0);
+  for (std::size_t d = 0; d < shards_.size(); ++d) {
+    fault_scan_begin_[d] = shards_[d]->sim.fault_log().size();
+  }
   MultiGpuRunResult result;
   const Weight delta = options_.delta0;
 
@@ -325,13 +452,20 @@ MultiGpuRunResult MultiGpuDeltaStepping::run(VertexId source) {
   };
 
   while (true) {
-    RDBS_CHECK_MSG(++bucket_count < max_buckets,
-                   "multi-GPU bucket loop runaway");
+    if (any_device_lost()) break;  // attempt is void; recovery takes over
+    if (++bucket_count >= max_buckets) {
+      // Corrupted distances can stall the bucket walk; the poisoned
+      // attempt is discarded by the retry driver. A clean-device runaway
+      // is still a hard bug.
+      RDBS_CHECK_MSG(attempt_poisoned(), "multi-GPU bucket loop runaway");
+      break;
+    }
 
     // --- Phase 1 (bucket-synchronous inner rounds) ------------------------
     bool any_work = false;
     for (auto& shard : shards_) any_work |= !shard->frontier.empty();
     while (any_work) {
+      if (any_device_lost()) break;
       double round_ms = 0;
       for (auto& shard : shards_) {
         if (shard->frontier.empty()) continue;

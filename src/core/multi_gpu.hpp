@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/options.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
 #include "graph/csr.hpp"
@@ -45,6 +46,12 @@ struct MultiGpuOptions {
   InterconnectSpec interconnect;
   // gsan hazard analysis on every per-device simulator (docs/sanitizer.md).
   gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
+  // Deterministic fault injection + recovery (gfi; docs/fault_injection.md).
+  // Each device shard gets its own injector with a seed derived from
+  // fault.seed and the device index, so per-device plans are independent
+  // but still bit-reproducible.
+  gpusim::FaultConfig fault;
+  RetryPolicy retry;
 };
 
 struct MultiGpuRunResult {
@@ -55,6 +62,12 @@ struct MultiGpuRunResult {
   std::uint64_t messages = 0;      // remote relaxations sent
   std::uint64_t exchange_rounds = 0;
   std::vector<double> per_device_busy_ms;  // total busy time per device
+
+  // Fault/recovery outcome (gfi): faults carry the shard index in
+  // GpuFault::device. ok == false only with retry.cpu_fallback disabled.
+  bool ok = true;
+  std::vector<gpusim::GpuFault> faults;
+  RecoveryStats recovery;
 
   double gteps(std::uint64_t edges) const {
     return makespan_ms <= 0
@@ -69,7 +82,15 @@ class MultiGpuDeltaStepping {
                         const graph::Csr& csr, MultiGpuOptions options);
   ~MultiGpuDeltaStepping();
 
+  // Runs SSSP from `source`. With options.fault enabled the run executes
+  // under options.retry; a lost device degrades the query to the CPU
+  // Dijkstra reference (1D shards cannot be re-packed onto survivors).
+  // Throws std::out_of_range for an invalid source.
   MultiGpuRunResult run(graph::VertexId source);
+
+  // Whether any shard's device-lost latch is set (cleared only by
+  // reviving the underlying simulators; see GpuSim::revive_device).
+  bool any_device_lost() const;
 
   int num_devices() const { return options_.num_devices; }
   // Owner device of a vertex under the 1D partition.
@@ -84,10 +105,16 @@ class MultiGpuDeltaStepping {
  private:
   struct Shard;
 
+  // One recovery attempt (full bucket walk from reset shard clocks).
+  MultiGpuRunResult run_attempt(graph::VertexId source);
+  bool attempt_poisoned() const;
+
   const graph::Csr& csr_;
   MultiGpuOptions options_;
   graph::VertexId shard_size_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Per-shard fault-log watermarks of the current attempt (gfi).
+  std::vector<std::size_t> fault_scan_begin_;
 };
 
 }  // namespace rdbs::core

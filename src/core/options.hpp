@@ -6,10 +6,28 @@
 #include <cstdint>
 
 #include "gpusim/device.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "graph/types.hpp"
 
 namespace rdbs::core {
+
+// Engine-layer recovery from injected (or, on real hardware, genuine)
+// device faults; see docs/fault_injection.md. An attempt whose fault scan
+// shows a poisoning event (uncorrectable flip, launch failure, timeout) is
+// discarded and rerun from scratch — every engine fully re-initializes its
+// device state per run, so a full-query restart is a clean retry. Backoff
+// and re-uploads are charged to the *simulated* clock.
+struct RetryPolicy {
+  int max_attempts = 3;          // total attempts, including the first
+  double backoff_ms = 0.05;      // delay before the first retry
+  double backoff_multiplier = 2.0;  // exponential growth per retry
+  // When attempts are exhausted (or the device is lost), fall back to the
+  // host-side Dijkstra reference so callers still get correct distances.
+  // When false, the result carries ok == false and the typed faults
+  // instead — never silently wrong distances.
+  bool cpu_fallback = true;
+};
 
 enum class EngineMode {
   // Bucketed Δ-stepping (phases 1-3); the BASYN/PRO/ADWL flags apply.
@@ -61,6 +79,12 @@ struct GpuSsspOptions {
   // gsan hazard analysis over every launch (docs/sanitizer.md). Off by
   // default; results are unchanged either way — sanitizing only observes.
   gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
+
+  // gfi deterministic fault injection (docs/fault_injection.md). Off by
+  // default; when enabled the engine runs under `retry` and reports the
+  // injected faults plus recovery counters in GpuRunResult.
+  gpusim::FaultConfig fault;
+  RetryPolicy retry;
 };
 
 }  // namespace rdbs::core

@@ -1,6 +1,7 @@
 #include "core/query_batch.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/macros.hpp"
 
@@ -23,6 +24,9 @@ QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
   sim_ = std::make_unique<gpusim::GpuSim>(std::move(device));
   sim_->set_worker_threads(options_.gpu.sim_threads);
   sim_->enable_sanitizer(options_.gpu.sanitize);
+  if (options_.gpu.fault.enabled) {
+    sim_->enable_fault_injection(options_.gpu.fault);
+  }
   graph_bufs_ = std::make_unique<DeviceCsrBuffers>(
       DeviceCsrBuffers::upload(*sim_, graph_));
 
@@ -37,6 +41,8 @@ QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
       AddsOptions adds;
       adds.delta = options_.adds_delta;
       adds.sim_threads = options_.gpu.sim_threads;
+      adds.fault = options_.gpu.fault;
+      adds.retry = options_.gpu.retry;
       lane.adds = std::make_unique<AddsLike>(*sim_, s, graph_, adds,
                                              graph_bufs_.get());
     }
@@ -54,8 +60,24 @@ BatchResult QueryBatch::run(std::span<const VertexId> sources) {
   const gpusim::Counters counters_before = sim_->counters();
 
   for (const VertexId source : sources) {
-    RDBS_CHECK(source < graph_.num_vertices());
-    // Earliest-available lane, ties to the lowest stream id.
+    QueryStats qs;
+    qs.source = source;
+
+    // An invalid source fails this query alone, never the batch.
+    if (source >= graph_.num_vertices()) {
+      GpuRunResult failed;
+      failed.ok = false;
+      qs.status = QueryStatus::kFailed;
+      qs.error = "source vertex out of range";
+      ++batch.failed_queries;
+      batch.stats.push_back(std::move(qs));
+      batch.queries.push_back(std::move(failed));
+      continue;
+    }
+
+    // Earliest-available lane, ties to the lowest stream id. Stalled
+    // streams have a higher clock, so new queries naturally route around
+    // them; after a device loss every engine degrades per its RetryPolicy.
     std::size_t best = 0;
     for (std::size_t i = 1; i < lanes_.size(); ++i) {
       if (sim_->stream_elapsed_ms(lanes_[i].stream) <
@@ -67,13 +89,18 @@ BatchResult QueryBatch::run(std::span<const VertexId> sources) {
 
     const VertexId engine_source =
         permuted_ ? perm_.to_reordered(source) : source;
-    GpuRunResult result = lane.run(engine_source);
-    if (permuted_) {
-      result.sssp.distances = perm_.unpermute(result.sssp.distances);
+    GpuRunResult result;
+    try {
+      result = lane.run(engine_source);
+      if (permuted_ && !result.sssp.distances.empty()) {
+        result.sssp.distances = perm_.unpermute(result.sssp.distances);
+      }
+    } catch (const std::exception& e) {
+      result = GpuRunResult{};
+      result.ok = false;
+      qs.error = e.what();
     }
 
-    QueryStats qs;
-    qs.source = source;
     qs.stream = lane.stream;
     qs.device_ms = result.device_ms;
     qs.queue_wait_ms = result.queue_wait_ms;
@@ -82,10 +109,26 @@ BatchResult QueryBatch::run(std::span<const VertexId> sources) {
                    ? 0.0
                    : static_cast<double>(qs.warp_instructions) /
                          (qs.device_ms * 1e3);
+    if (!result.ok) {
+      qs.status = QueryStatus::kFailed;
+      ++batch.failed_queries;
+    } else if (result.recovery.cpu_fallbacks > 0) {
+      qs.status = QueryStatus::kCpuFallback;
+      ++batch.fallback_queries;
+    } else if (result.recovery.retries > 0) {
+      qs.status = QueryStatus::kRecovered;
+      ++batch.recovered_queries;
+    }
+    batch.recovery.faults_injected += result.recovery.faults_injected;
+    batch.recovery.ecc_corrected += result.recovery.ecc_corrected;
+    batch.recovery.retries += result.recovery.retries;
+    batch.recovery.cpu_fallbacks += result.recovery.cpu_fallbacks;
+    batch.recovery.device_lost =
+        batch.recovery.device_lost || result.recovery.device_lost;
     batch.sum_latency_ms += qs.device_ms;
     batch.queue_wait_ms += qs.queue_wait_ms;
     batch.warp_instructions += qs.warp_instructions;
-    batch.stats.push_back(qs);
+    batch.stats.push_back(std::move(qs));
     batch.queries.push_back(std::move(result));
   }
 

@@ -21,6 +21,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/adds.hpp"
@@ -46,6 +47,16 @@ struct QueryBatchOptions {
   graph::Weight adds_delta = 100.0;  // Near/Far increment for kAdds
 };
 
+// Per-query outcome. A batch never aborts on one bad query: an invalid
+// source or an engine throw is recorded as kFailed on that query alone,
+// and fault recovery (gfi) is surfaced per query.
+enum class QueryStatus : std::uint8_t {
+  kOk,           // clean run (benign faults at most)
+  kRecovered,    // device run succeeded after >= 1 retry
+  kCpuFallback,  // degraded to the host Dijkstra reference
+  kFailed,       // no distances: invalid source or engine error
+};
+
 // Per-query scheduling/throughput summary (full per-query GpuRunResult is
 // in BatchResult::queries at the same index).
 struct QueryStats {
@@ -55,6 +66,8 @@ struct QueryStats {
   double queue_wait_ms = 0;          // time queued behind the kernel cap
   std::uint64_t warp_instructions = 0;
   double mwips = 0;                  // warp instructions / latency
+  QueryStatus status = QueryStatus::kOk;
+  std::string error;                 // non-empty only when status == kFailed
 };
 
 struct BatchResult {
@@ -67,6 +80,11 @@ struct BatchResult {
   std::uint64_t warp_instructions = 0;
   double aggregate_mwips = 0;   // total instructions / makespan
   gpusim::Counters counters;    // whole-batch counter deltas
+  // Fault/recovery outcome tallies (gfi; docs/fault_injection.md):
+  std::uint64_t recovered_queries = 0;  // status == kRecovered
+  std::uint64_t fallback_queries = 0;   // status == kCpuFallback
+  std::uint64_t failed_queries = 0;     // status == kFailed
+  RecoveryStats recovery;               // summed over all queries
 };
 
 class QueryBatch {

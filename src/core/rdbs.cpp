@@ -1,5 +1,7 @@
 #include "core/rdbs.hpp"
 
+#include <stdexcept>
+
 #include "common/timer.hpp"
 
 namespace rdbs::core {
@@ -22,10 +24,14 @@ RdbsSolver::RdbsSolver(const Csr& csr, gpusim::DeviceSpec device,
 }
 
 GpuRunResult RdbsSolver::solve(VertexId source) {
+  if (source >= graph_.num_vertices()) {
+    throw std::out_of_range("RdbsSolver: source vertex out of range");
+  }
   const VertexId engine_source =
       permuted_ ? perm_.to_reordered(source) : source;
   GpuRunResult result = engine_->run(engine_source);
-  if (permuted_) {
+  // Distances are empty when recovery gave up (retry.cpu_fallback off).
+  if (permuted_ && !result.sssp.distances.empty()) {
     result.sssp.distances = perm_.unpermute(result.sssp.distances);
   }
   return result;

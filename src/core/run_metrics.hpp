@@ -8,9 +8,21 @@
 #include <vector>
 
 #include "gpusim/counters.hpp"
+#include "gpusim/fault.hpp"
 #include "sssp/result.hpp"
 
 namespace rdbs::core {
+
+// Fault-recovery bookkeeping for one run (all zero when fault injection is
+// off): what was injected, how the engine recovered, and whether the
+// distances ultimately came from the GPU path or the CPU fallback.
+struct RecoveryStats {
+  std::uint64_t faults_injected = 0;  // events observed across all attempts
+  std::uint64_t ecc_corrected = 0;    // benign subset (no retry needed)
+  std::uint64_t retries = 0;          // discarded attempts that were rerun
+  std::uint64_t cpu_fallbacks = 0;    // 1 when Dijkstra produced the result
+  bool device_lost = false;           // device was lost during the run
+};
 
 struct BucketStats {
   double delta = 0;                   // Δ_i used for this bucket
@@ -41,6 +53,15 @@ struct GpuRunResult {
   // gsan hazard report accumulated on the engine's simulator (empty when
   // clean or when the sanitizer is off; see docs/sanitizer.md).
   std::string sanitizer_report;
+
+  // --- fault injection / recovery (gfi; docs/fault_injection.md) -----------
+  // False iff recovery was exhausted with cpu_fallback disabled: the
+  // distances are then meaningless and `faults` explains why. True in every
+  // other case — including after retries or a CPU fallback — and the
+  // distances are exact.
+  bool ok = true;
+  std::vector<gpusim::GpuFault> faults;  // typed faults across all attempts
+  RecoveryStats recovery;
 
   double gteps(std::uint64_t edges_traversed_basis) const {
     return device_ms <= 0 ? 0.0

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
 #include "common/macros.hpp"
+#include "core/recovery.hpp"
 
 namespace rdbs::core {
 
@@ -25,6 +27,7 @@ SepHybrid::SepHybrid(gpusim::DeviceSpec device, const graph::Csr& csr,
                      SepHybridOptions options)
     : sim_(std::move(device)), csr_(csr), options_(options) {
   sim_.enable_sanitizer(options_.sanitize);
+  if (options_.fault.enabled) sim_.enable_fault_injection(options_.fault);
   const VertexId n = csr_.num_vertices();
   const EdgeIndex m = csr_.num_edges();
   row_offsets_ = sim_.alloc<EdgeIndex>("row_offsets", n + 1, kDeviceWord);
@@ -86,10 +89,39 @@ SepMode SepHybrid::choose_mode(std::uint64_t frontier_vertices,
 }
 
 SepRunResult SepHybrid::run(VertexId source) {
-  RDBS_CHECK(source < csr_.num_vertices());
+  if (source >= csr_.num_vertices()) {
+    throw std::out_of_range("SepHybrid: source vertex out of range");
+  }
+  SepRunResult result;
+  result.gpu = run_with_recovery(sim_, /*stream=*/0, options_.retry, csr_,
+                                 source, [&] {
+                                   result.rounds.clear();
+                                   return run_attempt(source, result.rounds);
+                                 });
+  // After a CPU fallback (or a typed failure) the round log would describe
+  // a discarded device attempt, not the distances returned — drop it.
+  if (result.gpu.recovery.cpu_fallbacks > 0 || !result.gpu.ok) {
+    result.rounds.clear();
+  }
+  return result;
+}
+
+bool SepHybrid::attempt_poisoned() const {
+  if (sim_.fault_injector() == nullptr) return false;
+  if (sim_.device_lost()) return true;
+  const auto& log = sim_.fault_log();
+  for (std::size_t i = fault_scan_begin_; i < log.size(); ++i) {
+    if (log[i].poisons()) return true;
+  }
+  return false;
+}
+
+GpuRunResult SepHybrid::run_attempt(VertexId source,
+                                    std::vector<SepRound>& round_log) {
+  fault_scan_begin_ = sim_.fault_log().size();
   sim_.reset_all();
   const VertexId n = csr_.num_vertices();
-  SepRunResult result;
+  GpuRunResult gpu;
   sssp::WorkStats work;
   std::fill(in_queue_.data().begin(), in_queue_.data().end(), 0);
 
@@ -239,7 +271,14 @@ SepRunResult SepHybrid::run(VertexId source) {
   const std::uint64_t max_rounds = 8 * (std::uint64_t(n) + 16);
   std::uint64_t rounds = 0;
   while (!frontier.empty()) {
-    RDBS_CHECK_MSG(++rounds < max_rounds, "SEP hybrid failed to converge");
+    if (sim_.device_lost()) break;  // attempt is void; recovery takes over
+    if (++rounds >= max_rounds) {
+      // Corrupted distances can legitimately stall convergence; the
+      // poisoned attempt is discarded by the retry driver. A genuine
+      // runaway on a clean device is still a hard bug.
+      RDBS_CHECK_MSG(attempt_poisoned(), "SEP hybrid failed to converge");
+      break;
+    }
     // Round bookkeeping: size + out-edge volume of the entering frontier.
     std::uint64_t frontier_edges = 0;
     for (const VertexId v : frontier) frontier_edges += csr_.degree(v);
@@ -399,18 +438,18 @@ SepRunResult SepHybrid::run(VertexId source) {
     }
 
     round.ms = sim_.elapsed_ms() - ms_before;
-    if (options_.instrument) result.rounds.push_back(round);
+    if (options_.instrument) round_log.push_back(round);
   }
 
-  result.gpu.sssp.distances = dist_.data();
-  result.gpu.sssp.work = work;
-  sssp::finalize_valid_updates(result.gpu.sssp, source);
-  result.gpu.device_ms = sim_.elapsed_ms();
-  result.gpu.counters = sim_.counters();
+  gpu.sssp.distances = dist_.data();
+  gpu.sssp.work = work;
+  sssp::finalize_valid_updates(gpu.sssp, source);
+  gpu.device_ms = sim_.elapsed_ms();
+  gpu.counters = sim_.counters();
   if (const gpusim::Sanitizer* san = sim_.sanitizer()) {
-    result.gpu.sanitizer_report = san->report();
+    gpu.sanitizer_report = san->report();
   }
-  return result;
+  return gpu;
 }
 
 }  // namespace rdbs::core

@@ -23,6 +23,7 @@
 #include <deque>
 #include <vector>
 
+#include "core/options.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
 #include "graph/csr.hpp"
@@ -35,6 +36,9 @@ struct SepHybridOptions {
   bool instrument = true;
   // gsan hazard analysis over every launch (docs/sanitizer.md).
   gpusim::SanitizeMode sanitize = gpusim::SanitizeMode::kOff;
+  // Deterministic fault injection + recovery (gfi; docs/fault_injection.md).
+  gpusim::FaultConfig fault;
+  RetryPolicy retry;
 };
 
 enum class SepMode : std::uint8_t {
@@ -60,11 +64,20 @@ class SepHybrid {
   SepHybrid(gpusim::DeviceSpec device, const graph::Csr& csr,
             SepHybridOptions options = {});
 
+  // Runs SSSP from `source`. With options.fault enabled the run executes
+  // under options.retry; `rounds` describes the successful device attempt
+  // (empty after a CPU fallback). Throws std::out_of_range for an invalid
+  // source.
   SepRunResult run(graph::VertexId source);
 
   gpusim::GpuSim& sim() { return sim_; }
 
  private:
+  // One recovery attempt (full run from a reset simulator clock).
+  GpuRunResult run_attempt(graph::VertexId source,
+                           std::vector<SepRound>& round_log);
+  bool attempt_poisoned() const;
+
   SepMode choose_mode(std::uint64_t frontier_vertices,
                       std::uint64_t frontier_edges) const;
 
@@ -86,6 +99,8 @@ class SepHybrid {
   // Host mirrors of the device queue cursors (ring positions).
   std::uint64_t queue_tail_ = 0;
   std::uint64_t queue_head_ = 0;
+  // Fault-log watermark of the current attempt (gfi).
+  std::size_t fault_scan_begin_ = 0;
 };
 
 }  // namespace rdbs::core

@@ -19,6 +19,8 @@ Counters& Counters::operator+=(const Counters& other) {
   active_lane_ops += other.active_lane_ops;
   issued_lane_ops += other.issued_lane_ops;
   volatile_accesses += other.volatile_accesses;
+  faults_injected += other.faults_injected;
+  ecc_corrected += other.ecc_corrected;
   return *this;
 }
 
@@ -42,6 +44,8 @@ Counters Counters::operator-(const Counters& other) const {
   d.active_lane_ops = active_lane_ops - other.active_lane_ops;
   d.issued_lane_ops = issued_lane_ops - other.issued_lane_ops;
   d.volatile_accesses = volatile_accesses - other.volatile_accesses;
+  d.faults_injected = faults_injected - other.faults_injected;
+  d.ecc_corrected = ecc_corrected - other.ecc_corrected;
   return d;
 }
 
@@ -61,7 +65,9 @@ bool Counters::operator==(const Counters& other) const {
          child_launches == other.child_launches &&
          active_lane_ops == other.active_lane_ops &&
          issued_lane_ops == other.issued_lane_ops &&
-         volatile_accesses == other.volatile_accesses;
+         volatile_accesses == other.volatile_accesses &&
+         faults_injected == other.faults_injected &&
+         ecc_corrected == other.ecc_corrected;
 }
 
 }  // namespace rdbs::gpusim

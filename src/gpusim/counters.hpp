@@ -31,6 +31,13 @@ struct Counters {
   // asynchronous queues rely on.
   std::uint64_t volatile_accesses = 0;
 
+  // --- fault injection (gfi; see gpusim/fault.hpp) -------------------------
+  // Events the injector placed on this simulator (all classes, including
+  // ECC-corrected flips and watchdog-detected runaways).
+  std::uint64_t faults_injected = 0;
+  // The subset of faults_injected that ECC corrected in place (benign).
+  std::uint64_t ecc_corrected = 0;
+
   double l2_hit_rate() const {
     return l2_sector_accesses == 0
                ? 0.0

@@ -1,0 +1,157 @@
+#include "gpusim/fault.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace rdbs::gpusim {
+
+const char* fault_class_name(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kBitFlipCorrectable: return "bit-flip(ecc-corrected)";
+    case FaultClass::kBitFlipUncorrectable: return "bit-flip(uncorrectable)";
+    case FaultClass::kLaunchFailure: return "launch-failure";
+    case FaultClass::kTimeout: return "timeout";
+    case FaultClass::kStreamStall: return "stream-stall";
+    case FaultClass::kDeviceLoss: return "device-loss";
+  }
+  return "unknown";
+}
+
+std::string GpuFault::describe() const {
+  std::ostringstream out;
+  out << fault_class_name(cls) << " gpu" << device << " stream" << stream
+      << " launch#" << launch;
+  if (cls == FaultClass::kBitFlipCorrectable ||
+      cls == FaultClass::kBitFlipUncorrectable) {
+    out << " task#" << task << " op#" << op << " bit" << bit << " buffer='"
+        << buffer << "'";
+  }
+  return out.str();
+}
+
+FaultConfig parse_fault_spec(std::string_view spec) {
+  FaultConfig config;
+  config.enabled = true;
+
+  const auto parse_double = [](std::string_view key, std::string_view value) {
+    // std::from_chars<double> is incomplete on some libstdc++ versions; go
+    // through stod on a bounded copy instead.
+    try {
+      std::size_t used = 0;
+      const std::string text(value);
+      const double parsed = std::stod(text, &used);
+      if (used != text.size()) throw std::invalid_argument("trailing chars");
+      return parsed;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad fault-spec value for '" +
+                                  std::string(key) + "': '" +
+                                  std::string(value) + "'");
+    }
+  };
+
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("fault-spec item '" + std::string(item) +
+                                  "' is not key=value");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(parse_double(key, value));
+    } else if (key == "flip") {
+      config.bit_flip_per_load = parse_double(key, value);
+    } else if (key == "ecc") {
+      config.correctable_fraction = parse_double(key, value);
+    } else if (key == "launch") {
+      config.launch_failure = parse_double(key, value);
+    } else if (key == "timeout") {
+      config.timeout = parse_double(key, value);
+    } else if (key == "stall") {
+      config.stream_stall = parse_double(key, value);
+    } else if (key == "loss") {
+      config.device_loss = parse_double(key, value);
+    } else if (key == "watchdog") {
+      config.watchdog_ms = parse_double(key, value);
+    } else if (key == "stall-ms") {
+      config.stall_ms = parse_double(key, value);
+    } else if (key == "max") {
+      config.max_faults = static_cast<std::uint64_t>(parse_double(key, value));
+    } else {
+      throw std::invalid_argument("unknown fault-spec key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  return config;
+}
+
+std::uint64_t FaultInjector::hash(std::uint64_t a, std::uint64_t b,
+                                  std::uint64_t c, std::uint64_t d,
+                                  std::uint64_t salt) const {
+  // Feed the counter key through SplitMix64 one word at a time; mixing the
+  // running state between words keeps distinct keys decorrelated.
+  std::uint64_t h = config_.seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  h = mix64(h + a);
+  h = mix64(h + b);
+  h = mix64(h + c);
+  h = mix64(h + d);
+  return h;
+}
+
+double FaultInjector::uniform(std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c, std::uint64_t d,
+                              std::uint64_t salt) const {
+  // 53 high bits -> [0, 1) with full double resolution.
+  return static_cast<double>(hash(a, b, c, d, salt) >> 11) * 0x1.0p-53;
+}
+
+std::optional<FaultClass> FaultInjector::launch_fault(
+    int stream, std::uint64_t launch) const {
+  const auto s = static_cast<std::uint64_t>(stream);
+  if (config_.device_loss > 0 &&
+      uniform(s, launch, 0, 0, 1) < config_.device_loss) {
+    return FaultClass::kDeviceLoss;
+  }
+  if (config_.launch_failure > 0 &&
+      uniform(s, launch, 0, 0, 2) < config_.launch_failure) {
+    return FaultClass::kLaunchFailure;
+  }
+  if (config_.timeout > 0 && uniform(s, launch, 0, 0, 3) < config_.timeout) {
+    return FaultClass::kTimeout;
+  }
+  if (config_.stream_stall > 0 &&
+      uniform(s, launch, 0, 0, 4) < config_.stream_stall) {
+    return FaultClass::kStreamStall;
+  }
+  return std::nullopt;
+}
+
+FaultInjector::FlipDecision FaultInjector::load_fault(int stream,
+                                                      std::uint64_t launch,
+                                                      std::uint32_t task,
+                                                      std::uint64_t op) const {
+  FlipDecision decision;
+  if (config_.bit_flip_per_load <= 0) return decision;
+  const auto s = static_cast<std::uint64_t>(stream);
+  if (uniform(s, launch, task, op, 5) >= config_.bit_flip_per_load) {
+    return decision;
+  }
+  decision.inject = true;
+  decision.correctable =
+      uniform(s, launch, task, op, 6) < config_.correctable_fraction;
+  const std::uint64_t where = hash(s, launch, task, op, 7);
+  decision.lane = static_cast<std::uint32_t>(where & 0x1f);
+  decision.bit = static_cast<std::uint32_t>((where >> 5) & 0x3f);
+  return decision;
+}
+
+}  // namespace rdbs::gpusim

@@ -105,6 +105,25 @@ void MemorySim::mark_host_initialized(std::uint64_t begin_addr,
   region.host_init.emplace_back(begin_addr, end_addr);
 }
 
+void MemorySim::mark_poisoned(std::uint64_t addr) {
+  const std::size_t index = find_region_index(addr);
+  if (index != kNoRegion) regions_[index].poisoned = true;
+}
+
+std::uint64_t MemorySim::poisoned_read_only_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const Region& region : regions_) {
+    if (region.poisoned && region.read_only && region.live) {
+      bytes += region.bytes;
+    }
+  }
+  return bytes;
+}
+
+void MemorySim::clear_poison() {
+  for (Region& region : regions_) region.poisoned = false;
+}
+
 MemorySim::AccessResult MemorySim::access(
     int sm_id, std::span<const std::uint64_t> addresses, bool cached) {
   RDBS_DCHECK(sm_id >= 0 && static_cast<std::size_t>(sm_id) < l1_.size());

@@ -34,6 +34,10 @@ class MemorySim {
     bool live = true;
     bool read_only = false;
     bool fully_host_init = false;
+    // Set when an uncorrectable injected bit-flip hit this region (gfi);
+    // recovery charges a re-upload for poisoned read-only data and clears
+    // the mark (see core/recovery.hpp).
+    bool poisoned = false;
     // Host-initialized byte ranges [begin, end), absolute addresses,
     // deduplicated on insert (engines re-mark the same seed slot per run).
     std::vector<std::pair<std::uint64_t, std::uint64_t>> host_init;
@@ -60,6 +64,14 @@ class MemorySim {
   void mark_read_only(std::uint64_t base, bool read_only = true);
   // Records [begin_addr, end_addr) as initialized by a host transfer.
   void mark_host_initialized(std::uint64_t begin_addr, std::uint64_t end_addr);
+  // --- fault-injection poison tracking (gfi) -------------------------------
+  // Marks the region containing `addr` as hit by an uncorrectable flip.
+  void mark_poisoned(std::uint64_t addr);
+  // Bytes of live read-only regions currently poisoned: the data a retry
+  // must re-upload (mutable buffers are re-initialized by the attempt).
+  std::uint64_t poisoned_read_only_bytes() const;
+  // Clears every poison mark (after the re-upload has been charged).
+  void clear_poison();
   // Region containing `addr`, or nullptr. Regions are base-sorted by
   // construction (bump allocation), so this is a binary search.
   const Region* find_region(std::uint64_t addr) const;

@@ -165,6 +165,14 @@ void GpuSim::enable_sanitizer(SanitizeMode mode) {
   if (!sanitizer_) sanitizer_ = std::make_unique<Sanitizer>(memory_);
 }
 
+void GpuSim::enable_fault_injection(const FaultConfig& config) {
+  if (!config.enabled) {
+    fault_.reset();
+    return;
+  }
+  fault_ = std::make_unique<FaultInjector>(config);
+}
+
 // --- stream timelines --------------------------------------------------------
 
 GpuSim::StreamState& GpuSim::stream_state(StreamId stream) {
@@ -273,6 +281,21 @@ void GpuSim::begin_launch(bool host_launch, StreamId stream) {
     sanitizer_->begin_launch(pending_label_, launch_ordinal_);
     pending_label_.clear();
   }
+  if (fault_) {
+    // Per-stream launch ordinal: the counter key for every fault this
+    // launch can take. Drawn here, in the serial record phase, so the plan
+    // is independent of replay parallelism.
+    const auto sidx = static_cast<std::size_t>(stream);
+    if (stream_launch_ordinals_.size() <= sidx) {
+      stream_launch_ordinals_.resize(sidx + 1, 0);
+    }
+    current_stream_launch_ = ++stream_launch_ordinals_[sidx];
+    pending_launch_fault_.reset();
+    if (!device_lost_ && fault_log_.size() < fault_->config().max_faults) {
+      pending_launch_fault_ =
+          fault_->launch_fault(stream, current_stream_launch_);
+    }
+  }
 }
 
 int GpuSim::pick_sm(Schedule schedule, std::uint64_t task_index,
@@ -306,7 +329,7 @@ WarpCtx GpuSim::begin_task(int sm) {
   rec.sm = sm;
   task_records_.push_back(rec);
   active_task_ = index;
-  return WarpCtx(*this, sm, index, sanitizer_ != nullptr);
+  return WarpCtx(*this, sm, index, sanitizer_ != nullptr, fault_ != nullptr);
 }
 
 void GpuSim::commit_task(const WarpCtx& ctx) {
@@ -480,6 +503,61 @@ void GpuSim::replay_launch() {
   }
 }
 
+void GpuSim::apply_launch_fault(LaunchResult& result) {
+  const FaultConfig& cfg = fault_->config();
+  std::optional<FaultClass> cls = pending_launch_fault_;
+  pending_launch_fault_.reset();
+  // Load faults inside this launch may have exhausted the budget after the
+  // launch fault was drawn at begin_launch; the budget is a hard cap on
+  // injections, so drop it. (Genuine watchdog timeouts below still record —
+  // they are observed behavior, not injections.)
+  if (cls && fault_log_.size() >= cfg.max_faults) cls.reset();
+  FaultClass fired;
+  if (cls) {
+    fired = *cls;
+  } else if (!device_lost_ && cfg.watchdog_ms > 0 &&
+             result.ms > cfg.watchdog_ms) {
+    // Cost-clock watchdog: a kernel whose modeled time exceeds the deadline
+    // is killed and reported even when no fault was injected — a genuine
+    // runaway (e.g. a corrupted frontier exploding a launch) surfaces as a
+    // typed kTimeout instead of silently inflating the timeline.
+    fired = FaultClass::kTimeout;
+  } else {
+    return;
+  }
+  GpuFault fault;
+  fault.cls = fired;
+  fault.stream = launch_stream_;
+  fault.launch = current_stream_launch_;
+  switch (fired) {
+    case FaultClass::kLaunchFailure:
+      // The kernel never started: only the host launch overhead lands on
+      // the stream. Record-phase effects stand — the attempt is poisoned
+      // and discarded by the engine layer, matching CUDA's asynchronous
+      // error model.
+      result.ms = spec_.kernel_launch_us * 1e-3;
+      break;
+    case FaultClass::kTimeout:
+      // The kernel hung; the watchdog killed it after watchdog_ms.
+      result.ms = std::max(result.ms,
+                           cfg.watchdog_ms > 0 ? cfg.watchdog_ms : 25.0);
+      break;
+    case FaultClass::kStreamStall:
+      // Latency-only fault: the stream is held for stall_ms but the
+      // launch's work is intact (non-poisoning; batch dispatch naturally
+      // routes later queries around the delayed stream).
+      result.ms += cfg.stall_ms;
+      break;
+    case FaultClass::kDeviceLoss:
+      device_lost_ = true;
+      break;
+    default:
+      break;
+  }
+  ++counters_.faults_injected;
+  fault_log_.push_back(std::move(fault));
+}
+
 LaunchResult GpuSim::end_launch(std::uint64_t tasks, bool host_launch) {
   RDBS_DCHECK(launch_open_);
   RDBS_DCHECK(active_task_ == kNoTask);
@@ -517,6 +595,7 @@ LaunchResult GpuSim::end_launch(std::uint64_t tasks, bool host_launch) {
       spec_.bytes_to_ms(static_cast<double>(launch_dram_bytes_));
   result.ms = std::max(compute_ms, dram_ms);
   if (host_launch) result.ms += spec_.kernel_launch_us * 1e-3;
+  if (fault_) apply_launch_fault(result);
   admit_kernel(launch_stream_, result.ms);
   // Aggregate-throughput floor on cross-stream overlap: the device cannot
   // retire total work faster than all SMs issuing flat out, nor move DRAM

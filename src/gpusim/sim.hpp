@@ -41,17 +41,22 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "common/macros.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "gpusim/trace.hpp"
@@ -130,6 +135,7 @@ class WarpCtx {
     for (std::size_t i = 0; i < indices.size(); ++i) {
       out[i] = buf.data()[functional_index(buf, indices[i])];
     }
+    if (fault_) maybe_flip(buf, out);
   }
 
   // Single-lane convenience load (a warp instruction with one active lane).
@@ -209,6 +215,7 @@ class WarpCtx {
     for (std::size_t i = 0; i < indices.size(); ++i) {
       out[i] = buf.data()[functional_index(buf, indices[i])];
     }
+    if (fault_) maybe_flip(buf, out);
   }
 
   template <typename T>
@@ -259,8 +266,13 @@ class WarpCtx {
   friend class GpuSim;
   friend class KernelScope;
 
-  WarpCtx(GpuSim& sim, int sm_id, std::uint32_t task_index, bool sanitize)
-      : sim_(sim), sm_id_(sm_id), task_(task_index), sanitize_(sanitize) {}
+  WarpCtx(GpuSim& sim, int sm_id, std::uint32_t task_index, bool sanitize,
+          bool fault)
+      : sim_(sim),
+        sm_id_(sm_id),
+        task_(task_index),
+        sanitize_(sanitize),
+        fault_(fault) {}
 
   // Translates lane element indices to device addresses directly into the
   // launch trace's address pool (no per-call allocation). Under the
@@ -294,6 +306,12 @@ class WarpCtx {
     return buf.size() == 0 ? 0 : buf.size() - 1;
   }
 
+  // gfi hook: asks the owning simulator's fault injector whether this load
+  // instruction takes a transient flip (defined after GpuSim below; called
+  // only when the injector is enabled).
+  template <typename T>
+  void maybe_flip(const Buffer<T>& buf, std::span<T> out);
+
   std::uint64_t* trace_slots(std::size_t lanes);
   void record_mem(std::uint8_t kind, std::uint32_t lanes);
   std::uint64_t checked_index_slow(const std::string& buffer_name,
@@ -304,6 +322,7 @@ class WarpCtx {
   int sm_id_;
   std::uint32_t task_;
   bool sanitize_;
+  bool fault_;  // fault injector enabled on the owning simulator
 };
 
 // How blocks map to SMs.
@@ -341,6 +360,89 @@ class GpuSim {
   // off). Labels make hazard reports self-describing and diffable.
   void label_next_launch(std::string_view label) {
     if (sanitizer_) pending_label_.assign(label);
+  }
+
+  // --- fault injection (gfi) ------------------------------------------------
+  // Deterministic seeded fault plans over the launch/record pipeline; see
+  // gpusim/fault.hpp and docs/fault_injection.md. Enable before running
+  // kernels; when off (the default) the only cost is one never-taken branch
+  // per warp load instruction. Passing a config with enabled == false
+  // removes a previously installed injector.
+  void enable_fault_injection(const FaultConfig& config);
+  const FaultInjector* fault_injector() const { return fault_.get(); }
+  // Every event the injector placed, in canonical (record-phase) order —
+  // byte-identical across sim_threads. Engines snapshot size() before an
+  // attempt and scan the tail to classify it (core/recovery.hpp).
+  const std::vector<GpuFault>& fault_log() const { return fault_log_; }
+  // Latched by a kDeviceLoss fault; while set, no further faults are drawn
+  // (the device is already gone) and every attempt counts as poisoned.
+  bool device_lost() const { return device_lost_; }
+  // Simulated cudaDeviceReset: clears the lost-device latch and the fault
+  // log/budget. A real service would tear the process down instead; tests
+  // use this to stage multi-phase chaos scenarios.
+  void revive_device() {
+    device_lost_ = false;
+    fault_log_.clear();
+  }
+  // Charges a host-side delay (e.g. a retry backoff) to one stream's
+  // simulated timeline.
+  void charge_host_ms(double ms, StreamId stream = 0) {
+    stream_state(stream).time_ms += ms;
+  }
+
+  // Applies one flip decision to a just-loaded value vector. Called from
+  // WarpCtx::maybe_flip during the serial record phase; all state touched
+  // here (log, counters, budget) is host-serial, so fault plans stay
+  // deterministic for any replay worker count.
+  template <typename T>
+  void inject_load_fault(std::uint32_t task, const Buffer<T>& buf,
+                         std::span<T> out) {
+    if (!fault_ || out.empty() || device_lost_) return;
+    if (fault_log_.size() >= fault_->config().max_faults) return;
+    const FaultInjector::FlipDecision d = fault_->load_fault(
+        launch_stream_, current_stream_launch_, task,
+        trace_ops_.empty() ? 0 : trace_ops_.size() - 1);
+    if (!d.inject) return;
+    GpuFault fault;
+    fault.stream = launch_stream_;
+    fault.launch = current_stream_launch_;
+    fault.task = task;
+    fault.op = trace_ops_.empty() ? 0 : trace_ops_.size() - 1;
+    fault.buffer = buf.name();
+    ++counters_.faults_injected;
+    if (d.correctable) {
+      // ECC caught and fixed the flip in flight: the loaded value is
+      // correct, the event is only logged.
+      fault.cls = FaultClass::kBitFlipCorrectable;
+      ++counters_.ecc_corrected;
+    } else {
+      fault.cls = FaultClass::kBitFlipUncorrectable;
+      memory_.mark_poisoned(buf.address_of(0));
+      // Corrupt only finite floating-point values, and only mantissa bits:
+      // the value stays finite, same-signed and within its binade, so the
+      // poisoned attempt still terminates (see fault.hpp header comment).
+      // Integer loads are reported but not value-corrupted — a flipped
+      // vertex id would escape the simulation as an OOB host access.
+      if constexpr (std::is_floating_point_v<T>) {
+        T& value = out[d.lane % out.size()];
+        if (std::isfinite(value)) {
+          if constexpr (sizeof(T) == 8) {
+            fault.bit = d.bit % 52;
+            std::uint64_t bits;
+            std::memcpy(&bits, &value, sizeof bits);
+            bits ^= std::uint64_t{1} << fault.bit;
+            std::memcpy(&value, &bits, sizeof bits);
+          } else {
+            fault.bit = d.bit % 23;
+            std::uint32_t bits;
+            std::memcpy(&bits, &value, sizeof bits);
+            bits ^= std::uint32_t{1} << fault.bit;
+            std::memcpy(&value, &bits, sizeof bits);
+          }
+        }
+      }
+    }
+    fault_log_.push_back(std::move(fault));
   }
 
   // --- allocation-table maintenance ----------------------------------------
@@ -518,6 +620,10 @@ class GpuSim {
   void replay_launch();
   void replay_shard(int sm);
 
+  // gfi: applies the pending launch-level fault (and the cost-clock
+  // watchdog) to a finished launch. Defined in sim.cpp.
+  void apply_launch_fault(LaunchResult& result);
+
   // --- stream timelines (Hyper-Q admission model) --------------------------
   // Each stream carries its own clock. A kernel "arrives" at its stream's
   // current clock; admission retires every in-flight kernel that ended by
@@ -549,6 +655,17 @@ class GpuSim {
   std::string pending_label_;
   std::uint64_t launch_ordinal_ = 0;
 
+  // gfi state (null when off). Launch ordinals are tracked per stream so
+  // fault keys are stable under any interleaving of other streams' work;
+  // the log, latch and budget survive reset_all() (a device does not heal
+  // because the host reran a query) — revive_device() clears them.
+  std::unique_ptr<FaultInjector> fault_;
+  std::vector<GpuFault> fault_log_;
+  std::vector<std::uint64_t> stream_launch_ordinals_;
+  std::uint64_t current_stream_launch_ = 0;  // ordinal of the open launch
+  std::optional<FaultClass> pending_launch_fault_;
+  bool device_lost_ = false;
+
   // --- record-phase state (one launch at a time) ---------------------------
   static constexpr std::uint32_t kNoTask = ~0u;
   std::vector<TraceOp> trace_ops_;
@@ -578,6 +695,11 @@ class GpuSim {
   std::uint64_t launch_dram_bytes_ = 0;
   std::uint64_t launch_child_launches_ = 0;
 };
+
+template <typename T>
+void WarpCtx::maybe_flip(const Buffer<T>& buf, std::span<T> out) {
+  sim_.inject_load_fault(task_, buf, out);
+}
 
 // RAII handle over one kernel launch whose warp tasks are produced on the
 // fly by the caller (the engine's persistent / dynamic-parallelism kernels).

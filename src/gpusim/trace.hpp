@@ -2,6 +2,11 @@
 // (sim.cpp records and replays them) and the sanitizer (sanitizer.cpp scans
 // them after replay). One launch at a time: the trace is cleared by
 // begin_launch and consumed by end_launch.
+//
+// The index of an op in this trace is also the memory-op ordinal in the
+// fault injector's counter key (gpusim/fault.hpp): it is assigned during
+// the serial record phase, so fault plans keyed on it are independent of
+// the replay worker count.
 #pragma once
 
 #include <cstdint>

@@ -29,6 +29,7 @@
 #include "core/rdbs.hpp"
 #include "core/sep_hybrid.hpp"
 #include "common/rng.hpp"
+#include "gpusim/fault.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
@@ -65,6 +66,37 @@ gpusim::SanitizeMode fuzz_sanitize() {
   return (env != nullptr && *env != '\0' && *env != '0')
              ? gpusim::SanitizeMode::kOn
              : gpusim::SanitizeMode::kOff;
+}
+
+// RDBS_FUZZ_FAULTS=1 additionally runs every simulated case under a
+// seed-derived gfi fault plan (docs/fault_injection.md): random bit flips,
+// launch failures, timeouts, stalls and the occasional device loss. The
+// oracle requirement is UNCHANGED — recovery must land on distances exactly
+// equal to Dijkstra — so this mode fuzzes the retry/fallback machinery with
+// the same reproduce-from-seed property as the base fuzzer.
+bool fuzz_faults() {
+  const char* env = std::getenv("RDBS_FUZZ_FAULTS");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+gpusim::FaultConfig fuzz_fault_config(std::uint64_t case_seed) {
+  gpusim::FaultConfig cfg;
+  if (!fuzz_faults()) return cfg;  // disabled
+  cfg.enabled = true;
+  cfg.seed = case_seed ^ 0xfa51751ca5e5eedull;
+  cfg.bit_flip_per_load = 1e-3;
+  cfg.correctable_fraction = 0.5;
+  cfg.launch_failure = 0.05;
+  cfg.timeout = 0.02;
+  cfg.stream_stall = 0.05;
+  cfg.device_loss = 0.01;
+  return cfg;
+}
+
+core::RetryPolicy fuzz_retry_policy() {
+  core::RetryPolicy retry;
+  retry.max_attempts = 4;  // budget (max_faults=4) always drains in time
+  return retry;
 }
 
 // splitmix64: master seed + case index -> independent case seed.
@@ -204,6 +236,8 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
                                         std::string* sanitizer_report) {
   const gpusim::DeviceSpec device = gpusim::test_device();
   const gpusim::SanitizeMode sanitize = fuzz_sanitize();
+  const gpusim::FaultConfig fault = fuzz_fault_config(c.seed);
+  const core::RetryPolicy retry = fuzz_retry_policy();
   switch (c.engine) {
     case Engine::kRdbs: {
       core::GpuSsspOptions options;
@@ -212,6 +246,8 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
       options.adwl = c.adwl;
       options.delta0 = c.delta0;
       options.sanitize = sanitize;
+      options.fault = fault;
+      options.retry = retry;
       core::RdbsSolver solver(csr, device, options);
       auto result = solver.solve(c.source);
       *sanitizer_report = std::move(result.sanitizer_report);
@@ -225,6 +261,8 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
       options.gpu.adwl = c.adwl;
       options.gpu.delta0 = c.delta0;
       options.gpu.sanitize = sanitize;
+      options.gpu.fault = fault;
+      options.gpu.retry = retry;
       core::QueryBatch batch(csr, device, options);
       const VertexId sources[1] = {c.source};
       auto result = batch.run(sources);
@@ -237,6 +275,8 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
       core::AddsOptions options;
       options.delta = c.delta0;
       options.sanitize = sanitize;
+      options.fault = fault;
+      options.retry = retry;
       core::AddsLike adds(device, csr, options);
       auto result = adds.run(c.source);
       *sanitizer_report = std::move(result.sanitizer_report);
@@ -246,6 +286,8 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
       core::gunrock::GunrockSsspOptions options;
       options.delta = c.delta0;
       options.sanitize = sanitize;
+      options.fault = fault;
+      options.retry = retry;
       auto result = core::gunrock::sssp(device, csr, c.source, options);
       *sanitizer_report = std::move(result.sanitizer_report);
       return std::move(result.sssp.distances);
@@ -253,13 +295,15 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
     case Engine::kSepHybrid: {
       core::SepHybridOptions options;
       options.sanitize = sanitize;
+      options.fault = fault;
+      options.retry = retry;
       core::SepHybrid sep(device, csr, options);
       auto result = sep.run(c.source);
       *sanitizer_report = std::move(result.gpu.sanitizer_report);
       return std::move(result.gpu.sssp.distances);
     }
     case Engine::kHarish: {
-      core::HarishNarayanan hn(device, csr, sanitize);
+      core::HarishNarayanan hn(device, csr, sanitize, fault, retry);
       auto result = hn.run(c.source);
       *sanitizer_report = std::move(result.sanitizer_report);
       return std::move(result.sssp.distances);
@@ -268,6 +312,8 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
       core::DavidsonOptions options;
       options.delta = c.delta0;
       options.sanitize = sanitize;
+      options.fault = fault;
+      options.retry = retry;
       core::DavidsonNearFar davidson(device, csr, options);
       auto result = davidson.run(c.source);
       *sanitizer_report = std::move(result.sanitizer_report);
@@ -278,6 +324,8 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
       options.num_devices = 2 + static_cast<int>(c.seed % 2);
       options.delta0 = c.delta0;
       options.sanitize = sanitize;
+      options.fault = fault;
+      options.retry = retry;
       core::MultiGpuDeltaStepping multi(device, csr, options);
       auto result = multi.run(c.source);
       *sanitizer_report = multi.sanitizer_report();

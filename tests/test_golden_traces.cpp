@@ -1,0 +1,155 @@
+// Golden-trace regression anchors (ISSUE 4 satellite).
+//
+// Three fixed (engine, graph, seed) triples snapshot their full Counters
+// and final distances into checked-in golden files. Any change to the cost
+// model, the memory model, an engine's kernel structure, or the graph
+// generators shows up here as a readable diff instead of a silent drift.
+//
+// Regenerate intentionally with:
+//   RDBS_UPDATE_GOLDEN=1 ./tests/test_golden_traces
+// and commit the updated files under tests/golden/ with an explanation.
+//
+// Distances are serialized as C++ hexfloats, so the comparison is exact
+// (bit-identical), matching the determinism contract in docs/costmodel.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/adds.hpp"
+#include "core/rdbs.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_util.hpp"
+
+#ifndef RDBS_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define RDBS_GOLDEN_DIR"
+#endif
+
+namespace rdbs {
+namespace {
+
+using graph::Csr;
+using graph::VertexId;
+
+std::string serialize_trace(const core::GpuRunResult& result) {
+  std::ostringstream out;
+  const gpusim::Counters& c = result.counters;
+  out << "inst_executed_global_loads " << c.inst_executed_global_loads << '\n'
+      << "inst_executed_global_stores " << c.inst_executed_global_stores
+      << '\n'
+      << "inst_executed_atomics " << c.inst_executed_atomics << '\n'
+      << "l1_sector_accesses " << c.l1_sector_accesses << '\n'
+      << "l1_sector_hits " << c.l1_sector_hits << '\n'
+      << "l2_sector_accesses " << c.l2_sector_accesses << '\n'
+      << "l2_sector_hits " << c.l2_sector_hits << '\n'
+      << "alu_instructions " << c.alu_instructions << '\n'
+      << "memory_transactions " << c.memory_transactions << '\n'
+      << "dram_bytes " << c.dram_bytes << '\n'
+      << "atomic_conflicts " << c.atomic_conflicts << '\n'
+      << "kernel_launches " << c.kernel_launches << '\n'
+      << "child_launches " << c.child_launches << '\n'
+      << "active_lane_ops " << c.active_lane_ops << '\n'
+      << "issued_lane_ops " << c.issued_lane_ops << '\n'
+      << "volatile_accesses " << c.volatile_accesses << '\n'
+      << "faults_injected " << c.faults_injected << '\n'
+      << "ecc_corrected " << c.ecc_corrected << '\n';
+  out << "distances " << result.sssp.distances.size() << '\n';
+  out << std::hexfloat;
+  for (const graph::Distance d : result.sssp.distances) out << d << '\n';
+  return out.str();
+}
+
+void check_against_golden(const std::string& name,
+                          const core::GpuRunResult& result) {
+  const std::string path = std::string(RDBS_GOLDEN_DIR) + "/" + name + ".txt";
+  const std::string actual = serialize_trace(result);
+
+  if (std::getenv("RDBS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with RDBS_UPDATE_GOLDEN=1 and commit it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "trace drifted from " << path
+      << " — if the change is intentional, regenerate with "
+         "RDBS_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+// Triple 1: the full RDBS configuration (BASYN+PRO+ADWL) on a power-law
+// graph — the paper's flagship path.
+TEST(GoldenTraces, RdbsFullOnPowerLaw) {
+  const Csr csr = test::random_powerlaw_graph(300, 2400, /*seed=*/201);
+  core::GpuSsspOptions options;
+  options.delta0 = 150.0;
+  core::RdbsSolver solver(csr, gpusim::test_device(), options);
+  check_against_golden("rdbs_powerlaw_300_s201", solver.solve(5));
+}
+
+// Triple 2: the paper's BL baseline (synchronous push Bellman-Ford) on a
+// grid — exercises the non-bucketed kernel family.
+TEST(GoldenTraces, BaselineBlOnGrid) {
+  const Csr csr = test::random_grid_graph(16, /*seed=*/202);
+  core::GpuSsspOptions options;
+  options.mode = core::EngineMode::kSyncPushBellmanFord;
+  options.basyn = false;
+  options.pro = false;
+  options.adwl = false;
+  core::RdbsSolver solver(csr, gpusim::test_device(), options);
+  check_against_golden("bl_grid_16_s202", solver.solve(0));
+}
+
+// Triple 3: the ADDS-like Near/Far comparator on a power-law graph —
+// anchors the second engine family and its distinct kernel shapes.
+TEST(GoldenTraces, AddsOnPowerLaw) {
+  const Csr csr = test::random_powerlaw_graph(250, 2000, /*seed=*/203);
+  core::AddsOptions options;
+  options.delta = 120.0;
+  core::AddsLike engine(gpusim::test_device(), csr, options);
+  check_against_golden("adds_powerlaw_250_s203", engine.run(7));
+}
+
+// The anchors themselves must be correct, not just stable.
+TEST(GoldenTraces, AnchoredRunsMatchDijkstra) {
+  {
+    const Csr csr = test::random_powerlaw_graph(300, 2400, 201);
+    core::GpuSsspOptions options;
+    options.delta0 = 150.0;
+    core::RdbsSolver solver(csr, gpusim::test_device(), options);
+    EXPECT_EQ(solver.solve(5).sssp.distances,
+              sssp::dijkstra(csr, 5).distances);
+  }
+  {
+    const Csr csr = test::random_grid_graph(16, 202);
+    core::GpuSsspOptions options;
+    options.mode = core::EngineMode::kSyncPushBellmanFord;
+    options.basyn = false;
+    options.pro = false;
+    options.adwl = false;
+    core::RdbsSolver solver(csr, gpusim::test_device(), options);
+    EXPECT_EQ(solver.solve(0).sssp.distances,
+              sssp::dijkstra(csr, 0).distances);
+  }
+  {
+    const Csr csr = test::random_powerlaw_graph(250, 2000, 203);
+    core::AddsOptions options;
+    options.delta = 120.0;
+    core::AddsLike engine(gpusim::test_device(), csr, options);
+    EXPECT_EQ(engine.run(7).sssp.distances,
+              sssp::dijkstra(csr, 7).distances);
+  }
+}
+
+}  // namespace
+}  // namespace rdbs

@@ -132,6 +132,79 @@ TEST(QueryBatch, MetricsAreConsistent) {
   EXPECT_GT(result.aggregate_mwips, 0);
 }
 
+// --- per-query failure isolation (gfi) --------------------------------------
+
+TEST(QueryBatch, InvalidSourceFailsThatQueryAlone) {
+  const Csr csr = batch_test_graph();
+  const VertexId bad = csr.num_vertices() + 5;
+  const std::vector<VertexId> sources = {0, bad, 113, 399};
+  core::QueryBatchOptions options;
+  options.streams = 2;
+  core::QueryBatch batch(csr, gpusim::test_device(), options);
+  const core::BatchResult result = batch.run(sources);
+
+  ASSERT_EQ(result.queries.size(), sources.size());
+  ASSERT_EQ(result.stats.size(), sources.size());
+  EXPECT_EQ(result.failed_queries, 1u);
+  EXPECT_EQ(result.stats[1].status, core::QueryStatus::kFailed);
+  EXPECT_FALSE(result.stats[1].error.empty());
+  EXPECT_FALSE(result.queries[1].ok);
+  EXPECT_TRUE(result.queries[1].sssp.distances.empty());
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    EXPECT_EQ(result.stats[i].status, core::QueryStatus::kOk);
+    EXPECT_EQ(result.queries[i].sssp.distances,
+              sssp::dijkstra(csr, sources[i]).distances);
+  }
+}
+
+TEST(QueryBatch, FaultedBatchClassifiesPerQueryStatus) {
+  const Csr csr = batch_test_graph();
+  const std::vector<VertexId> sources = batch_test_sources();
+  core::QueryBatchOptions options;
+  options.streams = 2;
+  options.gpu.fault.enabled = true;
+  options.gpu.fault.seed = 23;
+  options.gpu.fault.launch_failure = 0.15;
+  core::QueryBatch batch(csr, gpusim::test_device(), options);
+  const core::BatchResult result = batch.run(sources);
+
+  EXPECT_EQ(result.failed_queries, 0u);
+  std::uint64_t recovered = 0, fallback = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    SCOPED_TRACE(i);
+    const core::QueryStatus status = result.stats[i].status;
+    recovered += status == core::QueryStatus::kRecovered;
+    fallback += status == core::QueryStatus::kCpuFallback;
+    EXPECT_TRUE(result.queries[i].ok);
+    EXPECT_EQ(result.queries[i].sssp.distances,
+              sssp::dijkstra(csr, sources[i]).distances);
+  }
+  EXPECT_EQ(result.recovered_queries, recovered);
+  EXPECT_EQ(result.fallback_queries, fallback);
+  // The plan injects something on this seed; the tallies must agree with
+  // the per-query recovery stats.
+  EXPECT_GT(result.recovery.faults_injected, 0u);
+  EXPECT_EQ(result.recovery.retries > 0 || result.recovery.cpu_fallbacks > 0,
+            recovered + fallback > 0);
+}
+
+TEST(QueryBatch, FaultsOffBatchReportsAllOk) {
+  const Csr csr = batch_test_graph();
+  const std::vector<VertexId> sources = batch_test_sources();
+  core::QueryBatchOptions options;
+  options.streams = 3;
+  core::QueryBatch batch(csr, gpusim::test_device(), options);
+  const core::BatchResult result = batch.run(sources);
+  EXPECT_EQ(result.failed_queries, 0u);
+  EXPECT_EQ(result.recovered_queries, 0u);
+  EXPECT_EQ(result.fallback_queries, 0u);
+  EXPECT_EQ(result.recovery.faults_injected, 0u);
+  for (const core::QueryStats& qs : result.stats) {
+    EXPECT_EQ(qs.status, core::QueryStatus::kOk);
+    EXPECT_TRUE(qs.error.empty());
+  }
+}
+
 // --- gpusim stream semantics ------------------------------------------------
 
 gpusim::LaunchResult tiny_kernel(gpusim::GpuSim& sim, gpusim::StreamId s) {
