@@ -1,0 +1,279 @@
+// Tail latency under overload for the serving layer (docs/serving.md).
+//
+// Offers batches of increasing load (queries per lane) to a QueryServer
+// with a fixed per-query deadline, under deterministic launch-fault
+// injection, with circuit breakers on and off. Reports per-config p50 /
+// p95 / p99 sojourn time over the completed queries plus the shed and
+// deadline-miss rates — the overload story in one table: as load grows the
+// server keeps the completed tail bounded by the deadline and converts the
+// excess into up-front sheds instead of late answers.
+//
+// Two hard checks (exit 1 on violation):
+//  * bounded tail: every completed query finished at or before its
+//    deadline (the engines withhold late distances, so this is the
+//    serving contract, not luck) — hence p99 <= deadline;
+//  * correctness under degradation: every completed query's distances are
+//    bit-identical to the host Dijkstra reference, including a sweep with
+//    a manually tripped lane across sim_threads {1,8} and stream counts
+//    {2,4} (full results bit-compare across sim_threads; across stream
+//    counts the completed distances must match the oracle).
+//
+// Results go to stdout and BENCH_server.json.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "common/table.hpp"
+#include "core/query_server.hpp"
+#include "sssp/dijkstra.hpp"
+
+using namespace rdbs;
+
+namespace {
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+bool completed(core::QueryStatus status) {
+  return status == core::QueryStatus::kOk ||
+         status == core::QueryStatus::kRecovered ||
+         status == core::QueryStatus::kCpuFallback;
+}
+
+struct Row {
+  int load = 0;  // offered queries per lane
+  bool breakers = false;
+  std::size_t offered = 0;
+  std::size_t done = 0;
+  std::size_t shed = 0;
+  std::size_t missed = 0;
+  std::size_t hedged = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const gpusim::DeviceSpec device = bench::device_by_name(config.device);
+  const std::string dataset = args.get_string("dataset", "k-n16-16");
+  const std::string json_path = args.get_string("json", "BENCH_server.json");
+  const int streams = static_cast<int>(args.get_int("streams", 4));
+
+  const graph::Csr csr = bench::load_bench_graph(dataset, config);
+  const graph::Weight delta0 = bench::empirical_delta0(csr, config.seed);
+
+  core::QueryBatchOptions bopts;
+  bopts.streams = streams;
+  bopts.gpu.delta0 = delta0;
+  bopts.gpu.sim_threads = config.sim_threads;
+
+  // Calibrate the deadline off a clean single-lane run: the mean query cost
+  // times a small slack. At load 1 everything fits; by load 8 a lane's
+  // queue alone overruns it, so admission control has to act.
+  const int max_load = 8;
+  const std::vector<graph::VertexId> sources =
+      bench::pick_sources(csr, max_load * streams, config.seed);
+  double mean_ms = 0;
+  {
+    core::QueryBatchOptions calib = bopts;
+    calib.streams = 1;
+    core::QueryBatch probe(csr, device, calib);
+    const std::vector<graph::VertexId> warm(sources.begin(),
+                                            sources.begin() + 4);
+    const core::BatchResult r = probe.run(warm);
+    mean_ms = r.sum_latency_ms / static_cast<double>(warm.size());
+  }
+  const double deadline_ms = args.get_double("deadline-ms", 5.0 * mean_ms);
+  std::printf("== server tail latency: %s, %d lanes, deadline %.3f ms "
+              "(5x mean query cost %.3f ms) ==\n\n",
+              dataset.c_str(), streams, deadline_ms, mean_ms);
+
+  // Deterministic launch faults: frequent enough to trip breakers, no
+  // device loss (that latches the whole shared simulator by design). The
+  // watchdog is tighter than the deadline so a hung kernel costs 1.5x a
+  // mean query, not the whole budget.
+  gpusim::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = config.seed;
+  fault.launch_failure = 0.04;
+  fault.timeout = 0.01;
+  fault.watchdog_ms = 1.5 * mean_ms;
+  fault.max_faults = 16;
+
+  bool deadline_bounded = true;
+  bool distances_ok = true;
+  std::map<graph::VertexId, std::vector<graph::Weight>> oracle;
+  const auto check = [&](const core::ServerResult& result,
+                         const std::vector<core::ServerQuery>& offered) {
+    for (std::size_t i = 0; i < offered.size(); ++i) {
+      const core::ServerQueryStats& sq = result.stats[i];
+      if (!completed(sq.query.status)) continue;
+      if (std::isfinite(sq.deadline_ms) &&
+          sq.finish_ms > sq.deadline_ms + 1e-9) {
+        std::fprintf(stderr,
+                     "VIOLATION: completed query %zu finished at %.4f ms, "
+                     "past its %.4f ms deadline\n",
+                     i, sq.finish_ms, sq.deadline_ms);
+        deadline_bounded = false;
+      }
+      auto it = oracle.find(offered[i].source);
+      if (it == oracle.end()) {
+        it = oracle
+                 .emplace(offered[i].source,
+                          sssp::dijkstra(csr, offered[i].source).distances)
+                 .first;
+      }
+      if (result.queries[i].sssp.distances != it->second) {
+        std::fprintf(stderr,
+                     "VIOLATION: completed query %zu (source %u) distances "
+                     "differ from the Dijkstra reference\n",
+                     i, offered[i].source);
+        distances_ok = false;
+      }
+    }
+  };
+
+  std::vector<Row> rows;
+  for (const bool breakers : {true, false}) {
+    for (const int load : {1, 2, 4, 8}) {
+      core::QueryServerOptions sopts;
+      sopts.batch = bopts;
+      sopts.batch.gpu.fault = fault;
+      sopts.default_deadline_ms = deadline_ms;
+      sopts.max_pending = sources.size();
+      sopts.breaker.enabled = breakers;
+      sopts.breaker.failure_threshold = 2;
+      sopts.breaker.cooldown_ms = deadline_ms;
+      core::QueryServer server(csr, device, sopts);
+
+      std::vector<core::ServerQuery> offered;
+      for (int i = 0; i < load * streams; ++i) {
+        core::ServerQuery q;
+        q.source = sources[static_cast<std::size_t>(i)];
+        offered.push_back(q);
+      }
+      const core::ServerResult result = server.run(offered);
+      check(result, offered);
+
+      Row row;
+      row.load = load;
+      row.breakers = breakers;
+      row.offered = offered.size();
+      row.hedged = result.hedged_queries;
+      std::vector<double> sojourn;
+      for (const core::ServerQueryStats& sq : result.stats) {
+        if (completed(sq.query.status)) {
+          ++row.done;
+          sojourn.push_back(sq.finish_ms);
+        } else if (sq.query.status == core::QueryStatus::kShedded) {
+          ++row.shed;
+        } else if (sq.query.status == core::QueryStatus::kDeadlineExceeded) {
+          ++row.missed;
+        }
+      }
+      row.p50 = percentile(sojourn, 0.50);
+      row.p95 = percentile(sojourn, 0.95);
+      row.p99 = percentile(sojourn, 0.99);
+      rows.push_back(row);
+    }
+  }
+
+  // Degraded-routing determinism sweep: trip lane 0 up front, then verify
+  // full bit-identity across sim_threads and oracle-identity across stream
+  // counts (lane packing legitimately shifts statuses between layouts).
+  for (const int sweep_streams : {2, 4}) {
+    std::vector<core::ServerResult> per_thread;
+    std::vector<core::ServerQuery> offered;
+    for (int i = 0; i < 2 * sweep_streams; ++i) {
+      core::ServerQuery q;
+      q.source = sources[static_cast<std::size_t>(i)];
+      q.deadline_ms = 10.0 * deadline_ms;
+      offered.push_back(q);
+    }
+    for (const int threads : {1, 8}) {
+      core::QueryServerOptions sopts;
+      sopts.batch = bopts;
+      sopts.batch.streams = sweep_streams;
+      sopts.batch.gpu.sim_threads = threads;
+      sopts.breaker.cooldown_ms = deadline_ms;
+      core::QueryServer server(csr, device, sopts);
+      server.trip_lane(0);
+      per_thread.push_back(server.run(offered));
+      check(per_thread.back(), offered);
+    }
+    for (std::size_t i = 0; i < offered.size(); ++i) {
+      if (per_thread[0].queries[i].sssp.distances !=
+              per_thread[1].queries[i].sssp.distances ||
+          per_thread[0].stats[i].query.status !=
+              per_thread[1].stats[i].query.status) {
+        std::fprintf(stderr,
+                     "VIOLATION: sim_threads 1 vs 8 disagree on query %zu "
+                     "(%d streams, lane 0 tripped)\n",
+                     i, sweep_streams);
+        distances_ok = false;
+      }
+    }
+  }
+
+  TextTable table({"breakers", "load/lane", "offered", "done", "shed",
+                   "missed", "hedged", "p50 ms", "p95 ms", "p99 ms"});
+  for (const Row& row : rows) {
+    table.add_row({row.breakers ? "on" : "off",
+                   format_count(static_cast<std::uint64_t>(row.load)),
+                   format_count(row.offered), format_count(row.done),
+                   format_count(row.shed), format_count(row.missed),
+                   format_count(row.hedged), format_fixed(row.p50, 3),
+                   format_fixed(row.p95, 3), format_fixed(row.p99, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (config.csv) std::fputs(table.render_csv().c_str(), stdout);
+  std::printf("\ncompleted tail bounded by deadline: %s; "
+              "completed distances match Dijkstra: %s\n",
+              deadline_bounded ? "yes" : "NO",
+              distances_ok ? "yes" : "NO");
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"device\": \"%s\",\n  \"dataset\": \"%s\",\n",
+               device.name.c_str(), dataset.c_str());
+  std::fprintf(json, "  \"streams\": %d,\n  \"deadline_ms\": %.4f,\n",
+               streams, deadline_ms);
+  std::fprintf(json, "  \"deadline_bounded\": %s,\n",
+               deadline_bounded ? "true" : "false");
+  std::fprintf(json, "  \"distances_identical\": %s,\n",
+               distances_ok ? "true" : "false");
+  std::fprintf(json, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const double offered_d = static_cast<double>(row.offered);
+    std::fprintf(
+        json,
+        "    {\"breakers\": %s, \"load_per_lane\": %d, \"offered\": %zu, "
+        "\"completed\": %zu, \"shed\": %zu, \"deadline_missed\": %zu, "
+        "\"hedged\": %zu, \"shed_rate\": %.4f, \"miss_rate\": %.4f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+        row.breakers ? "true" : "false", row.load, row.offered, row.done,
+        row.shed, row.missed, row.hedged,
+        static_cast<double>(row.shed) / offered_d,
+        static_cast<double>(row.missed) / offered_d, row.p50, row.p95,
+        row.p99, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return deadline_bounded && distances_ok ? 0 : 1;
+}

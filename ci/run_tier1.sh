@@ -11,9 +11,11 @@
 #             test_gpusim_parallel (the suite that exercises the replay
 #             workers) — a data race between L1 shards would surface here —
 #             plus test_query_batch (batch determinism across concurrent
-#             streams with multi-threaded replay) and test_fault_injection
+#             streams with multi-threaded replay), test_fault_injection
 #             (gfi chaos sweep: fault bookkeeping must stay race-free when
-#             faulted launches replay on multiple workers).
+#             faulted launches replay on multiple workers) and
+#             test_query_server (serving determinism sweeps: deadlines,
+#             admission, breakers over sim_threads {1,8} x streams {1,4}).
 #
 # With --asan, runs ONLY the asan configuration: -DRDBS_ASAN=ON
 # (AddressSanitizer + UBSan, -fno-sanitize-recover=all) with the full
@@ -72,7 +74,8 @@ cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-  --target test_gpusim_parallel test_query_batch test_fault_injection
+  --target test_gpusim_parallel test_query_batch test_fault_injection \
+           test_query_server
 echo "=== [tsan] test_gpusim_parallel ==="
 # The two Kronecker engine tests simulate millions of warp tasks and take
 # tens of minutes under TSan instrumentation; the road-graph engine tests
@@ -87,5 +90,10 @@ echo "=== [tsan] test_fault_injection ==="
 # worker pool; the fault log, poison bookkeeping and recovery accounting
 # must stay race-free (and bit-identical — the sweep asserts that too).
 "$TSAN_DIR/tests/test_fault_injection"
+echo "=== [tsan] test_query_server ==="
+# The serving layer's determinism sweep runs the same batch across
+# sim_threads {1,8} x streams {1,4}: a race between the admission/breaker
+# bookkeeping and the replay workers would break bit-identity here.
+"$TSAN_DIR/tests/test_query_server"
 
 echo "tier-1: all configurations passed"

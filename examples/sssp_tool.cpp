@@ -15,7 +15,14 @@
 //
 //   # batched multi-source run: 8 queries over 4 concurrent gpusim streams
 //   ./sssp_tool --dataset=k-n16-16 --batch --sources=8 --batch-streams=4
+//
+//   # overload-safe serving (docs/serving.md): per-query deadline, EDF
+//   # admission, circuit breakers, under injected faults
+//   ./sssp_tool --dataset=k-n16-16 --batch --sources=16 --deadline-ms=5
+//       --admission=edf --breaker=on --inject-faults=seed=7,launch=0.2
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "bench_support/experiment.hpp"
@@ -24,6 +31,7 @@
 #include "core/adds.hpp"
 #include "core/legacy_gpu.hpp"
 #include "core/query_batch.hpp"
+#include "core/query_server.hpp"
 #include "core/rdbs.hpp"
 #include "core/sep_hybrid.hpp"
 #include "gpusim/profiler.hpp"
@@ -215,22 +223,140 @@ int main(int argc, char** argv) {
                    algorithm.c_str());
       return 2;
     }
+    // Serving mode (docs/serving.md): any of --deadline-ms / --admission /
+    // --breaker (or an explicit --serve) routes the batch through
+    // core::QueryServer instead of the raw QueryBatch scheduler.
+    const bool serve = args.get_bool("serve", false) ||
+                       args.has("deadline-ms") || args.has("admission") ||
+                       args.has("breaker");
+    if (serve) {
+      core::QueryServerOptions sopts;
+      sopts.batch = bopts;
+      sopts.default_deadline_ms = args.get_double(
+          "deadline-ms", std::numeric_limits<double>::infinity());
+      const std::string admission = args.get_string("admission", "fifo");
+      if (admission == "edf") {
+        sopts.admission = core::AdmissionPolicy::kEdf;
+      } else if (admission != "fifo") {
+        std::fprintf(stderr, "--admission must be fifo or edf, not %s\n",
+                     admission.c_str());
+        return 2;
+      }
+      const std::string breaker = args.get_string("breaker", "on");
+      if (breaker == "off") {
+        sopts.breaker.enabled = false;
+      } else if (breaker != "on") {
+        std::fprintf(stderr, "--breaker must be on or off, not %s\n",
+                     breaker.c_str());
+        return 2;
+      }
+      core::QueryServer server(csr, device, sopts);
+      std::vector<core::ServerQuery> offered;
+      offered.reserve(sources.size());
+      for (const graph::VertexId s : sources) {
+        core::ServerQuery q;
+        q.source = s;  // deadline left unset -> options.default_deadline_ms
+        offered.push_back(q);
+      }
+      const core::ServerResult result = server.run(offered);
+
+      TextTable table({"source", "lane", "status", "latency ms", "finish ms",
+                       "deadline ms", "overrun", "reached", "valid"});
+      for (std::size_t i = 0; i < result.stats.size(); ++i) {
+        const core::ServerQueryStats& sq = result.stats[i];
+        const bool has_distances = !result.queries[i].sssp.distances.empty();
+        const auto verdict =
+            has_distances ? sssp::validate_distances(
+                                csr, sq.query.source,
+                                result.queries[i].sssp.distances)
+                          : std::optional<std::string>{};
+        table.add_row(
+            {format_count(sq.query.source),
+             sq.hedged ? std::string("host")
+                       : format_count(static_cast<std::uint64_t>(
+                             sq.query.stream)),
+             core::query_status_name(sq.query.status),
+             format_fixed(sq.query.device_ms, 3),
+             format_fixed(sq.finish_ms, 3),
+             std::isfinite(sq.deadline_ms) ? format_fixed(sq.deadline_ms, 3)
+                                           : std::string("-"),
+             format_count(sq.overrun_kernels),
+             has_distances
+                 ? format_count(result.queries[i].sssp.reached_count())
+                 : std::string("-"),
+             !has_distances ? std::string("-")
+                            : (verdict ? "NO: " + *verdict
+                                       : std::string("yes"))});
+      }
+      std::fputs(table.render().c_str(), stdout);
+      std::printf(
+          "\nserved %zu quer%s on %d lane(s) (%s, breakers %s): "
+          "%llu ok / %llu recovered / %llu fallback (%llu hedged) / "
+          "%llu deadline / %llu shed / %llu failed; makespan %.3f ms, "
+          "%llu overrun kernel(s)\n",
+          offered.size(), offered.size() == 1 ? "y" : "ies",
+          server.batch().num_lanes(), admission.c_str(),
+          sopts.breaker.enabled ? "on" : "off",
+          static_cast<unsigned long long>(result.ok_queries),
+          static_cast<unsigned long long>(result.recovered_queries),
+          static_cast<unsigned long long>(result.fallback_queries),
+          static_cast<unsigned long long>(result.hedged_queries),
+          static_cast<unsigned long long>(result.deadline_queries),
+          static_cast<unsigned long long>(result.shed_queries),
+          static_cast<unsigned long long>(result.failed_queries),
+          result.makespan_ms,
+          static_cast<unsigned long long>(result.overrun_kernels));
+      if (fault.enabled) {
+        std::printf(
+            "recovery: %llu attempt(s), %llu fault(s) injected "
+            "(%llu ECC-corrected), %llu retried, %.3f ms backoff%s\n",
+            static_cast<unsigned long long>(result.recovery.attempts),
+            static_cast<unsigned long long>(result.recovery.faults_injected),
+            static_cast<unsigned long long>(result.recovery.ecc_corrected),
+            static_cast<unsigned long long>(result.recovery.retries),
+            result.recovery.backoff_ms,
+            result.recovery.device_lost ? ", DEVICE LOST" : "");
+      }
+      for (const core::BreakerEvent& event : result.breaker_events) {
+        std::printf("breaker: lane %d -> %s at %.3f ms\n", event.lane,
+                    core::breaker_transition_name(event.transition),
+                    event.time_ms);
+      }
+      return 0;
+    }
+
     core::QueryBatch batch(csr, device, bopts);
     const core::BatchResult result = batch.run(sources);
 
-    TextTable table({"source", "stream", "latency ms", "queue-wait ms",
-                     "MWIPS", "reached", "valid"});
+    // With --inject-faults the per-query rows surface the RetryPolicy's
+    // work: final status, device attempts and simulated backoff charged.
+    std::vector<std::string> headers = {"source",        "stream", "latency ms",
+                                        "queue-wait ms", "MWIPS",  "reached",
+                                        "valid"};
+    if (fault.enabled) {
+      headers.insert(headers.begin() + 2, "status");
+      headers.push_back("attempts");
+      headers.push_back("backoff ms");
+    }
+    TextTable table(std::move(headers));
     for (std::size_t i = 0; i < result.stats.size(); ++i) {
       const core::QueryStats& qs = result.stats[i];
       const auto verdict = sssp::validate_distances(
           csr, qs.source, result.queries[i].sssp.distances);
-      table.add_row({format_count(qs.source),
-                     format_count(static_cast<std::uint64_t>(qs.stream)),
-                     format_fixed(qs.device_ms, 3),
-                     format_fixed(qs.queue_wait_ms, 3),
-                     format_fixed(qs.mwips, 1),
-                     format_count(result.queries[i].sssp.reached_count()),
-                     verdict ? "NO: " + *verdict : std::string("yes")});
+      std::vector<std::string> row = {
+          format_count(qs.source),
+          format_count(static_cast<std::uint64_t>(qs.stream)),
+          format_fixed(qs.device_ms, 3),
+          format_fixed(qs.queue_wait_ms, 3),
+          format_fixed(qs.mwips, 1),
+          format_count(result.queries[i].sssp.reached_count()),
+          verdict ? "NO: " + *verdict : std::string("yes")};
+      if (fault.enabled) {
+        row.insert(row.begin() + 2, core::query_status_name(qs.status));
+        row.push_back(format_count(result.queries[i].recovery.attempts));
+        row.push_back(format_fixed(result.queries[i].recovery.backoff_ms, 3));
+      }
+      table.add_row(std::move(row));
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf(
@@ -244,11 +370,14 @@ int main(int argc, char** argv) {
         result.queue_wait_ms, result.aggregate_mwips);
     if (fault.enabled) {
       std::printf(
-          "faults: %llu injected (%llu ECC-corrected), %llu retried, "
+          "faults: %llu injected (%llu ECC-corrected), %llu retried over "
+          "%llu attempt(s), %.3f ms backoff, "
           "%llu recovered / %llu CPU-fallback / %llu failed quer%s%s\n",
           static_cast<unsigned long long>(result.recovery.faults_injected),
           static_cast<unsigned long long>(result.recovery.ecc_corrected),
           static_cast<unsigned long long>(result.recovery.retries),
+          static_cast<unsigned long long>(result.recovery.attempts),
+          result.recovery.backoff_ms,
           static_cast<unsigned long long>(result.recovered_queries),
           static_cast<unsigned long long>(result.fallback_queries),
           static_cast<unsigned long long>(result.failed_queries),

@@ -108,7 +108,14 @@ GpuRunResult AddsLike::run(VertexId source) {
     throw std::out_of_range("AddsLike: source vertex out of range");
   }
   return run_with_recovery(*sim_, stream_, options_.retry, csr_, source,
-                           [&] { return run_attempt(source); });
+                           [&] { return run_attempt(source); }, cancel_);
+}
+
+bool AddsLike::check_cancelled() {
+  if (!attempt_cancelled_ && cancel_ != nullptr && cancel_->expired()) {
+    attempt_cancelled_ = true;
+  }
+  return attempt_cancelled_;
 }
 
 bool AddsLike::attempt_poisoned() const {
@@ -123,6 +130,7 @@ bool AddsLike::attempt_poisoned() const {
 
 GpuRunResult AddsLike::run_attempt(VertexId source) {
   fault_scan_begin_ = sim_->fault_log().size();
+  attempt_cancelled_ = false;
   if (owned_sim_) sim_->reset_all();
   const double ms_before = sim_->stream_elapsed_ms(stream_);
   const double wait_before = sim_->stream_queue_wait_ms(stream_);
@@ -177,6 +185,9 @@ GpuRunResult AddsLike::run_attempt(VertexId source) {
 
   while (!near.empty() || !far.empty()) {
     if (sim_->device_lost()) break;  // attempt is void; recovery takes over
+    // Round boundary (a near drain or a far split is one launch): the
+    // Near-Far cancellation point.
+    if (check_cancelled()) break;
     if (near.empty()) {
       // --- Far split: advance the threshold past the smallest far
       // distance, promote entries below it, drop stale duplicates.
@@ -385,9 +396,16 @@ GpuRunResult AddsLike::run_attempt(VertexId source) {
     kernel.finish();
   }
 
-  result.sssp.distances = dist_.data();
   result.sssp.work = work_;
-  sssp::finalize_valid_updates(result.sssp, source);
+  if (check_cancelled()) {
+    // Over deadline: partial metrics only, never partially relaxed
+    // distances (the serving contract; docs/serving.md).
+    result.ok = false;
+    result.deadline_exceeded = true;
+  } else {
+    result.sssp.distances = dist_.data();
+    sssp::finalize_valid_updates(result.sssp, source);
+  }
   result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
   result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
   result.counters = sim_->counters() - counters_before;

@@ -16,6 +16,7 @@
 #include <deque>
 #include <memory>
 
+#include "core/cancel.hpp"
 #include "core/device_graph.hpp"
 #include "core/options.hpp"
 #include "core/run_metrics.hpp"
@@ -57,11 +58,17 @@ class AddsLike {
   gpusim::GpuSim& sim() { return *sim_; }
   gpusim::StreamId stream() const { return stream_; }
 
+  // Serving-layer cooperative cancellation (docs/serving.md): polled at the
+  // near/far round boundary; once expired the run stops charging device
+  // time and returns deadline_exceeded with partial metrics, no distances.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
  private:
   // One recovery attempt: the full Near-Far run, re-initializing all
   // mutable device state first (so a retry starts clean).
   GpuRunResult run_attempt(graph::VertexId source);
   bool attempt_poisoned() const;
+  bool check_cancelled();
 
   void init_device_state(const DeviceCsrBuffers* shared_graph);
   void init_distances_kernel(graph::VertexId source);
@@ -83,6 +90,10 @@ class AddsLike {
 
   // Fault-log watermark of the current attempt (gfi).
   std::size_t fault_scan_begin_ = 0;
+
+  // Serving-layer cancellation (null = never cancelled).
+  const CancelToken* cancel_ = nullptr;
+  bool attempt_cancelled_ = false;
 
   sssp::WorkStats work_;
 };

@@ -465,6 +465,9 @@ void GpuDeltaStepping::phase1_sync(Weight lo, Weight hi, Weight delta,
   // Level-synchronous: each frontier sweep is its own kernel launch with a
   // barrier (the overhead the paper's Motivation 3 quantifies).
   while (!vqueue_.empty()) {
+    // Iteration boundary = a host launch boundary: the natural cancellation
+    // point of the synchronous mode (the next sweep is simply not launched).
+    if (check_cancelled()) break;
     // Freeze this iteration's frontier; vertices activated during the sweep
     // go to the next iteration.
     std::vector<VertexId> frontier(vqueue_.begin(), vqueue_.end());
@@ -698,7 +701,14 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
     throw std::out_of_range("GpuDeltaStepping: source vertex out of range");
   }
   return run_with_recovery(*sim_, stream_, options_.retry, csr_, source,
-                           [&] { return run_attempt(source); });
+                           [&] { return run_attempt(source); }, cancel_);
+}
+
+bool GpuDeltaStepping::check_cancelled() {
+  if (!attempt_cancelled_ && cancel_ != nullptr && cancel_->expired()) {
+    attempt_cancelled_ = true;
+  }
+  return attempt_cancelled_;
 }
 
 bool GpuDeltaStepping::attempt_poisoned() const {
@@ -713,6 +723,7 @@ bool GpuDeltaStepping::attempt_poisoned() const {
 
 GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
   fault_scan_begin_ = sim_->fault_log().size();
+  attempt_cancelled_ = false;
   // Owning mode: fresh timeline/counters/caches per run (the paper's
   // single-query methodology). Shared mode: the simulator belongs to the
   // batch — time and cache state accumulate across queries, and this run's
@@ -742,9 +753,16 @@ GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
     bs.initial_active = 1;
     phase1_sync(0, graph::kInfiniteDistance, graph::kInfiniteDistance, bs);
     if (options_.instrument) result.buckets.push_back(bs);
-    result.sssp.distances = dist_.data();
     result.sssp.work = work_;
-    sssp::finalize_valid_updates(result.sssp, source);
+    if (check_cancelled()) {
+      // Over deadline (a late answer is no answer): partial metrics only,
+      // never partially relaxed distances.
+      result.ok = false;
+      result.deadline_exceeded = true;
+    } else {
+      result.sssp.distances = dist_.data();
+      sssp::finalize_valid_updates(result.sssp, source);
+    }
     result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
     result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
     result.counters = sim_->counters() - counters_before;
@@ -776,6 +794,10 @@ GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
       break;
     }
     if (sim_->device_lost()) break;  // attempt is void; stop burning work
+    // Bucket boundary: the async mode's cancellation point (a persistent
+    // phase-1 kernel runs its bucket to completion — a launched grid cannot
+    // be revoked — but the next bucket is never launched).
+    if (check_cancelled()) break;
     ++current_epoch_;
     BucketStats bs;
     bs.delta = delta;
@@ -834,9 +856,18 @@ GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
     delta = hi - lo;
   }
 
-  result.sssp.distances = dist_.data();
   result.sssp.work = work_;
-  sssp::finalize_valid_updates(result.sssp, source);
+  if (check_cancelled()) {
+    // Over deadline at (or after) the last cancellation point: the serving
+    // contract is that a late answer is no answer, so the distances are
+    // withheld even when the run happened to finish — only the partial
+    // metrics (device time burned, counters) are reported.
+    result.ok = false;
+    result.deadline_exceeded = true;
+  } else {
+    result.sssp.distances = dist_.data();
+    sssp::finalize_valid_updates(result.sssp, source);
+  }
   result.device_ms = sim_->stream_elapsed_ms(stream_) - ms_before;
   result.queue_wait_ms = sim_->stream_queue_wait_ms(stream_) - wait_before;
   result.counters = sim_->counters() - counters_before;

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/delta_controller.hpp"
 #include "core/device_graph.hpp"
 #include "core/options.hpp"
@@ -76,6 +77,13 @@ class GpuDeltaStepping {
   gpusim::StreamId stream() const { return stream_; }
   const GpuSsspOptions& options() const { return options_; }
 
+  // Serving-layer cooperative cancellation (docs/serving.md): while set,
+  // run() polls the token at its bucket and phase-1-iteration boundaries
+  // and, once expired, stops charging device time and returns a result
+  // with deadline_exceeded set, partial metrics and NO distances. The
+  // token must outlive the runs it governs; pass nullptr to detach.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
  private:
   struct ChildChunk {
     VertexId vertex;
@@ -90,6 +98,10 @@ class GpuDeltaStepping {
   // invariants may legitimately break then, and the attempt aborts instead
   // of the process (it will be discarded by the retry driver anyway).
   bool attempt_poisoned() const;
+  // Cancellation point: polls the cancel token (latching the outcome so
+  // outer loops unwind too) and returns true once the attempt is over
+  // deadline.
+  bool check_cancelled();
 
   // --- kernel bodies -------------------------------------------------------
   void init_distances_kernel(VertexId source);
@@ -164,6 +176,11 @@ class GpuDeltaStepping {
 
   // Fault-log watermark of the current attempt (gfi).
   std::size_t fault_scan_begin_ = 0;
+
+  // Serving-layer cancellation (null = never cancelled). The latch keeps a
+  // fired cancellation visible to every enclosing loop of the attempt.
+  const CancelToken* cancel_ = nullptr;
+  bool attempt_cancelled_ = false;
 
   sssp::WorkStats work_;
 };

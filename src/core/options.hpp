@@ -26,6 +26,12 @@ struct RetryPolicy {
   // host-side Dijkstra reference so callers still get correct distances.
   // When false, the result carries ok == false and the typed faults
   // instead — never silently wrong distances.
+  //
+  // Under a serving-layer deadline (core/cancel.hpp, docs/serving.md) the
+  // deadline dominates this policy: an expired CancelToken ends recovery
+  // immediately — no further retries, no backoff charge, and no CPU
+  // fallback (which would only produce a late answer) — and the result
+  // reports deadline_exceeded instead.
   bool cpu_fallback = true;
 };
 

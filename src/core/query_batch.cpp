@@ -7,6 +7,18 @@
 
 namespace rdbs::core {
 
+const char* query_status_name(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kRecovered: return "recovered";
+    case QueryStatus::kCpuFallback: return "cpu-fallback";
+    case QueryStatus::kFailed: return "failed";
+    case QueryStatus::kDeadlineExceeded: return "deadline";
+    case QueryStatus::kShedded: return "shed";
+  }
+  return "?";
+}
+
 QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
                        QueryBatchOptions options)
     : options_(options) {
@@ -19,6 +31,23 @@ QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
     permuted_ = true;
   } else {
     graph_ = csr;
+  }
+
+  // Admission-control seed: a deliberately coarse a-priori estimate of one
+  // query's device cost — every vertex and edge touched once, in 32-lane
+  // warps paying a fixed instruction budget, retired at the device's
+  // aggregate issue rate, plus a handful of launch overheads. It only has
+  // to be a sane nonzero starting point for the lane EWMAs; real completed
+  // queries take over from the first success.
+  {
+    const double warp_tasks =
+        (static_cast<double>(graph_.num_vertices()) +
+         static_cast<double>(graph_.num_edges())) /
+        32.0;
+    const double aggregate_issue =
+        static_cast<double>(device.num_sms) * device.warp_schedulers;
+    cost_seed_ms_ = device.cycles_to_ms(warp_tasks * 64.0 / aggregate_issue) +
+                    8.0 * device.kernel_launch_us * 1e-3;
   }
 
   sim_ = std::make_unique<gpusim::GpuSim>(std::move(device));
@@ -34,6 +63,7 @@ QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
   for (int s = 0; s < options_.streams; ++s) {
     Lane lane;
     lane.stream = s;
+    lane.ewma_ms = cost_seed_ms_;
     if (options_.engine == BatchEngine::kRdbs) {
       lane.rdbs = std::make_unique<GpuDeltaStepping>(
           *sim_, s, graph_, options_.gpu, graph_bufs_.get());
@@ -52,6 +82,98 @@ QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
 
 QueryBatch::~QueryBatch() = default;
 
+gpusim::StreamId QueryBatch::lane_stream(int lane) const {
+  RDBS_CHECK(lane >= 0 && lane < num_lanes());
+  return lanes_[static_cast<std::size_t>(lane)].stream;
+}
+
+double QueryBatch::lane_clock_ms(int lane) const {
+  RDBS_CHECK(lane >= 0 && lane < num_lanes());
+  return sim_->stream_elapsed_ms(lanes_[static_cast<std::size_t>(lane)].stream);
+}
+
+double QueryBatch::lane_cost_estimate_ms(int lane) const {
+  RDBS_CHECK(lane >= 0 && lane < num_lanes());
+  return lanes_[static_cast<std::size_t>(lane)].ewma_ms;
+}
+
+int QueryBatch::pick_lane(const std::vector<std::uint8_t>* eligible) const {
+  int best = -1;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (eligible != nullptr && (i >= eligible->size() || !(*eligible)[i])) {
+      continue;
+    }
+    if (best < 0 ||
+        sim_->stream_elapsed_ms(lanes_[i].stream) <
+            sim_->stream_elapsed_ms(lanes_[static_cast<std::size_t>(best)]
+                                        .stream)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+QueryBatch::LaneOutcome QueryBatch::run_on_lane(int lane_index,
+                                                VertexId source,
+                                                const CancelToken* cancel) {
+  RDBS_CHECK(lane_index >= 0 && lane_index < num_lanes());
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  LaneOutcome out;
+  out.stats.source = source;
+  out.stats.stream = lane.stream;
+
+  if (source >= graph_.num_vertices()) {
+    out.result.ok = false;
+    out.stats.status = QueryStatus::kFailed;
+    out.stats.error = "source vertex out of range";
+    return out;
+  }
+
+  const VertexId engine_source =
+      permuted_ ? perm_.to_reordered(source) : source;
+  try {
+    out.result = lane.run(engine_source, cancel);
+    if (permuted_ && !out.result.sssp.distances.empty()) {
+      out.result.sssp.distances = perm_.unpermute(out.result.sssp.distances);
+    }
+  } catch (const std::exception& e) {
+    out.result = GpuRunResult{};
+    out.result.ok = false;
+    out.stats.error = e.what();
+  }
+
+  out.stats.device_ms = out.result.device_ms;
+  out.stats.queue_wait_ms = out.result.queue_wait_ms;
+  out.stats.warp_instructions = out.result.counters.warp_instructions();
+  out.stats.mwips = out.stats.device_ms <= 0
+                        ? 0.0
+                        : static_cast<double>(out.stats.warp_instructions) /
+                              (out.stats.device_ms * 1e3);
+  if (out.result.deadline_exceeded) {
+    out.stats.status = QueryStatus::kDeadlineExceeded;
+  } else if (!out.result.ok) {
+    out.stats.status = QueryStatus::kFailed;
+  } else if (out.result.recovery.cpu_fallbacks > 0) {
+    out.stats.status = QueryStatus::kCpuFallback;
+  } else if (out.result.recovery.retries > 0) {
+    out.stats.status = QueryStatus::kRecovered;
+  }
+
+  // Only successful *device* runs teach the admission estimator. Failed,
+  // cancelled or fallback queries can cost near-zero device time (e.g. an
+  // immediate launch failure with no fallback); folding those in would drag
+  // the estimate toward zero and let every future query through the load
+  // shedder — an all-failed warm-up batch must leave the seed intact
+  // (regression test in tests/test_query_batch.cpp).
+  if ((out.stats.status == QueryStatus::kOk ||
+       out.stats.status == QueryStatus::kRecovered) &&
+      out.stats.device_ms > 0) {
+    const double alpha = std::clamp(options_.ewma_alpha, 0.0, 1.0);
+    lane.ewma_ms = alpha * out.stats.device_ms + (1.0 - alpha) * lane.ewma_ms;
+  }
+  return out;
+}
+
 BatchResult QueryBatch::run(std::span<const VertexId> sources) {
   BatchResult batch;
   batch.queries.reserve(sources.size());
@@ -60,13 +182,13 @@ BatchResult QueryBatch::run(std::span<const VertexId> sources) {
   const gpusim::Counters counters_before = sim_->counters();
 
   for (const VertexId source : sources) {
-    QueryStats qs;
-    qs.source = source;
-
-    // An invalid source fails this query alone, never the batch.
+    // An invalid source fails this query alone, never the batch (and never
+    // occupies a lane).
     if (source >= graph_.num_vertices()) {
       GpuRunResult failed;
       failed.ok = false;
+      QueryStats qs;
+      qs.source = source;
       qs.status = QueryStatus::kFailed;
       qs.error = "source vertex out of range";
       ++batch.failed_queries;
@@ -78,58 +200,27 @@ BatchResult QueryBatch::run(std::span<const VertexId> sources) {
     // Earliest-available lane, ties to the lowest stream id. Stalled
     // streams have a higher clock, so new queries naturally route around
     // them; after a device loss every engine degrades per its RetryPolicy.
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < lanes_.size(); ++i) {
-      if (sim_->stream_elapsed_ms(lanes_[i].stream) <
-          sim_->stream_elapsed_ms(lanes_[best].stream)) {
-        best = i;
-      }
-    }
-    Lane& lane = lanes_[best];
+    LaneOutcome out = run_on_lane(pick_lane(), source, /*cancel=*/nullptr);
 
-    const VertexId engine_source =
-        permuted_ ? perm_.to_reordered(source) : source;
-    GpuRunResult result;
-    try {
-      result = lane.run(engine_source);
-      if (permuted_ && !result.sssp.distances.empty()) {
-        result.sssp.distances = perm_.unpermute(result.sssp.distances);
-      }
-    } catch (const std::exception& e) {
-      result = GpuRunResult{};
-      result.ok = false;
-      qs.error = e.what();
+    switch (out.stats.status) {
+      case QueryStatus::kFailed: ++batch.failed_queries; break;
+      case QueryStatus::kCpuFallback: ++batch.fallback_queries; break;
+      case QueryStatus::kRecovered: ++batch.recovered_queries; break;
+      default: break;
     }
-
-    qs.stream = lane.stream;
-    qs.device_ms = result.device_ms;
-    qs.queue_wait_ms = result.queue_wait_ms;
-    qs.warp_instructions = result.counters.warp_instructions();
-    qs.mwips = qs.device_ms <= 0
-                   ? 0.0
-                   : static_cast<double>(qs.warp_instructions) /
-                         (qs.device_ms * 1e3);
-    if (!result.ok) {
-      qs.status = QueryStatus::kFailed;
-      ++batch.failed_queries;
-    } else if (result.recovery.cpu_fallbacks > 0) {
-      qs.status = QueryStatus::kCpuFallback;
-      ++batch.fallback_queries;
-    } else if (result.recovery.retries > 0) {
-      qs.status = QueryStatus::kRecovered;
-      ++batch.recovered_queries;
-    }
-    batch.recovery.faults_injected += result.recovery.faults_injected;
-    batch.recovery.ecc_corrected += result.recovery.ecc_corrected;
-    batch.recovery.retries += result.recovery.retries;
-    batch.recovery.cpu_fallbacks += result.recovery.cpu_fallbacks;
+    batch.recovery.faults_injected += out.result.recovery.faults_injected;
+    batch.recovery.ecc_corrected += out.result.recovery.ecc_corrected;
+    batch.recovery.retries += out.result.recovery.retries;
+    batch.recovery.cpu_fallbacks += out.result.recovery.cpu_fallbacks;
+    batch.recovery.attempts += out.result.recovery.attempts;
+    batch.recovery.backoff_ms += out.result.recovery.backoff_ms;
     batch.recovery.device_lost =
-        batch.recovery.device_lost || result.recovery.device_lost;
-    batch.sum_latency_ms += qs.device_ms;
-    batch.queue_wait_ms += qs.queue_wait_ms;
-    batch.warp_instructions += qs.warp_instructions;
-    batch.stats.push_back(std::move(qs));
-    batch.queries.push_back(std::move(result));
+        batch.recovery.device_lost || out.result.recovery.device_lost;
+    batch.sum_latency_ms += out.stats.device_ms;
+    batch.queue_wait_ms += out.stats.queue_wait_ms;
+    batch.warp_instructions += out.stats.warp_instructions;
+    batch.stats.push_back(std::move(out.stats));
+    batch.queries.push_back(std::move(out.result));
   }
 
   batch.makespan_ms = sim_->elapsed_ms() - batch_start_ms;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/adds.hpp"
+#include "core/cancel.hpp"
 #include "core/gpu_sssp.hpp"
 #include "core/options.hpp"
 #include "core/run_metrics.hpp"
@@ -45,17 +46,29 @@ struct QueryBatchOptions {
   GpuSsspOptions gpu;           // RDBS configuration; gpu.sim_threads also
                                 // sets the shared simulator's replay threads
   graph::Weight adds_delta = 100.0;  // Near/Far increment for kAdds
+  // Smoothing factor of the per-lane device-cost EWMA that feeds the
+  // serving layer's admission control (lane_cost_estimate_ms): estimate <-
+  // alpha * observed + (1 - alpha) * estimate, updated only by successful
+  // device queries. Seeded by a degree-sum estimate (cost_seed_ms).
+  double ewma_alpha = 0.3;
 };
 
 // Per-query outcome. A batch never aborts on one bad query: an invalid
 // source or an engine throw is recorded as kFailed on that query alone,
 // and fault recovery (gfi) is surfaced per query.
 enum class QueryStatus : std::uint8_t {
-  kOk,           // clean run (benign faults at most)
-  kRecovered,    // device run succeeded after >= 1 retry
-  kCpuFallback,  // degraded to the host Dijkstra reference
-  kFailed,       // no distances: invalid source or engine error
+  kOk,                // clean run (benign faults at most)
+  kRecovered,         // device run succeeded after >= 1 retry
+  kCpuFallback,       // degraded to the host Dijkstra reference
+  kFailed,            // no distances: invalid source or engine error
+  // Serving-layer outcomes (core::QueryServer; docs/serving.md):
+  kDeadlineExceeded,  // cancelled cooperatively after its deadline passed
+  kShedded,           // rejected up front by admission control (no device
+                      // time was spent on it)
 };
+
+// Human-readable status label (tool/bench output).
+const char* query_status_name(QueryStatus status);
 
 // Per-query scheduling/throughput summary (full per-query GpuRunResult is
 // in BatchResult::queries at the same index).
@@ -101,6 +114,35 @@ class QueryBatch {
   // and cache state persist (metrics are per-batch deltas).
   BatchResult run(std::span<const VertexId> sources);
 
+  // --- lane-level interface (core::QueryServer builds on this) -------------
+  // One query run on one lane, with everything run() does per query —
+  // permuted-source mapping, exception isolation, status classification,
+  // EWMA update — but under the caller's scheduling decision and optional
+  // cancel token. The result's distances are in the original numbering;
+  // stats.stream is the lane's stream even for a failed query.
+  struct LaneOutcome {
+    GpuRunResult result;
+    QueryStats stats;
+  };
+  LaneOutcome run_on_lane(int lane, VertexId source,
+                          const CancelToken* cancel = nullptr);
+
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  gpusim::StreamId lane_stream(int lane) const;
+  // The lane's simulated stream clock (when its last work finishes).
+  double lane_clock_ms(int lane) const;
+  // EWMA of recent successful device-query cost on this lane: the serving
+  // layer's completion-time estimate. Never zero — seeded by cost_seed_ms()
+  // and updated only by queries that actually produced device distances
+  // (kOk / kRecovered), so a run of failures cannot zero it out.
+  double lane_cost_estimate_ms(int lane) const;
+  // The degree-sum a-priori estimate the EWMAs start from (deliberately
+  // coarse: one pass over n + m at the device's aggregate issue rate).
+  double cost_seed_ms() const { return cost_seed_ms_; }
+  // Earliest-available lane (ties to the lowest stream id) among those with
+  // eligible[lane] != 0; null = all lanes eligible. -1 when none is.
+  int pick_lane(const std::vector<std::uint8_t>* eligible = nullptr) const;
+
   int streams() const { return static_cast<int>(lanes_.size()); }
   const graph::Csr& engine_graph() const { return graph_; }
   gpusim::GpuSim& sim() { return *sim_; }
@@ -112,13 +154,22 @@ class QueryBatch {
     gpusim::StreamId stream = 0;
     std::unique_ptr<GpuDeltaStepping> rdbs;
     std::unique_ptr<AddsLike> adds;
+    double ewma_ms = 0;  // admission-control cost estimate (seeded in ctor)
 
-    GpuRunResult run(VertexId source) {
-      return rdbs ? rdbs->run(source) : adds->run(source);
+    GpuRunResult run(VertexId source, const CancelToken* cancel) {
+      // The token is (re)bound before every run, so a pointer left over
+      // from a previous query is never consulted.
+      if (rdbs) {
+        rdbs->set_cancel_token(cancel);
+        return rdbs->run(source);
+      }
+      adds->set_cancel_token(cancel);
+      return adds->run(source);
     }
   };
 
   QueryBatchOptions options_;
+  double cost_seed_ms_ = 0;
   graph::Csr graph_;             // engine-facing (possibly reordered) CSR
   reorder::Permutation perm_;    // identity when PRO is off
   bool permuted_ = false;

@@ -1,0 +1,301 @@
+#include "core/query_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/macros.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace rdbs::core {
+
+const char* breaker_transition_name(BreakerTransition transition) {
+  switch (transition) {
+    case BreakerTransition::kOpen: return "open";
+    case BreakerTransition::kHalfOpen: return "half-open";
+    case BreakerTransition::kClose: return "close";
+    case BreakerTransition::kReopen: return "reopen";
+  }
+  return "?";
+}
+
+QueryServer::QueryServer(const graph::Csr& csr, gpusim::DeviceSpec device,
+                         QueryServerOptions options)
+    : options_(std::move(options)),
+      host_csr_(csr),
+      batch_(csr, std::move(device), options_.batch) {
+  breakers_.resize(static_cast<std::size_t>(batch_.num_lanes()));
+}
+
+BreakerState QueryServer::breaker_state(int lane) const {
+  RDBS_CHECK(lane >= 0 && lane < batch_.num_lanes());
+  return breakers_[static_cast<std::size_t>(lane)].state;
+}
+
+void QueryServer::trip_lane(int lane) {
+  RDBS_CHECK(lane >= 0 && lane < batch_.num_lanes());
+  if (breakers_[static_cast<std::size_t>(lane)].state != BreakerState::kOpen) {
+    open_lane(lane, BreakerTransition::kOpen);
+  }
+}
+
+void QueryServer::open_lane(int lane, BreakerTransition transition) {
+  LaneBreaker& breaker = breakers_[static_cast<std::size_t>(lane)];
+  breaker.state = BreakerState::kOpen;
+  breaker.consecutive_faults = 0;
+  breaker.probe_successes = 0;
+  breaker.open_until_ms =
+      batch_.sim().elapsed_ms() + std::max(0.0, options_.breaker.cooldown_ms);
+  event_log_.push_back({lane, batch_.sim().elapsed_ms(), transition});
+}
+
+void QueryServer::update_breaker_states() {
+  const double now = batch_.sim().elapsed_ms();
+  for (int lane = 0; lane < batch_.num_lanes(); ++lane) {
+    LaneBreaker& breaker = breakers_[static_cast<std::size_t>(lane)];
+    if (breaker.state == BreakerState::kOpen &&
+        now >= breaker.open_until_ms) {
+      breaker.state = BreakerState::kHalfOpen;
+      breaker.probe_successes = 0;
+      event_log_.push_back({lane, now, BreakerTransition::kHalfOpen});
+    }
+  }
+}
+
+void QueryServer::record_outcome(int lane,
+                                 const QueryBatch::LaneOutcome& outcome) {
+  LaneBreaker& breaker = breakers_[static_cast<std::size_t>(lane)];
+
+  // A "fault outcome" is any query whose lane showed device trouble: a
+  // poisoning injected fault, an outright failure, or a lost device. Note
+  // kRecovered and kCpuFallback count — the query was saved, but only
+  // because the lane misbehaved. A deadline miss without faults says
+  // nothing about lane health and leaves the breaker untouched.
+  bool poisoned = outcome.result.recovery.device_lost;
+  for (const gpusim::GpuFault& fault : outcome.result.faults) {
+    poisoned = poisoned || fault.poisons();
+  }
+  const bool fault_outcome =
+      poisoned || outcome.stats.status == QueryStatus::kFailed;
+  const bool success_outcome =
+      !fault_outcome && (outcome.stats.status == QueryStatus::kOk ||
+                         outcome.stats.status == QueryStatus::kRecovered ||
+                         outcome.stats.status == QueryStatus::kCpuFallback);
+
+  if (breaker.state == BreakerState::kHalfOpen) {
+    if (fault_outcome) {
+      open_lane(lane, BreakerTransition::kReopen);
+    } else if (success_outcome) {
+      if (++breaker.probe_successes >=
+          std::max(1, options_.breaker.half_open_probes)) {
+        breaker.state = BreakerState::kClosed;
+        breaker.consecutive_faults = 0;
+        breaker.probe_successes = 0;
+        event_log_.push_back(
+            {lane, batch_.sim().elapsed_ms(), BreakerTransition::kClose});
+      }
+    }
+    // A deadline-exceeded probe is inconclusive: stay half-open.
+    return;
+  }
+
+  if (fault_outcome) {
+    ++breaker.consecutive_faults;
+    if (options_.breaker.enabled &&
+        breaker.consecutive_faults >=
+            std::max(1, options_.breaker.failure_threshold)) {
+      open_lane(lane, BreakerTransition::kOpen);
+    }
+  } else if (success_outcome) {
+    breaker.consecutive_faults = 0;
+  }
+}
+
+ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
+  ServerResult result;
+  result.queries.resize(queries.size());
+  result.stats.resize(queries.size());
+  const double run_start_ms = batch_.sim().elapsed_ms();
+  const double host_start_ms = host_clock_ms_;
+
+  const auto shed = [&](std::size_t index, const char* why) {
+    result.queries[index].ok = false;
+    result.stats[index].query.status = QueryStatus::kShedded;
+    result.stats[index].query.error = why;
+  };
+  // Serves one query on the host hedge lane when that still meets the
+  // deadline (relative to the run start; the host lane is one serial
+  // worker). Returns false when hedging is off or the host is too slow.
+  const auto try_hedge = [&](std::size_t index, VertexId source,
+                             double deadline_rel_ms) {
+    if (!options_.hedge_to_cpu) return false;
+    const double finish_ms =
+        (host_clock_ms_ - host_start_ms) + host_cost_ms();
+    if (finish_ms > deadline_rel_ms) return false;
+    host_clock_ms_ += host_cost_ms();
+    GpuRunResult& hedged = result.queries[index];
+    hedged.sssp = sssp::dijkstra(host_csr_, source);
+    hedged.ok = true;
+    hedged.recovery.cpu_fallbacks = 1;
+    ServerQueryStats& stats = result.stats[index];
+    stats.query.status = QueryStatus::kCpuFallback;
+    stats.hedged = true;
+    stats.finish_ms = host_clock_ms_ - host_start_ms;
+    return true;
+  };
+
+  // --- admission: bounded queue, then FIFO or EDF dispatch order ----------
+  struct Pending {
+    std::size_t index = 0;
+    double deadline_rel_ms = 0;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(std::min(queries.size(), options_.max_pending));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    double deadline = queries[i].deadline_ms;
+    if (!std::isfinite(deadline)) deadline = options_.default_deadline_ms;
+    result.stats[i].deadline_ms = deadline;
+    result.stats[i].query.source = queries[i].source;
+    if (pending.size() >= options_.max_pending) {
+      shed(i, "admission queue full");
+      continue;
+    }
+    pending.push_back({i, deadline});
+  }
+  if (options_.admission == AdmissionPolicy::kEdf) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.deadline_rel_ms < b.deadline_rel_ms;
+                     });
+  }
+
+  for (const Pending& item : pending) {
+    const ServerQuery& query = queries[item.index];
+    ServerQueryStats& stats = result.stats[item.index];
+
+    // An invalid source fails this query alone and occupies no lane.
+    if (query.source >= host_csr_.num_vertices()) {
+      result.queries[item.index].ok = false;
+      stats.query.status = QueryStatus::kFailed;
+      stats.query.error = "source vertex out of range";
+      continue;
+    }
+
+    const bool bounded = std::isfinite(item.deadline_rel_ms);
+    const double abs_deadline_ms =
+        bounded ? run_start_ms + item.deadline_rel_ms : item.deadline_rel_ms;
+
+    update_breaker_states();
+    std::vector<std::uint8_t> eligible(
+        static_cast<std::size_t>(batch_.num_lanes()), 0);
+    for (int l = 0; l < batch_.num_lanes(); ++l) {
+      eligible[static_cast<std::size_t>(l)] =
+          breakers_[static_cast<std::size_t>(l)].state != BreakerState::kOpen
+              ? 1
+              : 0;
+    }
+    int lane = batch_.pick_lane(&eligible);
+
+    if (lane < 0) {
+      // Every lane's breaker is open. Hedge if the host can still meet the
+      // deadline; otherwise wait out the earliest cool-down (the simulated
+      // clock only advances with work, so the wait is charged as host time
+      // on that lane's stream) — unless even the reopened lane would miss
+      // the deadline, in which case the query is shed.
+      if (try_hedge(item.index, query.source, item.deadline_rel_ms)) continue;
+      int wait_lane = 0;
+      for (int l = 1; l < batch_.num_lanes(); ++l) {
+        if (breakers_[static_cast<std::size_t>(l)].open_until_ms <
+            breakers_[static_cast<std::size_t>(wait_lane)].open_until_ms) {
+          wait_lane = l;
+        }
+      }
+      const double reopen_ms =
+          breakers_[static_cast<std::size_t>(wait_lane)].open_until_ms;
+      const double projected_finish_ms =
+          std::max(reopen_ms, batch_.lane_clock_ms(wait_lane)) +
+          batch_.lane_cost_estimate_ms(wait_lane);
+      if (options_.shed_on_overload && bounded &&
+          projected_finish_ms > abs_deadline_ms) {
+        shed(item.index, "all lanes open");
+        continue;
+      }
+      const double gap_ms = reopen_ms - batch_.lane_clock_ms(wait_lane);
+      if (gap_ms > 0) {
+        batch_.sim().charge_host_ms(gap_ms, batch_.lane_stream(wait_lane));
+      }
+      update_breaker_states();
+      lane = wait_lane;
+    } else if (options_.shed_on_overload && bounded) {
+      // Load shedding: reject up front when the chosen lane's EWMA estimate
+      // already puts completion past the deadline — cheaper than burning
+      // device time to find out.
+      const double estimated_finish_ms =
+          std::max(batch_.lane_clock_ms(lane), run_start_ms) +
+          batch_.lane_cost_estimate_ms(lane);
+      if (estimated_finish_ms > abs_deadline_ms) {
+        if (try_hedge(item.index, query.source, item.deadline_rel_ms)) {
+          continue;
+        }
+        shed(item.index, "predicted deadline miss");
+        continue;
+      }
+    }
+
+    // --- device dispatch --------------------------------------------------
+    const gpusim::StreamId stream = batch_.lane_stream(lane);
+    const std::uint64_t overrun_before =
+        batch_.sim().stream_overrun_kernels(stream);
+    CancelToken token;
+    const CancelToken* cancel = nullptr;
+    if (bounded) {
+      batch_.sim().set_stream_deadline(stream, abs_deadline_ms);
+      token = CancelToken(batch_.sim(), stream, abs_deadline_ms);
+      cancel = &token;
+    }
+    QueryBatch::LaneOutcome outcome =
+        batch_.run_on_lane(lane, query.source, cancel);
+    if (bounded) batch_.sim().clear_stream_deadline(stream);
+    stats.overrun_kernels =
+        batch_.sim().stream_overrun_kernels(stream) - overrun_before;
+
+    record_outcome(lane, outcome);
+
+    stats.finish_ms = batch_.lane_clock_ms(lane) - run_start_ms;
+    stats.query = std::move(outcome.stats);
+    result.recovery.faults_injected += outcome.result.recovery.faults_injected;
+    result.recovery.ecc_corrected += outcome.result.recovery.ecc_corrected;
+    result.recovery.retries += outcome.result.recovery.retries;
+    result.recovery.cpu_fallbacks += outcome.result.recovery.cpu_fallbacks;
+    result.recovery.attempts += outcome.result.recovery.attempts;
+    result.recovery.backoff_ms += outcome.result.recovery.backoff_ms;
+    result.recovery.device_lost =
+        result.recovery.device_lost || outcome.result.recovery.device_lost;
+    result.queries[item.index] = std::move(outcome.result);
+  }
+
+  // --- aggregates ---------------------------------------------------------
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const ServerQueryStats& stats = result.stats[i];
+    switch (stats.query.status) {
+      case QueryStatus::kOk: ++result.ok_queries; break;
+      case QueryStatus::kRecovered: ++result.recovered_queries; break;
+      case QueryStatus::kCpuFallback: ++result.fallback_queries; break;
+      case QueryStatus::kFailed: ++result.failed_queries; break;
+      case QueryStatus::kDeadlineExceeded: ++result.deadline_queries; break;
+      case QueryStatus::kShedded: ++result.shed_queries; break;
+    }
+    if (stats.hedged) ++result.hedged_queries;
+    result.overrun_kernels += stats.overrun_kernels;
+  }
+  result.device_makespan_ms = batch_.sim().elapsed_ms() - run_start_ms;
+  result.makespan_ms =
+      std::max(result.device_makespan_ms, host_clock_ms_ - host_start_ms);
+  result.breaker_events.assign(
+      event_log_.begin() + static_cast<std::ptrdiff_t>(events_drained_),
+      event_log_.end());
+  events_drained_ = event_log_.size();
+  return result;
+}
+
+}  // namespace rdbs::core

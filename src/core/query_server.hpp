@@ -1,0 +1,187 @@
+// QueryServer — the overload-safe serving layer over QueryBatch.
+//
+// QueryBatch runs every admitted query to completion no matter how loaded
+// or degraded the device is. QueryServer wraps its lane scheduler with the
+// four mechanisms any accelerator-serving stack puts in front of bounded
+// tail latency (docs/serving.md):
+//
+//   1. Per-query deadlines: each query carries a deadline on the simulated
+//      clock. Engines cancel cooperatively (core/cancel.hpp) at bucket /
+//      iteration boundaries, so an over-deadline query stops charging
+//      device time and is reported as QueryStatus::kDeadlineExceeded with
+//      partial metrics — never late distances.
+//   2. Admission control: a bounded pending queue (FIFO or earliest-
+//      deadline-first) with load shedding — when the per-lane EWMA cost
+//      estimate (QueryBatch::lane_cost_estimate_ms) says the deadline
+//      cannot be met, the query is rejected up front as kShedded instead of
+//      wasting device time.
+//   3. Per-lane circuit breakers: consecutive gfi fault/timeout outcomes on
+//      a lane trip it open; open lanes are routed around, then probed
+//      half-open after a simulated cool-down, so a degraded lane costs
+//      capacity instead of poisoning the whole batch.
+//   4. Degraded-mode hedging: a query whose deadline is infeasible on the
+//      device but feasible on the host is served by the CPU Dijkstra
+//      reference on a dedicated host lane (status kCpuFallback, hedged).
+//
+// Every decision reads only simulated clocks and per-query results, and the
+// whole dispatch loop is host-serial: outcomes are bit-identical for any
+// sim_threads. Completed distances are bit-identical for any stream count
+// too; statuses can legitimately differ across stream counts, because lane
+// clocks (and therefore deadline hits) depend on how queries pack onto
+// lanes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/query_batch.hpp"
+
+namespace rdbs::core {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kFifo,  // dispatch in arrival order
+  kEdf,   // earliest deadline first (ties in arrival order)
+};
+
+// Per-lane circuit breaker: closed -> (failure_threshold consecutive fault
+// outcomes) -> open -> (cooldown_ms of simulated time) -> half-open ->
+// (half_open_probes clean queries) -> closed, or (probe fault) -> open
+// again. A "fault outcome" is a query that took at least one poisoning gfi
+// fault (docs/fault_injection.md) or failed outright; deadline misses are
+// neither faults nor successes and leave the breaker unchanged.
+struct CircuitBreakerOptions {
+  // Gates only AUTOMATIC tripping; the state machine itself (cool-down,
+  // half-open probing, eligibility) always runs, so trip_lane() works as a
+  // manual drain even with the automatic breaker off.
+  bool enabled = true;
+  int failure_threshold = 3;   // consecutive fault outcomes that trip a lane
+  double cooldown_ms = 5.0;    // simulated open time before half-open
+  int half_open_probes = 1;    // clean probes required to close again
+};
+
+struct QueryServerOptions {
+  QueryBatchOptions batch;
+  AdmissionPolicy admission = AdmissionPolicy::kFifo;
+  // Bounded pending queue: queries offered beyond this are shed on arrival
+  // ("admission queue full") before any scheduling work.
+  std::size_t max_pending = 64;
+  // Reject a query up front (kShedded) when its chosen lane's estimated
+  // completion time is past the deadline. With this off, infeasible queries
+  // are dispatched anyway and typically end kDeadlineExceeded.
+  bool shed_on_overload = true;
+  // Applied when ServerQuery::deadline_ms is unset (infinity = none).
+  double default_deadline_ms = std::numeric_limits<double>::infinity();
+  // Serve deadline-infeasible (or all-lanes-open) queries with the host
+  // Dijkstra reference when THAT still meets the deadline. The host lane is
+  // one serial worker with a deterministic per-query cost of
+  // cost_seed_ms() * host_slowdown.
+  bool hedge_to_cpu = true;
+  double host_slowdown = 8.0;
+  CircuitBreakerOptions breaker;
+};
+
+// One query offered to the server. The deadline is RELATIVE to the start of
+// the run() call, on the simulated clock (infinity = no deadline).
+struct ServerQuery {
+  VertexId source = 0;
+  double deadline_ms = std::numeric_limits<double>::infinity();
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+enum class BreakerTransition : std::uint8_t {
+  kOpen,      // closed -> open (threshold reached, or trip_lane)
+  kHalfOpen,  // open -> half-open (cool-down elapsed)
+  kClose,     // half-open -> closed (probe(s) succeeded)
+  kReopen,    // half-open -> open (probe failed)
+};
+const char* breaker_transition_name(BreakerTransition transition);
+
+struct BreakerEvent {
+  int lane = 0;
+  double time_ms = 0;  // absolute simulated device clock (GpuSim elapsed)
+  BreakerTransition transition = BreakerTransition::kOpen;
+};
+
+// Per-query serving outcome; `query` is the underlying QueryStats (status,
+// lane stream, device time). All times are relative to the run() start.
+struct ServerQueryStats {
+  QueryStats query;
+  double deadline_ms = std::numeric_limits<double>::infinity();
+  double finish_ms = 0;   // completion time (0 for shed queries)
+  bool hedged = false;    // served on the host lane
+  // Kernels this query completed after its deadline had already passed
+  // (device time between the expiry and the next cancellation point).
+  std::uint64_t overrun_kernels = 0;
+};
+
+struct ServerResult {
+  std::vector<GpuRunResult> queries;     // index-parallel to the input
+  std::vector<ServerQueryStats> stats;   // ditto
+  double makespan_ms = 0;         // span of the run (device and host lanes)
+  double device_makespan_ms = 0;  // device-only span
+  std::uint64_t ok_queries = 0;
+  std::uint64_t recovered_queries = 0;
+  std::uint64_t fallback_queries = 0;  // includes hedged
+  std::uint64_t hedged_queries = 0;
+  std::uint64_t failed_queries = 0;
+  std::uint64_t deadline_queries = 0;  // kDeadlineExceeded
+  std::uint64_t shed_queries = 0;      // kShedded
+  std::uint64_t overrun_kernels = 0;   // summed over all queries
+  RecoveryStats recovery;              // summed over all device queries
+  std::vector<BreakerEvent> breaker_events;  // in occurrence order
+};
+
+class QueryServer {
+ public:
+  QueryServer(const graph::Csr& csr, gpusim::DeviceSpec device,
+              QueryServerOptions options = {});
+
+  // Serves one offered batch. All queries "arrive" at the call's start;
+  // results and stats are index-parallel to `queries` regardless of the
+  // dispatch order (EDF may reorder execution). Callable repeatedly —
+  // breaker states, lane EWMAs and device cache state persist across calls.
+  ServerResult run(std::span<const ServerQuery> queries);
+
+  QueryBatch& batch() { return batch_; }
+  const QueryServerOptions& options() const { return options_; }
+
+  BreakerState breaker_state(int lane) const;
+  // Manually opens a lane's breaker (admin drain; also the deterministic
+  // way for tests to stage a tripped lane). The lane re-enters service
+  // through the normal cool-down -> half-open -> probe path.
+  void trip_lane(int lane);
+  // Deterministic per-query cost of the host hedge lane.
+  double host_cost_ms() const {
+    return batch_.cost_seed_ms() * options_.host_slowdown;
+  }
+
+ private:
+  struct LaneBreaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_faults = 0;
+    int probe_successes = 0;
+    double open_until_ms = 0;  // absolute device clock of half-open entry
+  };
+
+  // Moves every cooled-down open lane to half-open (logging events).
+  void update_breaker_states();
+  void open_lane(int lane, BreakerTransition transition);
+  // Applies one device-query outcome to its lane's breaker.
+  void record_outcome(int lane, const QueryBatch::LaneOutcome& outcome);
+
+  QueryServerOptions options_;
+  graph::Csr host_csr_;  // original numbering, for the host hedge lane
+  QueryBatch batch_;
+  std::vector<LaneBreaker> breakers_;
+  double host_clock_ms_ = 0;  // host hedge lane's serial timeline
+  // Breaker transitions accumulate here (trip_lane included); each run()
+  // drains the not-yet-reported tail into its ServerResult.
+  std::vector<BreakerEvent> event_log_;
+  std::size_t events_drained_ = 0;
+};
+
+}  // namespace rdbs::core

@@ -25,10 +25,23 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
                                const RetryPolicy& policy,
                                const graph::Csr& csr, graph::VertexId source,
                                const std::function<GpuRunResult()>& attempt) {
+  return run_with_recovery(sim, stream, policy, csr, source, attempt,
+                           /*cancel=*/nullptr);
+}
+
+GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
+                               const RetryPolicy& policy,
+                               const graph::Csr& csr, graph::VertexId source,
+                               const std::function<GpuRunResult()>& attempt,
+                               const CancelToken* cancel) {
   if (!sim.fault_injector() && !sim.device_lost()) {
     // Fault injection off: single attempt, no scan, no extra bookkeeping.
+    // The attempt itself honors the engine's cancel token, so a deadline
+    // can still expire here — that is the only way this path returns
+    // ok == false.
     GpuRunResult result = attempt();
-    result.ok = true;
+    result.ok = !result.deadline_exceeded;
+    result.recovery.attempts = 1;
     return result;
   }
 
@@ -45,15 +58,30 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
   double backoff = std::max(0.0, policy.backoff_ms);
   const int max_attempts = std::max(1, policy.max_attempts);
 
+  bool cancel_expired = false;
   for (int attempt_no = 0; attempt_no < max_attempts; ++attempt_no) {
     if (sim.device_lost()) break;  // nothing to run on a dead device
     const std::size_t log_begin = sim.fault_log().size();
     GpuRunResult result = attempt();
+    ++recovery.attempts;
     AttemptFaults scan = scan_attempt_faults(sim, log_begin);
     recovery.faults_injected += scan.faults.size();
     recovery.ecc_corrected += scan.ecc_corrected;
     recovery.device_lost = recovery.device_lost || scan.device_lost;
     faults.insert(faults.end(), scan.faults.begin(), scan.faults.end());
+
+    if (result.deadline_exceeded) {
+      // The deadline passed mid-attempt (possibly because a fault charged
+      // the clock past it): terminal, even if the attempt is also
+      // poisoned — there is no time left to retry or fall back in.
+      result.device_ms += spent_ms;
+      result.queue_wait_ms += spent_wait_ms;
+      result.counters += spent_counters;
+      result.ok = false;
+      result.faults = std::move(faults);
+      result.recovery = recovery;
+      return result;
+    }
 
     if (!scan.poisoned) {
       result.device_ms += spent_ms;
@@ -69,6 +97,12 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
     spent_wait_ms += result.queue_wait_ms;
     spent_counters += result.counters;
     if (scan.device_lost) break;  // no retry can succeed on a lost device
+    if (cancel != nullptr && cancel->expired()) {
+      // The poisoned attempt consumed the rest of the budget: don't charge
+      // a backoff that cannot buy a retry anyway.
+      cancel_expired = true;
+      break;
+    }
     if (attempt_no + 1 < max_attempts) {
       ++recovery.retries;
       // Exponential backoff, charged to the simulated clock (the host
@@ -77,6 +111,7 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
       // the next attempt itself.
       sim.charge_host_ms(backoff, stream);
       spent_ms += backoff;
+      recovery.backoff_ms += backoff;
       const std::uint64_t poisoned =
           sim.memory().poisoned_read_only_bytes();
       if (poisoned > 0) {
@@ -96,6 +131,15 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
   result.queue_wait_ms = spent_wait_ms;
   result.counters = spent_counters;
   result.faults = std::move(faults);
+  if (cancel_expired || (cancel != nullptr && cancel->expired())) {
+    // Out of time: a CPU fallback computed now would arrive after the
+    // deadline. The serving layer hedges to the host *before* dispatch when
+    // that can still meet the deadline (docs/serving.md).
+    result.ok = false;
+    result.deadline_exceeded = true;
+    result.recovery = recovery;
+    return result;
+  }
   if (policy.cpu_fallback) {
     result.sssp = sssp::dijkstra(csr, source);
     ++recovery.cpu_fallbacks;

@@ -24,6 +24,7 @@
 
 #include <functional>
 
+#include "core/cancel.hpp"
 #include "core/options.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
@@ -50,5 +51,17 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
                                const RetryPolicy& policy,
                                const graph::Csr& csr, graph::VertexId source,
                                const std::function<GpuRunResult()>& attempt);
+
+// Cancel-aware variant for the serving layer (docs/serving.md). `cancel`
+// may be null (identical to the overload above). The deadline dominates the
+// retry policy: an attempt that returns deadline_exceeded is terminal (no
+// retry, no CPU fallback — a late answer is not an answer; hedging is the
+// server's decision, made up front), and an expired token before a retry or
+// before the fallback likewise ends recovery with deadline_exceeded set.
+GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
+                               const RetryPolicy& policy,
+                               const graph::Csr& csr, graph::VertexId source,
+                               const std::function<GpuRunResult()>& attempt,
+                               const CancelToken* cancel);
 
 }  // namespace rdbs::core

@@ -21,6 +21,8 @@ struct RecoveryStats {
   std::uint64_t ecc_corrected = 0;    // benign subset (no retry needed)
   std::uint64_t retries = 0;          // discarded attempts that were rerun
   std::uint64_t cpu_fallbacks = 0;    // 1 when Dijkstra produced the result
+  std::uint64_t attempts = 0;         // device attempts actually run
+  double backoff_ms = 0;              // simulated backoff charged (retries)
   bool device_lost = false;           // device was lost during the run
 };
 
@@ -62,6 +64,11 @@ struct GpuRunResult {
   bool ok = true;
   std::vector<gpusim::GpuFault> faults;  // typed faults across all attempts
   RecoveryStats recovery;
+  // True when cooperative cancellation fired: the query's CancelToken
+  // expired mid-run, the engine stopped at its next cancellation point, and
+  // no distances were produced (metrics cover the partial work). Always
+  // false without a serving-layer deadline (docs/serving.md).
+  bool deadline_exceeded = false;
 
   double gteps(std::uint64_t edges_traversed_basis) const {
     return device_ms <= 0 ? 0.0

@@ -215,6 +215,12 @@ double GpuSim::admit_kernel(StreamId stream, double duration_ms) {
   state.queue_wait_ms += start - arrival;
   state.time_ms = start + duration_ms;
   state.kernels += 1;
+  // Launch completion vs. the serving deadline: a cooperatively cancelled
+  // query keeps charging kernels until its next cancellation point; each of
+  // them lands here so the overrun is observable (query_server metrics).
+  if (state.deadline_ms >= 0 && state.time_ms > state.deadline_ms) {
+    ++state.overrun_kernels;
+  }
   inflight_end_ms_.push_back(state.time_ms);
   return start;
 }

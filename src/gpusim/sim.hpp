@@ -390,6 +390,38 @@ class GpuSim {
     stream_state(stream).time_ms += ms;
   }
 
+  // --- per-stream deadlines (serving layer; core/query_server.hpp) ----------
+  // An absolute point on the stream's simulated clock after which its work
+  // is late. The simulator never aborts anything itself — cancellation is
+  // cooperative (engines poll core::CancelToken at their loop boundaries) —
+  // but every launch *completion* past the deadline is counted, so the
+  // serving layer can see exactly how many kernels a query still charged
+  // after going over. Negative = no deadline (the default). Cleared by
+  // reset_time()/reset_all() along with the stream clocks.
+  void set_stream_deadline(StreamId stream, double deadline_ms) {
+    stream_state(stream).deadline_ms = deadline_ms;
+  }
+  void clear_stream_deadline(StreamId stream) {
+    stream_state(stream).deadline_ms = -1.0;
+  }
+  double stream_deadline_ms(StreamId stream) const {
+    const StreamState* state = stream_state_if(stream);
+    return state ? state->deadline_ms : -1.0;
+  }
+  // True once the stream's clock has reached its deadline.
+  bool stream_deadline_exceeded(StreamId stream) const {
+    const StreamState* state = stream_state_if(stream);
+    return state && state->deadline_ms >= 0 &&
+           state->time_ms >= state->deadline_ms;
+  }
+  // Kernels on `stream` that COMPLETED after its deadline had passed — the
+  // device time a cooperatively cancelled query still charged between its
+  // cancellation points (0 when no deadline was ever set).
+  std::uint64_t stream_overrun_kernels(StreamId stream) const {
+    const StreamState* state = stream_state_if(stream);
+    return state ? state->overrun_kernels : 0;
+  }
+
   // Applies one flip decision to a just-loaded value vector. Called from
   // WarpCtx::maybe_flip during the serial record phase; all state touched
   // here (log, counters, budget) is host-serial, so fault plans stay
@@ -635,6 +667,10 @@ class GpuSim {
     double time_ms = 0;
     double queue_wait_ms = 0;
     std::uint64_t kernels = 0;
+    // Serving-layer deadline on this stream's clock (negative = none) and
+    // the count of kernels that completed past it; see set_stream_deadline.
+    double deadline_ms = -1.0;
+    std::uint64_t overrun_kernels = 0;
   };
   StreamState& stream_state(StreamId stream);
   const StreamState* stream_state_if(StreamId stream) const;

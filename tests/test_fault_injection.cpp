@@ -22,7 +22,10 @@
 #include "core/gunrock_like.hpp"
 #include "core/legacy_gpu.hpp"
 #include "core/multi_gpu.hpp"
+#include "core/cancel.hpp"
+#include "core/device_graph.hpp"
 #include "core/query_batch.hpp"
+#include "core/query_server.hpp"
 #include "core/sep_hybrid.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/fault.hpp"
@@ -568,6 +571,104 @@ TEST(FaultInjection, BatchRecoversPerQueryAndKeepsDistancesExact) {
               sssp::dijkstra(csr, sources[i]).distances);
   }
   EXPECT_EQ(result.recovery.faults_injected, 3u);
+}
+
+// --- deadlines x fault classes (docs/serving.md) ----------------------------
+
+// A hung kernel charges the watchdog budget, which blows straight through a
+// tighter serving deadline. The deadline must dominate the RetryPolicy: the
+// poisoned attempt is terminal — no backoff charge, no further attempts, no
+// CPU fallback (a late answer is no answer) — and the result reports
+// deadline_exceeded, not a recovery.
+TEST(FaultInjection, WatchdogTimeoutRacingDeadlineEndsRecoveryImmediately) {
+  const Csr csr = chaos_graph();
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 23;
+  cfg.timeout = 1.0;      // the first launch hangs...
+  cfg.max_faults = 1;     // ...and only the first
+  cfg.watchdog_ms = 5.0;  // hang detected after 5 ms
+
+  gpusim::GpuSim sim(gpusim::test_device());
+  sim.enable_fault_injection(cfg);
+  const core::DeviceCsrBuffers graph_bufs =
+      core::DeviceCsrBuffers::upload(sim, csr);
+  core::GpuSsspOptions options;
+  options.delta0 = 120.0;
+  options.pro = false;  // shared-sim ctor: keep the caller's CSR as-is
+  options.fault = cfg;
+  options.retry.max_attempts = 3;
+  options.retry.cpu_fallback = true;  // would rescue it — must not fire
+  core::GpuDeltaStepping engine(sim, /*stream=*/0, csr, options, &graph_bufs);
+
+  const core::CancelToken token(sim, /*stream=*/0, /*deadline_ms=*/2.0);
+  engine.set_cancel_token(&token);
+  const core::GpuRunResult result = engine.run(7);
+
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.deadline_exceeded);
+  EXPECT_TRUE(result.sssp.distances.empty());
+  EXPECT_EQ(result.recovery.attempts, 1u);       // terminal on the race
+  EXPECT_EQ(result.recovery.cpu_fallbacks, 0u);  // no late fallback
+  EXPECT_DOUBLE_EQ(result.recovery.backoff_ms, 0.0);
+  ASSERT_EQ(result.faults.size(), 1u);
+  EXPECT_EQ(result.faults[0].cls, gpusim::FaultClass::kTimeout);
+  // The watchdog charge is exactly what pushed the stream past 2 ms.
+  EXPECT_GE(sim.stream_elapsed_ms(0), cfg.watchdog_ms);
+}
+
+// Device loss hitting the probe query of a half-open breaker: the probe is
+// a fault outcome, so the breaker reopens — and because a lost device
+// latches the whole shared simulator, the query itself is rescued by the
+// CPU fallback with exact distances.
+TEST(FaultInjection, DeviceLossDuringHalfOpenProbeReopensTheBreaker) {
+  const Csr csr = chaos_graph();
+  core::QueryServerOptions options;
+  options.batch.streams = 1;
+  options.batch.gpu.delta0 = 120.0;
+  // Zero cool-down: the tripped lane is probe-eligible at the very next
+  // dispatch (the simulated clock only advances with work, so a nonzero
+  // cool-down would interleave with the warm-up batch nondeterministically).
+  options.breaker.cooldown_ms = 0.0;
+  options.hedge_to_cpu = false;
+  core::QueryServer server(csr, gpusim::test_device(), options);
+
+  // Stage: a clean warm-up query, then trip the (only) lane.
+  std::vector<core::ServerQuery> warm(1);
+  warm[0].source = 5;
+  const core::ServerResult warm_result = server.run(warm);
+  ASSERT_EQ(warm_result.ok_queries, 1u);
+  server.trip_lane(0);
+  ASSERT_EQ(server.breaker_state(0), core::BreakerState::kOpen);
+
+  // Now every launch loses the device. The next dispatch finds lane 0
+  // cooled down, probes it half-open, and the probe hits the loss.
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 29;
+  cfg.device_loss = 1.0;
+  cfg.max_faults = 1;
+  server.batch().sim().enable_fault_injection(cfg);
+
+  std::vector<core::ServerQuery> probe(1);
+  probe[0].source = 11;
+  const core::ServerResult result = server.run(probe);
+
+  EXPECT_EQ(server.breaker_state(0), core::BreakerState::kOpen);
+  ASSERT_EQ(result.breaker_events.size(), 3u);
+  EXPECT_EQ(result.breaker_events[0].transition,
+            core::BreakerTransition::kOpen);  // the manual trip
+  EXPECT_EQ(result.breaker_events[1].lane, 0);
+  EXPECT_EQ(result.breaker_events[1].transition,
+            core::BreakerTransition::kHalfOpen);
+  EXPECT_EQ(result.breaker_events[2].lane, 0);
+  EXPECT_EQ(result.breaker_events[2].transition,
+            core::BreakerTransition::kReopen);
+  EXPECT_TRUE(result.recovery.device_lost);
+  EXPECT_EQ(result.fallback_queries, 1u);
+  EXPECT_EQ(result.stats[0].query.status, core::QueryStatus::kCpuFallback);
+  EXPECT_EQ(result.queries[0].sssp.distances,
+            sssp::dijkstra(csr, 11).distances);
 }
 
 }  // namespace

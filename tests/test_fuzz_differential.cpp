@@ -26,6 +26,7 @@
 #include "core/legacy_gpu.hpp"
 #include "core/multi_gpu.hpp"
 #include "core/query_batch.hpp"
+#include "core/query_server.hpp"
 #include "core/rdbs.hpp"
 #include "core/sep_hybrid.hpp"
 #include "common/rng.hpp"
@@ -76,6 +77,20 @@ gpusim::SanitizeMode fuzz_sanitize() {
 // the same reproduce-from-seed property as the base fuzzer.
 bool fuzz_faults() {
   const char* env = std::getenv("RDBS_FUZZ_FAULTS");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+// RDBS_FUZZ_OVERLOAD=1 additionally pushes every query-batch case through
+// the QueryServer front end (docs/serving.md) with seed-derived deadlines,
+// admission settings and circuit-breaker churn (random trip_lane before the
+// run). The oracle requirement splits by outcome: every COMPLETED query
+// (ok / recovered / cpu-fallback) must carry distances exactly equal to
+// Dijkstra's and finish within its deadline; every non-completed query
+// (shed / deadline / failed) must carry no distances at all. The nightly
+// workflow sets it together with RDBS_FUZZ_FAULTS, turning the long fuzz
+// into an overload-chaos sweep over the whole serving stack.
+bool fuzz_overload() {
+  const char* env = std::getenv("RDBS_FUZZ_OVERLOAD");
   return env != nullptr && *env != '\0' && *env != '0';
 }
 
@@ -356,6 +371,77 @@ std::vector<graph::Distance> run_engine(const FuzzCase& c, const Csr& csr,
   return {};
 }
 
+// Overload-chaos leg of a kBatch fuzz case: same engine flags and fault
+// plan, served through QueryServer under randomized pressure. All serving
+// knobs derive from the case seed, so a failure still reproduces from the
+// seed alone.
+void run_overload_case(const FuzzCase& c, const Csr& csr, int case_index) {
+  Xoshiro256 rng(c.seed ^ 0x0f5e71de5e11aadull);
+  core::QueryServerOptions options;
+  options.batch.streams = c.streams;
+  options.batch.gpu.basyn = c.basyn;
+  options.batch.gpu.pro = c.pro;
+  options.batch.gpu.adwl = c.adwl;
+  options.batch.gpu.delta0 = c.delta0;
+  options.batch.gpu.sanitize = fuzz_sanitize();
+  options.batch.gpu.fault = fuzz_fault_config(c.seed);
+  options.batch.gpu.retry = fuzz_retry_policy();
+  options.admission = rng.next_below(2) == 0 ? core::AdmissionPolicy::kFifo
+                                             : core::AdmissionPolicy::kEdf;
+  options.max_pending = 1 + static_cast<int>(rng.next_below(8));
+  options.shed_on_overload = rng.next_below(2) == 0;
+  options.hedge_to_cpu = rng.next_below(2) == 0;
+  options.breaker.enabled = rng.next_below(2) == 0;
+  options.breaker.failure_threshold = 1 + static_cast<int>(rng.next_below(3));
+  options.breaker.cooldown_ms = 0.01 * static_cast<double>(rng.next_below(64));
+  options.breaker.half_open_probes = 1 + static_cast<int>(rng.next_below(2));
+  core::QueryServer server(csr, gpusim::test_device(), options);
+  // Breaker churn: sometimes start the run with a lane already tripped.
+  if (rng.next_below(4) == 0) {
+    server.trip_lane(static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(options.batch.streams))));
+  }
+
+  std::vector<core::ServerQuery> queries(2 + rng.next_below(5));
+  for (core::ServerQuery& q : queries) {
+    q.source = static_cast<VertexId>(rng.next_below(csr.num_vertices()));
+    // 1/3 unbounded; the rest log-uniform across ~5 decades, so some
+    // deadlines are hopeless, some tight, and some comfortable.
+    if (rng.next_below(3) != 0) {
+      q.deadline_ms = 0.001 * static_cast<double>(
+                                  std::uint64_t{1} << rng.next_below(16));
+    }
+  }
+
+  const core::ServerResult result = server.run(queries);
+  if (const gpusim::Sanitizer* san = server.batch().sim().sanitizer()) {
+    EXPECT_EQ(san->report(), "")
+        << "overload case " << case_index << ": " << c.describe();
+  }
+  ASSERT_EQ(result.queries.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const core::ServerQueryStats& sq = result.stats[i];
+    const bool completed = sq.query.status == core::QueryStatus::kOk ||
+                           sq.query.status == core::QueryStatus::kRecovered ||
+                           sq.query.status == core::QueryStatus::kCpuFallback;
+    if (completed) {
+      EXPECT_EQ(result.queries[i].sssp.distances,
+                sssp::dijkstra(csr, queries[i].source).distances)
+          << "overload case " << case_index << " query " << i << " ("
+          << core::query_status_name(sq.query.status)
+          << "): " << c.describe();
+      EXPECT_LE(sq.finish_ms, sq.deadline_ms + 1e-9)
+          << "overload case " << case_index << " query " << i
+          << " completed late: " << c.describe();
+    } else {
+      EXPECT_TRUE(result.queries[i].sssp.distances.empty())
+          << "overload case " << case_index << " query " << i << " ("
+          << core::query_status_name(sq.query.status)
+          << ") carries distances despite not completing: " << c.describe();
+    }
+  }
+}
+
 TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
   const std::uint64_t master = 42;
   const int iters = fuzz_iterations();
@@ -400,6 +486,9 @@ TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
           << "case " << i << " vertex " << v << " ("
           << csr.num_vertices() << " vertices, " << csr.num_edges()
           << " edges): " << c.describe();
+    }
+    if (c.engine == Engine::kBatch && fuzz_overload()) {
+      run_overload_case(c, csr, i);
     }
   }
 }

@@ -13,12 +13,15 @@
 // (bit-identical), matching the determinism contract in docs/costmodel.md.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/adds.hpp"
+#include "core/query_server.hpp"
 #include "core/rdbs.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
@@ -118,6 +121,91 @@ TEST(GoldenTraces, AddsOnPowerLaw) {
   options.delta = 120.0;
   core::AddsLike engine(gpusim::test_device(), csr, options);
   check_against_golden("adds_powerlaw_250_s203", engine.run(7));
+}
+
+// Triple 4 (ISSUE 5): one QueryServer batch with every serving outcome in
+// it — a recovered query (fault budget spent on the first), clean queries,
+// a cooperative deadline cancellation with overrun-kernel accounting, and
+// an admission-queue shed. Snapshots the serving decisions (status, finish
+// time, overrun kernels, recovery counters) plus every produced distance
+// vector, so a change to the scheduler, the cancellation points, the
+// breaker bookkeeping or the cost model shows up as a readable diff.
+TEST(GoldenTraces, QueryServerMixedOutcomeBatch) {
+  const Csr csr = test::random_powerlaw_graph(300, 2400, /*seed=*/204);
+  core::QueryServerOptions options;
+  options.batch.streams = 2;
+  options.batch.gpu.delta0 = 150.0;
+  options.batch.gpu.fault.enabled = true;
+  options.batch.gpu.fault.seed = 204;
+  options.batch.gpu.fault.launch_failure = 1.0;  // until the budget...
+  options.batch.gpu.fault.max_faults = 2;        // ...of 2 faults is spent
+  options.shed_on_overload = false;  // let the tight deadline run and cancel
+  options.hedge_to_cpu = false;
+  options.max_pending = 4;  // the 5th offered query is shed on arrival
+  core::QueryServer server(csr, gpusim::test_device(), options);
+
+  std::vector<core::ServerQuery> queries(5);
+  queries[0].source = 5;
+  queries[1].source = 17;
+  queries[2].source = 42;
+  queries[2].deadline_ms = 1e-6;  // expires during its first kernels
+  queries[3].source = 113;
+  queries[4].source = 250;
+  const core::ServerResult result = server.run(queries);
+
+  // The batch must actually be mixed, or the snapshot's name lies.
+  ASSERT_EQ(result.recovered_queries, 1u);
+  ASSERT_EQ(result.ok_queries, 2u);
+  ASSERT_EQ(result.deadline_queries, 1u);
+  ASSERT_EQ(result.shed_queries, 1u);
+  ASSERT_GT(result.overrun_kernels, 0u);
+
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "makespan_ms " << result.makespan_ms << '\n';
+  out << "overrun_kernels " << result.overrun_kernels << '\n';
+  out << "attempts " << result.recovery.attempts << '\n';
+  out << "retries " << result.recovery.retries << '\n';
+  out << "faults_injected " << result.recovery.faults_injected << '\n';
+  out << "backoff_ms " << result.recovery.backoff_ms << '\n';
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const core::ServerQueryStats& sq = result.stats[i];
+    out << "query " << i << ' '
+        << core::query_status_name(sq.query.status) << " finish "
+        << sq.finish_ms << " device " << sq.query.device_ms << " overrun "
+        << sq.overrun_kernels << '\n';
+    out << "distances " << result.queries[i].sssp.distances.size() << '\n';
+    for (const graph::Distance d : result.queries[i].sssp.distances) {
+      out << d << '\n';
+    }
+  }
+
+  const std::string path =
+      std::string(RDBS_GOLDEN_DIR) + "/server_mixed_300_s204.txt";
+  const std::string actual = out.str();
+  if (std::getenv("RDBS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream file(path, std::ios::trunc);
+    ASSERT_TRUE(file.good()) << "cannot write " << path;
+    file << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with RDBS_UPDATE_GOLDEN=1 and commit it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "serving trace drifted from " << path
+      << " — if the change is intentional, regenerate with "
+         "RDBS_UPDATE_GOLDEN=1 and commit the diff";
+
+  // And the anchor is correct, not just stable: completed distances are
+  // oracle-exact.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    EXPECT_EQ(result.queries[i].sssp.distances,
+              sssp::dijkstra(csr, queries[i].source).distances);
+  }
 }
 
 // The anchors themselves must be correct, not just stable.

@@ -223,6 +223,50 @@ gpusim::LaunchResult tiny_kernel(gpusim::GpuSim& sim, gpusim::StreamId s) {
       /*host_launch=*/true, s);
 }
 
+// Regression (serving-layer admission control): an all-failed warm-up
+// batch must leave the lane cost estimates at their seed. A failed attempt
+// can cost near-zero device time (an immediate launch failure with retries
+// and fallback disabled); folding that into the EWMA would drag the
+// estimate toward zero and let every future query through the load shedder.
+TEST(QueryBatch, AllFailedWarmupLeavesCostEstimatesAtSeed) {
+  const Csr csr = batch_test_graph();
+  core::QueryBatchOptions options;
+  options.streams = 2;
+  options.gpu.delta0 = 150.0;
+  options.gpu.fault.enabled = true;
+  options.gpu.fault.seed = 11;
+  options.gpu.fault.launch_failure = 1.0;   // every launch fails...
+  options.gpu.fault.max_faults = 100000;    // ...for the whole batch
+  options.gpu.retry.max_attempts = 1;       // no retries
+  options.gpu.retry.cpu_fallback = false;   // no rescue: kFailed everywhere
+  core::QueryBatch batch(csr, gpusim::test_device(), options);
+
+  const double seed_ms = batch.cost_seed_ms();
+  ASSERT_GT(seed_ms, 0.0);
+  const std::vector<VertexId> sources = batch_test_sources();
+  const core::BatchResult result = batch.run(sources);
+  ASSERT_EQ(result.failed_queries, sources.size());
+
+  for (int lane = 0; lane < batch.num_lanes(); ++lane) {
+    EXPECT_EQ(batch.lane_cost_estimate_ms(lane), seed_ms) << "lane " << lane;
+  }
+}
+
+// The complement: successful queries DO teach the estimator.
+TEST(QueryBatch, SuccessfulQueriesMoveCostEstimatesOffTheSeed) {
+  const Csr csr = batch_test_graph();
+  core::QueryBatchOptions options;
+  options.streams = 1;
+  options.gpu.delta0 = 150.0;
+  core::QueryBatch batch(csr, gpusim::test_device(), options);
+
+  const double seed_ms = batch.cost_seed_ms();
+  const core::BatchResult result = batch.run(batch_test_sources());
+  ASSERT_EQ(result.failed_queries, 0u);
+  EXPECT_NE(batch.lane_cost_estimate_ms(0), seed_ms);
+  EXPECT_GT(batch.lane_cost_estimate_ms(0), 0.0);
+}
+
 TEST(GpuSimStreams, SingleStreamAccumulatesLikeLegacyTimeline) {
   gpusim::GpuSim sim(gpusim::test_device());
   double sum = 0;
