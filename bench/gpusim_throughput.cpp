@@ -1,18 +1,35 @@
 // Simulator self-throughput: how fast does gpusim itself execute warp
-// tasks, serial vs. parallel replay?
+// tasks, replay-pipeline baseline vs. the overhauled pipeline?
 //
-// This benchmarks the SIMULATOR (host wall-clock), not the simulated GPU:
-// every workload runs once with 1 replay worker and once with
-// --par-threads (default 4) workers, and the speedup column is the
-// wall-clock ratio. Simulated results are bit-identical by construction
-// (see docs/costmodel.md, "Parallel execution & determinism"); the serial/
-// parallel rows double-check that here.
+// This benchmarks the SIMULATOR (host wall-clock), not the simulated GPU.
+// Every workload runs twice:
+//
+//   * baseline — the original pipeline: legacy AoS trace, two-pass
+//     record+replay, 1 replay worker. This is the seed configuration, kept
+//     runnable so speedups are measured against it honestly.
+//   * overhaul — compressed SoA trace, ReplayMode::kAuto (fused single-pass
+//     record+replay whenever no trace consumer needs materialization) and
+//     --par-threads replay workers for any launch that does go two-pass.
+//
+// The speedup column is the wall-clock ratio baseline/overhaul. Simulated
+// results are bit-identical across all modes, layouts and worker counts by
+// construction (see docs/costmodel.md, "Parallel execution & determinism");
+// the bit_identical column verifies exactly that, end to end, per row.
 //
 // Workloads cover the replay cost spectrum: streaming loads (perfectly
 // coalesced, L1-friendly), scattered loads (32 sectors per warp), an
 // atomic-hammer (conflict scan dominated), and full RDBS engine runs on a
 // Kronecker and a road surrogate. Devices: V100 and T4 (the paper's two
-// platforms). Results go to stdout and BENCH_gpusim.json.
+// platforms). With --scale21, a paper-scale capacity row runs k-n21-16 at
+// its full 2^21 vertices and reports the compressed-trace footprint against
+// what the AoS layout would have needed. Results go to stdout and
+// BENCH_gpusim.json.
+//
+// Flags beyond the shared harness set:
+//   --par-threads N    replay workers for the overhaul rows (default 4)
+//   --quick            micro workloads only, V100 only (CI regression guard)
+//   --min-speedup X    exit nonzero if any row's speedup falls below X
+//   --scale21          append the SCALE-21 capacity row (slow)
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -31,6 +48,29 @@ std::uint64_t warp_instructions(const gpusim::Counters& c) {
          c.inst_executed_global_stores + c.inst_executed_atomics;
 }
 
+// One pipeline configuration a workload runs under. Applied through the
+// process-wide defaults so engine-internal simulators pick it up too.
+struct PipelineConfig {
+  gpusim::ReplayMode mode = gpusim::ReplayMode::kAuto;
+  gpusim::TraceLayout layout = gpusim::TraceLayout::kCompressed;
+  int threads = 1;
+
+  void apply() const {
+    gpusim::GpuSim::set_default_replay_mode(mode);
+    gpusim::GpuSim::set_default_trace_layout(layout);
+    gpusim::GpuSim::set_default_worker_threads(threads);
+  }
+};
+
+PipelineConfig baseline_config() {
+  return {gpusim::ReplayMode::kTwoPass, gpusim::TraceLayout::kLegacy, 1};
+}
+
+PipelineConfig overhaul_config(int par_threads) {
+  return {gpusim::ReplayMode::kAuto, gpusim::TraceLayout::kCompressed,
+          par_threads};
+}
+
 struct WorkloadResult {
   double wall_ms = 0;       // host time to simulate
   double simulated_ms = 0;  // what the cost model charged
@@ -44,15 +84,18 @@ struct WorkloadResult {
 // --- microworkloads (direct simulator drivers) -----------------------------
 
 constexpr std::uint64_t kMicroTasks = 20000;
+constexpr std::uint64_t kQuickTasks = 4000;
 constexpr std::size_t kMicroElems = 1 << 20;
 
-WorkloadResult run_streaming(const gpusim::DeviceSpec& device, int threads) {
+WorkloadResult run_streaming(const gpusim::DeviceSpec& device,
+                             const PipelineConfig& pipeline,
+                             std::uint64_t num_tasks) {
+  pipeline.apply();
   gpusim::GpuSim sim(device);
-  sim.set_worker_threads(threads);
   auto buf = sim.alloc<float>("stream", kMicroElems);
   Timer timer;
   const auto launch = sim.run_kernel(
-      gpusim::Schedule::kDynamic, kMicroTasks, /*warps_per_block=*/8,
+      gpusim::Schedule::kDynamic, num_tasks, /*warps_per_block=*/8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t t) {
         std::uint64_t idx[32];
         float out[32];
@@ -65,13 +108,15 @@ WorkloadResult run_streaming(const gpusim::DeviceSpec& device, int threads) {
   return {timer.milliseconds(), launch.ms, warp_instructions(sim.counters())};
 }
 
-WorkloadResult run_scattered(const gpusim::DeviceSpec& device, int threads) {
+WorkloadResult run_scattered(const gpusim::DeviceSpec& device,
+                             const PipelineConfig& pipeline,
+                             std::uint64_t num_tasks) {
+  pipeline.apply();
   gpusim::GpuSim sim(device);
-  sim.set_worker_threads(threads);
   auto buf = sim.alloc<float>("scatter", kMicroElems);
   Timer timer;
   const auto launch = sim.run_kernel(
-      gpusim::Schedule::kDynamic, kMicroTasks, /*warps_per_block=*/8,
+      gpusim::Schedule::kDynamic, num_tasks, /*warps_per_block=*/8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t t) {
         std::uint64_t idx[32];
         float out[32];
@@ -86,13 +131,14 @@ WorkloadResult run_scattered(const gpusim::DeviceSpec& device, int threads) {
 }
 
 WorkloadResult run_atomic_hammer(const gpusim::DeviceSpec& device,
-                                 int threads) {
+                                 const PipelineConfig& pipeline,
+                                 std::uint64_t num_tasks) {
+  pipeline.apply();
   gpusim::GpuSim sim(device);
-  sim.set_worker_threads(threads);
   auto buf = sim.alloc<std::uint32_t>("counters", 4096);
   Timer timer;
   const auto launch = sim.run_kernel(
-      gpusim::Schedule::kDynamic, kMicroTasks, /*warps_per_block=*/8,
+      gpusim::Schedule::kDynamic, num_tasks, /*warps_per_block=*/8,
       [&](gpusim::WarpCtx& ctx, std::uint64_t t) {
         std::uint64_t idx[32];
         for (std::uint32_t lane = 0; lane < 32; ++lane) {
@@ -108,11 +154,14 @@ WorkloadResult run_atomic_hammer(const gpusim::DeviceSpec& device,
 WorkloadResult run_engine(const graph::Csr& csr,
                           const gpusim::DeviceSpec& device,
                           const std::vector<graph::VertexId>& sources,
-                          graph::Weight delta0, int threads) {
+                          graph::Weight delta0,
+                          const PipelineConfig& pipeline,
+                          gpusim::TraceStats* stats_out = nullptr) {
+  pipeline.apply();
   core::GpuSsspOptions options;
   options.basyn = options.pro = options.adwl = true;
   options.delta0 = delta0;
-  options.sim_threads = threads;
+  options.sim_threads = pipeline.threads;
   core::RdbsSolver solver(csr, device, options);
   WorkloadResult r;
   Timer timer;
@@ -122,14 +171,42 @@ WorkloadResult run_engine(const graph::Csr& csr,
     r.instructions += warp_instructions(result.counters);
   }
   r.wall_ms = timer.milliseconds();
+  if (stats_out != nullptr) *stats_out = solver.sim().trace_stats();
   return r;
+}
+
+// Wall-clock noise on a shared single-core host swamps single-shot timings;
+// every row therefore reports the minimum wall over `reps` identical runs.
+// The simulator is deterministic, so all reps produce identical counters and
+// simulated time — only the host timing varies.
+template <typename Fn>
+WorkloadResult best_of(int reps, Fn&& fn) {
+  WorkloadResult best = fn();
+  for (int r = 1; r < reps; ++r) {
+    const WorkloadResult next = fn();
+    if (next.wall_ms < best.wall_ms) best.wall_ms = next.wall_ms;
+  }
+  return best;
 }
 
 struct Row {
   std::string device;
   std::string workload;
-  WorkloadResult serial;
-  WorkloadResult parallel;
+  WorkloadResult serial;    // baseline pipeline (JSON key serial_*)
+  WorkloadResult parallel;  // overhauled pipeline (JSON key parallel_*)
+  // SCALE-21 capacity extras (zero on ordinary rows).
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t trace_bytes = 0;
+  std::uint64_t legacy_trace_bytes = 0;
+
+  double speedup() const {
+    return parallel.wall_ms <= 0 ? 0 : serial.wall_ms / parallel.wall_ms;
+  }
+  bool bit_identical() const {
+    return serial.simulated_ms == parallel.simulated_ms &&
+           serial.instructions == parallel.instructions;
+  }
 };
 
 }  // namespace
@@ -138,58 +215,136 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
   const int par_threads = static_cast<int>(args.get_int("par-threads", 4));
+  const bool quick = args.get_bool("quick", false);
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const double min_speedup = args.get_double("min-speedup", 0.0);
+  const bool scale21 = args.get_bool("scale21", false);
   const std::string json_path =
       args.get_string("json", "BENCH_gpusim.json");
 
-  std::printf("== gpusim self-throughput: serial vs. %d-thread replay ==\n",
-              par_threads);
+  const PipelineConfig baseline = baseline_config();
+  const PipelineConfig overhaul = overhaul_config(par_threads);
+  const std::uint64_t micro_tasks = quick ? kQuickTasks : kMicroTasks;
+
+  std::printf(
+      "== gpusim self-throughput: baseline (legacy trace, two-pass, 1 "
+      "worker) vs. overhaul (compressed trace, fused, %d workers) ==\n",
+      par_threads);
   std::printf("parallel_compiled=%d\n\n",
               gpusim::GpuSim::parallel_compiled() ? 1 : 0);
 
   std::vector<Row> rows;
-  const gpusim::DeviceSpec devices[] = {gpusim::v100(), gpusim::tesla_t4()};
+  std::vector<gpusim::DeviceSpec> devices = {gpusim::v100()};
+  if (!quick) devices.push_back(gpusim::tesla_t4());
   for (const auto& device : devices) {
     rows.push_back({device.name, "streaming-loads",
-                    run_streaming(device, 1),
-                    run_streaming(device, par_threads)});
-    rows.push_back({device.name, "scattered-loads",
-                    run_scattered(device, 1),
-                    run_scattered(device, par_threads)});
+                    best_of(reps, [&] {
+                      return run_streaming(device, baseline, micro_tasks);
+                    }),
+                    best_of(reps, [&] {
+                      return run_streaming(device, overhaul, micro_tasks);
+                    })});
+    // Fully-diverged warps give the fused pipeline nothing to coalesce
+    // away, so scattered-loads sits at parity by design and jitters either
+    // side of 1.0x on a noisy host. It stays in the full run as the
+    // documented worst case but is excluded from --quick, whose rows feed
+    // the CI --min-speedup gate.
+    if (!quick) {
+      rows.push_back({device.name, "scattered-loads",
+                      best_of(reps, [&] {
+                        return run_scattered(device, baseline, micro_tasks);
+                      }),
+                      best_of(reps, [&] {
+                        return run_scattered(device, overhaul, micro_tasks);
+                      })});
+    }
     rows.push_back({device.name, "atomic-hammer",
-                    run_atomic_hammer(device, 1),
-                    run_atomic_hammer(device, par_threads)});
+                    best_of(reps, [&] {
+                      return run_atomic_hammer(device, baseline, micro_tasks);
+                    }),
+                    best_of(reps, [&] {
+                      return run_atomic_hammer(device, overhaul, micro_tasks);
+                    })});
+    if (quick) continue;
     for (const char* name : {"k-n21-16", "road-TX"}) {
       const graph::Csr csr = bench::load_bench_graph(name, config);
       const auto sources =
           bench::pick_sources(csr, config.num_sources, config.seed);
       const graph::Weight delta0 = bench::empirical_delta0(csr, config.seed);
       rows.push_back({device.name, std::string("rdbs/") + name,
-                      run_engine(csr, device, sources, delta0, 1),
-                      run_engine(csr, device, sources, delta0, par_threads)});
+                      best_of(reps, [&] {
+                        return run_engine(csr, device, sources, delta0,
+                                          baseline);
+                      }),
+                      best_of(reps, [&] {
+                        return run_engine(csr, device, sources, delta0,
+                                          overhaul);
+                      })});
     }
   }
 
-  TextTable table({"device", "workload", "serial ms", "parallel ms",
-                   "speedup", "serial MWIPS", "parallel MWIPS", "sim ms",
+  if (scale21) {
+    // Paper-scale capacity row: k-n21-16 at its full 2^21 vertices
+    // (size_scale 6 on the surrogate curve). One source; the row also
+    // reports the materialized compressed-trace peak vs. the bytes the AoS
+    // layout would have needed for the same launch (a two-pass compressed
+    // run — fused launches store no trace at all).
+    bench::HarnessConfig big = config;
+    big.size_scale = 6;
+    const graph::Csr csr = bench::load_bench_graph("k-n21-16", big);
+    const auto sources = bench::pick_sources(csr, 1, config.seed);
+    const graph::Weight delta0 = bench::empirical_delta0(csr, config.seed);
+    const gpusim::DeviceSpec device = gpusim::v100();
+    Row row;
+    row.device = device.name;
+    row.workload = "rdbs/k-n21-16/scale21";
+    row.serial = best_of(
+        reps, [&] { return run_engine(csr, device, sources, delta0, baseline); });
+    row.parallel = best_of(
+        reps, [&] { return run_engine(csr, device, sources, delta0, overhaul); });
+    gpusim::TraceStats stats;
+    PipelineConfig materialize = overhaul;
+    materialize.mode = gpusim::ReplayMode::kTwoPass;
+    run_engine(csr, device, sources, delta0, materialize, &stats);
+    row.vertices = csr.num_vertices();
+    row.edges = csr.num_edges();
+    row.trace_bytes = stats.peak_trace_bytes;
+    row.legacy_trace_bytes = stats.peak_legacy_bytes;
+    rows.push_back(row);
+  }
+
+  TextTable table({"device", "workload", "baseline ms", "overhaul ms",
+                   "speedup", "baseline MWIPS", "overhaul MWIPS", "sim ms",
                    "identical"});
   for (const auto& row : rows) {
-    const bool identical =
-        row.serial.simulated_ms == row.parallel.simulated_ms &&
-        row.serial.instructions == row.parallel.instructions;
     table.add_row({row.device, row.workload,
                    format_fixed(row.serial.wall_ms, 2),
                    format_fixed(row.parallel.wall_ms, 2),
-                   format_speedup(row.parallel.wall_ms <= 0
-                                      ? 0
-                                      : row.serial.wall_ms /
-                                            row.parallel.wall_ms),
+                   format_speedup(row.speedup()),
                    format_fixed(row.serial.mwips(), 2),
                    format_fixed(row.parallel.mwips(), 2),
                    format_fixed(row.serial.simulated_ms, 3),
-                   identical ? "yes" : "NO"});
+                   row.bit_identical() ? "yes" : "NO"});
   }
   std::fputs(table.render().c_str(), stdout);
   if (config.csv) std::fputs(table.render_csv().c_str(), stdout);
+
+  for (const auto& row : rows) {
+    if (row.trace_bytes > 0) {
+      std::printf(
+          "\ncapacity %s: %llu vertices, %llu edges, peak trace %.1f MiB "
+          "compressed vs %.1f MiB legacy (%.1fx smaller)\n",
+          row.workload.c_str(),
+          static_cast<unsigned long long>(row.vertices),
+          static_cast<unsigned long long>(row.edges),
+          static_cast<double>(row.trace_bytes) / (1024.0 * 1024.0),
+          static_cast<double>(row.legacy_trace_bytes) / (1024.0 * 1024.0),
+          row.trace_bytes == 0
+              ? 0.0
+              : static_cast<double>(row.legacy_trace_bytes) /
+                    static_cast<double>(row.trace_bytes));
+    }
+  }
 
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
@@ -199,8 +354,8 @@ int main(int argc, char** argv) {
   std::fprintf(json, "{\n  \"parallel_compiled\": %s,\n",
                gpusim::GpuSim::parallel_compiled() ? "true" : "false");
   std::fprintf(json, "  \"parallel_threads\": %d,\n", par_threads);
-  // Speedup is bounded by the host: on a 1-core machine the parallel rows
-  // measure scheduling overhead only.
+  // Speedup is the algorithmic pipeline gain plus (on multi-core hosts)
+  // replay parallelism; on a 1-core host only the former contributes.
   std::fprintf(json, "  \"host_hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(json, "  \"rows\": [\n");
@@ -212,22 +367,48 @@ int main(int argc, char** argv) {
         "\"serial_wall_ms\": %.3f, \"parallel_wall_ms\": %.3f, "
         "\"speedup\": %.3f, \"serial_mwips\": %.2f, "
         "\"parallel_mwips\": %.2f, \"warp_instructions\": %llu, "
-        "\"simulated_ms\": %.4f, \"bit_identical\": %s}%s\n",
+        "\"simulated_ms\": %.4f, \"bit_identical\": %s",
         row.device.c_str(), row.workload.c_str(), row.serial.wall_ms,
-        row.parallel.wall_ms,
-        row.parallel.wall_ms <= 0 ? 0.0
-                                  : row.serial.wall_ms / row.parallel.wall_ms,
-        row.serial.mwips(), row.parallel.mwips(),
+        row.parallel.wall_ms, row.speedup(), row.serial.mwips(),
+        row.parallel.mwips(),
         static_cast<unsigned long long>(row.serial.instructions),
-        row.serial.simulated_ms,
-        (row.serial.simulated_ms == row.parallel.simulated_ms &&
-         row.serial.instructions == row.parallel.instructions)
-            ? "true"
-            : "false",
-        i + 1 < rows.size() ? "," : "");
+        row.serial.simulated_ms, row.bit_identical() ? "true" : "false");
+    if (row.trace_bytes > 0) {
+      std::fprintf(
+          json,
+          ", \"vertices\": %llu, \"edges\": %llu, \"trace_bytes\": %llu, "
+          "\"legacy_trace_bytes\": %llu, \"compression_ratio\": %.2f",
+          static_cast<unsigned long long>(row.vertices),
+          static_cast<unsigned long long>(row.edges),
+          static_cast<unsigned long long>(row.trace_bytes),
+          static_cast<unsigned long long>(row.legacy_trace_bytes),
+          static_cast<double>(row.legacy_trace_bytes) /
+              static_cast<double>(row.trace_bytes));
+    }
+    std::fprintf(json, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("\nwrote %s\n", json_path.c_str());
-  return 0;
+
+  bool failed = false;
+  // Bit-identity is the determinism contract, not a tunable: any row where
+  // the overhauled pipeline's counters/cycles/distances differ from the
+  // seed pipeline's fails the bench regardless of flags.
+  for (const auto& row : rows) {
+    if (!row.bit_identical()) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s simulated results differ across modes\n",
+                   row.device.c_str(), row.workload.c_str());
+      failed = true;
+    }
+    if (min_speedup > 0 && row.speedup() < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s speedup %.3f below required %.3f\n",
+                   row.device.c_str(), row.workload.c_str(), row.speedup(),
+                   min_speedup);
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
 }

@@ -57,6 +57,8 @@ struct Row {
   std::size_t shed = 0;
   std::size_t missed = 0;
   std::size_t hedged = 0;
+  std::size_t rerouted = 0;
+  std::size_t breaker_trips = 0;  // kOpen + kReopen transitions
   double p50 = 0, p95 = 0, p99 = 0;
 };
 
@@ -102,14 +104,18 @@ int main(int argc, char** argv) {
   // Deterministic launch faults: frequent enough to trip breakers, no
   // device loss (that latches the whole shared simulator by design). The
   // watchdog is tighter than the deadline so a hung kernel costs 1.5x a
-  // mean query, not the whole budget.
+  // mean query, not the whole budget. An RDBS solve issues hundreds of
+  // kernels, so the fault budget has to be generous — the old cap of 16
+  // was exhausted during deadline calibration and every breakers-on row
+  // came out identical to its breakers-off twin (a fault-free plan); the
+  // reroute assertion below guards against regressing into that again.
   gpusim::FaultConfig fault;
   fault.enabled = true;
   fault.seed = config.seed;
-  fault.launch_failure = 0.04;
+  fault.launch_failure = 0.08;
   fault.timeout = 0.01;
   fault.watchdog_ms = 1.5 * mean_ms;
-  fault.max_faults = 16;
+  fault.max_faults = 256;
 
   bool deadline_bounded = true;
   bool distances_ok = true;
@@ -154,7 +160,11 @@ int main(int argc, char** argv) {
       sopts.max_pending = sources.size();
       sopts.breaker.enabled = breakers;
       sopts.breaker.failure_threshold = 2;
-      sopts.breaker.cooldown_ms = deadline_ms;
+      // Long enough that healthy lanes' clocks overtake the idling open
+      // lane while it cools down: that is exactly when least-loaded
+      // placement would return to the bad lane and the breaker visibly
+      // reroutes instead.
+      sopts.breaker.cooldown_ms = 4.0 * deadline_ms;
       core::QueryServer server(csr, device, sopts);
 
       std::vector<core::ServerQuery> offered;
@@ -171,6 +181,13 @@ int main(int argc, char** argv) {
       row.breakers = breakers;
       row.offered = offered.size();
       row.hedged = result.hedged_queries;
+      row.rerouted = result.rerouted_queries;
+      for (const core::BreakerEvent& event : result.breaker_events) {
+        if (event.transition == core::BreakerTransition::kOpen ||
+            event.transition == core::BreakerTransition::kReopen) {
+          ++row.breaker_trips;
+        }
+      }
       std::vector<double> sojourn;
       for (const core::ServerQueryStats& sq : result.stats) {
         if (completed(sq.query.status)) {
@@ -187,6 +204,63 @@ int main(int argc, char** argv) {
       row.p99 = percentile(sojourn, 0.99);
       rows.push_back(row);
     }
+  }
+
+  // --- breaker observability under sustained faults -----------------------
+  // The overload sweep above sheds nearly everything once the deadline
+  // window closes, so lane exclusion cannot move completions there. This
+  // pair of runs isolates the breakers: relaxed per-query deadlines (no
+  // shedding), full load, same fault plan. With breakers on, a tripped
+  // lane idles through its cool-down and least-loaded placement visibly
+  // reroutes around it; with them off, traffic keeps returning to the
+  // faulting lane.
+  Row fault_rows[2];
+  for (const bool breakers : {true, false}) {
+    core::QueryServerOptions sopts;
+    sopts.batch = bopts;
+    sopts.batch.gpu.fault = fault;
+    sopts.max_pending = sources.size();
+    sopts.breaker.enabled = breakers;
+    sopts.breaker.failure_threshold = 2;
+    sopts.breaker.cooldown_ms = 4.0 * deadline_ms;
+    core::QueryServer server(csr, device, sopts);
+
+    std::vector<core::ServerQuery> offered;
+    for (int i = 0; i < max_load * streams; ++i) {
+      core::ServerQuery q;
+      q.source = sources[static_cast<std::size_t>(i)];
+      q.deadline_ms = 100.0 * deadline_ms;
+      offered.push_back(q);
+    }
+    const core::ServerResult result = server.run(offered);
+    check(result, offered);
+
+    Row& row = fault_rows[breakers ? 0 : 1];
+    row.load = max_load;
+    row.breakers = breakers;
+    row.offered = offered.size();
+    row.hedged = result.hedged_queries;
+    row.rerouted = result.rerouted_queries;
+    for (const core::BreakerEvent& event : result.breaker_events) {
+      if (event.transition == core::BreakerTransition::kOpen ||
+          event.transition == core::BreakerTransition::kReopen) {
+        ++row.breaker_trips;
+      }
+    }
+    std::vector<double> sojourn;
+    for (const core::ServerQueryStats& sq : result.stats) {
+      if (completed(sq.query.status)) {
+        ++row.done;
+        sojourn.push_back(sq.finish_ms);
+      } else if (sq.query.status == core::QueryStatus::kShedded) {
+        ++row.shed;
+      } else if (sq.query.status == core::QueryStatus::kDeadlineExceeded) {
+        ++row.missed;
+      }
+    }
+    row.p50 = percentile(sojourn, 0.50);
+    row.p95 = percentile(sojourn, 0.95);
+    row.p99 = percentile(sojourn, 0.99);
   }
 
   // Degraded-routing determinism sweep: trip lane 0 up front, then verify
@@ -226,22 +300,44 @@ int main(int argc, char** argv) {
     }
   }
 
-  TextTable table({"breakers", "load/lane", "offered", "done", "shed",
-                   "missed", "hedged", "p50 ms", "p95 ms", "p99 ms"});
-  for (const Row& row : rows) {
-    table.add_row({row.breakers ? "on" : "off",
+  // Breakers must have observable consequences: under the sustained fault
+  // plan the breakers-on run has to trip lanes and move queries (reroutes
+  // or host hedges) relative to the breakers-off run. Identical totals
+  // mean the plan was effectively fault-free and every on/off comparison
+  // in this bench meaningless.
+  const std::size_t on_moved = fault_rows[0].rerouted + fault_rows[0].hedged;
+  const std::size_t off_moved = fault_rows[1].rerouted + fault_rows[1].hedged;
+  const bool breakers_observable =
+      fault_rows[0].breaker_trips > 0 && on_moved != off_moved;
+  if (!breakers_observable) {
+    std::fprintf(stderr,
+                 "VIOLATION: breakers-on run is indistinguishable from "
+                 "breakers-off (trips %zu, moved %zu vs %zu) — the fault "
+                 "plan never exercised the breakers\n",
+                 fault_rows[0].breaker_trips, on_moved, off_moved);
+  }
+
+  TextTable table({"sweep", "breakers", "load/lane", "offered", "done",
+                   "shed", "missed", "hedged", "rerouted", "trips", "p50 ms",
+                   "p95 ms", "p99 ms"});
+  const auto add_table_row = [&](const char* sweep, const Row& row) {
+    table.add_row({sweep, row.breakers ? "on" : "off",
                    format_count(static_cast<std::uint64_t>(row.load)),
                    format_count(row.offered), format_count(row.done),
                    format_count(row.shed), format_count(row.missed),
-                   format_count(row.hedged), format_fixed(row.p50, 3),
+                   format_count(row.hedged), format_count(row.rerouted),
+                   format_count(row.breaker_trips), format_fixed(row.p50, 3),
                    format_fixed(row.p95, 3), format_fixed(row.p99, 3)});
-  }
+  };
+  for (const Row& row : rows) add_table_row("overload", row);
+  for (const Row& row : fault_rows) add_table_row("faults", row);
   std::fputs(table.render().c_str(), stdout);
   if (config.csv) std::fputs(table.render_csv().c_str(), stdout);
   std::printf("\ncompleted tail bounded by deadline: %s; "
-              "completed distances match Dijkstra: %s\n",
-              deadline_bounded ? "yes" : "NO",
-              distances_ok ? "yes" : "NO");
+              "completed distances match Dijkstra: %s; "
+              "breakers observable under faults: %s\n",
+              deadline_bounded ? "yes" : "NO", distances_ok ? "yes" : "NO",
+              breakers_observable ? "yes" : "NO");
 
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
@@ -256,24 +352,32 @@ int main(int argc, char** argv) {
                deadline_bounded ? "true" : "false");
   std::fprintf(json, "  \"distances_identical\": %s,\n",
                distances_ok ? "true" : "false");
-  std::fprintf(json, "  \"rows\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
+  std::fprintf(json, "  \"breakers_observable\": %s,\n",
+               breakers_observable ? "true" : "false");
+  const auto write_row = [&](const Row& row, bool last) {
     const double offered_d = static_cast<double>(row.offered);
     std::fprintf(
         json,
         "    {\"breakers\": %s, \"load_per_lane\": %d, \"offered\": %zu, "
         "\"completed\": %zu, \"shed\": %zu, \"deadline_missed\": %zu, "
-        "\"hedged\": %zu, \"shed_rate\": %.4f, \"miss_rate\": %.4f, "
+        "\"hedged\": %zu, \"rerouted\": %zu, \"breaker_trips\": %zu, "
+        "\"shed_rate\": %.4f, \"miss_rate\": %.4f, "
         "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
         row.breakers ? "true" : "false", row.load, row.offered, row.done,
-        row.shed, row.missed, row.hedged,
+        row.shed, row.missed, row.hedged, row.rerouted, row.breaker_trips,
         static_cast<double>(row.shed) / offered_d,
         static_cast<double>(row.missed) / offered_d, row.p50, row.p95,
-        row.p99, i + 1 < rows.size() ? "," : "");
+        row.p99, last ? "" : ",");
+  };
+  std::fprintf(json, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    write_row(rows[i], i + 1 == rows.size());
   }
+  std::fprintf(json, "  ],\n  \"fault_routing\": [\n");
+  write_row(fault_rows[0], false);
+  write_row(fault_rows[1], true);
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
-  return deadline_bounded && distances_ok ? 0 : 1;
+  return deadline_bounded && distances_ok && breakers_observable ? 0 : 1;
 }

@@ -194,6 +194,7 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
               ? 1
               : 0;
     }
+    const int preferred_lane = batch_.pick_lane();  // ignoring breakers
     int lane = batch_.pick_lane(&eligible);
 
     if (lane < 0) {
@@ -243,6 +244,7 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
     }
 
     // --- device dispatch --------------------------------------------------
+    stats.rerouted = lane != preferred_lane;
     const gpusim::StreamId stream = batch_.lane_stream(lane);
     const std::uint64_t overrun_before =
         batch_.sim().stream_overrun_kernels(stream);
@@ -286,6 +288,7 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
       case QueryStatus::kShedded: ++result.shed_queries; break;
     }
     if (stats.hedged) ++result.hedged_queries;
+    if (stats.rerouted) ++result.rerouted_queries;
     result.overrun_kernels += stats.overrun_kernels;
   }
   result.device_makespan_ms = batch_.sim().elapsed_ms() - run_start_ms;

@@ -113,6 +113,9 @@ struct ServerQueryStats {
   double deadline_ms = std::numeric_limits<double>::infinity();
   double finish_ms = 0;   // completion time (0 for shed queries)
   bool hedged = false;    // served on the host lane
+  // Dispatched on a lane other than the one plain least-loaded placement
+  // would pick, because an open breaker excluded that lane.
+  bool rerouted = false;
   // Kernels this query completed after its deadline had already passed
   // (device time between the expiry and the next cancellation point).
   std::uint64_t overrun_kernels = 0;
@@ -127,6 +130,7 @@ struct ServerResult {
   std::uint64_t recovered_queries = 0;
   std::uint64_t fallback_queries = 0;  // includes hedged
   std::uint64_t hedged_queries = 0;
+  std::uint64_t rerouted_queries = 0;  // see ServerQueryStats::rerouted
   std::uint64_t failed_queries = 0;
   std::uint64_t deadline_queries = 0;  // kDeadlineExceeded
   std::uint64_t shed_queries = 0;      // kShedded

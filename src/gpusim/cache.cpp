@@ -1,5 +1,8 @@
 #include "gpusim/cache.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/macros.hpp"
 
 namespace rdbs::gpusim {
@@ -9,49 +12,27 @@ SectoredCache::SectoredCache(std::size_t capacity_bytes, int line_bytes,
     : line_bytes_(line_bytes), ways_(ways) {
   RDBS_CHECK(line_bytes_ >= kSectorBytes);
   RDBS_CHECK(line_bytes_ % kSectorBytes == 0);
+  // The coalescing layer groups lane addresses into lines with shifts, so
+  // the line size must be a power of two (every DeviceSpec uses 128).
+  RDBS_CHECK(std::has_single_bit(static_cast<unsigned>(line_bytes_)));
   sectors_per_line_ = line_bytes_ / kSectorBytes;
   RDBS_CHECK(sectors_per_line_ <= 32);
+  line_shift_ = std::countr_zero(static_cast<unsigned>(line_bytes_));
   const std::size_t total_lines =
       std::max<std::size_t>(static_cast<std::size_t>(ways_),
                             capacity_bytes / static_cast<std::size_t>(line_bytes_));
   num_sets_ = std::max<std::size_t>(1, total_lines / static_cast<std::size_t>(ways_));
-  lines_.assign(num_sets_ * static_cast<std::size_t>(ways_), Line{});
-}
-
-bool SectoredCache::access(std::uint64_t address) {
-  const std::uint64_t line_addr = address / static_cast<std::uint64_t>(line_bytes_);
-  const auto sector_in_line = static_cast<std::uint32_t>(
-      (address % static_cast<std::uint64_t>(line_bytes_)) /
-      static_cast<std::uint64_t>(kSectorBytes));
-  const std::uint32_t sector_bit = 1u << sector_in_line;
-  const std::size_t set = static_cast<std::size_t>(line_addr) % num_sets_;
-  Line* set_lines = lines_.data() + set * static_cast<std::size_t>(ways_);
-  ++tick_;
-
-  // Hit path: tag present and sector valid.
-  for (int w = 0; w < ways_; ++w) {
-    Line& line = set_lines[w];
-    if (line.tag == line_addr) {
-      line.lru_stamp = tick_;
-      if (line.sector_mask & sector_bit) return true;
-      line.sector_mask |= sector_bit;  // sector miss within resident line
-      return false;
-    }
-  }
-
-  // Miss: evict the LRU way and fill just the requested sector.
-  Line* victim = set_lines;
-  for (int w = 1; w < ways_; ++w) {
-    if (set_lines[w].lru_stamp < victim->lru_stamp) victim = &set_lines[w];
-  }
-  victim->tag = line_addr;
-  victim->sector_mask = sector_bit;
-  victim->lru_stamp = tick_;
-  return false;
+  sets_pow2_ = std::has_single_bit(num_sets_);
+  const std::size_t slots = num_sets_ * static_cast<std::size_t>(ways_);
+  tags_.assign(slots, ~0ull);
+  sector_masks_.assign(slots, 0);
+  lru_stamps_.assign(slots, 0);
 }
 
 void SectoredCache::reset() {
-  for (auto& line : lines_) line = Line{};
+  std::fill(tags_.begin(), tags_.end(), ~0ull);
+  std::fill(sector_masks_.begin(), sector_masks_.end(), 0u);
+  std::fill(lru_stamps_.begin(), lru_stamps_.end(), 0ull);
   tick_ = 0;
 }
 

@@ -2,72 +2,59 @@
 
 namespace rdbs::gpusim {
 
+// Single authoritative field list: the three operators below are generated
+// from it, so a counter added to the struct but not listed here fails the
+// size guard instead of silently dropping out of +=, - or ==.
+#define RDBS_GPUSIM_COUNTER_FIELDS(X) \
+  X(inst_executed_global_loads)       \
+  X(inst_executed_global_stores)      \
+  X(inst_executed_atomics)            \
+  X(l1_sector_accesses)               \
+  X(l1_sector_hits)                   \
+  X(l2_sector_accesses)               \
+  X(l2_sector_hits)                   \
+  X(alu_instructions)                 \
+  X(memory_transactions)              \
+  X(dram_bytes)                       \
+  X(atomic_conflicts)                 \
+  X(kernel_launches)                  \
+  X(child_launches)                   \
+  X(active_lane_ops)                  \
+  X(issued_lane_ops)                  \
+  X(volatile_accesses)                \
+  X(faults_injected)                  \
+  X(ecc_corrected)
+
+namespace {
+#define RDBS_COUNT_FIELD(name) +1
+constexpr std::size_t kListedFields = 0 RDBS_GPUSIM_COUNTER_FIELDS(RDBS_COUNT_FIELD);
+#undef RDBS_COUNT_FIELD
+// Every Counters member is a std::uint64_t; if a new field is added to the
+// struct without extending the list above, this trips.
+static_assert(sizeof(Counters) == kListedFields * sizeof(std::uint64_t),
+              "Counters field added without updating the operator field list");
+}  // namespace
+
 Counters& Counters::operator+=(const Counters& other) {
-  inst_executed_global_loads += other.inst_executed_global_loads;
-  inst_executed_global_stores += other.inst_executed_global_stores;
-  inst_executed_atomics += other.inst_executed_atomics;
-  l1_sector_accesses += other.l1_sector_accesses;
-  l1_sector_hits += other.l1_sector_hits;
-  l2_sector_accesses += other.l2_sector_accesses;
-  l2_sector_hits += other.l2_sector_hits;
-  alu_instructions += other.alu_instructions;
-  memory_transactions += other.memory_transactions;
-  dram_bytes += other.dram_bytes;
-  atomic_conflicts += other.atomic_conflicts;
-  kernel_launches += other.kernel_launches;
-  child_launches += other.child_launches;
-  active_lane_ops += other.active_lane_ops;
-  issued_lane_ops += other.issued_lane_ops;
-  volatile_accesses += other.volatile_accesses;
-  faults_injected += other.faults_injected;
-  ecc_corrected += other.ecc_corrected;
+#define RDBS_ADD_FIELD(name) name += other.name;
+  RDBS_GPUSIM_COUNTER_FIELDS(RDBS_ADD_FIELD)
+#undef RDBS_ADD_FIELD
   return *this;
 }
 
 Counters Counters::operator-(const Counters& other) const {
   Counters d;
-  d.inst_executed_global_loads =
-      inst_executed_global_loads - other.inst_executed_global_loads;
-  d.inst_executed_global_stores =
-      inst_executed_global_stores - other.inst_executed_global_stores;
-  d.inst_executed_atomics = inst_executed_atomics - other.inst_executed_atomics;
-  d.l1_sector_accesses = l1_sector_accesses - other.l1_sector_accesses;
-  d.l1_sector_hits = l1_sector_hits - other.l1_sector_hits;
-  d.l2_sector_accesses = l2_sector_accesses - other.l2_sector_accesses;
-  d.l2_sector_hits = l2_sector_hits - other.l2_sector_hits;
-  d.alu_instructions = alu_instructions - other.alu_instructions;
-  d.memory_transactions = memory_transactions - other.memory_transactions;
-  d.dram_bytes = dram_bytes - other.dram_bytes;
-  d.atomic_conflicts = atomic_conflicts - other.atomic_conflicts;
-  d.kernel_launches = kernel_launches - other.kernel_launches;
-  d.child_launches = child_launches - other.child_launches;
-  d.active_lane_ops = active_lane_ops - other.active_lane_ops;
-  d.issued_lane_ops = issued_lane_ops - other.issued_lane_ops;
-  d.volatile_accesses = volatile_accesses - other.volatile_accesses;
-  d.faults_injected = faults_injected - other.faults_injected;
-  d.ecc_corrected = ecc_corrected - other.ecc_corrected;
+#define RDBS_SUB_FIELD(name) d.name = name - other.name;
+  RDBS_GPUSIM_COUNTER_FIELDS(RDBS_SUB_FIELD)
+#undef RDBS_SUB_FIELD
   return d;
 }
 
 bool Counters::operator==(const Counters& other) const {
-  return inst_executed_global_loads == other.inst_executed_global_loads &&
-         inst_executed_global_stores == other.inst_executed_global_stores &&
-         inst_executed_atomics == other.inst_executed_atomics &&
-         l1_sector_accesses == other.l1_sector_accesses &&
-         l1_sector_hits == other.l1_sector_hits &&
-         l2_sector_accesses == other.l2_sector_accesses &&
-         l2_sector_hits == other.l2_sector_hits &&
-         alu_instructions == other.alu_instructions &&
-         memory_transactions == other.memory_transactions &&
-         dram_bytes == other.dram_bytes &&
-         atomic_conflicts == other.atomic_conflicts &&
-         kernel_launches == other.kernel_launches &&
-         child_launches == other.child_launches &&
-         active_lane_ops == other.active_lane_ops &&
-         issued_lane_ops == other.issued_lane_ops &&
-         volatile_accesses == other.volatile_accesses &&
-         faults_injected == other.faults_injected &&
-         ecc_corrected == other.ecc_corrected;
+#define RDBS_EQ_FIELD(name) if (name != other.name) return false;
+  RDBS_GPUSIM_COUNTER_FIELDS(RDBS_EQ_FIELD)
+#undef RDBS_EQ_FIELD
+  return true;
 }
 
 }  // namespace rdbs::gpusim

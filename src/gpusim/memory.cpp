@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 
 #include "common/macros.hpp"
 
@@ -15,6 +16,10 @@ MemorySim::MemorySim(const DeviceSpec& spec)
     l1_.emplace_back(static_cast<std::size_t>(spec.l1_kb_per_sm) * 1024,
                      spec.l1_line_bytes, spec.l1_ways);
   }
+  std::uint32_t spl = static_cast<std::uint32_t>(spec.l1_line_bytes) /
+                      SectoredCache::kSectorBytes;
+  spl_shift_ = 0;
+  while ((1u << spl_shift_) < spl) ++spl_shift_;
 }
 
 std::uint64_t MemorySim::allocate(std::uint64_t bytes, std::string name,
@@ -129,36 +134,33 @@ MemorySim::AccessResult MemorySim::access(
   RDBS_DCHECK(sm_id >= 0 && static_cast<std::size_t>(sm_id) < l1_.size());
   RDBS_DCHECK(addresses.size() <= 32);
 
-  // Coalesce: collect the distinct sectors this warp instruction touches.
-  // Sorting the (at most 32, mostly presorted) sector ids and deduplicating
-  // adjacent entries replaces the old quadratic first-seen scan.
-  std::array<std::uint64_t, 32> sectors{};
-  std::size_t lanes = 0;
-  for (const std::uint64_t addr : addresses) {
-    sectors[lanes++] = addr / SectoredCache::kSectorBytes;
-  }
-  std::sort(sectors.begin(), sectors.begin() + static_cast<std::ptrdiff_t>(lanes));
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < lanes; ++i) {
-    if (count == 0 || sectors[count - 1] != sectors[i]) sectors[count++] = sectors[i];
-  }
+  // Coalesce through the shared replay primitive: sorted distinct sectors,
+  // grouped into (line, sector-mask) pairs so each line costs one tag scan.
+  std::array<std::uint64_t, 32> lane_addrs{};
+  std::array<WarpLineRef, 32> lines{};
+  std::uint32_t lanes = 0;
+  for (const std::uint64_t addr : addresses) lane_addrs[lanes++] = addr;
+  const CoalesceResult co = coalesce_warp_lanes(
+      lane_addrs.data(), lanes, /*presorted=*/false, spl_shift_, lines.data());
 
   AccessResult result;
-  result.transactions = static_cast<std::uint32_t>(count);
+  result.transactions = co.sectors;
 
   SectoredCache& l1 = l1_[static_cast<std::size_t>(sm_id)];
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::uint64_t addr = sectors[i] * SectoredCache::kSectorBytes;
-    if (cached && l1.access(addr)) {
-      ++result.hits;
-      continue;
+  for (std::uint32_t i = 0; i < co.lines; ++i) {
+    const WarpLineRef& ref = lines[i];
+    std::uint32_t l2_mask = ref.mask;
+    if (cached) {
+      const std::uint32_t hits = l1.access_line(ref.line, ref.mask);
+      result.hits += static_cast<std::uint32_t>(std::popcount(hits));
+      l2_mask = ref.mask & ~hits;
     }
-    // L1 miss (or an L1-bypassing atomic): probe the shared L2.
-    if (l2_.access(addr)) {
-      ++result.l2_hits;
-    } else {
-      ++result.dram_sectors;
-    }
+    if (l2_mask == 0) continue;
+    // L1 misses (or L1-bypassing atomics): probe the shared L2.
+    const std::uint32_t l2_hits = l2_.access_line(ref.line, l2_mask);
+    result.l2_hits += static_cast<std::uint32_t>(std::popcount(l2_hits));
+    result.dram_sectors +=
+        static_cast<std::uint32_t>(std::popcount(l2_mask & ~l2_hits));
   }
   return result;
 }

@@ -15,6 +15,79 @@
 
 namespace rdbs::gpusim {
 
+// One cache line touched by a warp memory instruction: line index
+// (= address / line_bytes) plus the mask of 32B sectors requested within
+// it. The replay probes these through SectoredCache::access_line, which
+// amortizes the set's way scan over every sector of the line.
+struct WarpLineRef {
+  std::uint64_t line = 0;
+  std::uint32_t mask = 0;
+};
+
+struct CoalesceResult {
+  std::uint32_t distinct_addrs = 0;  // distinct lane addresses (conflicts)
+  std::uint32_t sectors = 0;         // distinct 32B sectors (transactions)
+  std::uint32_t lines = 0;           // entries written to line_out
+};
+
+// The shared coalescing primitive of the replay pipeline (two-pass shards,
+// the fused record+replay path and MemorySim::access all charge through
+// it): sorts the lane addresses in place (skipped when the record phase
+// already saw them sorted — the common small-stride warp pattern), then a
+// single pass yields the distinct-address count (atomic-conflict
+// serialization), the distinct-sector count (transactions) and the
+// ascending (line, sector-mask) list. `spl_shift` = log2(sectors per
+// line). `line_out` must hold 32 entries.
+inline CoalesceResult coalesce_warp_lanes(std::uint64_t* lane_addrs,
+                                          std::uint32_t lanes, bool presorted,
+                                          std::uint32_t spl_shift,
+                                          WarpLineRef* line_out) {
+  constexpr std::uint32_t kSectorShift = 5;  // SectoredCache::kSectorBytes
+  if (lanes == 1) {
+    const std::uint64_t sector = lane_addrs[0] >> kSectorShift;
+    line_out[0] = {sector >> spl_shift,
+                   1u << (sector & ((1u << spl_shift) - 1))};
+    return {1, 1, 1};
+  }
+  if (!presorted) {
+    // Insertion sort: n <= 32 and warp patterns are mostly presorted
+    // (consecutive lanes touch consecutive elements).
+    for (std::uint32_t i = 1; i < lanes; ++i) {
+      const std::uint64_t key = lane_addrs[i];
+      std::uint32_t j = i;
+      for (; j > 0 && lane_addrs[j - 1] > key; --j) {
+        lane_addrs[j] = lane_addrs[j - 1];
+      }
+      lane_addrs[j] = key;
+    }
+  }
+  CoalesceResult r;
+  const std::uint32_t sector_in_line_mask = (1u << spl_shift) - 1;
+  std::uint64_t prev_addr = ~0ull;
+  std::uint64_t prev_sector = ~0ull;
+  std::uint64_t prev_line = ~0ull;
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    const std::uint64_t addr = lane_addrs[l];
+    if (addr == prev_addr) continue;
+    prev_addr = addr;
+    ++r.distinct_addrs;
+    const std::uint64_t sector = addr >> kSectorShift;
+    if (sector == prev_sector) continue;
+    prev_sector = sector;
+    ++r.sectors;
+    const std::uint64_t line = sector >> spl_shift;
+    const std::uint32_t bit =
+        1u << (static_cast<std::uint32_t>(sector) & sector_in_line_mask);
+    if (line == prev_line) {
+      line_out[r.lines - 1].mask |= bit;
+    } else {
+      line_out[r.lines++] = {line, bit};
+      prev_line = line;
+    }
+  }
+  return r;
+}
+
 class MemorySim {
  public:
   explicit MemorySim(const DeviceSpec& spec);
@@ -101,10 +174,15 @@ class MemorySim {
   SectoredCache& l1(int sm_id);
   SectoredCache& l2_cache() { return l2_; }
 
+  // log2(sectors per cache line) of the device's caches — the grouping
+  // shift coalesce_warp_lanes needs. L1s and the L2 share one line size.
+  std::uint32_t spl_shift() const { return spl_shift_; }
+
   void reset_caches();
 
  private:
   std::uint64_t next_address_ = 4096;
+  std::uint32_t spl_shift_ = 2;
   std::vector<SectoredCache> l1_;
   SectoredCache l2_;
   std::vector<Region> regions_;

@@ -119,8 +119,7 @@ void Sanitizer::races_for_address(std::uint64_t addr,
   }
 }
 
-void Sanitizer::scan_launch(std::span<const TraceOp> ops,
-                            std::span<const std::uint64_t> addrs,
+void Sanitizer::scan_launch(const LaunchTrace& trace,
                             std::span<const TaskRecord> tasks) {
   launch_state_.clear();
   // Race-candidate addresses in canonical discovery order, so the final
@@ -129,11 +128,11 @@ void Sanitizer::scan_launch(std::span<const TraceOp> ops,
   std::vector<std::uint64_t> touched;
 
   for (std::uint32_t t = 0; t < tasks.size(); ++t) {
-    const TaskRecord& rec = tasks[t];
-    for (std::uint32_t i = rec.op_begin; i < rec.op_end; ++i) {
-      const TraceOp& op = ops[i];
+    LaunchTrace::OpCursor cursor = trace.task_cursor(tasks[t]);
+    LaunchTrace::OpView op;
+    while (cursor.next(op)) {
       for (std::uint32_t l = 0; l < op.lanes; ++l) {
-        const std::uint64_t addr = addrs[op.addr_begin + l];
+        const std::uint64_t addr = op.addrs[l];
         const std::size_t region_index = memory_->find_region_index(addr);
         if (region_index == MemorySim::kNoRegion) continue;
         const MemorySim::Region& region = memory_->regions()[region_index];

@@ -98,9 +98,11 @@ class Sanitizer {
                               std::uint64_t index, std::uint64_t size,
                               std::uint32_t task);
   // End-of-launch scan over the recorded trace (called after replay, before
-  // the trace is discarded). Serial; deterministic.
-  void scan_launch(std::span<const TraceOp> ops,
-                   std::span<const std::uint64_t> addrs,
+  // the trace is discarded). Serial; deterministic. Reads the trace through
+  // LaunchTrace's cursor API, so it is blind to the storage layout
+  // (compressed SoA or legacy AoS) — lane addresses decode in original lane
+  // order either way, keeping reports byte-identical across layouts.
+  void scan_launch(const LaunchTrace& trace,
                    std::span<const TaskRecord> tasks);
 
   // --- results -------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "gpusim/sim.hpp"
 
+#include <bit>
+
 #ifdef RDBS_PARALLEL
 #include <omp.h>
 #endif
@@ -43,16 +45,33 @@ constexpr std::uint64_t kDramReplayCycles = 6;  // L2 miss, full DRAM trip
 constexpr std::uint64_t kMemIssueWeight = 8;
 
 int g_default_worker_threads = 0;
+ReplayMode g_default_replay_mode = ReplayMode::kAuto;
+TraceLayout g_default_trace_layout = TraceLayout::kCompressed;
 
-// Insertion sort of the first `n` lane addresses: n <= 32 and warp access
-// patterns are mostly presorted (consecutive lanes touch consecutive
-// elements), so this beats the previous O(n^2) first-seen duplicate scans.
-inline void sort_addresses(std::array<std::uint64_t, 32>& a, std::uint32_t n) {
+// Launches below this many memory ops replay their L1 shards serially even
+// when worker threads are available: the OpenMP fork/join barrier costs more
+// than the shards themselves (the road-network workloads issue thousands of
+// tiny launches, where the barrier alone regressed parallel runs below 1x).
+constexpr std::uint32_t kParallelMinOps = 4096;
+
+// L2 streams below this size take the direct in-order pass; above it the
+// requests are counting-sorted by cache set first (better set locality, one
+// bin per set touched once). Both orders are bit-identical — see
+// replay_launch.
+constexpr std::size_t kBinnedMinL2Requests = 4096;
+
+// Seed-pipeline insertion sort of the first `n` lane addresses (n <= 32).
+// Used only by replay_shard_seed; the overhauled path sorts inside
+// coalesce_warp_lanes instead.
+inline void seed_sort_addresses(std::uint64_t* a, std::uint32_t n) {
   for (std::uint32_t i = 1; i < n; ++i) {
-    const std::uint64_t key = a[i];
+    const std::uint64_t v = a[i];
     std::uint32_t j = i;
-    for (; j > 0 && a[j - 1] > key; --j) a[j] = a[j - 1];
-    a[j] = key;
+    while (j > 0 && a[j - 1] > v) {
+      a[j] = a[j - 1];
+      --j;
+    }
+    a[j] = v;
   }
 }
 }  // namespace
@@ -71,9 +90,8 @@ void WarpCtx::alu(std::uint32_t instructions, std::uint32_t active_lanes) {
 }
 
 std::uint64_t* WarpCtx::trace_slots(std::size_t lanes) {
-  std::vector<std::uint64_t>& pool = sim_.trace_addrs_;
-  pool.resize(pool.size() + lanes);
-  return pool.data() + (pool.size() - lanes);
+  return sim_.fused_launch_ ? sim_.fused_lanes_.data()
+                            : sim_.trace_.lane_slots(lanes);
 }
 
 void WarpCtx::record_mem(std::uint8_t kind, std::uint32_t lanes) {
@@ -94,11 +112,15 @@ void WarpCtx::record_mem(std::uint8_t kind, std::uint32_t lanes) {
   }
   c.active_lane_ops += lanes;
   c.issued_lane_ops += 32;
-  const auto addr_begin =
-      static_cast<std::uint32_t>(sim_.trace_addrs_.size() - lanes);
-  sim_.trace_ops_.push_back(
-      TraceOp{kind, static_cast<std::uint8_t>(lanes), addr_begin});
+  ++sim_.launch_ops_;
+  // Scheduling weight stays cache-independent in both modes (placement must
+  // not depend on how the cost side is computed).
   sim_.task_records_[task_].weight += kMemIssueWeight;
+  if (sim_.fused_launch_) {
+    sim_.fused_charge(kind, lanes, task_);
+  } else {
+    sim_.trace_.append_op(kind, lanes);
+  }
 }
 
 std::uint64_t WarpCtx::checked_index_slow(const std::string& buffer_name,
@@ -125,6 +147,9 @@ void WarpCtx::child_launch() {
 
 GpuSim::GpuSim(DeviceSpec spec) : spec_(std::move(spec)), memory_(spec_) {
   worker_threads_ = g_default_worker_threads;
+  replay_mode_ = g_default_replay_mode;
+  trace_.set_layout(g_default_trace_layout);
+  spl_shift_ = memory_.spl_shift();
   const auto sms = static_cast<std::size_t>(spec_.num_sms);
   sm_load_.resize(sms);
   sm_tasks_.resize(sms);
@@ -148,6 +173,18 @@ void GpuSim::set_default_worker_threads(int threads) {
 }
 
 int GpuSim::default_worker_threads() { return g_default_worker_threads; }
+
+void GpuSim::set_default_replay_mode(ReplayMode mode) {
+  g_default_replay_mode = mode;
+}
+
+ReplayMode GpuSim::default_replay_mode() { return g_default_replay_mode; }
+
+void GpuSim::set_default_trace_layout(TraceLayout layout) {
+  g_default_trace_layout = layout;
+}
+
+TraceLayout GpuSim::default_trace_layout() { return g_default_trace_layout; }
 
 bool GpuSim::parallel_compiled() {
 #ifdef RDBS_PARALLEL
@@ -258,10 +295,11 @@ void GpuSim::reset_all() {
   reset_time();
   counters_ = Counters{};
   memory_.reset_caches();
-  trace_ops_.clear();
-  trace_addrs_.clear();
+  trace_.clear();
   task_records_.clear();
+  l2_stream_.clear();
   active_task_ = kNoTask;
+  launch_ops_ = 0;
   launch_open_ = false;
 }
 
@@ -269,10 +307,16 @@ void GpuSim::begin_launch(bool host_launch, StreamId stream) {
   RDBS_DCHECK(!launch_open_);
   launch_open_ = true;
   launch_stream_ = stream;
-  trace_ops_.clear();
-  trace_addrs_.clear();
+  trace_.clear();
   task_records_.clear();
+  l2_stream_.clear();
   active_task_ = kNoTask;
+  launch_ops_ = 0;
+  // Fused (inline-charge) execution whenever no post-launch consumer needs
+  // a materialized trace: only the sanitizer scans it. gfi keys off op
+  // ordinals (launch_ops_), which fused launches count identically.
+  fused_launch_ =
+      replay_mode_ != ReplayMode::kTwoPass && sanitizer_ == nullptr;
   std::fill(sm_load_.begin(), sm_load_.end(), 0);
   // All-zero loads in SM order form a valid min-heap on (weight, sm).
   load_heap_.clear();
@@ -331,17 +375,21 @@ WarpCtx GpuSim::begin_task(int sm) {
   RDBS_DCHECK(active_task_ == kNoTask);
   const auto index = static_cast<std::uint32_t>(task_records_.size());
   TaskRecord rec;
-  rec.op_begin = static_cast<std::uint32_t>(trace_ops_.size());
+  rec.op_begin = launch_ops_;
+  rec.addr_begin = trace_.addr_stream_offset();
   rec.sm = sm;
   task_records_.push_back(rec);
   active_task_ = index;
+  // Task boundary: reset the compressed delta chain so this task's ops
+  // decode independently of its predecessors (parallel replay shards).
+  if (!fused_launch_) trace_.begin_task();
   return WarpCtx(*this, sm, index, sanitizer_ != nullptr, fault_ != nullptr);
 }
 
 void GpuSim::commit_task(const WarpCtx& ctx) {
   RDBS_DCHECK(active_task_ == ctx.task_);
   TaskRecord& rec = task_records_[ctx.task_];
-  rec.op_end = static_cast<std::uint32_t>(trace_ops_.size());
+  rec.op_end = launch_ops_;
   const auto sm = static_cast<std::size_t>(rec.sm);
   sm_load_[sm] += rec.weight;
   load_heap_.emplace_back(sm_load_[sm], rec.sm);
@@ -349,12 +397,17 @@ void GpuSim::commit_task(const WarpCtx& ctx) {
   active_task_ = kNoTask;
 }
 
-void GpuSim::replay_shard(int sm) {
+void GpuSim::replay_shard_seed(int sm) {
+  // The pre-overhaul pipeline, verbatim: insertion-sort every op's lanes,
+  // derive distinct addresses and sectors in one scan, probe the L1 one
+  // sector at a time through the scalar access() entry point, and forward
+  // misses (and all atomic/volatile sectors) as per-sector byte-address
+  // requests with bit 0 marking the cached path.
   SectoredCache& l1 = memory_.l1(sm);
-  std::vector<std::uint64_t>& requests = l2_requests_[static_cast<std::size_t>(sm)];
+  std::vector<std::uint64_t>& requests =
+      l2_requests_[static_cast<std::size_t>(sm)];
   requests.clear();
   ShardCounters sc;
-  std::array<std::uint64_t, 32> lane_addrs{};
   std::array<std::uint64_t, 32> sector_addrs{};
   const auto conflict_cycles =
       static_cast<std::uint64_t>(spec_.atomic_conflict_cycles);
@@ -363,12 +416,12 @@ void GpuSim::replay_shard(int sm) {
     TaskRecord& rec = task_records_[t];
     rec.l2_begin = static_cast<std::uint32_t>(requests.size());
     std::uint64_t cycles = 0;
-    for (std::uint32_t i = rec.op_begin; i < rec.op_end; ++i) {
-      const TraceOp& op = trace_ops_[i];
+    LaunchTrace::OpCursor cursor = trace_.task_cursor(rec);
+    LaunchTrace::OpView op;
+    while (cursor.next(op)) {
+      std::uint64_t* lane_addrs = cursor.lanes_mutable();
       const std::uint32_t lanes = op.lanes;
-      const std::uint64_t* src = trace_addrs_.data() + op.addr_begin;
-      for (std::uint32_t l = 0; l < lanes; ++l) lane_addrs[l] = src[l];
-      sort_addresses(lane_addrs, lanes);
+      seed_sort_addresses(lane_addrs, lanes);
 
       // One pass over the sorted lanes yields both the distinct-address
       // count (atomic conflicts) and the coalesced distinct-sector list.
@@ -382,7 +435,8 @@ void GpuSim::replay_shard(int sm) {
           ++distinct_addrs;
           prev_addr = addr;
           const std::uint64_t sector =
-              addr & ~static_cast<std::uint64_t>(SectoredCache::kSectorBytes - 1);
+              addr &
+              ~static_cast<std::uint64_t>(SectoredCache::kSectorBytes - 1);
           if (sector != prev_sector) {
             sector_addrs[sectors++] = sector;
             prev_sector = sector;
@@ -393,11 +447,6 @@ void GpuSim::replay_shard(int sm) {
       sc.memory_transactions += sectors;
       cycles += sectors;
       if (op.kind == TraceOp::kAtomic || op.is_volatile()) {
-        // Atomics and volatile accesses resolve at L2: they bypass L1 but
-        // benefit from L2 residency; only L2 misses travel to DRAM.
-        // Same-address lanes serialize for atomics only: lanes minus
-        // distinct addresses collide (volatile accesses carry no RMW
-        // serialization).
         if (op.kind == TraceOp::kAtomic) {
           const std::uint64_t conflicts = lanes - distinct_addrs;
           sc.atomic_conflicts += conflicts;
@@ -407,9 +456,6 @@ void GpuSim::replay_shard(int sm) {
           requests.push_back(sector_addrs[s]);
         }
       } else {
-        // Loads and stores probe this SM's L1; stores write through L1 into
-        // the write-back L2, so only sectors the L1 could not serve are
-        // forwarded as L2 requests (bit 0 marks the cached path).
         sc.l1_sector_accesses += sectors;
         for (std::uint32_t s = 0; s < sectors; ++s) {
           if (l1.access(sector_addrs[s])) {
@@ -426,6 +472,180 @@ void GpuSim::replay_shard(int sm) {
   shard_counters_[static_cast<std::size_t>(sm)] = sc;
 }
 
+void GpuSim::replay_shard(int sm) {
+  if (trace_.layout() == TraceLayout::kLegacy) {
+    replay_shard_seed(sm);
+    return;
+  }
+  SectoredCache& l1 = memory_.l1(sm);
+  std::vector<std::uint64_t>& requests =
+      l2_requests_[static_cast<std::size_t>(sm)];
+  requests.clear();
+  ShardCounters sc;
+  std::array<WarpLineRef, 32> lines{};
+  const auto conflict_cycles =
+      static_cast<std::uint64_t>(spec_.atomic_conflict_cycles);
+  const std::uint32_t pack_shift = (1u << spl_shift_) + 1;
+
+  for (const std::uint32_t t : sm_tasks_[static_cast<std::size_t>(sm)]) {
+    TaskRecord& rec = task_records_[t];
+    rec.l2_begin = static_cast<std::uint32_t>(requests.size());
+    std::uint64_t cycles = 0;
+    LaunchTrace::OpCursor cursor = trace_.task_cursor(rec);
+    LaunchTrace::OpView op;
+    while (cursor.next(op)) {
+      // Coalesce lanes into ascending (line, sector-mask) pairs; the
+      // record-time sorted flag skips the sort for the common small-stride
+      // warp pattern.
+      const CoalesceResult co = coalesce_warp_lanes(
+          cursor.lanes_mutable(), op.lanes, op.sorted, spl_shift_,
+          lines.data());
+      sc.memory_transactions += co.sectors;
+      cycles += co.sectors;
+      if (op.kind == TraceOp::kAtomic || TraceOp::kind_is_volatile(op.kind)) {
+        // Atomics and volatile accesses resolve at L2: they bypass L1 but
+        // benefit from L2 residency; only L2 misses travel to DRAM.
+        // Same-address lanes serialize for atomics only: lanes minus
+        // distinct addresses collide (volatile accesses carry no RMW
+        // serialization).
+        if (op.kind == TraceOp::kAtomic) {
+          const std::uint64_t conflicts = op.lanes - co.distinct_addrs;
+          sc.atomic_conflicts += conflicts;
+          cycles += conflicts * conflict_cycles;
+        }
+        for (std::uint32_t i = 0; i < co.lines; ++i) {
+          requests.push_back((lines[i].line << pack_shift) |
+                             (static_cast<std::uint64_t>(lines[i].mask) << 1));
+        }
+      } else {
+        // Loads and stores probe this SM's L1 (one batched tag scan per
+        // line); stores write through L1 into the write-back L2, so only
+        // sectors the L1 could not serve are forwarded as L2 requests
+        // (bit 0 marks the cached path).
+        sc.l1_sector_accesses += co.sectors;
+        for (std::uint32_t i = 0; i < co.lines; ++i) {
+          const std::uint32_t hits = l1.access_line(lines[i].line,
+                                                    lines[i].mask);
+          sc.l1_sector_hits += static_cast<std::uint32_t>(std::popcount(hits));
+          const std::uint32_t missed = lines[i].mask & ~hits;
+          if (missed != 0) {
+            requests.push_back((lines[i].line << pack_shift) |
+                               (static_cast<std::uint64_t>(missed) << 1) |
+                               1ull);
+          }
+        }
+      }
+    }
+    rec.cycles += cycles;
+    rec.l2_count = static_cast<std::uint32_t>(requests.size()) - rec.l2_begin;
+  }
+  shard_counters_[static_cast<std::size_t>(sm)] = sc;
+}
+
+std::uint64_t GpuSim::charge_l2(std::uint64_t line, std::uint32_t mask,
+                                bool cached) {
+  Counters& c = counters_;
+  const auto probed = static_cast<std::uint64_t>(std::popcount(mask));
+  c.l2_sector_accesses += probed;
+  const std::uint32_t hits = memory_.l2_cache().access_line(line, mask);
+  const auto hit_count = static_cast<std::uint64_t>(std::popcount(hits));
+  c.l2_sector_hits += hit_count;
+  const std::uint64_t miss_count = probed - hit_count;
+  const std::uint64_t bytes = miss_count * SectoredCache::kSectorBytes;
+  c.dram_bytes += bytes;
+  launch_dram_bytes_ += bytes;
+  std::uint64_t cycles = miss_count * kDramReplayCycles;
+  if (cached) cycles += hit_count * kL2ReplayCycles;
+  return cycles;
+}
+
+void GpuSim::flush_l2_stream() {
+  // The stream is already in canonical task order (fused record is serial;
+  // the two-pass gather walks tasks in order). Small streams are charged
+  // directly; large ones are stable counting-sorted by L2 set first
+  // (multisplit-style radix binning): LRU decisions only ever compare lines
+  // within one set, and the stable sort preserves canonical order within
+  // each set, so hits, misses, evictions and the cross-launch cache state
+  // are bit-identical to the direct in-order pass — while each set's tag
+  // array is touched exactly once, in ascending set order.
+  const std::uint32_t pack_shift = (1u << spl_shift_) + 1;
+  const std::uint32_t sector_mask = (1u << (1u << spl_shift_)) - 1;
+  if (l2_stream_.size() < kBinnedMinL2Requests) {
+    for (const L2StreamEntry& e : l2_stream_) {
+      task_records_[e.task].cycles += charge_l2(
+          e.packed >> pack_shift,
+          static_cast<std::uint32_t>(e.packed >> 1) & sector_mask,
+          (e.packed & 1ull) != 0);
+    }
+  } else {
+    const SectoredCache& l2 = memory_.l2_cache();
+    const std::size_t sets = l2.num_sets();
+    l2_bin_starts_.assign(sets + 1, 0);
+    for (const L2StreamEntry& e : l2_stream_) {
+      ++l2_bin_starts_[l2.set_of_line(e.packed >> pack_shift) + 1];
+    }
+    for (std::size_t s = 0; s < sets; ++s) {
+      l2_bin_starts_[s + 1] += l2_bin_starts_[s];
+    }
+    l2_binned_.resize(l2_stream_.size());
+    for (const L2StreamEntry& e : l2_stream_) {
+      const std::size_t set = l2.set_of_line(e.packed >> pack_shift);
+      l2_binned_[l2_bin_starts_[set]++] = e;
+    }
+    for (const L2StreamEntry& e : l2_binned_) {
+      task_records_[e.task].cycles += charge_l2(
+          e.packed >> pack_shift,
+          static_cast<std::uint32_t>(e.packed >> 1) & sector_mask,
+          (e.packed & 1ull) != 0);
+    }
+  }
+  l2_stream_.clear();
+}
+
+void GpuSim::fused_charge(std::uint8_t kind, std::uint32_t lanes,
+                          std::uint32_t task) {
+  TaskRecord& rec = task_records_[task];
+  // Deliberately uninitialized: coalesce_warp_lanes writes the first
+  // `co.lines` entries and only those are read. Zero-filling 512 bytes per
+  // memory instruction showed up in profiles.
+  std::array<WarpLineRef, 32> lines;
+  const CoalesceResult co = coalesce_warp_lanes(
+      fused_lanes_.data(), lanes, /*presorted=*/false, spl_shift_,
+      lines.data());
+  Counters& c = counters_;
+  c.memory_transactions += co.sectors;
+  std::uint64_t cycles = co.sectors;
+  // L2 requests are charged inline: the serial record phase probes the L2
+  // in canonical task order by construction, so this is the same request
+  // stream pass 2 of a two-pass replay would issue. (A deferred variant
+  // that queued requests and settled them in one batch at end_launch
+  // measured ~30% slower end to end — the L2 tag table fits the host LLC,
+  // so batching buys no locality and the queue traffic is pure overhead.)
+  if (kind == TraceOp::kAtomic || TraceOp::kind_is_volatile(kind)) {
+    if (kind == TraceOp::kAtomic) {
+      const std::uint64_t conflicts = lanes - co.distinct_addrs;
+      c.atomic_conflicts += conflicts;
+      cycles += conflicts *
+                static_cast<std::uint64_t>(spec_.atomic_conflict_cycles);
+    }
+    for (std::uint32_t i = 0; i < co.lines; ++i) {
+      cycles += charge_l2(lines[i].line, lines[i].mask, /*cached=*/false);
+    }
+  } else {
+    c.l1_sector_accesses += co.sectors;
+    SectoredCache& l1 = memory_.l1(rec.sm);
+    for (std::uint32_t i = 0; i < co.lines; ++i) {
+      const std::uint32_t hits = l1.access_line(lines[i].line, lines[i].mask);
+      c.l1_sector_hits += static_cast<std::uint64_t>(std::popcount(hits));
+      const std::uint32_t missed = lines[i].mask & ~hits;
+      if (missed != 0) {
+        cycles += charge_l2(lines[i].line, missed, /*cached=*/true);
+      }
+    }
+  }
+  rec.cycles += cycles;
+}
+
 void GpuSim::replay_launch() {
   // Bucket tasks by SM, preserving canonical task order within each shard.
   for (const int sm : used_sms_) sm_tasks_[static_cast<std::size_t>(sm)].clear();
@@ -439,10 +659,12 @@ void GpuSim::replay_launch() {
   // Pass 1 — per-SM L1 shards. Shards share no mutable state (each has its
   // own L1, counter partials, task-cycle slots and L2 request list), so the
   // pass parallelizes freely; any iteration order yields identical results.
+  // Launches below kParallelMinOps memory ops run serially: the fork/join
+  // barrier dominates tiny launches.
   const auto shard_count = static_cast<std::int64_t>(used_sms_.size());
 #ifdef RDBS_PARALLEL
   const int threads = worker_threads();
-  if (threads > 1 && shard_count > 1) {
+  if (threads > 1 && shard_count > 1 && launch_ops_ >= kParallelMinOps) {
 #ifdef RDBS_TSAN
     const int team =
         static_cast<int>(std::min<std::int64_t>(threads, shard_count));
@@ -457,7 +679,11 @@ void GpuSim::replay_launch() {
     }
     for (std::thread& worker : workers) worker.join();
 #else
-#pragma omp parallel for schedule(dynamic) num_threads(threads)
+    // Coarsened dynamic chunks: a few batches of shards per worker rather
+    // than one scheduler round-trip per shard.
+    const int chunk = static_cast<int>(std::max<std::int64_t>(
+        1, shard_count / (static_cast<std::int64_t>(threads) * 4)));
+#pragma omp parallel for schedule(dynamic, chunk) num_threads(threads)
     for (std::int64_t i = 0; i < shard_count; ++i) {
       replay_shard(used_sms_[static_cast<std::size_t>(i)]);
     }
@@ -473,33 +699,77 @@ void GpuSim::replay_launch() {
   }
 #endif
 
-  // Pass 2 — the shared L2, replayed serially in canonical task order (the
-  // exact request stream a fused serial simulation would produce).
-  Counters& c = counters_;
-  for (TaskRecord& rec : task_records_) {
-    if (rec.l2_count == 0) continue;
-    const std::vector<std::uint64_t>& requests =
-        l2_requests_[static_cast<std::size_t>(rec.sm)];
-    const std::uint32_t end = rec.l2_begin + rec.l2_count;
-    std::uint64_t cycles = 0;
-    for (std::uint32_t i = rec.l2_begin; i < end; ++i) {
-      const std::uint64_t request = requests[i];
-      const bool cached = (request & 1ull) != 0;
-      const std::uint64_t sector = request & ~1ull;
-      ++c.l2_sector_accesses;
-      if (memory_.l2_cache().access(sector)) {
-        ++c.l2_sector_hits;
-        if (cached) cycles += kL2ReplayCycles;
-      } else {
-        c.dram_bytes += SectoredCache::kSectorBytes;
-        launch_dram_bytes_ += SectoredCache::kSectorBytes;
-        cycles += kDramReplayCycles;
+  // Pass 2 — the shared L2, replayed in canonical task order (the exact
+  // request stream a fused serial simulation would produce). Large streams
+  // are counting-sorted by L2 set first (multisplit-style radix binning):
+  // LRU decisions only ever compare lines within one set, and the stable
+  // sort preserves canonical order within each set, so hits, misses,
+  // evictions and the cross-launch cache state are bit-identical to the
+  // direct in-order pass — while each set's tag array is touched exactly
+  // once, in ascending set order.
+  if (trace_.layout() == TraceLayout::kLegacy) {
+    // Seed-faithful pass 2: walk tasks in canonical order, probing the L2
+    // one sector byte-address at a time (requests were pushed per sector by
+    // replay_shard_seed). No binning — this is the baseline pipeline.
+    Counters& sc = counters_;
+    for (TaskRecord& rec : task_records_) {
+      if (rec.l2_count == 0) continue;
+      const std::vector<std::uint64_t>& requests =
+          l2_requests_[static_cast<std::size_t>(rec.sm)];
+      const std::uint32_t end = rec.l2_begin + rec.l2_count;
+      std::uint64_t cycles = 0;
+      for (std::uint32_t i = rec.l2_begin; i < end; ++i) {
+        const std::uint64_t request = requests[i];
+        const bool cached = (request & 1ull) != 0;
+        const std::uint64_t sector = request & ~1ull;
+        ++sc.l2_sector_accesses;
+        if (memory_.l2_cache().access(sector)) {
+          ++sc.l2_sector_hits;
+          if (cached) cycles += kL2ReplayCycles;
+        } else {
+          sc.dram_bytes += SectoredCache::kSectorBytes;
+          launch_dram_bytes_ += SectoredCache::kSectorBytes;
+          cycles += kDramReplayCycles;
+        }
+      }
+      rec.cycles += cycles;
+    }
+    // Deterministic counter reduction: shard partials summed in SM order.
+    for (const int sm : used_sms_) {
+      const ShardCounters& scp = shard_counters_[static_cast<std::size_t>(sm)];
+      sc.l1_sector_accesses += scp.l1_sector_accesses;
+      sc.l1_sector_hits += scp.l1_sector_hits;
+      sc.memory_transactions += scp.memory_transactions;
+      sc.atomic_conflicts += scp.atomic_conflicts;
+    }
+    return;
+  }
+
+  std::size_t total_requests = 0;
+  for (const int sm : used_sms_) {
+    total_requests += l2_requests_[static_cast<std::size_t>(sm)].size();
+  }
+  if (total_requests != 0) {
+    // Gather the canonical-order stream tagged with its owning task, then
+    // charge it through the shared (binned) pass.
+    l2_stream_.clear();
+    l2_stream_.reserve(total_requests);
+    for (std::uint32_t t = 0;
+         t < static_cast<std::uint32_t>(task_records_.size()); ++t) {
+      const TaskRecord& rec = task_records_[t];
+      if (rec.l2_count == 0) continue;
+      const std::vector<std::uint64_t>& requests =
+          l2_requests_[static_cast<std::size_t>(rec.sm)];
+      const std::uint32_t end = rec.l2_begin + rec.l2_count;
+      for (std::uint32_t i = rec.l2_begin; i < end; ++i) {
+        l2_stream_.push_back({requests[i], t});
       }
     }
-    rec.cycles += cycles;
+    flush_l2_stream();
   }
 
   // Deterministic counter reduction: shard partials summed in SM order.
+  Counters& c = counters_;
   for (const int sm : used_sms_) {
     const ShardCounters& sc = shard_counters_[static_cast<std::size_t>(sm)];
     c.l1_sector_accesses += sc.l1_sector_accesses;
@@ -568,10 +838,21 @@ LaunchResult GpuSim::end_launch(std::uint64_t tasks, bool host_launch) {
   RDBS_DCHECK(launch_open_);
   RDBS_DCHECK(active_task_ == kNoTask);
   RDBS_DCHECK(tasks == task_records_.size());
-  replay_launch();
-  if (sanitizer_) {
-    sanitizer_->scan_launch(trace_ops_, trace_addrs_, task_records_);
+  if (fused_launch_) {
+    // Every memory op already charged the caches inline; there is no trace
+    // to replay or scan.
+    ++stats_.fused_launches;
+  } else {
+    replay_launch();
+    if (sanitizer_) {
+      sanitizer_->scan_launch(trace_, task_records_);
+    }
+    stats_.peak_trace_bytes =
+        std::max(stats_.peak_trace_bytes, trace_.bytes_in_use());
+    stats_.peak_legacy_bytes =
+        std::max(stats_.peak_legacy_bytes, trace_.legacy_equivalent_bytes());
   }
+  ++stats_.launches;
   launch_open_ = false;
 
   std::fill(sm_cycles_.begin(), sm_cycles_.end(), 0.0);

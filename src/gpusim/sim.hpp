@@ -37,6 +37,15 @@
 // when built with RDBS_PARALLEL), while the shared L2 replays serially in
 // canonical task order. Counters, per-launch ms and distances are therefore
 // bit-identical for any worker-thread count, including 1.
+//
+// When no consumer needs the materialized trace (sanitizer off — the common
+// engine path), the launch instead runs *fused*: every memory instruction
+// charges the caches inline during the serial record phase and no trace is
+// stored at all. This is bit-identical to record+replay — each SM's L1 sees
+// the same probe subsequence, the shared L2 sees the same canonical-order
+// request stream, and counters are order-independent integer sums — while
+// skipping the trace materialization and the second pass entirely. See
+// ReplayMode below; kAuto picks fused whenever it is legal.
 #pragma once
 
 #include <algorithm>
@@ -339,6 +348,26 @@ struct LaunchResult {
   std::uint64_t tasks = 0;   // warp tasks executed
 };
 
+// How a launch's memory-cost side is computed. All three produce bit-
+// identical counters, per-launch ms and functional results; they differ
+// only in wall-clock cost and in whether a trace is materialized for
+// post-launch consumers (the sanitizer scans it after replay).
+enum class ReplayMode : std::uint8_t {
+  kAuto = 0,     // fused when legal (sanitizer off), else two-pass
+  kTwoPass = 1,  // always record a trace, then replay it
+  kFused = 2,    // request fused; still falls back to two-pass when the
+                 // sanitizer needs a materialized trace
+};
+
+// Cumulative trace/replay statistics (capacity reporting for the
+// throughput bench and the SCALE-21 capacity run).
+struct TraceStats {
+  std::uint64_t launches = 0;        // total launches ended
+  std::uint64_t fused_launches = 0;  // of which ran fused (no trace stored)
+  std::uint64_t peak_trace_bytes = 0;   // largest materialized trace
+  std::uint64_t peak_legacy_bytes = 0;  // what AoS would have needed for it
+};
+
 class GpuSim {
  public:
   explicit GpuSim(DeviceSpec spec);
@@ -431,15 +460,18 @@ class GpuSim {
                          std::span<T> out) {
     if (!fault_ || out.empty() || device_lost_) return;
     if (fault_log_.size() >= fault_->config().max_faults) return;
+    // The op ordinal comes from the simulator's own memory-op counter, not
+    // the trace container, so fault plans are identical across trace
+    // layouts and replay modes (fused launches store no trace at all).
+    const std::uint64_t op_ordinal = launch_ops_ == 0 ? 0 : launch_ops_ - 1;
     const FaultInjector::FlipDecision d = fault_->load_fault(
-        launch_stream_, current_stream_launch_, task,
-        trace_ops_.empty() ? 0 : trace_ops_.size() - 1);
+        launch_stream_, current_stream_launch_, task, op_ordinal);
     if (!d.inject) return;
     GpuFault fault;
     fault.stream = launch_stream_;
     fault.launch = current_stream_launch_;
     fault.task = task;
-    fault.op = trace_ops_.empty() ? 0 : trace_ops_.size() - 1;
+    fault.op = op_ordinal;
     fault.buffer = buf.name();
     ++counters_.faults_injected;
     if (d.correctable) {
@@ -523,6 +555,29 @@ class GpuSim {
   static int default_worker_threads();
   // True when the library was built with RDBS_PARALLEL (OpenMP) support.
   static bool parallel_compiled();
+
+  // --- replay mode & trace layout ------------------------------------------
+  // See ReplayMode above. Purely a wall-clock/footprint knob: results are
+  // bit-identical across all modes. May not change inside an open launch.
+  void set_replay_mode(ReplayMode mode) {
+    RDBS_DCHECK(!launch_open_);
+    replay_mode_ = mode;
+  }
+  ReplayMode replay_mode() const { return replay_mode_; }
+  static void set_default_replay_mode(ReplayMode mode);
+  static ReplayMode default_replay_mode();
+  // Trace storage layout for two-pass launches (gpusim/trace.hpp). The
+  // trace is per-launch scratch, so switching clears it.
+  void set_trace_layout(TraceLayout layout) {
+    RDBS_DCHECK(!launch_open_);
+    trace_.clear();
+    trace_.set_layout(layout);
+  }
+  TraceLayout trace_layout() const { return trace_.layout(); }
+  static void set_default_trace_layout(TraceLayout layout);
+  static TraceLayout default_trace_layout();
+  // Cumulative trace/replay statistics (never reset; diagnostics only).
+  const TraceStats& trace_stats() const { return stats_; }
 
   template <typename T>
   Buffer<T> alloc(std::string name, std::size_t count,
@@ -646,11 +701,32 @@ class GpuSim {
   void commit_task(const WarpCtx& ctx);
   LaunchResult end_launch(std::uint64_t tasks, bool host_launch);
 
-  // Replay phase (called from end_launch): charges the recorded trace
-  // against the memory hierarchy. Parallel over per-SM L1 shards, serial
-  // over the shared L2 in canonical task order.
+  // Replay phase (called from end_launch of a two-pass launch): charges the
+  // recorded trace against the memory hierarchy. Parallel over per-SM L1
+  // shards, serial over the shared L2 in canonical task order.
   void replay_launch();
   void replay_shard(int sm);
+  // Seed-faithful shard replay used for the legacy (AoS) layout: per-sector
+  // scalar cache probes and a per-sector L2 request list, exactly the
+  // pipeline this codebase shipped before the batched/binned overhaul. Kept
+  // as the executable baseline the throughput benchmark measures against
+  // and as a differential oracle for the layout-equivalence tests (both
+  // paths must produce bit-identical counters and task cycles).
+  void replay_shard_seed(int sm);
+  // Fused-mode charge of one warp memory instruction, applied inline during
+  // the serial record phase (bit-identical to record+replay; see the header
+  // comment). The staged lane addresses live in fused_lanes_.
+  void fused_charge(std::uint8_t kind, std::uint32_t lanes,
+                    std::uint32_t task);
+  // Probes the masked sectors of one line in the shared L2, updating the
+  // L2/DRAM counters; returns the replay cycles to charge. `cached` marks
+  // the load/store path (L2 hits cost kL2ReplayCycles; atomic/volatile hits
+  // are free — they already paid their sector transactions).
+  std::uint64_t charge_l2(std::uint64_t line, std::uint32_t mask, bool cached);
+  // Charges the canonical-order L2 request stream in l2_stream_ (appended
+  // by the fused record phase, or gathered from the two-pass shards),
+  // binning large streams by L2 set first. Clears the stream.
+  void flush_l2_stream();
 
   // gfi: applies the pending launch-level fault (and the cost-clock
   // watchdog) to a finished launch. Defined in sim.cpp.
@@ -704,12 +780,22 @@ class GpuSim {
 
   // --- record-phase state (one launch at a time) ---------------------------
   static constexpr std::uint32_t kNoTask = ~0u;
-  std::vector<TraceOp> trace_ops_;
-  std::vector<std::uint64_t> trace_addrs_;
+  LaunchTrace trace_;
   std::vector<TaskRecord> task_records_;
   std::uint32_t active_task_ = kNoTask;
+  // Memory-op ordinal counter for the open launch: op_begin/op_end indices
+  // and the fault injector's op key, independent of trace storage (fused
+  // launches count ops without storing them).
+  std::uint32_t launch_ops_ = 0;
   bool launch_open_ = false;
+  bool fused_launch_ = false;  // the open launch charges inline (no trace)
   StreamId launch_stream_ = 0;
+  ReplayMode replay_mode_ = ReplayMode::kAuto;
+  std::uint32_t spl_shift_ = 2;  // log2(sectors per line), from MemorySim
+  // Fused-mode staging for one warp op's lane addresses (the trace_slots
+  // target when no trace is materialized).
+  std::array<std::uint64_t, 32> fused_lanes_{};
+  TraceStats stats_;
 
   // Dynamic scheduling: per-SM weight plus a lazy min-heap over
   // (weight, sm) so pick_sm is O(log num_sms) instead of a linear argmin.
@@ -719,11 +805,24 @@ class GpuSim {
   // --- replay scratch (reused across launches; no steady-state allocs) -----
   std::vector<std::vector<std::uint32_t>> sm_tasks_;
   std::vector<int> used_sms_;
-  // Per-SM L2 request lists: sector base address with bit 0 set for cached
-  // (load/store) requests, clear for atomics (which charge no L2-hit
-  // replay cycles).
+  // Per-SM L2 request lists, one entry per (line, sector-mask) the L1 could
+  // not serve: line index shifted past the mask, the mask of requested
+  // sectors, and bit 0 marking cached (load/store) requests — clear for
+  // atomics/volatiles, which charge no L2-hit replay cycles. Packing:
+  //   (line << (sectors_per_line + 1)) | (mask << 1) | cached
   std::vector<std::vector<std::uint64_t>> l2_requests_;
   std::vector<ShardCounters> shard_counters_;
+  // Binned L2 pass scratch: the canonical-order request stream tagged with
+  // its owning task, counting-sorted by L2 set (multisplit-style radix
+  // binning — stable, so per-set request order stays canonical and the
+  // LRU outcome is bit-identical to the direct in-order pass).
+  struct L2StreamEntry {
+    std::uint64_t packed = 0;
+    std::uint32_t task = 0;
+  };
+  std::vector<L2StreamEntry> l2_stream_;
+  std::vector<L2StreamEntry> l2_binned_;
+  std::vector<std::uint32_t> l2_bin_starts_;
 
   // Per-launch aggregation scratch.
   std::vector<double> sm_cycles_;

@@ -35,7 +35,23 @@ struct EngineObservation {
   Counters counters;
 };
 
+// Pins the process-wide default replay mode to kTwoPass for one engine run:
+// under the kAuto default these launches would fuse record+replay (no
+// worker fan-out at all), and this suite exists to cover the parallel shard
+// replay across worker counts.
+class ScopedTwoPass {
+ public:
+  ScopedTwoPass() : saved_(GpuSim::default_replay_mode()) {
+    GpuSim::set_default_replay_mode(ReplayMode::kTwoPass);
+  }
+  ~ScopedTwoPass() { GpuSim::set_default_replay_mode(saved_); }
+
+ private:
+  ReplayMode saved_;
+};
+
 EngineObservation run_rdbs(const graph::Csr& csr, int sim_threads) {
+  ScopedTwoPass two_pass;
   core::GpuSsspOptions options;
   options.basyn = true;
   options.pro = true;
@@ -47,6 +63,7 @@ EngineObservation run_rdbs(const graph::Csr& csr, int sim_threads) {
 }
 
 EngineObservation run_adds(const graph::Csr& csr, int sim_threads) {
+  ScopedTwoPass two_pass;
   core::AddsOptions options;
   options.sim_threads = sim_threads;
   core::AddsLike adds(test_device(), csr, options);
@@ -113,6 +130,7 @@ struct PersistentObservation {
 // the frontier lasts, appends two children.
 PersistentObservation run_persistent_workload(int sim_threads) {
   GpuSim sim(test_device());
+  sim.set_replay_mode(ReplayMode::kTwoPass);  // cover the shard fan-out
   sim.set_worker_threads(sim_threads);
   Buffer<std::uint32_t> cells = sim.alloc<std::uint32_t>("cells", 4096);
   std::vector<std::uint64_t> tasks{0, 1, 2, 3};

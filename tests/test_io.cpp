@@ -139,6 +139,65 @@ TEST_F(IoTest, BinaryCsrRoundTrip) {
   }
 }
 
+TEST_F(IoTest, MappedCsrMatchesOwningReader) {
+  const Csr csr = test::paper_figure1_graph();
+  write_binary_csr(csr, path("g.bin"));
+  const MappedCsr mapped(path("g.bin"));
+  EXPECT_EQ(mapped.num_vertices(), csr.num_vertices());
+  EXPECT_EQ(mapped.num_edges(), csr.num_edges());
+  EXPECT_GT(mapped.mapped_bytes(), 0u);
+  const Csr copy = mapped.to_csr();
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ASSERT_EQ(copy.degree(v), csr.degree(v));
+    for (std::size_t i = 0; i < csr.neighbors(v).size(); ++i) {
+      EXPECT_EQ(copy.neighbors(v)[i], csr.neighbors(v)[i]);
+      EXPECT_DOUBLE_EQ(copy.edge_weights(v)[i], csr.edge_weights(v)[i]);
+    }
+  }
+}
+
+TEST_F(IoTest, MappedCsrReadsVersion1Files) {
+  // Hand-write a v1 file (magic "RDBSCSR1", no alignment pad) with an odd
+  // edge count, the case that forces the loader's weight-realignment copy:
+  // 2 vertices, 1 edge 0->1 with weight 2.5.
+  std::ofstream out(path("v1.bin"), std::ios::binary);
+  auto put = [&](const void* data, std::size_t bytes) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+  };
+  const std::uint64_t header[3] = {0x5244425343535231ULL, 2, 1};
+  const EdgeIndex offsets[3] = {0, 1, 1};
+  const VertexId adjacency[1] = {1};
+  const Weight weights[1] = {2.5};
+  put(header, sizeof header);
+  put(offsets, sizeof offsets);
+  put(adjacency, sizeof adjacency);
+  put(weights, sizeof weights);
+  out.close();
+
+  const MappedCsr mapped(path("v1.bin"));
+  EXPECT_EQ(mapped.num_vertices(), 2u);
+  EXPECT_EQ(mapped.num_edges(), 1u);
+  EXPECT_EQ(mapped.adjacency()[0], 1u);
+  EXPECT_DOUBLE_EQ(mapped.weights()[0], 2.5);
+
+  const Csr via_reader = read_binary_csr(path("v1.bin"));
+  EXPECT_EQ(via_reader.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(via_reader.edge_weights(0)[0], 2.5);
+}
+
+TEST_F(IoTest, MappedCsrRejectsCorruptAndTruncatedFiles) {
+  write_file("bad.bin", "garbage data that is definitely not a CSR header");
+  EXPECT_THROW(MappedCsr(path("bad.bin")), std::runtime_error);
+
+  const Csr csr = test::paper_figure1_graph();
+  write_binary_csr(csr, path("g.bin"));
+  std::filesystem::resize_file(path("g.bin"),
+                               std::filesystem::file_size(path("g.bin")) / 2);
+  EXPECT_THROW(MappedCsr(path("g.bin")), std::runtime_error);
+  EXPECT_THROW(MappedCsr(path("missing.bin")), std::runtime_error);
+}
+
 TEST_F(IoTest, BinaryCsrRejectsCorruptMagic) {
   write_file("g.bin", "garbage data that is definitely not a CSR header");
   EXPECT_THROW(read_binary_csr(path("g.bin")), std::runtime_error);
