@@ -8,7 +8,12 @@
 // server keeps the completed tail bounded by the deadline and converts the
 // excess into up-front sheds instead of late answers.
 //
-// Two hard checks (exit 1 on violation):
+// A streaming sweep follows the batch sweeps: 1000-query Poisson
+// schedules (core/traffic.hpp) at three offered loads (1x / 2x / 4x of
+// aggregate lane capacity) are served continuously by run_stream() with
+// breakers on and off, under the same fault plan.
+//
+// Hard checks (exit 1 on violation):
 //  * bounded tail: every completed query finished at or before its
 //    deadline (the engines withhold late distances, so this is the
 //    serving contract, not luck) — hence p99 <= deadline;
@@ -16,7 +21,13 @@
 //    bit-identical to the host Dijkstra reference, including a sweep with
 //    a manually tripped lane across sim_threads {1,8} and stream counts
 //    {2,4} (full results bit-compare across sim_threads; across stream
-//    counts the completed distances must match the oracle).
+//    counts the completed distances must match the oracle);
+//  * streaming determinism: every streaming row is bit-identical across
+//    sim_threads {1, 8} — statuses, dispatch/finish times, promotions,
+//    distances and makespans;
+//  * lane policy: at the highest offered load, deadline-aware placement
+//    (LanePolicy::kPredictedFastest) beats plain earliest-free on p99
+//    sojourn over the completed queries.
 //
 // Results go to stdout and BENCH_server.json.
 #include <algorithm>
@@ -29,6 +40,7 @@
 #include "bench_support/experiment.hpp"
 #include "common/table.hpp"
 #include "core/query_server.hpp"
+#include "core/traffic.hpp"
 #include "sssp/dijkstra.hpp"
 
 using namespace rdbs;
@@ -300,6 +312,230 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- streaming sweep -----------------------------------------------------
+  // 1000-query Poisson schedules at 1x / 2x / 4x of aggregate lane capacity
+  // (streams / mean query cost), served continuously by run_stream() with
+  // per-class deadlines. Every row is produced twice, at sim_threads 1 and
+  // 8, and must bit-compare; the row reported comes from the sim_threads=1
+  // run. Deadlines are per traffic class, in units of the measured mean
+  // query cost, finite for all three classes so the lane policy applies to
+  // the whole stream.
+  gpusim::FaultConfig stream_fault = fault;
+  // 1000 queries issue far more launches than the batch sweeps; keep fault
+  // pressure alive through the whole stream instead of going quiet after
+  // the first 256 faults, but at a gentler per-launch rate — at the batch
+  // sweeps' 8% the stream sheds nearly everything and every completed tail
+  // just hugs its deadline, which makes the policy comparison degenerate.
+  stream_fault.launch_failure = 0.02;
+  stream_fault.max_faults = 2048;
+  // One flaky lane: stream 0 takes 8x the launch-level fault pressure. With
+  // uniform i.i.d. faults a lane's cost history predicts nothing (earliest-
+  // free placement is provably as good as it gets); a persistently bad lane
+  // is what gives the per-lane EWMAs — and the deadline-aware picker built
+  // on them — something real to learn.
+  stream_fault.hot_stream = 0;
+  stream_fault.hot_stream_factor = 8.0;
+  const std::vector<int> stream_loads = {1, 2, 4};
+  const auto make_stream_spec = [&](int load, std::size_t num_queries) {
+    core::TrafficSpec spec;
+    spec.process = core::ArrivalProcess::kPoisson;
+    spec.seed = config.seed;
+    spec.num_queries = num_queries;
+    spec.rate_qpms = static_cast<double>(load * streams) / mean_ms;
+    spec.zipf_s = 1.1;
+    spec.source_universe = 256;
+    // Finite for all classes (the lane policy only applies to deadline-
+    // bound queries) but loose enough that the completed tail is shaped by
+    // placement and service time, not clamped at the deadline itself.
+    spec.class_deadline_ms = {6.0 * mean_ms, 16.0 * mean_ms,
+                              100.0 * mean_ms};
+    return spec;
+  };
+  std::map<int, std::vector<core::TrafficQuery>> stream_schedules;
+  for (const int load : stream_loads) {
+    stream_schedules[load] = core::generate_traffic(
+        make_stream_spec(load, 1000), csr.num_vertices());
+  }
+
+  const auto run_stream_config =
+      [&](int threads, bool breakers, core::LanePolicy policy,
+          std::span<const core::TrafficQuery> schedule) {
+        core::QueryServerOptions sopts;
+        sopts.batch = bopts;
+        sopts.batch.gpu.sim_threads = threads;
+        sopts.batch.gpu.fault = stream_fault;
+        // A short pending queue keeps the completed sojourns service-
+        // dominated: with a deep queue every tail percentile measures how
+        // long the backlog was, which buries what the bench is after —
+        // the cost of WHERE a query ran.
+        sopts.max_pending = 16;
+        sopts.breaker.enabled = breakers;
+        sopts.breaker.failure_threshold = 2;
+        sopts.breaker.cooldown_ms = 4.0 * deadline_ms;
+        sopts.lane_policy = policy;
+        sopts.aging_ms = 4.0 * mean_ms;
+        // Keep the host hedge lane out of the streaming sweep: hedged
+        // completions are serialized on one slow host worker, so their
+        // sojourns would dominate the completed tail and the lane-policy
+        // comparison would measure hedge counts, not device placement.
+        // (The fault-routing sweep above covers hedging.)
+        sopts.hedge_to_cpu = false;
+        core::QueryServer server(csr, device, sopts);
+        return server.run_stream(schedule);
+      };
+
+  const auto check_stream = [&](const core::StreamResult& result,
+                                std::span<const core::TrafficQuery> schedule,
+                                const char* label) {
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const core::StreamQueryStats& sq = result.stats[i];
+      if (!completed(sq.query.status)) {
+        if (!result.queries[i].sssp.distances.empty()) {
+          std::fprintf(stderr,
+                       "VIOLATION: %s query %zu did not complete but "
+                       "reported distances\n",
+                       label, i);
+          distances_ok = false;
+        }
+        continue;
+      }
+      if (std::isfinite(sq.deadline_ms) &&
+          sq.finish_ms > sq.deadline_ms + 1e-9) {
+        std::fprintf(stderr,
+                     "VIOLATION: %s completed query %zu finished at %.4f "
+                     "ms, past its %.4f ms deadline\n",
+                     label, i, sq.finish_ms, sq.deadline_ms);
+        deadline_bounded = false;
+      }
+      auto it = oracle.find(schedule[i].source);
+      if (it == oracle.end()) {
+        it = oracle
+                 .emplace(schedule[i].source,
+                          sssp::dijkstra(csr, schedule[i].source).distances)
+                 .first;
+      }
+      if (result.queries[i].sssp.distances != it->second) {
+        std::fprintf(stderr,
+                     "VIOLATION: %s completed query %zu (source %u) "
+                     "distances differ from the Dijkstra reference\n",
+                     label, i, schedule[i].source);
+        distances_ok = false;
+      }
+    }
+  };
+
+  const auto stream_row = [](int load, bool breakers,
+                             const core::StreamResult& result) {
+    Row row;
+    row.load = load;  // offered load as a multiple of aggregate capacity
+    row.breakers = breakers;
+    row.offered = result.stats.size();
+    row.done = static_cast<std::size_t>(
+        result.ok_queries + result.recovered_queries +
+        result.fallback_queries);
+    row.shed = static_cast<std::size_t>(result.shed_queries);
+    row.missed = static_cast<std::size_t>(result.deadline_queries);
+    row.hedged = static_cast<std::size_t>(result.hedged_queries);
+    row.rerouted = static_cast<std::size_t>(result.rerouted_queries);
+    for (const core::BreakerEvent& event : result.breaker_events) {
+      if (event.transition == core::BreakerTransition::kOpen ||
+          event.transition == core::BreakerTransition::kReopen) {
+        ++row.breaker_trips;
+      }
+    }
+    std::vector<double> sojourn;
+    for (const core::StreamQueryStats& sq : result.stats) {
+      if (completed(sq.query.status)) sojourn.push_back(sq.sojourn_ms);
+    }
+    row.p50 = percentile(sojourn, 0.50);
+    row.p95 = percentile(sojourn, 0.95);
+    row.p99 = percentile(sojourn, 0.99);
+    return row;
+  };
+
+  bool stream_deterministic = true;
+  const auto same_stream = [](const core::StreamResult& a,
+                              const core::StreamResult& b) {
+    if (a.makespan_ms != b.makespan_ms ||
+        a.device_makespan_ms != b.device_makespan_ms ||
+        a.shed_queries != b.shed_queries ||
+        a.deadline_queries != b.deadline_queries ||
+        a.rerouted_queries != b.rerouted_queries ||
+        a.breaker_events.size() != b.breaker_events.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.stats.size(); ++i) {
+      if (a.stats[i].query.status != b.stats[i].query.status ||
+          a.stats[i].dispatch_ms != b.stats[i].dispatch_ms ||
+          a.stats[i].finish_ms != b.stats[i].finish_ms ||
+          a.stats[i].promotions != b.stats[i].promotions ||
+          a.queries[i].sssp.distances != b.queries[i].sssp.distances) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<Row> stream_rows;
+  double policy_p99[2] = {0, 0};  // [kEarliestFree, kPredictedFastest]
+  std::size_t policy_done[2] = {0, 0};
+  for (const bool breakers : {true, false}) {
+    for (const int load : stream_loads) {
+      const std::vector<core::TrafficQuery>& schedule =
+          stream_schedules[load];
+      const core::StreamResult narrow = run_stream_config(
+          1, breakers, core::LanePolicy::kPredictedFastest, schedule);
+      const core::StreamResult wide = run_stream_config(
+          8, breakers, core::LanePolicy::kPredictedFastest, schedule);
+      check_stream(narrow, schedule, "streaming");
+      if (!same_stream(narrow, wide)) {
+        std::fprintf(stderr,
+                     "VIOLATION: streaming row (breakers %s, load %dx) "
+                     "differs between sim_threads 1 and 8\n",
+                     breakers ? "on" : "off", load);
+        stream_deterministic = false;
+      }
+      stream_rows.push_back(stream_row(load, breakers, narrow));
+    }
+  }
+
+  // Lane-policy comparison at the highest offered load: the same traffic
+  // shape served with predicted-fastest vs plain earliest-free placement.
+  // Predicted-fastest must win on p99 sojourn — the flaky lane's retry-
+  // inflated cost history keeps its EWMA high, and the deadline-aware
+  // picker routes urgent queries around it while earliest-free keeps
+  // feeding it whenever its clock happens to be lowest. Breakers are OFF
+  // for this pair on purpose (with them on, lane exclusion does the
+  // routing for both policies and the placement difference is mostly
+  // masked), and the schedule is 3x longer than a sweep row so the p99
+  // order statistic sits on a few hundred completions instead of ~100.
+  {
+    const std::vector<core::TrafficQuery> schedule = core::generate_traffic(
+        make_stream_spec(stream_loads.back(), 3000), csr.num_vertices());
+    for (const bool fastest : {false, true}) {
+      const core::StreamResult result = run_stream_config(
+          1, false,
+          fastest ? core::LanePolicy::kPredictedFastest
+                  : core::LanePolicy::kEarliestFree,
+          schedule);
+      check_stream(result, schedule,
+                   fastest ? "predicted-fastest" : "earliest-free");
+      const Row row = stream_row(stream_loads.back(), false, result);
+      policy_p99[fastest ? 1 : 0] = row.p99;
+      policy_done[fastest ? 1 : 0] = row.done;
+    }
+  }
+  const bool policy_wins =
+      policy_done[0] > 0 && policy_done[1] > 0 && policy_p99[1] < policy_p99[0];
+  if (!policy_wins) {
+    std::fprintf(stderr,
+                 "VIOLATION: predicted-fastest placement did not beat "
+                 "earliest-free on p99 at %dx load (%.4f ms vs %.4f ms, "
+                 "%zu vs %zu completed)\n",
+                 stream_loads.back(), policy_p99[1], policy_p99[0],
+                 policy_done[1], policy_done[0]);
+  }
+
   // Breakers must have observable consequences: under the sustained fault
   // plan the breakers-on run has to trip lanes and move queries (reroutes
   // or host hedges) relative to the breakers-off run. Identical totals
@@ -331,13 +567,21 @@ int main(int argc, char** argv) {
   };
   for (const Row& row : rows) add_table_row("overload", row);
   for (const Row& row : fault_rows) add_table_row("faults", row);
+  for (const Row& row : stream_rows) add_table_row("stream", row);
   std::fputs(table.render().c_str(), stdout);
   if (config.csv) std::fputs(table.render_csv().c_str(), stdout);
+  std::printf("\n(stream rows: the load column is the offered arrival rate "
+              "as a multiple of aggregate capacity, 1000 queries each)\n");
   std::printf("\ncompleted tail bounded by deadline: %s; "
               "completed distances match Dijkstra: %s; "
               "breakers observable under faults: %s\n",
               deadline_bounded ? "yes" : "NO", distances_ok ? "yes" : "NO",
               breakers_observable ? "yes" : "NO");
+  std::printf("stream rows bit-identical across sim_threads {1,8}: %s; "
+              "predicted-fastest beats earliest-free at %dx load: %s "
+              "(p99 %.3f ms vs %.3f ms)\n",
+              stream_deterministic ? "yes" : "NO", stream_loads.back(),
+              policy_wins ? "yes" : "NO", policy_p99[1], policy_p99[0]);
 
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
@@ -354,6 +598,16 @@ int main(int argc, char** argv) {
                distances_ok ? "true" : "false");
   std::fprintf(json, "  \"breakers_observable\": %s,\n",
                breakers_observable ? "true" : "false");
+  std::fprintf(json, "  \"stream_deterministic\": %s,\n",
+               stream_deterministic ? "true" : "false");
+  std::fprintf(json,
+               "  \"lane_policy\": {\"load_x\": %d, "
+               "\"p99_predicted_ms\": %.4f, \"p99_earliest_ms\": %.4f, "
+               "\"completed_predicted\": %zu, \"completed_earliest\": %zu, "
+               "\"predicted_beats_earliest\": %s},\n",
+               stream_loads.back(), policy_p99[1], policy_p99[0],
+               policy_done[1], policy_done[0],
+               policy_wins ? "true" : "false");
   const auto write_row = [&](const Row& row, bool last) {
     const double offered_d = static_cast<double>(row.offered);
     std::fprintf(
@@ -376,8 +630,28 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  ],\n  \"fault_routing\": [\n");
   write_row(fault_rows[0], false);
   write_row(fault_rows[1], true);
+  std::fprintf(json, "  ],\n  \"streaming\": [\n");
+  for (std::size_t i = 0; i < stream_rows.size(); ++i) {
+    const Row& row = stream_rows[i];
+    const double offered_d = static_cast<double>(row.offered);
+    std::fprintf(
+        json,
+        "    {\"breakers\": %s, \"offered_load_x\": %d, \"offered\": %zu, "
+        "\"completed\": %zu, \"shed\": %zu, \"deadline_missed\": %zu, "
+        "\"hedged\": %zu, \"rerouted\": %zu, \"breaker_trips\": %zu, "
+        "\"shed_rate\": %.4f, \"miss_rate\": %.4f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+        row.breakers ? "true" : "false", row.load, row.offered, row.done,
+        row.shed, row.missed, row.hedged, row.rerouted, row.breaker_trips,
+        static_cast<double>(row.shed) / offered_d,
+        static_cast<double>(row.missed) / offered_d, row.p50, row.p95,
+        row.p99, i + 1 == stream_rows.size() ? "" : ",");
+  }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
-  return deadline_bounded && distances_ok && breakers_observable ? 0 : 1;
+  return deadline_bounded && distances_ok && breakers_observable &&
+                 stream_deterministic && policy_wins
+             ? 0
+             : 1;
 }

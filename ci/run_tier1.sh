@@ -13,9 +13,12 @@
 #             plus test_query_batch (batch determinism across concurrent
 #             streams with multi-threaded replay), test_fault_injection
 #             (gfi chaos sweep: fault bookkeeping must stay race-free when
-#             faulted launches replay on multiple workers) and
+#             faulted launches replay on multiple workers),
 #             test_query_server (serving determinism sweeps: deadlines,
-#             admission, breakers over sim_threads {1,8} x streams {1,4}).
+#             admission, breakers over sim_threads {1,8} x streams {1,4})
+#             and test_streaming_soak (10k-query streaming schedule on
+#             k-n18: the continuous dispatcher's pending-queue/breaker/
+#             aging bookkeeping interleaved with parallel replay).
 #
 # With --asan, runs ONLY the asan configuration: -DRDBS_ASAN=ON
 # (AddressSanitizer + UBSan, -fno-sanitize-recover=all) with the full
@@ -87,7 +90,7 @@ cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target test_gpusim_parallel test_query_batch test_fault_injection \
-           test_query_server
+           test_query_server test_streaming_soak
 echo "=== [tsan] test_gpusim_parallel ==="
 # The two Kronecker engine tests simulate millions of warp tasks and take
 # tens of minutes under TSan instrumentation; the road-graph engine tests
@@ -107,5 +110,11 @@ echo "=== [tsan] test_query_server ==="
 # sim_threads {1,8} x streams {1,4}: a race between the admission/breaker
 # bookkeeping and the replay workers would break bit-identity here.
 "$TSAN_DIR/tests/test_query_server"
+echo "=== [tsan] test_streaming_soak ==="
+# The streaming soak pushes 10k timed queries through run_stream() while
+# the replay pool is live: the golden aggregate doubles as a determinism
+# check, and TSan watches the host-serial dispatcher's hand-offs to the
+# parallel replay workers.
+"$TSAN_DIR/tests/test_streaming_soak"
 
 echo "tier-1: all configurations passed"

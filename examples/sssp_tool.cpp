@@ -20,10 +20,19 @@
 //   # admission, circuit breakers, under injected faults
 //   ./sssp_tool --dataset=k-n16-16 --batch --sources=16 --deadline-ms=5
 //       --admission=edf --breaker=on --inject-faults=seed=7,launch=0.2
+//
+//   # streaming serve (docs/serving.md "Streaming"): a timed 2k-query
+//   # Poisson schedule with priority-class deadlines, dispatched
+//   # continuously on the simulated clock
+//   ./sssp_tool --dataset=k-n16-16 --batch
+//       --serve-stream=poisson:n=2000,rate=2,deadlines=1/4/-,seed=7
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "bench_support/experiment.hpp"
 #include "common/table.hpp"
@@ -34,6 +43,7 @@
 #include "core/query_server.hpp"
 #include "core/rdbs.hpp"
 #include "core/sep_hybrid.hpp"
+#include "core/traffic.hpp"
 #include "gpusim/profiler.hpp"
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
@@ -226,7 +236,10 @@ int main(int argc, char** argv) {
     // Serving mode (docs/serving.md): any of --deadline-ms / --admission /
     // --breaker (or an explicit --serve) routes the batch through
     // core::QueryServer instead of the raw QueryBatch scheduler.
-    const bool serve = args.get_bool("serve", false) ||
+    // --serve-stream=SPEC switches to the continuous dispatcher over a
+    // generated traffic schedule (core/traffic.hpp grammar).
+    const bool stream_mode = args.has("serve-stream");
+    const bool serve = stream_mode || args.get_bool("serve", false) ||
                        args.has("deadline-ms") || args.has("admission") ||
                        args.has("breaker");
     if (serve) {
@@ -249,6 +262,112 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--breaker must be on or off, not %s\n",
                      breaker.c_str());
         return 2;
+      }
+      if (stream_mode) {
+        // Streaming serve: queries arrive over simulated time per the
+        // --serve-stream spec; the server dispatches continuously with a
+        // bounded pending queue, EDF within priority class, starvation
+        // aging and deadline-aware lane picking (docs/serving.md).
+        core::TrafficSpec tspec;
+        std::vector<core::TrafficQuery> schedule;
+        try {
+          tspec = core::parse_traffic_spec(
+              args.get_string("serve-stream", ""));
+          schedule = core::generate_traffic(tspec, csr.num_vertices());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "bad --serve-stream spec: %s\n", e.what());
+          return 2;
+        }
+        if (args.has("max-pending")) {
+          sopts.max_pending =
+              static_cast<std::size_t>(args.get_int("max-pending", 64));
+        }
+        if (args.has("aging-ms")) {
+          sopts.aging_ms = args.get_double("aging-ms", 0.0);
+        }
+        const std::string policy = args.get_string("lane-policy", "fastest");
+        if (policy == "earliest") {
+          sopts.lane_policy = core::LanePolicy::kEarliestFree;
+        } else if (policy != "fastest") {
+          std::fprintf(stderr,
+                       "--lane-policy must be fastest or earliest, not %s\n",
+                       policy.c_str());
+          return 2;
+        }
+        core::QueryServer server(csr, device, sopts);
+        const core::StreamResult result = server.run_stream(schedule);
+
+        std::array<std::vector<double>, core::kNumTrafficClasses> sojourns;
+        std::uint64_t promotions = 0;
+        for (const core::StreamQueryStats& sq : result.stats) {
+          promotions += static_cast<std::uint64_t>(sq.promotions);
+          if (sq.query.status == core::QueryStatus::kOk ||
+              sq.query.status == core::QueryStatus::kRecovered ||
+              sq.query.status == core::QueryStatus::kCpuFallback) {
+            sojourns[static_cast<std::size_t>(sq.cls)].push_back(
+                sq.sojourn_ms);
+          }
+        }
+        const auto percentile = [](std::vector<double>& values, double q) {
+          if (values.empty()) return std::string("-");
+          std::sort(values.begin(), values.end());
+          const auto rank = static_cast<std::size_t>(
+              q * static_cast<double>(values.size() - 1));
+          return format_fixed(values[rank], 3);
+        };
+        TextTable table({"class", "offered", "completed", "shed", "missed",
+                         "failed", "p50 ms", "p99 ms"});
+        for (int c = 0; c < core::kNumTrafficClasses; ++c) {
+          const core::ClassTally& tally =
+              result.classes[static_cast<std::size_t>(c)];
+          std::vector<double>& soj = sojourns[static_cast<std::size_t>(c)];
+          table.add_row(
+              {core::traffic_class_name(static_cast<core::TrafficClass>(c)),
+               format_count(tally.offered), format_count(tally.completed),
+               format_count(tally.shed), format_count(tally.missed),
+               format_count(tally.failed), percentile(soj, 0.5),
+               percentile(soj, 0.99)});
+        }
+        std::fputs(table.render().c_str(), stdout);
+        const std::uint64_t done = result.ok_queries +
+                                   result.recovered_queries +
+                                   result.fallback_queries;
+        std::printf(
+            "\nstreamed %zu quer%s (%s arrivals) over %d lane(s) "
+            "(%s-lane placement, %s admission, breakers %s): "
+            "%llu completed / %llu shed / %llu deadline / %llu failed; "
+            "%llu hedged, %llu rerouted, %llu promotion(s); "
+            "makespan %.3f ms (device %.3f ms)\n",
+            schedule.size(), schedule.size() == 1 ? "y" : "ies",
+            core::arrival_process_name(tspec.process),
+            server.batch().num_lanes(), policy.c_str(), admission.c_str(),
+            sopts.breaker.enabled ? "on" : "off",
+            static_cast<unsigned long long>(done),
+            static_cast<unsigned long long>(result.shed_queries),
+            static_cast<unsigned long long>(result.deadline_queries),
+            static_cast<unsigned long long>(result.failed_queries),
+            static_cast<unsigned long long>(result.hedged_queries),
+            static_cast<unsigned long long>(result.rerouted_queries),
+            static_cast<unsigned long long>(promotions),
+            result.makespan_ms, result.device_makespan_ms);
+        if (fault.enabled) {
+          std::printf(
+              "recovery: %llu attempt(s), %llu fault(s) injected "
+              "(%llu ECC-corrected), %llu retried, %.3f ms backoff%s\n",
+              static_cast<unsigned long long>(result.recovery.attempts),
+              static_cast<unsigned long long>(
+                  result.recovery.faults_injected),
+              static_cast<unsigned long long>(result.recovery.ecc_corrected),
+              static_cast<unsigned long long>(result.recovery.retries),
+              result.recovery.backoff_ms,
+              result.recovery.device_lost ? ", DEVICE LOST" : "");
+        }
+        for (const core::BreakerEvent& event : result.breaker_events) {
+          std::printf("breaker: lane %d -> %s at %.3f ms\n", event.lane,
+                      core::breaker_transition_name(event.transition),
+                      event.time_ms);
+        }
+        return 0;
       }
       core::QueryServer server(csr, device, sopts);
       std::vector<core::ServerQuery> offered;

@@ -97,6 +97,38 @@ double QueryBatch::lane_cost_estimate_ms(int lane) const {
   return lanes_[static_cast<std::size_t>(lane)].ewma_ms;
 }
 
+double QueryBatch::lane_predicted_completion_ms(int lane,
+                                                double not_before_ms) const {
+  RDBS_CHECK(lane >= 0 && lane < num_lanes());
+  const Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  return std::max(sim_->stream_elapsed_ms(l.stream), not_before_ms) +
+         l.ewma_ms;
+}
+
+int QueryBatch::pick_lane_fastest(
+    double not_before_ms, const std::vector<std::uint8_t>* eligible) const {
+  int best = -1;
+  double best_ms = 0;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (eligible != nullptr && (i >= eligible->size() || !(*eligible)[i])) {
+      continue;
+    }
+    const double predicted = lane_predicted_completion_ms(
+        static_cast<int>(i), not_before_ms);
+    if (best < 0 || predicted < best_ms) {
+      best = static_cast<int>(i);
+      best_ms = predicted;
+    }
+  }
+  return best;
+}
+
+void QueryBatch::decay_lane_cost_estimate(int lane, double blend) {
+  RDBS_CHECK(lane >= 0 && lane < num_lanes());
+  Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  l.ewma_ms += std::clamp(blend, 0.0, 1.0) * (cost_seed_ms_ - l.ewma_ms);
+}
+
 int QueryBatch::pick_lane(const std::vector<std::uint8_t>* eligible) const {
   int best = -1;
   for (std::size_t i = 0; i < lanes_.size(); ++i) {

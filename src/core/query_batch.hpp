@@ -139,9 +139,29 @@ class QueryBatch {
   // The degree-sum a-priori estimate the EWMAs start from (deliberately
   // coarse: one pass over n + m at the device's aggregate issue rate).
   double cost_seed_ms() const { return cost_seed_ms_; }
+  // Predicted completion time of a query dispatched to `lane` no earlier
+  // than `not_before_ms` (absolute device clock): the lane frees, then one
+  // EWMA-estimated query runs. The serving layer's deadline-aware picker
+  // and load shedder both read this.
+  double lane_predicted_completion_ms(int lane, double not_before_ms) const;
   // Earliest-available lane (ties to the lowest stream id) among those with
   // eligible[lane] != 0; null = all lanes eligible. -1 when none is.
   int pick_lane(const std::vector<std::uint8_t>* eligible = nullptr) const;
+  // Deadline-aware variant: the eligible lane with the smallest predicted
+  // completion (lane_predicted_completion_ms at `not_before_ms`), ties to
+  // the lowest stream id. For an urgent query this is the lane that gets
+  // the answer out soonest — NOT necessarily the earliest-free one, when
+  // lane cost histories have drifted apart (faults, half-open decay).
+  int pick_lane_fastest(double not_before_ms,
+                        const std::vector<std::uint8_t>* eligible =
+                            nullptr) const;
+  // One decay step of the lane's cost EWMA toward the degree-sum seed:
+  // ewma += blend * (seed - ewma). The serving layer applies it when a
+  // breaker goes half-open — the lane idled through a cool-down, so its
+  // last observations are stale. Decaying toward the SEED (never toward
+  // zero) means an idle lane with no completed queries keeps a sane
+  // nonzero estimate forever (regression tests in test_query_server.cpp).
+  void decay_lane_cost_estimate(int lane, double blend);
 
   int streams() const { return static_cast<int>(lanes_.size()); }
   const graph::Csr& engine_graph() const { return graph_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <utility>
 
 #include "common/macros.hpp"
@@ -49,15 +50,21 @@ void QueryServer::open_lane(int lane, BreakerTransition transition) {
   event_log_.push_back({lane, batch_.sim().elapsed_ms(), transition});
 }
 
-void QueryServer::update_breaker_states() {
-  const double now = batch_.sim().elapsed_ms();
+void QueryServer::update_breaker_states(double now_ms) {
   for (int lane = 0; lane < batch_.num_lanes(); ++lane) {
     LaneBreaker& breaker = breakers_[static_cast<std::size_t>(lane)];
     if (breaker.state == BreakerState::kOpen &&
-        now >= breaker.open_until_ms) {
+        now_ms >= breaker.open_until_ms) {
       breaker.state = BreakerState::kHalfOpen;
       breaker.probe_successes = 0;
-      event_log_.push_back({lane, now, BreakerTransition::kHalfOpen});
+      event_log_.push_back({lane, now_ms, BreakerTransition::kHalfOpen});
+      // The lane idled through its cool-down; its pre-trip cost
+      // observations are stale, so decay the estimate toward the seed —
+      // exactly once per cool-down cycle (regression test).
+      if (options_.breaker.half_open_ewma_decay > 0) {
+        batch_.decay_lane_cost_estimate(
+            lane, options_.breaker.half_open_ewma_decay);
+      }
     }
   }
 }
@@ -185,7 +192,7 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
     const double abs_deadline_ms =
         bounded ? run_start_ms + item.deadline_rel_ms : item.deadline_rel_ms;
 
-    update_breaker_states();
+    update_breaker_states(batch_.sim().elapsed_ms());
     std::vector<std::uint8_t> eligible(
         static_cast<std::size_t>(batch_.num_lanes()), 0);
     for (int l = 0; l < batch_.num_lanes(); ++l) {
@@ -225,7 +232,7 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
       if (gap_ms > 0) {
         batch_.sim().charge_host_ms(gap_ms, batch_.lane_stream(wait_lane));
       }
-      update_breaker_states();
+      update_breaker_states(batch_.sim().elapsed_ms());
       lane = wait_lane;
     } else if (options_.shed_on_overload && bounded) {
       // Load shedding: reject up front when the chosen lane's EWMA estimate
@@ -292,6 +299,327 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
     result.overrun_kernels += stats.overrun_kernels;
   }
   result.device_makespan_ms = batch_.sim().elapsed_ms() - run_start_ms;
+  result.makespan_ms =
+      std::max(result.device_makespan_ms, host_clock_ms_ - host_start_ms);
+  result.breaker_events.assign(
+      event_log_.begin() + static_cast<std::ptrdiff_t>(events_drained_),
+      event_log_.end());
+  events_drained_ = event_log_.size();
+  return result;
+}
+
+StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
+  StreamResult result;
+  result.queries.resize(schedule.size());
+  result.stats.resize(schedule.size());
+  const double stream_start_ms = batch_.sim().elapsed_ms();
+  const double host_start_ms = host_clock_ms_;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    StreamQueryStats& stats = result.stats[i];
+    stats.query.source = schedule[i].source;
+    stats.cls = schedule[i].cls;
+    stats.arrival_ms = schedule[i].arrival_ms;
+    // Per-query deadlines arrive RELATIVE to the query's own arrival;
+    // everything downstream wants them absolute within the stream.
+    stats.deadline_ms = std::isfinite(schedule[i].deadline_ms)
+                            ? schedule[i].arrival_ms + schedule[i].deadline_ms
+                            : kInf;
+  }
+
+  // Arrivals are processed in (arrival_ms, index) order whatever order the
+  // schedule came in.
+  std::vector<std::size_t> order(schedule.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return schedule[a].arrival_ms < schedule[b].arrival_ms;
+                   });
+
+  const auto shed = [&](std::size_t index, const char* why) {
+    result.queries[index].ok = false;
+    result.stats[index].query.status = QueryStatus::kShedded;
+    result.stats[index].query.error = why;
+  };
+  // Serves one query on the host hedge lane when that still meets its
+  // deadline. The host lane is one serial worker, so the hedge starts at
+  // the later of "host lane free" and the decision time `now_ms`.
+  const auto try_hedge = [&](std::size_t index, double now_ms) {
+    if (!options_.hedge_to_cpu) return false;
+    StreamQueryStats& stats = result.stats[index];
+    const double start_ms =
+        std::max(host_clock_ms_ - host_start_ms, now_ms);
+    const double finish_ms = start_ms + host_cost_ms();
+    if (finish_ms > stats.deadline_ms) return false;
+    host_clock_ms_ = host_start_ms + finish_ms;
+    GpuRunResult& hedged = result.queries[index];
+    hedged.sssp = sssp::dijkstra(host_csr_, schedule[index].source);
+    hedged.ok = true;
+    hedged.recovery.cpu_fallbacks = 1;
+    stats.query.status = QueryStatus::kCpuFallback;
+    stats.hedged = true;
+    stats.dispatch_ms = now_ms;
+    stats.finish_ms = finish_ms;
+    stats.sojourn_ms = finish_ms - stats.arrival_ms;
+    return true;
+  };
+
+  // --- continuous dispatch -------------------------------------------------
+  // `now_ms` is the scheduler's decision clock, relative to the stream
+  // start. It advances to the next event (arrival, lane free, breaker
+  // reopen); the simulated device clock only moves when work is charged.
+  struct Pending {
+    std::size_t index = 0;
+    double arrival_ms = 0;
+    double deadline_ms = kInf;  // absolute within the stream
+  };
+  std::vector<Pending> pending;
+  std::size_t next_arrival = 0;
+  double now_ms = 0;
+
+  const auto admit_arrivals = [&](double up_to_ms) {
+    while (next_arrival < order.size() &&
+           schedule[order[next_arrival]].arrival_ms <= up_to_ms) {
+      const std::size_t index = order[next_arrival++];
+      const TrafficQuery& query = schedule[index];
+      // An invalid source fails on arrival and never occupies queue space.
+      if (query.source >= host_csr_.num_vertices()) {
+        result.queries[index].ok = false;
+        result.stats[index].query.status = QueryStatus::kFailed;
+        result.stats[index].query.error = "source vertex out of range";
+        continue;
+      }
+      if (pending.size() >= options_.max_pending) {
+        shed(index, "admission queue full");
+        continue;
+      }
+      pending.push_back(
+          {index, query.arrival_ms, result.stats[index].deadline_ms});
+    }
+  };
+  // Starvation aging: one class of promotion per aging_ms waited.
+  const auto promotions_at = [&](const Pending& item, double at_ms) {
+    if (!std::isfinite(options_.aging_ms) || options_.aging_ms <= 0) return 0;
+    const double waited = at_ms - item.arrival_ms;
+    return waited > 0 ? static_cast<int>(waited / options_.aging_ms) : 0;
+  };
+
+  while (true) {
+    admit_arrivals(now_ms);
+
+    // A pending query whose deadline has passed is shed, never dispatched.
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].deadline_ms <= now_ms) {
+        shed(pending[i].index, "deadline expired while queued");
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    if (pending.empty()) {
+      if (next_arrival >= order.size()) break;
+      now_ms = std::max(now_ms, schedule[order[next_arrival]].arrival_ms);
+      continue;
+    }
+
+    update_breaker_states(stream_start_ms + now_ms);
+    std::vector<std::uint8_t> eligible(
+        static_cast<std::size_t>(batch_.num_lanes()), 0);
+    int eligible_lanes = 0;
+    for (int l = 0; l < batch_.num_lanes(); ++l) {
+      if (breakers_[static_cast<std::size_t>(l)].state != BreakerState::kOpen) {
+        eligible[static_cast<std::size_t>(l)] = 1;
+        ++eligible_lanes;
+      }
+    }
+
+    // Head-of-queue selection: lowest effective priority (class minus aging
+    // promotions), then earliest deadline, then arrival order — `pending`
+    // is already in (arrival_ms, index) order, so the first minimal element
+    // IS the earliest arrival.
+    const auto head = std::min_element(
+        pending.begin(), pending.end(),
+        [&](const Pending& a, const Pending& b) {
+          const int pa = static_cast<int>(schedule[a.index].cls) -
+                         promotions_at(a, now_ms);
+          const int pb = static_cast<int>(schedule[b.index].cls) -
+                         promotions_at(b, now_ms);
+          if (pa != pb) return pa < pb;
+          return a.deadline_ms < b.deadline_ms;
+        });
+    const Pending item = *head;
+    const bool bounded = std::isfinite(item.deadline_ms);
+
+    if (eligible_lanes == 0) {
+      // Every lane's breaker is open: hedge, shed, or wait out the
+      // earliest cool-down (charged as host time on that lane's stream so
+      // the device makespan covers the outage).
+      if (try_hedge(item.index, now_ms)) {
+        pending.erase(head);
+        continue;
+      }
+      int wait_lane = 0;
+      for (int l = 1; l < batch_.num_lanes(); ++l) {
+        if (breakers_[static_cast<std::size_t>(l)].open_until_ms <
+            breakers_[static_cast<std::size_t>(wait_lane)].open_until_ms) {
+          wait_lane = l;
+        }
+      }
+      const double reopen_rel_ms =
+          breakers_[static_cast<std::size_t>(wait_lane)].open_until_ms -
+          stream_start_ms;
+      const double projected_finish_ms =
+          std::max(reopen_rel_ms,
+                   batch_.lane_clock_ms(wait_lane) - stream_start_ms) +
+          batch_.lane_cost_estimate_ms(wait_lane);
+      if (options_.shed_on_overload && bounded &&
+          projected_finish_ms > item.deadline_ms) {
+        shed(item.index, "all lanes open");
+        pending.erase(head);
+        continue;
+      }
+      const double target_rel_ms = std::max(now_ms, reopen_rel_ms);
+      const double gap_ms = (stream_start_ms + target_rel_ms) -
+                            batch_.lane_clock_ms(wait_lane);
+      if (gap_ms > 0) {
+        batch_.sim().charge_host_ms(gap_ms, batch_.lane_stream(wait_lane));
+      }
+      now_ms = target_rel_ms;
+      continue;
+    }
+
+    // Wait-for-work: if no eligible lane is free yet, advance only as far
+    // as the next event (lane frees, or an arrival lands first — a
+    // just-arrived urgent query must be able to win the next pick).
+    double free_rel_ms = kInf;
+    for (int l = 0; l < batch_.num_lanes(); ++l) {
+      if (!eligible[static_cast<std::size_t>(l)]) continue;
+      free_rel_ms = std::min(free_rel_ms,
+                             batch_.lane_clock_ms(l) - stream_start_ms);
+    }
+    const double decision_rel_ms = std::max(now_ms, free_rel_ms);
+    if (decision_rel_ms > now_ms) {
+      const double next_arrival_ms =
+          next_arrival < order.size()
+              ? schedule[order[next_arrival]].arrival_ms
+              : kInf;
+      now_ms = std::min(decision_rel_ms, next_arrival_ms);
+      continue;
+    }
+
+    // --- lane choice and load shedding -------------------------------------
+    const double not_before_abs_ms = stream_start_ms + now_ms;
+    int lane;
+    int preferred_lane;  // what placement alone would pick, ignoring breakers
+    if (bounded && options_.lane_policy == LanePolicy::kPredictedFastest) {
+      lane = batch_.pick_lane_fastest(not_before_abs_ms, &eligible);
+      preferred_lane = batch_.pick_lane_fastest(not_before_abs_ms);
+    } else {
+      lane = batch_.pick_lane(&eligible);
+      preferred_lane = batch_.pick_lane();
+    }
+
+    if (options_.shed_on_overload && bounded) {
+      const double predicted_finish_ms =
+          batch_.lane_predicted_completion_ms(lane, not_before_abs_ms) -
+          stream_start_ms;
+      if (predicted_finish_ms > item.deadline_ms) {
+        if (!try_hedge(item.index, now_ms)) {
+          shed(item.index, "predicted deadline miss");
+        }
+        pending.erase(head);
+        continue;
+      }
+    }
+
+    // --- device dispatch ----------------------------------------------------
+    pending.erase(head);
+    StreamQueryStats& stats = result.stats[item.index];
+    stats.rerouted = lane != preferred_lane;
+    stats.dispatch_ms = now_ms;
+    stats.promotions = promotions_at(item, now_ms);
+    const gpusim::StreamId stream = batch_.lane_stream(lane);
+    // An idle lane's clock can lag the decision time; charge the idle gap
+    // as host time so the query starts when it was dispatched, not in the
+    // past.
+    const double idle_gap_ms = not_before_abs_ms - batch_.lane_clock_ms(lane);
+    if (idle_gap_ms > 0) {
+      batch_.sim().charge_host_ms(idle_gap_ms, stream);
+    }
+    const std::uint64_t overrun_before =
+        batch_.sim().stream_overrun_kernels(stream);
+    CancelToken token;
+    const CancelToken* cancel = nullptr;
+    if (bounded) {
+      const double abs_deadline_ms = stream_start_ms + item.deadline_ms;
+      batch_.sim().set_stream_deadline(stream, abs_deadline_ms);
+      token = CancelToken(batch_.sim(), stream, abs_deadline_ms);
+      cancel = &token;
+    }
+    QueryBatch::LaneOutcome outcome =
+        batch_.run_on_lane(lane, schedule[item.index].source, cancel);
+    if (bounded) batch_.sim().clear_stream_deadline(stream);
+    stats.overrun_kernels =
+        batch_.sim().stream_overrun_kernels(stream) - overrun_before;
+
+    record_outcome(lane, outcome);
+
+    stats.finish_ms = batch_.lane_clock_ms(lane) - stream_start_ms;
+    stats.query = std::move(outcome.stats);
+    if (stats.query.status == QueryStatus::kOk ||
+        stats.query.status == QueryStatus::kRecovered ||
+        stats.query.status == QueryStatus::kCpuFallback) {
+      stats.sojourn_ms = stats.finish_ms - stats.arrival_ms;
+    }
+    result.recovery.faults_injected += outcome.result.recovery.faults_injected;
+    result.recovery.ecc_corrected += outcome.result.recovery.ecc_corrected;
+    result.recovery.retries += outcome.result.recovery.retries;
+    result.recovery.cpu_fallbacks += outcome.result.recovery.cpu_fallbacks;
+    result.recovery.attempts += outcome.result.recovery.attempts;
+    result.recovery.backoff_ms += outcome.result.recovery.backoff_ms;
+    result.recovery.device_lost =
+        result.recovery.device_lost || outcome.result.recovery.device_lost;
+    result.queries[item.index] = std::move(outcome.result);
+  }
+
+  // --- aggregates ---------------------------------------------------------
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const StreamQueryStats& stats = result.stats[i];
+    ClassTally& tally = result.classes[static_cast<std::size_t>(stats.cls)];
+    ++tally.offered;
+    switch (stats.query.status) {
+      case QueryStatus::kOk:
+        ++result.ok_queries;
+        ++tally.completed;
+        break;
+      case QueryStatus::kRecovered:
+        ++result.recovered_queries;
+        ++tally.completed;
+        break;
+      case QueryStatus::kCpuFallback:
+        ++result.fallback_queries;
+        ++tally.completed;
+        break;
+      case QueryStatus::kFailed:
+        ++result.failed_queries;
+        ++tally.failed;
+        break;
+      case QueryStatus::kDeadlineExceeded:
+        ++result.deadline_queries;
+        ++tally.missed;
+        break;
+      case QueryStatus::kShedded:
+        ++result.shed_queries;
+        ++tally.shed;
+        break;
+    }
+    if (stats.hedged) ++result.hedged_queries;
+    if (stats.rerouted) ++result.rerouted_queries;
+    result.overrun_kernels += stats.overrun_kernels;
+  }
+  result.device_makespan_ms = batch_.sim().elapsed_ms() - stream_start_ms;
   result.makespan_ms =
       std::max(result.device_makespan_ms, host_clock_ms_ - host_start_ms);
   result.breaker_events.assign(

@@ -31,6 +31,7 @@
 // lanes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -38,12 +39,23 @@
 #include <vector>
 
 #include "core/query_batch.hpp"
+#include "core/traffic.hpp"
 
 namespace rdbs::core {
 
 enum class AdmissionPolicy : std::uint8_t {
   kFifo,  // dispatch in arrival order
   kEdf,   // earliest deadline first (ties in arrival order)
+};
+
+// How run_stream() places a deadline-bound query onto an eligible lane.
+// Unbounded queries always take the earliest-free lane (throughput packing);
+// the policy decides what "urgent" buys.
+enum class LanePolicy : std::uint8_t {
+  kEarliestFree,      // classic least-loaded: the lane that frees soonest
+  kPredictedFastest,  // the lane whose predicted COMPLETION (free time +
+                      // cost EWMA) is soonest — beats earliest-free when
+                      // lane cost histories have drifted apart
 };
 
 // Per-lane circuit breaker: closed -> (failure_threshold consecutive fault
@@ -60,6 +72,13 @@ struct CircuitBreakerOptions {
   int failure_threshold = 3;   // consecutive fault outcomes that trip a lane
   double cooldown_ms = 5.0;    // simulated open time before half-open
   int half_open_probes = 1;    // clean probes required to close again
+  // Applied exactly once per open -> half-open transition: the lane's cost
+  // EWMA decays this fraction of the way back toward the degree-sum seed
+  // (QueryBatch::decay_lane_cost_estimate). The lane sat idle through its
+  // cool-down, so its pre-trip observations are stale; decaying toward the
+  // SEED (never zero) keeps the load shedder honest without letting an
+  // idle lane's estimate collapse. 0 disables.
+  double half_open_ewma_decay = 0.5;
 };
 
 struct QueryServerOptions {
@@ -81,6 +100,15 @@ struct QueryServerOptions {
   bool hedge_to_cpu = true;
   double host_slowdown = 8.0;
   CircuitBreakerOptions breaker;
+  // --- streaming (run_stream) only -----------------------------------------
+  // Lane placement for deadline-bound queries.
+  LanePolicy lane_policy = LanePolicy::kPredictedFastest;
+  // Starvation aging: a pending query is promoted one priority class for
+  // every aging_ms it has waited, so best-effort work cannot starve behind
+  // a sustained interactive flood — and a priority inversion deeper than
+  // (class gap) * aging_ms of waiting is a scheduler bug (invariant test).
+  // Infinity (default) = strict class priority, no aging.
+  double aging_ms = std::numeric_limits<double>::infinity();
 };
 
 // One query offered to the server. The deadline is RELATIVE to the start of
@@ -139,6 +167,53 @@ struct ServerResult {
   std::vector<BreakerEvent> breaker_events;  // in occurrence order
 };
 
+// Per-query streaming outcome. All times are relative to the run_stream()
+// call's start on the simulated clock; deadline_ms here is ABSOLUTE within
+// the stream (arrival + the query's relative deadline).
+struct StreamQueryStats {
+  QueryStats query;
+  TrafficClass cls = TrafficClass::kBestEffort;
+  double arrival_ms = 0;
+  double deadline_ms = std::numeric_limits<double>::infinity();
+  double dispatch_ms = 0;  // left the pending queue (0 for shed queries)
+  double finish_ms = 0;    // completion time (0 for shed queries)
+  double sojourn_ms = 0;   // finish - arrival, completed queries only
+  // Aging promotions in effect when the query was dispatched:
+  // floor(wait / aging_ms). 0 when aging is off or the query never waited.
+  int promotions = 0;
+  bool hedged = false;     // served on the host lane
+  bool rerouted = false;   // see ServerQueryStats::rerouted
+  std::uint64_t overrun_kernels = 0;
+};
+
+// Offered/terminal tallies for one priority class.
+struct ClassTally {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;  // ok + recovered + cpu-fallback
+  std::uint64_t shed = 0;
+  std::uint64_t missed = 0;     // kDeadlineExceeded
+  std::uint64_t failed = 0;
+};
+
+struct StreamResult {
+  std::vector<GpuRunResult> queries;    // index-parallel to the input
+  std::vector<StreamQueryStats> stats;  // ditto
+  double makespan_ms = 0;         // span of the stream (device and host)
+  double device_makespan_ms = 0;  // device-only span
+  std::uint64_t ok_queries = 0;
+  std::uint64_t recovered_queries = 0;
+  std::uint64_t fallback_queries = 0;  // includes hedged
+  std::uint64_t hedged_queries = 0;
+  std::uint64_t rerouted_queries = 0;
+  std::uint64_t failed_queries = 0;
+  std::uint64_t deadline_queries = 0;  // kDeadlineExceeded
+  std::uint64_t shed_queries = 0;      // kShedded
+  std::uint64_t overrun_kernels = 0;
+  std::array<ClassTally, kNumTrafficClasses> classes{};
+  RecoveryStats recovery;
+  std::vector<BreakerEvent> breaker_events;  // in occurrence order
+};
+
 class QueryServer {
  public:
   QueryServer(const graph::Csr& csr, gpusim::DeviceSpec device,
@@ -149,6 +224,19 @@ class QueryServer {
   // dispatch order (EDF may reorder execution). Callable repeatedly —
   // breaker states, lane EWMAs and device cache state persist across calls.
   ServerResult run(std::span<const ServerQuery> queries);
+
+  // Serves a traffic schedule (core/traffic.hpp) continuously: each query
+  // arrives at its own point on the simulated clock, waits in a bounded
+  // pending queue, and is dispatched by effective priority (class minus
+  // starvation-aging promotions), EDF within a priority level, arrival
+  // order on ties. Deadline-bound queries take the lane chosen by
+  // options.lane_policy; a pending query whose deadline passes before it
+  // ever reaches a lane is shed, never dispatched. The schedule need not
+  // be sorted; arrivals are processed in (arrival_ms, index) order, and
+  // results are index-parallel to the input. Everything is host-serial on
+  // simulated clocks: bit-identical for any sim_threads. Callable
+  // repeatedly, like run().
+  StreamResult run_stream(std::span<const TrafficQuery> schedule);
 
   QueryBatch& batch() { return batch_; }
   const QueryServerOptions& options() const { return options_; }
@@ -171,8 +259,12 @@ class QueryServer {
     double open_until_ms = 0;  // absolute device clock of half-open entry
   };
 
-  // Moves every cooled-down open lane to half-open (logging events).
-  void update_breaker_states();
+  // Moves every open lane whose cool-down has elapsed by `now_ms` (absolute
+  // device clock) to half-open, logging events and applying the one-shot
+  // half-open EWMA decay. run() passes the device clock; run_stream()
+  // passes its own decision time, which can be ahead of the device clock
+  // during idle gaps (the clock only advances with work).
+  void update_breaker_states(double now_ms);
   void open_lane(int lane, BreakerTransition transition);
   // Applies one device-query outcome to its lane's breaker.
   void record_outcome(int lane, const QueryBatch::LaneOutcome& outcome);

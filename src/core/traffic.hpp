@@ -1,0 +1,123 @@
+// Deterministic traffic generation for the streaming serving layer
+// (docs/serving.md "Streaming").
+//
+// The ROADMAP's "millions of users" axis needs workloads, not batches: a
+// schedule of queries arriving over simulated time, with realistic shape
+// knobs (Poisson steady state, MMPP-style on/off bursts, diurnal rate
+// swings), Zipf-skewed sources (real user traffic repeats hot sources) and
+// per-class deadlines (interactive > batch > best-effort). Everything here
+// is host-side arithmetic seeded from one 64-bit value: the same
+// TrafficSpec always produces a byte-identical schedule, independent of
+// sim_threads, stream counts, or anything the simulator does — the
+// prerequisite for every scheduling experiment on top being reproducible
+// (property tests in tests/test_traffic.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rdbs::core {
+
+using graph::VertexId;
+
+// Priority classes, most urgent first. The scheduler treats a smaller
+// enum value as strictly more urgent (subject to starvation aging;
+// core/query_server.hpp).
+enum class TrafficClass : std::uint8_t {
+  kInteractive = 0,  // a user is waiting on the answer
+  kBatch = 1,        // pipeline work with a real but loose deadline
+  kBestEffort = 2,   // background backfill
+};
+inline constexpr int kNumTrafficClasses = 3;
+const char* traffic_class_name(TrafficClass cls);
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,  // homogeneous: i.i.d. exponential inter-arrivals
+  kBursty,   // MMPP on/off: exponential bursts of elevated rate separated
+             // by idle (or trickle) gaps with exponential durations
+  kDiurnal,  // non-homogeneous Poisson, sinusoidal rate (thinning method)
+};
+const char* arrival_process_name(ArrivalProcess process);
+
+struct TrafficSpec {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  std::uint64_t seed = 42;
+  std::size_t num_queries = 1000;
+  // Mean arrival rate in queries per simulated millisecond. For kBursty
+  // this is the in-burst rate (the long-run mean depends on the duty
+  // cycle); for kDiurnal it is the midline of the sinusoid.
+  double rate_qpms = 1.0;
+
+  // kBursty: burst (on) phases run at rate_qpms * burst_factor, idle (off)
+  // phases at rate_qpms * idle_factor (0 = fully silent gaps). Phase
+  // durations are exponential with these means.
+  double burst_factor = 4.0;
+  double idle_factor = 0.0;
+  double burst_on_ms = 4.0;
+  double burst_off_ms = 16.0;
+
+  // kDiurnal: rate(t) = rate_qpms * (1 + amplitude * sin(2*pi*t/period)).
+  double diurnal_period_ms = 64.0;
+  double diurnal_amplitude = 0.8;  // in [0, 1)
+
+  // Sources are Zipf(zipf_s)-distributed over `source_universe` distinct
+  // hot vertices (clamped to |V|), drawn without replacement from the
+  // graph by a seeded partial shuffle. Rank 0 is the hottest.
+  double zipf_s = 1.1;
+  std::uint32_t source_universe = 1024;
+
+  // Per-class offered fraction (normalized internally) and deadline
+  // relative to each query's ARRIVAL (infinity or <= 0 = no deadline).
+  std::array<double, kNumTrafficClasses> class_mix = {0.5, 0.3, 0.2};
+  std::array<double, kNumTrafficClasses> class_deadline_ms = {
+      1.0, 4.0, std::numeric_limits<double>::infinity()};
+};
+
+// One scheduled query. `arrival_ms` is relative to the stream's start and
+// nondecreasing across the schedule; `deadline_ms` is relative to the
+// arrival (infinity = unbounded).
+struct TrafficQuery {
+  double arrival_ms = 0;
+  VertexId source = 0;
+  TrafficClass cls = TrafficClass::kInteractive;
+  double deadline_ms = std::numeric_limits<double>::infinity();
+
+  friend bool operator==(const TrafficQuery&, const TrafficQuery&) = default;
+};
+
+// Generates the schedule. Throws std::invalid_argument on nonsensical
+// specs (zero rate, empty graph, bad amplitude/mix). Deterministic: two
+// calls with equal (spec, num_vertices) return equal vectors, always.
+std::vector<TrafficQuery> generate_traffic(const TrafficSpec& spec,
+                                           VertexId num_vertices);
+
+// Traffic-spec grammar (docs/serving.md):
+//
+//   <process>[:key=value[,key=value...]]
+//
+//   process    poisson | bursty | diurnal
+//   n          query count                       (num_queries)
+//   rate       queries per simulated ms          (rate_qpms)
+//   seed       64-bit schedule seed
+//   zipf       Zipf exponent                     (zipf_s)
+//   universe   distinct hot sources              (source_universe)
+//   mix        a/b/c offered class fractions     (class_mix)
+//   deadlines  x/y/z relative ms, '-' = none     (class_deadline_ms)
+//   burst      on-phase rate multiplier          (burst_factor)
+//   idle       off-phase rate multiplier         (idle_factor)
+//   on-ms      mean burst duration               (burst_on_ms)
+//   off-ms     mean gap duration                 (burst_off_ms)
+//   period     diurnal period ms                 (diurnal_period_ms)
+//   amplitude  diurnal swing in [0,1)            (diurnal_amplitude)
+//
+// e.g. "poisson:n=2000,rate=2,zipf=1.2,deadlines=1/4/-,seed=7"
+//      "bursty:burst=8,on-ms=2,off-ms=10"
+// Throws std::invalid_argument with a pointed message on bad input.
+TrafficSpec parse_traffic_spec(const std::string& text);
+
+}  // namespace rdbs::core

@@ -86,6 +86,10 @@ FaultConfig parse_fault_spec(std::string_view spec) {
       config.stall_ms = parse_double(key, value);
     } else if (key == "max") {
       config.max_faults = static_cast<std::uint64_t>(parse_double(key, value));
+    } else if (key == "hot") {
+      config.hot_stream = static_cast<int>(parse_double(key, value));
+    } else if (key == "hot-factor") {
+      config.hot_stream_factor = parse_double(key, value);
     } else {
       throw std::invalid_argument("unknown fault-spec key '" +
                                   std::string(key) + "'");
@@ -117,19 +121,24 @@ double FaultInjector::uniform(std::uint64_t a, std::uint64_t b,
 std::optional<FaultClass> FaultInjector::launch_fault(
     int stream, std::uint64_t launch) const {
   const auto s = static_cast<std::uint64_t>(stream);
+  const double scale =
+      (config_.hot_stream >= 0 && stream == config_.hot_stream)
+          ? config_.hot_stream_factor
+          : 1.0;
   if (config_.device_loss > 0 &&
-      uniform(s, launch, 0, 0, 1) < config_.device_loss) {
+      uniform(s, launch, 0, 0, 1) < config_.device_loss * scale) {
     return FaultClass::kDeviceLoss;
   }
   if (config_.launch_failure > 0 &&
-      uniform(s, launch, 0, 0, 2) < config_.launch_failure) {
+      uniform(s, launch, 0, 0, 2) < config_.launch_failure * scale) {
     return FaultClass::kLaunchFailure;
   }
-  if (config_.timeout > 0 && uniform(s, launch, 0, 0, 3) < config_.timeout) {
+  if (config_.timeout > 0 &&
+      uniform(s, launch, 0, 0, 3) < config_.timeout * scale) {
     return FaultClass::kTimeout;
   }
   if (config_.stream_stall > 0 &&
-      uniform(s, launch, 0, 0, 4) < config_.stream_stall) {
+      uniform(s, launch, 0, 0, 4) < config_.stream_stall * scale) {
     return FaultClass::kStreamStall;
   }
   return std::nullopt;

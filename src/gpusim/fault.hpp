@@ -101,11 +101,23 @@ struct FaultConfig {
   // Injection budget per simulator lifetime (correctable flips count too).
   // Bounds functional corruption so retry loops and chaos tests converge.
   std::uint64_t max_faults = 4;
+
+  // Heterogeneous fault pressure: when hot_stream >= 0, the launch-level
+  // probabilities (loss, launch failure, timeout, stall) are multiplied by
+  // hot_stream_factor on that one stream — a flaky SM or a marginal memory
+  // channel behind a single queue, rather than uniform background noise.
+  // Bit-flip probabilities are unaffected. Policies that learn per-lane
+  // cost (the serving layer's EWMAs) only have something real to learn
+  // when fault pressure is uneven across lanes; this is the deterministic
+  // way to make it so (bench/server_tail_latency's lane-policy gate).
+  int hot_stream = -1;
+  double hot_stream_factor = 1.0;
 };
 
 // Parses a `--inject-faults` spec: comma-separated key=value pairs, e.g.
 //   "seed=42,flip=1e-3,ecc=0.5,launch=0.01,timeout=0.01,stall=0.01,
-//    loss=0.001,watchdog=25,stall-ms=2,max=4"
+//    loss=0.001,watchdog=25,stall-ms=2,max=4,hot=0,hot-factor=8"
+// (`hot`/`hot-factor` set FaultConfig::hot_stream{,_factor}.)
 // Unknown keys or malformed values throw std::invalid_argument. The
 // returned config has `enabled = true`.
 FaultConfig parse_fault_spec(std::string_view spec);

@@ -458,7 +458,7 @@ TEST(FaultInjection, GenuineWatchdogTimeoutFiresWithoutInjection) {
 TEST(FaultInjection, SpecParserRoundTripsAndRejectsGarbage) {
   const gpusim::FaultConfig cfg = gpusim::parse_fault_spec(
       "seed=42,flip=1e-3,ecc=0.25,launch=0.01,timeout=0.02,stall=0.03,"
-      "loss=0.004,watchdog=30,stall-ms=1.5,max=9");
+      "loss=0.004,watchdog=30,stall-ms=1.5,max=9,hot=2,hot-factor=8");
   EXPECT_TRUE(cfg.enabled);
   EXPECT_EQ(cfg.seed, 42u);
   EXPECT_DOUBLE_EQ(cfg.bit_flip_per_load, 1e-3);
@@ -470,6 +470,8 @@ TEST(FaultInjection, SpecParserRoundTripsAndRejectsGarbage) {
   EXPECT_DOUBLE_EQ(cfg.watchdog_ms, 30.0);
   EXPECT_DOUBLE_EQ(cfg.stall_ms, 1.5);
   EXPECT_EQ(cfg.max_faults, 9u);
+  EXPECT_EQ(cfg.hot_stream, 2);
+  EXPECT_DOUBLE_EQ(cfg.hot_stream_factor, 8.0);
 
   EXPECT_THROW(gpusim::parse_fault_spec("bogus=1"), std::invalid_argument);
   EXPECT_THROW(gpusim::parse_fault_spec("flip"), std::invalid_argument);
@@ -504,6 +506,67 @@ TEST(FaultInjection, InjectorDrawsArePureFunctionsOfTheKey) {
     differs = a.launch_fault(0, launch) != c.launch_fault(0, launch);
   }
   EXPECT_TRUE(differs);
+}
+
+// --- heterogeneous (hot-stream) fault pressure ------------------------------
+
+TEST(FaultInjection, HotStreamScalesLaunchFaultsOnThatStreamOnly) {
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 55;
+  cfg.launch_failure = 0.02;
+
+  gpusim::FaultConfig hot = cfg;
+  hot.hot_stream = 1;
+  hot.hot_stream_factor = 8.0;
+  // A factor with no stream selected must be inert (the default shape).
+  gpusim::FaultConfig inert = cfg;
+  inert.hot_stream_factor = 8.0;
+
+  const gpusim::FaultInjector base(cfg);
+  const gpusim::FaultInjector biased(hot);
+  const gpusim::FaultInjector unselected(inert);
+
+  std::array<int, 2> base_hits{};
+  std::array<int, 2> biased_hits{};
+  constexpr std::uint64_t kLaunches = 4000;
+  for (int stream = 0; stream < 2; ++stream) {
+    for (std::uint64_t launch = 1; launch <= kLaunches; ++launch) {
+      base_hits[static_cast<std::size_t>(stream)] +=
+          base.launch_fault(stream, launch).has_value() ? 1 : 0;
+      biased_hits[static_cast<std::size_t>(stream)] +=
+          biased.launch_fault(stream, launch).has_value() ? 1 : 0;
+      EXPECT_EQ(base.launch_fault(stream, launch),
+                unselected.launch_fault(stream, launch));
+    }
+  }
+  // The cold stream is untouched: the bias scales the hot stream's accept
+  // threshold over the SAME underlying uniforms, so every baseline fault
+  // also fires under bias and the cold plan is bit-identical.
+  EXPECT_EQ(biased_hits[0], base_hits[0]);
+  EXPECT_GE(biased_hits[1], base_hits[1]);
+  // And the hot stream sees roughly hot_stream_factor x the pressure.
+  EXPECT_GT(biased_hits[1], 4 * base_hits[1]);
+}
+
+TEST(FaultInjection, HotStreamLeavesBitFlipDrawsUntouched) {
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 56;
+  cfg.bit_flip_per_load = 0.05;
+  gpusim::FaultConfig hot = cfg;
+  hot.hot_stream = 0;
+  hot.hot_stream_factor = 16.0;
+  const gpusim::FaultInjector base(cfg);
+  const gpusim::FaultInjector biased(hot);
+  for (std::uint64_t op = 0; op < 500; ++op) {
+    const auto a = base.load_fault(/*stream=*/0, /*launch=*/3, /*task=*/2, op);
+    const auto b = biased.load_fault(0, 3, 2, op);
+    EXPECT_EQ(a.inject, b.inject);
+    EXPECT_EQ(a.correctable, b.correctable);
+    EXPECT_EQ(a.lane, b.lane);
+    EXPECT_EQ(a.bit, b.bit);
+  }
 }
 
 // --- MultiGpu ---------------------------------------------------------------

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "core/query_server.hpp"
 #include "core/rdbs.hpp"
 #include "core/sep_hybrid.hpp"
+#include "core/traffic.hpp"
 #include "common/rng.hpp"
 #include "gpusim/fault.hpp"
 #include "graph/builder.hpp"
@@ -86,9 +88,12 @@ bool fuzz_faults() {
 // run). The oracle requirement splits by outcome: every COMPLETED query
 // (ok / recovered / cpu-fallback) must carry distances exactly equal to
 // Dijkstra's and finish within its deadline; every non-completed query
-// (shed / deadline / failed) must carry no distances at all. The nightly
-// workflow sets it together with RDBS_FUZZ_FAULTS, turning the long fuzz
-// into an overload-chaos sweep over the whole serving stack.
+// (shed / deadline / failed) must carry no distances at all. The same knob
+// also enables the streaming-chaos leg (run_streaming_chaos_case below):
+// seed-derived traffic schedules through run_stream(), with bit-identity
+// asserted across sim_threads {1, 8}. The nightly workflow sets it together
+// with RDBS_FUZZ_FAULTS, turning the long fuzz into an overload-chaos sweep
+// over the whole serving stack.
 bool fuzz_overload() {
   const char* env = std::getenv("RDBS_FUZZ_OVERLOAD");
   return env != nullptr && *env != '\0' && *env != '0';
@@ -442,6 +447,131 @@ void run_overload_case(const FuzzCase& c, const Csr& csr, int case_index) {
   }
 }
 
+// Streaming-chaos leg of a kBatch fuzz case (RDBS_FUZZ_OVERLOAD=1): the
+// case seed also derives a small timed traffic schedule — random arrival
+// process, rate, class mix, deadlines — served through run_stream() under
+// the case's gfi fault plan, sometimes with hot-stream bias (one lane under
+// elevated fault pressure). Two contracts at fuzz scale:
+//   * the completed/non-completed oracle split of run_overload_case, and
+//   * streaming determinism — the entire result (statuses, dispatch and
+//     finish times, promotions, distances, breaker events) must be
+//     bit-identical across sim_threads {1, 8}.
+void run_streaming_chaos_case(const FuzzCase& c, const Csr& csr,
+                              int case_index) {
+  Xoshiro256 rng(c.seed ^ 0x57e4a21c7a05ull);
+  core::TrafficSpec spec;
+  spec.process = static_cast<core::ArrivalProcess>(rng.next_below(3));
+  spec.seed = rng.next();
+  spec.num_queries = 8 + rng.next_below(25);
+  // Log-uniform offered rate across ~3 decades: some schedules trickle,
+  // some crush the lanes and exercise shed/expiry paths.
+  spec.rate_qpms =
+      0.01 * static_cast<double>(std::uint64_t{1} << rng.next_below(10));
+  spec.source_universe = 1 + static_cast<std::uint32_t>(rng.next_below(64));
+  for (int cls = 0; cls < core::kNumTrafficClasses; ++cls) {
+    // 1/3 unbounded; the rest log-uniform, hopeless through comfortable.
+    const auto idx = static_cast<std::size_t>(cls);
+    spec.class_deadline_ms[idx] =
+        rng.next_below(3) == 0
+            ? std::numeric_limits<double>::infinity()
+            : 0.001 * static_cast<double>(std::uint64_t{1}
+                                          << rng.next_below(16));
+  }
+  const std::vector<core::TrafficQuery> schedule =
+      core::generate_traffic(spec, csr.num_vertices());
+
+  core::QueryServerOptions options;
+  options.batch.streams = c.streams;
+  options.batch.gpu.basyn = c.basyn;
+  options.batch.gpu.pro = c.pro;
+  options.batch.gpu.adwl = c.adwl;
+  options.batch.gpu.delta0 = c.delta0;
+  options.batch.gpu.fault = fuzz_fault_config(c.seed);
+  options.batch.gpu.retry = fuzz_retry_policy();
+  if (options.batch.gpu.fault.enabled && rng.next_below(2) == 0) {
+    // Hot-stream bias: one lane under elevated launch-fault pressure, so
+    // the EWMA-driven lane policy has real heterogeneity to react to.
+    options.batch.gpu.fault.hot_stream = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(c.streams)));
+    options.batch.gpu.fault.hot_stream_factor =
+        static_cast<double>(2 + rng.next_below(7));
+  }
+  options.admission = rng.next_below(2) == 0 ? core::AdmissionPolicy::kFifo
+                                             : core::AdmissionPolicy::kEdf;
+  options.lane_policy = rng.next_below(2) == 0
+                            ? core::LanePolicy::kEarliestFree
+                            : core::LanePolicy::kPredictedFastest;
+  options.max_pending = 1 + static_cast<int>(rng.next_below(8));
+  options.shed_on_overload = rng.next_below(2) == 0;
+  options.hedge_to_cpu = rng.next_below(2) == 0;
+  options.breaker.enabled = rng.next_below(2) == 0;
+  options.breaker.failure_threshold = 1 + static_cast<int>(rng.next_below(3));
+  options.breaker.cooldown_ms = 0.01 * static_cast<double>(rng.next_below(64));
+  if (rng.next_below(2) == 0) {
+    options.aging_ms =
+        0.001 * static_cast<double>(std::uint64_t{1} << rng.next_below(10));
+  }
+
+  core::StreamResult results[2];
+  const int thread_counts[2] = {1, 8};
+  for (int t = 0; t < 2; ++t) {
+    core::QueryServerOptions run_options = options;
+    run_options.batch.gpu.sim_threads = thread_counts[t];
+    core::QueryServer server(csr, gpusim::test_device(), run_options);
+    results[t] = server.run_stream(schedule);
+  }
+  const core::StreamResult& narrow = results[0];
+  const core::StreamResult& wide = results[1];
+
+  ASSERT_EQ(narrow.stats.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const core::StreamQueryStats& sq = narrow.stats[i];
+    const bool completed = sq.query.status == core::QueryStatus::kOk ||
+                           sq.query.status == core::QueryStatus::kRecovered ||
+                           sq.query.status == core::QueryStatus::kCpuFallback;
+    if (completed) {
+      EXPECT_EQ(narrow.queries[i].sssp.distances,
+                sssp::dijkstra(csr, schedule[i].source).distances)
+          << "stream case " << case_index << " query " << i << " ("
+          << core::query_status_name(sq.query.status)
+          << "): " << c.describe();
+      EXPECT_LE(sq.finish_ms, sq.deadline_ms + 1e-9)
+          << "stream case " << case_index << " query " << i
+          << " completed late: " << c.describe();
+    } else {
+      EXPECT_TRUE(narrow.queries[i].sssp.distances.empty())
+          << "stream case " << case_index << " query " << i << " ("
+          << core::query_status_name(sq.query.status)
+          << ") carries distances despite not completing: " << c.describe();
+    }
+    // Bit-identity across sim_threads, per query.
+    EXPECT_EQ(narrow.stats[i].query.status, wide.stats[i].query.status)
+        << "stream case " << case_index << " query " << i << ": "
+        << c.describe();
+    EXPECT_EQ(narrow.stats[i].dispatch_ms, wide.stats[i].dispatch_ms)
+        << "stream case " << case_index << " query " << i << ": "
+        << c.describe();
+    EXPECT_EQ(narrow.stats[i].finish_ms, wide.stats[i].finish_ms)
+        << "stream case " << case_index << " query " << i << ": "
+        << c.describe();
+    EXPECT_EQ(narrow.stats[i].promotions, wide.stats[i].promotions)
+        << "stream case " << case_index << " query " << i << ": "
+        << c.describe();
+    EXPECT_EQ(narrow.queries[i].sssp.distances,
+              wide.queries[i].sssp.distances)
+        << "stream case " << case_index << " query " << i << ": "
+        << c.describe();
+  }
+  EXPECT_EQ(narrow.makespan_ms, wide.makespan_ms)
+      << "stream case " << case_index << ": " << c.describe();
+  EXPECT_EQ(narrow.shed_queries, wide.shed_queries)
+      << "stream case " << case_index << ": " << c.describe();
+  EXPECT_EQ(narrow.deadline_queries, wide.deadline_queries)
+      << "stream case " << case_index << ": " << c.describe();
+  EXPECT_EQ(narrow.breaker_events.size(), wide.breaker_events.size())
+      << "stream case " << case_index << ": " << c.describe();
+}
+
 TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
   const std::uint64_t master = 42;
   const int iters = fuzz_iterations();
@@ -489,6 +619,7 @@ TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
     }
     if (c.engine == Engine::kBatch && fuzz_overload()) {
       run_overload_case(c, csr, i);
+      run_streaming_chaos_case(c, csr, i);
     }
   }
 }

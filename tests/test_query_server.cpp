@@ -374,6 +374,355 @@ TEST(QueryServer, AllLanesOpenWaitsOutCooldownWhenDeadlineAllows) {
 
 // --- lifecycle across run() calls ------------------------------------------
 
+// --- streaming (run_stream) ------------------------------------------------
+
+core::TrafficQuery at(double arrival_ms, VertexId source,
+                      core::TrafficClass cls,
+                      double deadline_ms =
+                          std::numeric_limits<double>::infinity()) {
+  core::TrafficQuery q;
+  q.arrival_ms = arrival_ms;
+  q.source = source;
+  q.cls = cls;
+  q.deadline_ms = deadline_ms;
+  return q;
+}
+
+// Invariants every stream result must satisfy, whatever the schedule:
+// completed queries carry oracle-exact distances and finished within their
+// (absolute-in-stream) deadline; a shed query burned zero device time and
+// was never dispatched (kShedded and completed are mutually exclusive by
+// construction — a shed query has no distances); class tallies partition
+// the offered load.
+void check_stream_invariants(const Csr& csr,
+                             const std::vector<core::TrafficQuery>& schedule,
+                             const core::StreamResult& result) {
+  ASSERT_EQ(result.queries.size(), schedule.size());
+  ASSERT_EQ(result.stats.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const core::StreamQueryStats& sq = result.stats[i];
+    EXPECT_EQ(sq.arrival_ms, schedule[i].arrival_ms) << "query " << i;
+    if (completed(sq.query.status)) {
+      EXPECT_TRUE(result.queries[i].ok);
+      EXPECT_EQ(result.queries[i].sssp.distances,
+                sssp::dijkstra(csr, schedule[i].source).distances)
+          << "query " << i;
+      EXPECT_GE(sq.dispatch_ms, sq.arrival_ms) << "query " << i;
+      EXPECT_GE(sq.finish_ms, sq.dispatch_ms) << "query " << i;
+      EXPECT_EQ(sq.sojourn_ms, sq.finish_ms - sq.arrival_ms) << "query " << i;
+      if (std::isfinite(sq.deadline_ms)) {
+        EXPECT_LE(sq.finish_ms, sq.deadline_ms + 1e-9) << "query " << i;
+      }
+    } else {
+      EXPECT_FALSE(result.queries[i].ok);
+      EXPECT_TRUE(result.queries[i].sssp.distances.empty()) << "query " << i;
+    }
+    if (sq.query.status == core::QueryStatus::kShedded) {
+      // Shed means shed: no device time, no dispatch, no lane occupancy.
+      EXPECT_EQ(sq.query.device_ms, 0.0) << "query " << i;
+      EXPECT_EQ(sq.dispatch_ms, 0.0) << "query " << i;
+      EXPECT_EQ(sq.finish_ms, 0.0) << "query " << i;
+    }
+  }
+  std::uint64_t offered = 0, terminal = 0;
+  for (const core::ClassTally& tally : result.classes) {
+    offered += tally.offered;
+    terminal +=
+        tally.completed + tally.shed + tally.missed + tally.failed;
+  }
+  EXPECT_EQ(offered, schedule.size());
+  EXPECT_EQ(terminal, schedule.size());
+  EXPECT_EQ(result.ok_queries + result.recovered_queries +
+                result.fallback_queries + result.failed_queries +
+                result.deadline_queries + result.shed_queries,
+            schedule.size());
+}
+
+TEST(QueryServer, StreamBitIdenticalAcrossSimThreads) {
+  const Csr csr = server_test_graph();
+
+  // Calibrate the offered load to the device: overlapping arrivals, a
+  // deadline mix where interactive is tight but feasible.
+  double one_query_ms = 0;
+  {
+    core::QueryServerOptions probe;
+    probe.batch.streams = 1;
+    probe.batch.gpu.delta0 = 150.0;
+    core::QueryServer server(csr, gpusim::test_device(), probe);
+    one_query_ms =
+        server.run(std::vector<core::ServerQuery>(queries_for({17})))
+            .stats[0]
+            .finish_ms;
+    ASSERT_GT(one_query_ms, 0.0);
+  }
+  core::TrafficSpec spec;
+  spec.num_queries = 64;
+  spec.seed = 204;
+  spec.rate_qpms = 2.0 / one_query_ms;
+  spec.class_deadline_ms = {3.0 * one_query_ms, 10.0 * one_query_ms,
+                            std::numeric_limits<double>::infinity()};
+  const std::vector<core::TrafficQuery> schedule =
+      core::generate_traffic(spec, csr.num_vertices());
+
+  for (const int streams : {1, 4}) {
+    std::vector<core::StreamResult> results;
+    for (const int sim_threads : {1, 8}) {
+      core::QueryServerOptions options;
+      options.batch.streams = streams;
+      options.batch.gpu.delta0 = 150.0;
+      options.batch.gpu.sim_threads = sim_threads;
+      // Fault injection + breakers on: the chaotic paths (retries, trips,
+      // half-open probes, EWMA decay) must be as deterministic as the
+      // happy path.
+      options.batch.gpu.fault.enabled = true;
+      options.batch.gpu.fault.seed = 31;
+      options.batch.gpu.fault.launch_failure = 0.02;
+      options.breaker.failure_threshold = 2;
+      options.breaker.cooldown_ms = one_query_ms;
+      core::QueryServer server(csr, gpusim::test_device(), options);
+      results.push_back(server.run_stream(schedule));
+      check_stream_invariants(csr, schedule, results.back());
+    }
+
+    const core::StreamResult& a = results[0];
+    const core::StreamResult& b = results[1];
+    EXPECT_EQ(a.makespan_ms, b.makespan_ms) << streams;
+    EXPECT_EQ(a.device_makespan_ms, b.device_makespan_ms) << streams;
+    EXPECT_EQ(a.shed_queries, b.shed_queries) << streams;
+    EXPECT_EQ(a.deadline_queries, b.deadline_queries) << streams;
+    EXPECT_EQ(a.rerouted_queries, b.rerouted_queries) << streams;
+    EXPECT_EQ(a.breaker_events.size(), b.breaker_events.size()) << streams;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      EXPECT_EQ(a.stats[i].query.status, b.stats[i].query.status) << i;
+      EXPECT_EQ(a.stats[i].dispatch_ms, b.stats[i].dispatch_ms) << i;
+      EXPECT_EQ(a.stats[i].finish_ms, b.stats[i].finish_ms) << i;
+      EXPECT_EQ(a.stats[i].promotions, b.stats[i].promotions) << i;
+      EXPECT_EQ(a.queries[i].sssp.distances, b.queries[i].sssp.distances)
+          << i;
+    }
+    for (int c = 0; c < core::kNumTrafficClasses; ++c) {
+      EXPECT_EQ(a.classes[static_cast<std::size_t>(c)].completed,
+                b.classes[static_cast<std::size_t>(c)].completed);
+      EXPECT_EQ(a.classes[static_cast<std::size_t>(c)].shed,
+                b.classes[static_cast<std::size_t>(c)].shed);
+    }
+  }
+}
+
+TEST(QueryServer, StreamDispatchesByPriorityClass) {
+  const Csr csr = server_test_graph();
+  core::QueryServerOptions options;
+  options.batch.streams = 1;
+  options.batch.gpu.delta0 = 150.0;
+  core::QueryServer server(csr, gpusim::test_device(), options);
+
+  // All three classes arrive together, least urgent first in the input:
+  // the single lane must serve them in class order regardless.
+  const std::vector<core::TrafficQuery> schedule = {
+      at(0.0, 113, core::TrafficClass::kBestEffort),
+      at(0.0, 256, core::TrafficClass::kBatch),
+      at(0.0, 17, core::TrafficClass::kInteractive),
+  };
+  const core::StreamResult result = server.run_stream(schedule);
+
+  EXPECT_EQ(result.ok_queries, 3u);
+  check_stream_invariants(csr, schedule, result);
+  EXPECT_LT(result.stats[2].finish_ms, result.stats[1].finish_ms);
+  EXPECT_LT(result.stats[1].finish_ms, result.stats[0].finish_ms);
+  for (const core::StreamQueryStats& sq : result.stats) {
+    EXPECT_EQ(sq.promotions, 0);  // aging off by default
+  }
+}
+
+TEST(QueryServer, StreamQueueExpiredQueriesAreShedNeverDispatched) {
+  const Csr csr = server_test_graph();
+  core::QueryServerOptions options;
+  options.batch.streams = 1;
+  options.batch.gpu.delta0 = 150.0;
+  // Shedding and hedging off: the ONLY way these queries can avoid the
+  // device is the queue-expiry sweep.
+  options.shed_on_overload = false;
+  options.hedge_to_cpu = false;
+  core::QueryServer server(csr, gpusim::test_device(), options);
+
+  // An unbounded interactive query pins the lane; three batch queries with
+  // deadlines far shorter than its runtime expire while queued. They must
+  // be shed without ever touching a lane — not dispatched-and-cancelled.
+  const std::vector<core::TrafficQuery> schedule = {
+      at(0.0, 17, core::TrafficClass::kInteractive),
+      at(0.0, 113, core::TrafficClass::kBatch, /*deadline_ms=*/1e-3),
+      at(0.0, 256, core::TrafficClass::kBatch, /*deadline_ms=*/1e-3),
+      at(0.0, 399, core::TrafficClass::kBatch, /*deadline_ms=*/1e-3),
+  };
+  const core::StreamResult result = server.run_stream(schedule);
+
+  check_stream_invariants(csr, schedule, result);
+  EXPECT_EQ(result.ok_queries, 1u);
+  EXPECT_EQ(result.shed_queries, 3u);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_EQ(result.stats[i].query.status, core::QueryStatus::kShedded);
+    EXPECT_EQ(result.stats[i].query.error, "deadline expired while queued");
+    EXPECT_EQ(result.stats[i].query.device_ms, 0.0);
+  }
+  EXPECT_EQ(result.classes[1].shed, 3u);
+}
+
+TEST(QueryServer, StreamAgingPromotesStarvedBestEffort) {
+  const Csr csr = server_test_graph();
+  core::QueryServerOptions base;
+  base.batch.streams = 1;
+  base.batch.gpu.delta0 = 150.0;
+
+  // Calibrate arrival spacing well under the per-query service time so an
+  // interactive flood keeps the queue non-empty for the whole stream.
+  double service_ms = 0;
+  {
+    core::QueryServer probe(csr, gpusim::test_device(), base);
+    const core::ServerResult two =
+        probe.run(std::vector<core::ServerQuery>(queries_for({17, 17})));
+    service_ms = std::min(two.stats[0].finish_ms,
+                          two.stats[1].finish_ms - two.stats[0].finish_ms);
+    ASSERT_GT(service_ms, 0.0);
+  }
+  std::vector<core::TrafficQuery> schedule = {
+      at(0.0, 113, core::TrafficClass::kBestEffort)};
+  for (int k = 0; k < 12; ++k) {
+    schedule.push_back(
+        at(k * 0.4 * service_ms, 17, core::TrafficClass::kInteractive));
+  }
+
+  // Strict priority: the flood starves the best-effort query to the very
+  // end of the stream.
+  core::QueryServer strict(csr, gpusim::test_device(), base);
+  const core::StreamResult starved = strict.run_stream(schedule);
+  check_stream_invariants(csr, schedule, starved);
+  EXPECT_EQ(starved.ok_queries, schedule.size());
+  EXPECT_EQ(starved.stats[0].promotions, 0);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GT(starved.stats[0].finish_ms, starved.stats[i].finish_ms) << i;
+  }
+
+  // With aging, the best-effort query is promoted one class per aging_ms
+  // waited and overtakes the flood: a priority inversion is bounded by
+  // (class gap) * aging_ms of waiting plus one in-flight query.
+  core::QueryServerOptions aged_options = base;
+  aged_options.aging_ms = 0.5 * service_ms;
+  core::QueryServer aged(csr, gpusim::test_device(), aged_options);
+  const core::StreamResult promoted = aged.run_stream(schedule);
+  check_stream_invariants(csr, schedule, promoted);
+  EXPECT_EQ(promoted.ok_queries, schedule.size());
+  EXPECT_GE(promoted.stats[0].promotions, 2);
+  EXPECT_LT(promoted.stats[0].dispatch_ms, starved.stats[0].dispatch_ms);
+  // The wait is bounded: 2 classes of gap need ~2 * aging_ms of queueing,
+  // plus at most the query already occupying the lane.
+  EXPECT_LE(promoted.stats[0].dispatch_ms,
+            2.0 * aged_options.aging_ms + 2.0 * service_ms);
+}
+
+TEST(QueryServer, HalfOpenProbeDecaysLaneEwmaExactlyOnce) {
+  const Csr csr = server_test_graph();
+  core::QueryServerOptions options;
+  options.batch.streams = 1;
+  options.batch.gpu.delta0 = 150.0;
+  options.hedge_to_cpu = false;
+  options.breaker.cooldown_ms = 0.01;
+  // Full decay: at half-open entry the EWMA must land exactly on the seed,
+  // which makes "applied exactly once" checkable to the bit.
+  options.breaker.half_open_ewma_decay = 1.0;
+  core::QueryServer server(csr, gpusim::test_device(), options);
+  const double seed_ms = server.batch().cost_seed_ms();
+  const double alpha = options.batch.ewma_alpha;
+
+  // Move the estimate off the seed with one clean query.
+  server.run(std::vector<core::ServerQuery>(queries_for({17})));
+  const double warmed_ms = server.batch().lane_cost_estimate_ms(0);
+  ASSERT_NE(warmed_ms, seed_ms);
+
+  server.trip_lane(0);
+  const std::vector<core::TrafficQuery> schedule = {
+      at(0.0, 17, core::TrafficClass::kInteractive),
+      at(0.0, 113, core::TrafficClass::kInteractive),
+  };
+  const core::StreamResult result = server.run_stream(schedule);
+  check_stream_invariants(csr, schedule, result);
+  EXPECT_EQ(result.ok_queries, 2u);
+
+  // Query 0 probed the lane half-open: decay to the seed happened before
+  // its EWMA update, so the estimate after it is alpha*observed +
+  // (1-alpha)*seed — any trace of `warmed_ms` means the decay was skipped,
+  // a double application would decay query 1's observation too.
+  const double d0 = result.stats[0].query.device_ms;
+  const double d1 = result.stats[1].query.device_ms;
+  ASSERT_GT(d0, 0.0);
+  ASSERT_GT(d1, 0.0);
+  const double after_probe = alpha * d0 + (1.0 - alpha) * seed_ms;
+  const double after_close = alpha * d1 + (1.0 - alpha) * after_probe;
+  EXPECT_DOUBLE_EQ(server.batch().lane_cost_estimate_ms(0), after_close);
+  EXPECT_EQ(server.breaker_state(0), core::BreakerState::kClosed);
+  // open (the manual trip, logged after the warm-up run) -> half-open ->
+  // close, nothing else.
+  ASSERT_EQ(result.breaker_events.size(), 3u);
+  EXPECT_EQ(result.breaker_events[0].transition,
+            core::BreakerTransition::kOpen);
+  EXPECT_EQ(result.breaker_events[1].transition,
+            core::BreakerTransition::kHalfOpen);
+  EXPECT_EQ(result.breaker_events[2].transition,
+            core::BreakerTransition::kClose);
+}
+
+TEST(QueryServer, StreamEwmaSurvivesIdleStretchWithZeroCompletions) {
+  const Csr csr = server_test_graph();
+  core::QueryServerOptions options;
+  options.batch.streams = 1;
+  options.batch.gpu.delta0 = 150.0;
+  options.shed_on_overload = false;
+  options.hedge_to_cpu = false;
+  core::QueryServer server(csr, gpusim::test_device(), options);
+  const double seed_ms = server.batch().cost_seed_ms();
+
+  // Widely-spaced arrivals (long idle gaps) whose deadlines expire during
+  // their first kernels: every query is dispatched and cancelled, zero
+  // complete. The lane's cost estimate must come out of this untouched —
+  // cancelled queries never teach the estimator, and idling is not
+  // evidence of anything.
+  std::vector<core::TrafficQuery> schedule;
+  for (int k = 0; k < 5; ++k) {
+    schedule.push_back(at(k * 50.0 * seed_ms, 17,
+                          core::TrafficClass::kInteractive,
+                          /*deadline_ms=*/1e-6));
+  }
+  const core::StreamResult idle_stream = server.run_stream(schedule);
+  check_stream_invariants(csr, schedule, idle_stream);
+  EXPECT_EQ(idle_stream.deadline_queries, schedule.size());
+  EXPECT_EQ(server.batch().lane_cost_estimate_ms(0), seed_ms);
+  // Every query started at its own arrival, not at the previous finish:
+  // the idle gap was charged so dispatch aligns with arrival.
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(idle_stream.stats[i].dispatch_ms, schedule[i].arrival_ms) << i;
+  }
+
+  // The regression, from the shedder's side: a server that sheds every
+  // infeasible query runs the same idle stretch with ZERO device work —
+  // and must come out still willing to admit a feasible query. (A zeroed
+  // estimate would break the other way, admitting everything; the seed
+  // holding keeps the shedder honest in both directions.)
+  core::QueryServerOptions strict = options;
+  strict.shed_on_overload = true;
+  core::QueryServer shedder(csr, gpusim::test_device(), strict);
+  const core::StreamResult all_shed = shedder.run_stream(schedule);
+  check_stream_invariants(csr, schedule, all_shed);
+  EXPECT_EQ(all_shed.shed_queries, schedule.size());
+  EXPECT_EQ(shedder.batch().lane_cost_estimate_ms(0), seed_ms);
+  const std::vector<core::TrafficQuery> feasible = {
+      at(0.0, 17, core::TrafficClass::kBatch,
+         /*deadline_ms=*/20.0 * seed_ms)};
+  const core::StreamResult after = shedder.run_stream(feasible);
+  EXPECT_EQ(after.ok_queries, 1u);
+  EXPECT_EQ(after.shed_queries, 0u);
+}
+
+// --- lifecycle across run() calls ------------------------------------------
+
 TEST(QueryServer, StatePersistsAcrossRuns) {
   const Csr csr = server_test_graph();
   core::QueryServerOptions options;
