@@ -31,6 +31,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -169,6 +170,43 @@ RunOutcome run_algorithm(const std::string& algorithm, const graph::Csr& csr,
     std::exit(2);
   }
   return outcome;
+}
+
+// Shared --sanitize epilogue for the batch and serving modes: dump the gsan
+// report plus a per-lane hazard tally (gsan v2 records carry the stream pair
+// involved, so an operator can see WHICH lane misbehaved) and return the
+// process exit code — 3 on hazards, 0 when clean or with the sanitizer off.
+int report_sanitizer(core::QueryBatch& batch) {
+  const gpusim::Sanitizer* san = batch.sim().sanitizer();
+  if (san == nullptr) return 0;
+  if (san->hazards().empty()) {
+    std::printf("sanitize: clean (0 hazards) across %d lane(s)\n",
+                batch.num_lanes());
+    return 0;
+  }
+  std::fputs(san->report().c_str(), stderr);
+  std::map<int, std::uint64_t> per_lane;
+  for (const gpusim::HazardRecord& hazard : san->hazards()) {
+    // Attribute the record to the lane that tripped it (the second stream
+    // of a cross-stream pair); per-launch kinds predate lane tracking.
+    const int lane =
+        hazard.second_stream != gpusim::HazardRecord::kNoStream
+            ? hazard.second_stream
+            : hazard.first_stream;
+    per_lane[lane] += hazard.count;
+  }
+  for (const auto& [lane, hits] : per_lane) {
+    if (lane == gpusim::HazardRecord::kNoStream) {
+      std::fprintf(stderr, "sanitize[lane ?]: %llu hazard(s)\n",
+                   static_cast<unsigned long long>(hits));
+    } else {
+      std::fprintf(stderr, "sanitize[lane %d]: %llu hazard(s)\n", lane,
+                   static_cast<unsigned long long>(hits));
+    }
+  }
+  std::fprintf(stderr, "sanitize: %zu hazard record(s) detected\n",
+               san->hazards().size());
+  return 3;
 }
 
 }  // namespace
@@ -367,7 +405,7 @@ int main(int argc, char** argv) {
                       core::breaker_transition_name(event.transition),
                       event.time_ms);
         }
-        return 0;
+        return report_sanitizer(server.batch());
       }
       core::QueryServer server(csr, device, sopts);
       std::vector<core::ServerQuery> offered;
@@ -441,7 +479,7 @@ int main(int argc, char** argv) {
                     core::breaker_transition_name(event.transition),
                     event.time_ms);
       }
-      return 0;
+      return report_sanitizer(server.batch());
     }
 
     core::QueryBatch batch(csr, device, bopts);
@@ -503,16 +541,7 @@ int main(int argc, char** argv) {
           result.failed_queries == 1 ? "y" : "ies",
           result.recovery.device_lost ? ", DEVICE LOST" : "");
     }
-    if (const gpusim::Sanitizer* san = batch.sim().sanitizer()) {
-      if (!san->hazards().empty()) {
-        std::fputs(san->report().c_str(), stderr);
-        std::fprintf(stderr, "sanitize: %zu hazard record(s) detected\n",
-                     san->hazards().size());
-        return 3;
-      }
-      std::printf("sanitize: clean (0 hazards)\n");
-    }
-    return 0;
+    return report_sanitizer(batch);
   }
 
   const std::vector<std::string> algorithms =

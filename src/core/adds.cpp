@@ -211,7 +211,12 @@ GpuRunResult AddsLike::run_attempt(VertexId source) {
           slot[i] = (pile_base + base + i) % far_pile_.size();
         }
         // Read the pile slots (volatile — written by concurrent warps'
-        // st.cg appends) and the current distances of the entries.
+        // st.cg appends) and the current distances of the entries. Each
+        // slot consumed here must have been published by a push (gsan
+        // no-progress).
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+          ctx.spin_wait(far_pile_, slot[i]);
+        }
         ctx.volatile_touch(far_pile_,
                            std::span<const std::uint64_t>(slot.data(), cnt),
                            /*is_store=*/false);
@@ -295,9 +300,12 @@ GpuRunResult AddsLike::run_attempt(VertexId source) {
       {
         // Pop: one head atomic for the warp, a volatile read of the claimed
         // ring slots, and an atomicExch per lane clearing the near flag.
+        // The slots the warp spins on must be satisfiable by some push or
+        // the host seed (gsan no-progress).
         std::array<std::uint64_t, 32> slot{};
         for (std::uint32_t i = 0; i < lane_count; ++i) {
           slot[i] = (near_head + i) % near_queue_.size();
+          ctx.spin_wait(near_queue_, slot[i]);
         }
         near_head += lane_count;
         ctx.atomic_touch(queue_ctrl_,

@@ -193,6 +193,10 @@ void GpuDeltaStepping::parent_warp(gpusim::WarpCtx& ctx,
     std::array<std::uint64_t, 32> slot{};
     for (std::uint32_t i = 0; i < lane_count; ++i) {
       slot[i] = (queue_head_ + i) % queue_.size();
+      // The pop spins until the claiming enqueuer's volatile store lands in
+      // the ring slot; gsan's no-progress check verifies a satisfying write
+      // (an earlier push or the host seed) actually exists.
+      ctx.spin_wait(queue_, slot[i]);
     }
     queue_head_ += lane_count;
     ctx.atomic_touch(queue_ctrl_, std::span<const std::uint64_t>(kHeadCell, 1));

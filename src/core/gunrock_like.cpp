@@ -87,6 +87,10 @@ Frontier Enactor::advance(const Frontier& frontier, const AdvanceFunctor& f) {
       vidx[i] = frontier.vertices()[base + i];
       vidx1[i] = vidx[i] + 1;
       slot[i] = (base + i) % frontier_in_.size();
+      // Double-buffer consume contract: every slot read here must have
+      // been published by the previous operator's compact-store or the
+      // host seed (gsan no-progress).
+      ctx.spin_wait(frontier_in_, slot[i]);
     }
     std::array<VertexId, 32> tmp{};
     ctx.load(frontier_in_, std::span<const std::uint64_t>(slot.data(), cnt),
@@ -187,6 +191,7 @@ Frontier Enactor::filter(const Frontier& frontier,
     for (std::uint32_t i = 0; i < cnt; ++i) {
       vidx[i] = frontier.vertices()[base + i];
       slot[i] = (base + i) % frontier_in_.size();
+      ctx.spin_wait(frontier_in_, slot[i]);  // double-buffer consume
     }
     std::span<const std::uint64_t> vs(vidx.data(), cnt);
     std::array<VertexId, 32> tmp{};
@@ -246,6 +251,7 @@ void Enactor::compute(const Frontier& frontier, const ComputeFunctor& f) {
     std::array<std::uint64_t, 32> slot{};
     for (std::uint32_t i = 0; i < cnt; ++i) {
       slot[i] = (base + i) % frontier_in_.size();
+      ctx.spin_wait(frontier_in_, slot[i]);  // double-buffer consume
     }
     std::array<VertexId, 32> tmp{};
     ctx.load(frontier_in_, std::span<const std::uint64_t>(slot.data(), cnt),

@@ -404,6 +404,8 @@ GpuRunResult DavidsonNearFar::run_attempt(VertexId source) {
         for (std::uint32_t i = 0; i < cnt; ++i) {
           vidx[i] = far[base + i];
           slot[i] = (pile_base + base + i) % far_pile_.size();
+          ctx.spin_wait(far_pile_, slot[i]);  // gsan: consumed slot must
+                                              // have been published
         }
         ctx.volatile_touch(far_pile_,
                            std::span<const std::uint64_t>(slot.data(), cnt),
@@ -481,6 +483,8 @@ GpuRunResult DavidsonNearFar::run_attempt(VertexId source) {
           vidx[i] = near[base + i];
           vidx1[i] = vidx[i] + 1;
           slot[i] = (near_base + base + i) % near_queue_.size();
+          ctx.spin_wait(near_queue_, slot[i]);  // gsan: consumed slot must
+                                                // have been published
         }
         ctx.volatile_touch(near_queue_,
                            std::span<const std::uint64_t>(slot.data(), cnt),

@@ -42,7 +42,17 @@ struct MultiGpuDeltaStepping::Shard {
   gpusim::Buffer<std::uint32_t> queue_ctrl;
   gpusim::Buffer<std::uint8_t> in_queue;
 
-  std::deque<VertexId> frontier;          // local ids of queued vertices
+  // A frontier entry remembers which device queue slot published it, so the
+  // consuming pop can assert the publish landed (gsan no-progress check).
+  // kNoSlot marks host-materialized entries (distance-gap refill) that never
+  // pass through the device queue.
+  static constexpr std::uint64_t kNoSlot = ~0ull;
+  struct QueueEntry {
+    VertexId v = 0;
+    std::uint64_t slot = kNoSlot;
+  };
+
+  std::deque<QueueEntry> frontier;        // local ids of queued vertices
   std::uint64_t queue_tail = 0;           // host mirror of queue_ctrl[0]
   double busy_ms = 0;
 
@@ -54,6 +64,7 @@ struct MultiGpuDeltaStepping::Shard {
     const std::uint64_t slot[1] = {queue_tail % queue.size()};
     queue[slot[0]] = lv;
     ++queue_tail;
+    frontier.push_back({lv, slot[0]});
     ctx.volatile_touch(queue, std::span<const std::uint64_t>(slot, 1),
                        /*is_store=*/true);
   }
@@ -313,7 +324,7 @@ MultiGpuRunResult MultiGpuDeltaStepping::run_attempt(VertexId source) {
 
   Shard& source_shard = *shards_[static_cast<std::size_t>(owner_of(source))];
   source_shard.dist[source - source_shard.first] = 0;
-  source_shard.frontier.push_back(source - source_shard.first);
+  source_shard.frontier.push_back({source - source_shard.first, 0});
   source_shard.in_queue[source - source_shard.first] = 1;
   // Host-side seed of the owner's device queue (H2D upload).
   source_shard.queue[0] = source - source_shard.first;
@@ -393,7 +404,6 @@ MultiGpuRunResult MultiGpuDeltaStepping::run_attempt(VertexId source) {
           const auto local = static_cast<VertexId>(idx[i]);
           if (val[i] < hi && !shard.in_queue[local]) {
             shard.in_queue[local] = 1;
-            shard.frontier.push_back(local);
             shard.charge_push(ctx, local);
           }
         }
@@ -433,7 +443,6 @@ MultiGpuRunResult MultiGpuDeltaStepping::run_attempt(VertexId source) {
           if (ctx.atomic_min_one(shard.dist, local, through)) {
             if (through < hi && !shard.in_queue[local]) {
               shard.in_queue[local] = 1;
-              shard.frontier.push_back(local);
               shard.charge_push(ctx, local);
             }
           }
@@ -473,12 +482,17 @@ MultiGpuRunResult MultiGpuDeltaStepping::run_attempt(VertexId source) {
         gpusim::KernelScope kernel(shard->sim, gpusim::Schedule::kDynamic,
                                    true);
         while (!shard->frontier.empty()) {
-          const VertexId lv = shard->frontier.front();
+          const Shard::QueueEntry entry = shard->frontier.front();
           shard->frontier.pop_front();
+          const VertexId lv = entry.v;
           shard->in_queue[lv] = 0;
           const Distance d = shard->dist[lv];
           if (d < lo || d >= hi) continue;  // stale
           auto ctx = kernel.make_warp();
+          if (entry.slot != Shard::kNoSlot) {
+            // Pop contract: the enqueuer's st.cg publish must be visible.
+            ctx.spin_wait(shard->queue, entry.slot);
+          }
           relax_range(*shard, ctx, lv, shard->row_offsets[lv],
                       shard->row_offsets[lv + 1], /*light_only=*/true,
                       /*heavy_only=*/false);
@@ -557,7 +571,6 @@ MultiGpuRunResult MultiGpuDeltaStepping::run_attempt(VertexId source) {
             min_unsettled = std::min(min_unsettled, d);
             if (d < hi + delta && !shard->in_queue[lv]) {
               shard->in_queue[lv] = 1;
-              shard->frontier.push_back(lv);
               shard->charge_push(ctx, lv);
             }
           }
@@ -585,7 +598,8 @@ MultiGpuRunResult MultiGpuDeltaStepping::run_attempt(VertexId source) {
           if (d != graph::kInfiniteDistance && d >= lo && d < hi &&
               !shard->in_queue[lv]) {
             shard->in_queue[lv] = 1;
-            shard->frontier.push_back(lv);
+            // Host-side refill: no device queue slot backs this entry.
+            shard->frontier.push_back({lv, Shard::kNoSlot});
           }
         }
       }

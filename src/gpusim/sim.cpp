@@ -328,7 +328,7 @@ void GpuSim::begin_launch(bool host_launch, StreamId stream) {
   if (host_launch) ++counters_.kernel_launches;
   ++launch_ordinal_;
   if (sanitizer_) {
-    sanitizer_->begin_launch(pending_label_, launch_ordinal_);
+    sanitizer_->begin_launch(pending_label_, launch_ordinal_, stream);
     pending_label_.clear();
   }
   if (fault_) {
@@ -821,8 +821,10 @@ void GpuSim::apply_launch_fault(LaunchResult& result) {
     case FaultClass::kStreamStall:
       // Latency-only fault: the stream is held for stall_ms but the
       // launch's work is intact (non-poisoning; batch dispatch naturally
-      // routes later queries around the delayed stream).
+      // routes later queries around the delayed stream). The sanitizer
+      // opens a fresh epoch so post-stall work is distinguishable.
       result.ms += cfg.stall_ms;
+      if (sanitizer_) sanitizer_->stream_stall(launch_stream_);
       break;
     case FaultClass::kDeviceLoss:
       device_lost_ = true;

@@ -271,6 +271,16 @@ class WarpCtx {
   // warp; the child's work itself is enqueued by the caller as more tasks.
   void child_launch();
 
+  // gsan annotation (no cost, no trace op, no counters): declares that this
+  // warp spin-waits on buf[index] — a persistent-kernel queue protocol
+  // consuming a slot another party must publish. The sanitizer flags waits
+  // no host transfer and no device write (this launch's, or any earlier
+  // launch's on any stream) can ever satisfy as `[gsan] no-progress` — the
+  // lost-wakeup / deadlock class. Free when the sanitizer is off; timing
+  // and counters are identical either way. Defined after GpuSim.
+  template <typename T>
+  void spin_wait(const Buffer<T>& buf, std::uint64_t index);
+
  private:
   friend class GpuSim;
   friend class KernelScope;
@@ -390,6 +400,12 @@ class GpuSim {
   void label_next_launch(std::string_view label) {
     if (sanitizer_) pending_label_.assign(label);
   }
+  // gsan hook behind WarpCtx::spin_wait: records that `task` of the open
+  // launch spins on device address `addr`. Pure annotation — touches no
+  // timing, counter or trace state.
+  void note_spin_wait(std::uint32_t task, std::uint64_t addr) {
+    if (sanitizer_) sanitizer_->note_wait(task, addr);
+  }
 
   // --- fault injection (gfi) ------------------------------------------------
   // Deterministic seeded fault plans over the launch/record pipeline; see
@@ -408,14 +424,18 @@ class GpuSim {
   bool device_lost() const { return device_lost_; }
   // Simulated cudaDeviceReset: clears the lost-device latch and the fault
   // log/budget. A real service would tear the process down instead; tests
-  // use this to stage multi-phase chaos scenarios.
+  // use this to stage multi-phase chaos scenarios. A device-wide reset is a
+  // full fence, so the sanitizer's happens-before clocks all join.
   void revive_device() {
     device_lost_ = false;
     fault_log_.clear();
+    if (sanitizer_) sanitizer_->full_fence();
   }
   // Charges a host-side delay (e.g. a retry backoff) to one stream's
-  // simulated timeline.
+  // simulated timeline. The host is interacting with this stream's work, so
+  // the sanitizer treats it as a two-way synchronization point.
   void charge_host_ms(double ms, StreamId stream = 0) {
+    if (sanitizer_) sanitizer_->host_wait(stream);
     stream_state(stream).time_ms += ms;
   }
 
@@ -635,8 +655,11 @@ class GpuSim {
   // See KernelScope below.
 
   // Adds a fixed host-side overhead (e.g. a stream synchronize between
-  // dependent kernels in synchronous mode) to one stream's timeline.
+  // dependent kernels in synchronous mode) to one stream's timeline. For
+  // the sanitizer this is cudaStreamSynchronize: the host clock joins the
+  // stream's — later launches on ANY stream are ordered after this one.
   void host_barrier(StreamId stream = 0) {
+    if (sanitizer_) sanitizer_->host_sync(stream);
     stream_state(stream).time_ms += spec_.kernel_launch_us * 1e-3 * 0.5;
   }
 
@@ -649,11 +672,15 @@ class GpuSim {
     return kSetupUs * 1e-3 + static_cast<double>(bytes) /
                                  (kPcieBandwidthGbps * 1e6);
   }
-  // Charges a transfer onto the simulated timeline of one stream.
+  // Charges a transfer onto the simulated timeline of one stream. A
+  // (synchronous) memcpy orders the host and the stream both ways, so the
+  // sanitizer joins their happens-before clocks.
   void memcpy_h2d(std::uint64_t bytes, StreamId stream = 0) {
+    if (sanitizer_) sanitizer_->host_transfer(stream);
     stream_state(stream).time_ms += memcpy_ms(bytes);
   }
   void memcpy_d2h(std::uint64_t bytes, StreamId stream = 0) {
+    if (sanitizer_) sanitizer_->host_transfer(stream);
     stream_state(stream).time_ms += memcpy_ms(bytes);
   }
 
@@ -834,6 +861,13 @@ class GpuSim {
 template <typename T>
 void WarpCtx::maybe_flip(const Buffer<T>& buf, std::span<T> out) {
   sim_.inject_load_fault(task_, buf, out);
+}
+
+template <typename T>
+void WarpCtx::spin_wait(const Buffer<T>& buf, std::uint64_t index) {
+  if (!sanitize_) return;
+  sim_.note_spin_wait(task_,
+                      buf.address_of(functional_index(buf, index)));
 }
 
 // RAII handle over one kernel launch whose warp tasks are produced on the

@@ -75,11 +75,19 @@ struct TraceOp {
   static constexpr bool kind_is_volatile(std::uint8_t k) {
     return k == kVolatileLoad || k == kVolatileStore;
   }
+  // Synchronized accesses — atomics and volatiles — resolve at the
+  // coherence point and pair safely with each other under the sanitizer's
+  // race rules (intra-launch and cross-stream alike); only plain accesses
+  // conflict.
+  static constexpr bool kind_is_synced(std::uint8_t k) {
+    return k == kAtomic || kind_is_volatile(k);
+  }
 
   bool is_read() const { return kind_is_read(kind); }
   bool is_plain_store() const { return kind == kStore; }
   bool is_write() const { return kind_is_write(kind); }
   bool is_volatile() const { return kind_is_volatile(kind); }
+  bool is_synced() const { return kind_is_synced(kind); }
 };
 
 // Per-task record: trace extent, placement, record-time cycles and the
@@ -205,6 +213,7 @@ class LaunchTrace {
     bool is_plain_store() const { return kind == TraceOp::kStore; }
     bool is_write() const { return TraceOp::kind_is_write(kind); }
     bool is_volatile() const { return TraceOp::kind_is_volatile(kind); }
+    bool is_synced() const { return TraceOp::kind_is_synced(kind); }
   };
 
   // Sequential decoder over one task's ops [op_begin, op_end). Decodes each

@@ -572,6 +572,54 @@ void run_streaming_chaos_case(const FuzzCase& c, const Csr& csr,
       << "stream case " << case_index << ": " << c.describe();
 }
 
+// Cross-stream leg of a kBatch fuzz case (RDBS_FUZZ_SANITIZE=1): the same
+// engine flags over SEVERAL seed-derived sources at the case's random
+// stream count, so the lanes genuinely overlap in simulated time and the
+// vector-clock happens-before detector sees real cross-stream concurrency.
+// Two gates: the sweep must be hazard-free, and the hazard report (empty or
+// not) plus every distance vector must be byte-identical across
+// sim_threads {1, 8} — cross-stream reports are rank-stable by contract.
+void run_cross_stream_case(const FuzzCase& c, const Csr& csr,
+                           int case_index) {
+  Xoshiro256 rng(c.seed ^ 0xc0557a3acc0eddull);
+  std::vector<VertexId> sources(2 + rng.next_below(5));
+  for (VertexId& s : sources) {
+    s = static_cast<VertexId>(rng.next_below(csr.num_vertices()));
+  }
+
+  const int thread_counts[2] = {1, 8};
+  std::string reports[2];
+  core::BatchResult results[2];
+  for (int t = 0; t < 2; ++t) {
+    core::QueryBatchOptions options;
+    options.streams = c.streams;
+    options.gpu.basyn = c.basyn;
+    options.gpu.pro = c.pro;
+    options.gpu.adwl = c.adwl;
+    options.gpu.delta0 = c.delta0;
+    options.gpu.sanitize = gpusim::SanitizeMode::kOn;
+    options.gpu.fault = fuzz_fault_config(c.seed);
+    options.gpu.retry = fuzz_retry_policy();
+    options.gpu.sim_threads = thread_counts[t];
+    core::QueryBatch batch(csr, gpusim::test_device(), options);
+    results[t] = batch.run(sources);
+    ASSERT_NE(batch.sim().sanitizer(), nullptr);
+    reports[t] = batch.sim().sanitizer()->report();
+  }
+  EXPECT_EQ(reports[0], "")
+      << "cross-stream case " << case_index << ": " << c.describe();
+  EXPECT_EQ(reports[0], reports[1])
+      << "cross-stream case " << case_index
+      << " report differs across sim_threads: " << c.describe();
+  ASSERT_EQ(results[0].queries.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(results[0].queries[i].sssp.distances,
+              results[1].queries[i].sssp.distances)
+        << "cross-stream case " << case_index << " query " << i << ": "
+        << c.describe();
+  }
+}
+
 TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
   const std::uint64_t master = 42;
   const int iters = fuzz_iterations();
@@ -620,6 +668,10 @@ TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
     if (c.engine == Engine::kBatch && fuzz_overload()) {
       run_overload_case(c, csr, i);
       run_streaming_chaos_case(c, csr, i);
+    }
+    if (c.engine == Engine::kBatch &&
+        fuzz_sanitize() == gpusim::SanitizeMode::kOn) {
+      run_cross_stream_case(c, csr, i);
     }
   }
 }

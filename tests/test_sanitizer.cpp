@@ -8,7 +8,14 @@
 //      against its EXACT report line — the reports are part of the tool's
 //      contract (deterministic, rank-stable, diffable in CI).
 //
-//   2. Clean sweeps: every engine family runs its full SSSP pipeline under
+//   2. Cross-launch checkers: seeded cross-stream races (write/write,
+//      read/write, atomic-vs-plain) caught by the vector-clock happens-before
+//      detector, and seeded no-progress bugs (spins on queue slots no writer
+//      ever publishes) caught by the termination checker — again asserted
+//      against EXACT report lines, plus negatives proving barriers, memcpys
+//      and satisfied waits stay silent.
+//
+//   3. Clean sweeps: every engine family runs its full SSSP pipeline under
 //      the sanitizer and must produce an empty report while still matching
 //      Dijkstra — the sanitizer only observes; it never changes results.
 #include <gtest/gtest.h>
@@ -251,6 +258,266 @@ TEST(GsanSeededBugs, ReportsAreDeterministicAcrossSimThreads) {
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, run_hazards(4));
   EXPECT_EQ(serial, run_hazards(8));
+}
+
+// --- cross-stream happens-before races --------------------------------------
+
+TEST(GsanCrossStream, WriteWriteRaceOnUnorderedStreamsDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+  sim.mark_initialized(data);
+
+  // Two launches on distinct streams plain-store the same buffer with no
+  // ordering event between them: host issue order alone does NOT order
+  // streams, so this is a cross-stream write/write race.
+  sim.label_next_launch("writer_a");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 3, 1u);
+                 },
+                 /*host_launch=*/true, /*stream=*/0);
+  sim.label_next_launch("writer_b");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 3, 2u);
+                 },
+                 /*host_launch=*/true, /*stream=*/1);
+  EXPECT_EQ(report_of(sim),
+            "[gsan] cross-stream-race: kernel=writer_b buffer=data elem=3 "
+            "stream=0/1\n");
+}
+
+TEST(GsanCrossStream, ReadOfConcurrentWriterDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+  sim.mark_initialized(data);
+
+  sim.label_next_launch("producer");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 2, 1u);
+                 },
+                 /*host_launch=*/true, /*stream=*/0);
+  sim.label_next_launch("consumer");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   (void)ctx.load_one(data, 2);
+                 },
+                 /*host_launch=*/true, /*stream=*/1);
+  EXPECT_EQ(report_of(sim),
+            "[gsan] cross-stream-race: kernel=consumer buffer=data elem=2 "
+            "stream=0/1\n");
+}
+
+TEST(GsanCrossStream, AtomicAgainstConcurrentPlainWriteDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto dist = sim.alloc<float>("dist", 8);
+  sim.mark_initialized(dist);
+
+  // Even a synchronized access races with a concurrent PLAIN write on
+  // another stream — the atomic orders nothing the plain store respects.
+  sim.label_next_launch("plain_relax");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(dist, 4, 1.0f);
+                 },
+                 /*host_launch=*/true, /*stream=*/0);
+  sim.label_next_launch("atomic_relax");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.atomic_min_one(dist, 4, 2.0f);
+                 },
+                 /*host_launch=*/true, /*stream=*/1);
+  EXPECT_EQ(report_of(sim),
+            "[gsan] cross-stream-race: kernel=atomic_relax buffer=dist "
+            "elem=4 stream=0/1\n");
+}
+
+TEST(GsanCrossStream, HostBarrierOrdersTheStreams) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+  sim.mark_initialized(data);
+
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 3, 1u);
+                 },
+                 /*host_launch=*/true, /*stream=*/0);
+  // cudaStreamSynchronize(0): the host clock joins stream 0, and the next
+  // launch on stream 1 inherits that — same element, no race.
+  sim.host_barrier(0);
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 3, 2u);
+                 },
+                 /*host_launch=*/true, /*stream=*/1);
+  EXPECT_EQ(report_of(sim), "");
+}
+
+TEST(GsanCrossStream, SynchronousMemcpyOrdersTheStreams) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto data = sim.alloc<std::uint32_t>("data", 8);
+  sim.mark_initialized(data);
+
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 5, 1u);
+                 },
+                 /*host_launch=*/true, /*stream=*/0);
+  // A synchronous D2H readback orders host after stream 0's writes; the
+  // stream-1 writer launched after it is therefore ordered too.
+  sim.memcpy_d2h(data.size() * sizeof(std::uint32_t), /*stream=*/0);
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.store_one(data, 5, 2u);
+                 },
+                 /*host_launch=*/true, /*stream=*/1);
+  EXPECT_EQ(report_of(sim), "");
+}
+
+TEST(GsanCrossStream, AtomicsAndVolatilesPairSafelyAcrossStreams) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto flags = sim.alloc<std::uint32_t>("flags", 8);
+  sim.mark_initialized(flags);
+
+  // The QueryBatch ctrl-cell pattern: synchronized accesses from unordered
+  // streams are the intended protocol, never a race.
+  const std::uint64_t idx[1] = {1};
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.volatile_touch(flags,
+                                      std::span<const std::uint64_t>(idx, 1),
+                                      /*is_store=*/true);
+                 },
+                 /*host_launch=*/true, /*stream=*/0);
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.atomic_touch(flags,
+                                    std::span<const std::uint64_t>(idx, 1));
+                 },
+                 /*host_launch=*/true, /*stream=*/1);
+  EXPECT_EQ(report_of(sim), "");
+}
+
+// --- no-progress (termination) checker --------------------------------------
+
+TEST(GsanNoProgress, SpinOnNeverPublishedSlotDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto queue = sim.alloc<std::uint32_t>("queue", 64);
+
+  // A persistent-kernel pop spins on a queue slot that no host upload and
+  // no device store ever published: it can never make progress.
+  sim.label_next_launch("stuck_pop");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.spin_wait(queue, 9);
+                 });
+  EXPECT_EQ(report_of(sim),
+            "[gsan] no-progress: kernel=stuck_pop buffer=queue elem=9 "
+            "stream=0 warp=0\n");
+}
+
+TEST(GsanNoProgress, LostWakeupWriterAfterWaiterDetected) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto queue = sim.alloc<std::uint32_t>("queue", 64);
+
+  // Lost wakeup: the producer's publish launches on another stream only
+  // AFTER the consumer's spin — at spin time no unordered writer could
+  // satisfy the slot (the sim is functionally host-serial, so any value
+  // the spin could consume must already have been produced).
+  sim.label_next_launch("early_pop");
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.spin_wait(queue, 2);
+                 },
+                 /*host_launch=*/true, /*stream=*/0);
+  sim.label_next_launch("late_push");
+  const std::uint64_t idx[1] = {2};
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.volatile_touch(queue,
+                                      std::span<const std::uint64_t>(idx, 1),
+                                      /*is_store=*/true);
+                 },
+                 /*host_launch=*/true, /*stream=*/1);
+  EXPECT_EQ(report_of(sim),
+            "[gsan] no-progress: kernel=early_pop buffer=queue elem=2 "
+            "stream=0 warp=0\n");
+}
+
+TEST(GsanNoProgress, SatisfiedWaitsStaySilent) {
+  GpuSim sim(gpusim::test_device());
+  sim.enable_sanitizer(SanitizeMode::kOn);
+  auto queue = sim.alloc<std::uint32_t>("queue", 64);
+  auto seeded = sim.alloc<std::uint32_t>("seeded", 64);
+  sim.mark_initialized(seeded);  // host H2D upload of the source seed
+
+  // Publish-then-pop across launches, publish-then-pop within one launch,
+  // and a pop of a host-seeded slot: all legitimate, all silent.
+  const std::uint64_t pub[1] = {2};
+  sim.run_kernel(gpusim::Schedule::kStatic, 1, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t) {
+                   ctx.volatile_touch(queue,
+                                      std::span<const std::uint64_t>(pub, 1),
+                                      /*is_store=*/true);
+                 },
+                 /*host_launch=*/true, /*stream=*/1);
+  sim.run_kernel(gpusim::Schedule::kStatic, 2, 1,
+                 [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                   if (w == 0) {
+                     ctx.spin_wait(queue, 2);    // earlier launch's publish
+                     ctx.spin_wait(seeded, 40);  // host seed
+                   } else {
+                     const std::uint64_t own[1] = {33};
+                     ctx.volatile_touch(
+                         queue, std::span<const std::uint64_t>(own, 1),
+                         /*is_store=*/true);
+                     ctx.spin_wait(queue, 33);   // same-launch publish
+                   }
+                 },
+                 /*host_launch=*/true, /*stream=*/0);
+  EXPECT_EQ(report_of(sim), "");
+}
+
+// Satellite contract: hazard reports are byte-identical for any replay
+// worker count and any stream count — sim_threads {1,8} x streams {1,4}.
+TEST(GsanCrossStream, ReportsAreIdenticalAcrossSimThreadsAndStreams) {
+  auto run_case = [](int workers, int streams) {
+    GpuSim sim(gpusim::test_device());
+    sim.set_worker_threads(workers);
+    sim.enable_sanitizer(SanitizeMode::kOn);
+    auto data = sim.alloc<std::uint32_t>("data", 64);
+    auto ctrl = sim.alloc<std::uint32_t>("ctrl", 8);
+    sim.mark_initialized(data);
+    for (int round = 0; round < 6; ++round) {
+      sim.label_next_launch("mix");
+      sim.run_kernel(gpusim::Schedule::kStatic, 2, 1,
+                     [&](gpusim::WarpCtx& ctx, std::uint64_t w) {
+                       ctx.store_one(data, 3,
+                                     static_cast<std::uint32_t>(round));
+                       (void)ctx.load_one(data, 8 + w);
+                       if (round == 4 && w == 0) ctx.spin_wait(ctrl, 2);
+                     },
+                     /*host_launch=*/true, /*stream=*/round % streams);
+    }
+    return report_of(sim);
+  };
+  for (const int streams : {1, 4}) {
+    const std::string serial = run_case(1, streams);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, run_case(8, streams));
+  }
+  // Single stream = program order: the only hazard left is the dead spin.
+  EXPECT_EQ(run_case(1, 1).find("cross-stream-race"), std::string::npos);
+  EXPECT_NE(run_case(1, 4).find("cross-stream-race"), std::string::npos);
 }
 
 // --- clean sweeps across every engine family --------------------------------

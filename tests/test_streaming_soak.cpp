@@ -198,5 +198,59 @@ TEST(StreamingSoak, TenThousandMixedClassQueriesOnMappedKn18) {
          "RDBS_UPDATE_GOLDEN=1 and commit the diff";
 }
 
+// Sanitized soak (ISSUE 8 satellite): a shorter slice of the same k-n18
+// mixed-class schedule with gsan v2 enabled — per-launch scans plus the
+// cross-stream happens-before detector and the no-progress checker watching
+// all four lanes, with fault injection and recovery still on. The serving
+// layer's contract: a brutal but correct run produces ZERO hazards.
+TEST(StreamingSoak, SanitizedKn18SliceReportsZeroHazards) {
+  const Csr csr = graph::load_dataset_by_name("k-n18-16");
+
+  core::QueryServerOptions options;
+  options.batch.streams = 4;
+  options.batch.gpu.delta0 = 150.0;
+  options.batch.gpu.sanitize = gpusim::SanitizeMode::kOn;
+  options.batch.gpu.fault.enabled = true;
+  options.batch.gpu.fault.seed = 18;
+  options.batch.gpu.fault.launch_failure = 0.005;
+  options.batch.gpu.fault.max_faults = 80;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_ms = 2.0;
+  options.aging_ms = 1.0;
+  options.max_pending = 64;
+  core::QueryServer server(csr, gpusim::test_device(), options);
+  const double seed_ms = server.batch().cost_seed_ms();
+
+  core::TrafficSpec spec;
+  spec.process = core::ArrivalProcess::kBursty;
+  spec.seed = 18;
+  spec.num_queries = 1500;
+  spec.rate_qpms = 20.0 * options.batch.streams / seed_ms;
+  spec.burst_factor = 1.0;
+  spec.idle_factor = 0.1;
+  spec.burst_on_ms = 12.0 * seed_ms;
+  spec.burst_off_ms = 24.0 * seed_ms;
+  spec.zipf_s = 1.1;
+  spec.source_universe = 512;
+  spec.class_mix = {0.5, 0.3, 0.2};
+  spec.class_deadline_ms = {4.0 * seed_ms, 10.0 * seed_ms, 40.0 * seed_ms};
+  const std::vector<core::TrafficQuery> schedule =
+      core::generate_traffic(spec, csr.num_vertices());
+
+  const core::StreamResult result = server.run_stream(schedule);
+
+  ASSERT_NE(server.batch().sim().sanitizer(), nullptr);
+  EXPECT_EQ(server.batch().sim().sanitizer()->report(), "");
+
+  // Still a soak, not a smoke test: plenty of completions AND shedding,
+  // with faults actually fired and recovered under the sanitizer's eye.
+  const std::uint64_t done =
+      result.ok_queries + result.recovered_queries + result.fallback_queries;
+  ASSERT_EQ(result.stats.size(), schedule.size());
+  EXPECT_GT(done, 50u);
+  EXPECT_GT(result.shed_queries, 100u);
+  EXPECT_GT(result.recovered_queries, 0u);
+}
+
 }  // namespace
 }  // namespace rdbs
