@@ -58,7 +58,8 @@ double percentile(std::vector<double> values, double q) {
 bool completed(core::QueryStatus status) {
   return status == core::QueryStatus::kOk ||
          status == core::QueryStatus::kRecovered ||
-         status == core::QueryStatus::kCpuFallback;
+         status == core::QueryStatus::kCpuFallback ||
+         status == core::QueryStatus::kCacheHit;
 }
 
 struct Row {
@@ -83,6 +84,10 @@ int main(int argc, char** argv) {
   const std::string dataset = args.get_string("dataset", "k-n16-16");
   const std::string json_path = args.get_string("json", "BENCH_server.json");
   const int streams = static_cast<int>(args.get_int("streams", 4));
+
+  // --cache: run ONLY the result-cache sweep (the quick form ci/run_tier1.sh
+  // uses as a bench-regression guard). The full bench runs it too, last.
+  const bool cache_only = args.get_bool("cache", false);
 
   const graph::Csr csr = bench::load_bench_graph(dataset, config);
   const graph::Weight delta0 = bench::empirical_delta0(csr, config.seed);
@@ -161,6 +166,164 @@ int main(int argc, char** argv) {
       }
     }
   };
+
+  // --- result-cache sweep ---------------------------------------------------
+  // A Zipf-hot 600-query Poisson stream served twice on fresh servers:
+  // cold (cache off) and cached (exact hits + single-flight joins +
+  // landmark warm starts; docs/serving.md "Result cache"). Fault-free on
+  // purpose — this sweep isolates what reuse buys. Gates (exit 1):
+  //  * every completed query, cached or cold, matches the Dijkstra oracle;
+  //  * the cached run is bit-identical across sim_threads {1, 8};
+  //  * cache-hit p50 sojourn < cold completed p50 sojourn (the reuse win).
+  struct CacheSweep {
+    std::size_t offered = 0, cold_done = 0;
+    std::size_t hits = 0, joins = 0, warm = 0;
+    double hit_p50 = 0, cold_p50 = 0;
+    bool correct = true;
+    bool deterministic = true;
+    bool beats_cold = false;
+  };
+  CacheSweep cache_sweep;
+  {
+    core::TrafficSpec spec;
+    spec.process = core::ArrivalProcess::kPoisson;
+    spec.seed = config.seed;
+    spec.num_queries = 600;
+    spec.rate_qpms = 2.0 * static_cast<double>(streams) / mean_ms;
+    spec.zipf_s = 1.3;
+    spec.source_universe = 64;
+    spec.class_deadline_ms = {6.0 * mean_ms, 16.0 * mean_ms, 100.0 * mean_ms};
+    const std::vector<core::TrafficQuery> schedule =
+        core::generate_traffic(spec, csr.num_vertices());
+    cache_sweep.offered = schedule.size();
+
+    const auto run_cached = [&](int threads, bool cache_on) {
+      core::QueryServerOptions sopts;
+      sopts.batch = bopts;
+      sopts.batch.gpu.sim_threads = threads;
+      sopts.max_pending = schedule.size();
+      sopts.hedge_to_cpu = false;
+      sopts.cache.enabled = cache_on;
+      sopts.cache.capacity = 64;
+      sopts.cache.landmarks = 4;
+      core::QueryServer server(csr, device, sopts);
+      return server.run_stream(schedule);
+    };
+    const core::StreamResult cold = run_cached(1, false);
+    const core::StreamResult cached = run_cached(1, true);
+    const core::StreamResult cached_wide = run_cached(8, true);
+
+    std::map<graph::VertexId, std::vector<graph::Weight>> cache_oracle;
+    const auto check_exact = [&](const core::StreamResult& result,
+                                 const char* label) {
+      for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (!completed(result.stats[i].query.status)) continue;
+        auto it = cache_oracle.find(schedule[i].source);
+        if (it == cache_oracle.end()) {
+          it = cache_oracle
+                   .emplace(schedule[i].source,
+                            sssp::dijkstra(csr, schedule[i].source).distances)
+                   .first;
+        }
+        if (result.queries[i].sssp.distances != it->second) {
+          std::fprintf(stderr,
+                       "VIOLATION: %s query %zu (source %u) distances "
+                       "differ from the Dijkstra reference\n",
+                       label, i, schedule[i].source);
+          cache_sweep.correct = false;
+        }
+      }
+    };
+    check_exact(cold, "cache-cold");
+    check_exact(cached, "cache-on");
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      if (cached.stats[i].query.status != cached_wide.stats[i].query.status ||
+          cached.stats[i].dispatch_ms != cached_wide.stats[i].dispatch_ms ||
+          cached.stats[i].finish_ms != cached_wide.stats[i].finish_ms ||
+          cached.queries[i].sssp.distances !=
+              cached_wide.queries[i].sssp.distances) {
+        std::fprintf(stderr,
+                     "VIOLATION: cached streaming query %zu differs "
+                     "between sim_threads 1 and 8\n",
+                     i);
+        cache_sweep.deterministic = false;
+      }
+    }
+    if (cached.cached_queries != cached_wide.cached_queries ||
+        cached.joined_queries != cached_wide.joined_queries ||
+        cached.warm_started_queries != cached_wide.warm_started_queries) {
+      std::fprintf(stderr,
+                   "VIOLATION: cache aggregates differ between "
+                   "sim_threads 1 and 8\n");
+      cache_sweep.deterministic = false;
+    }
+
+    cache_sweep.hits = static_cast<std::size_t>(cached.cached_queries);
+    cache_sweep.joins = static_cast<std::size_t>(cached.joined_queries);
+    cache_sweep.warm =
+        static_cast<std::size_t>(cached.warm_started_queries);
+    std::vector<double> hit_sojourn, cold_sojourn;
+    for (const core::StreamQueryStats& sq : cached.stats) {
+      if (sq.query.status == core::QueryStatus::kCacheHit) {
+        hit_sojourn.push_back(sq.sojourn_ms);
+      }
+    }
+    for (const core::StreamQueryStats& sq : cold.stats) {
+      if (completed(sq.query.status)) cold_sojourn.push_back(sq.sojourn_ms);
+    }
+    cache_sweep.cold_done = cold_sojourn.size();
+    cache_sweep.hit_p50 = percentile(hit_sojourn, 0.50);
+    cache_sweep.cold_p50 = percentile(cold_sojourn, 0.50);
+    cache_sweep.beats_cold = !hit_sojourn.empty() && !cold_sojourn.empty() &&
+                             cache_sweep.hit_p50 < cache_sweep.cold_p50;
+    if (!cache_sweep.beats_cold) {
+      std::fprintf(stderr,
+                   "VIOLATION: cache-hit p50 (%.4f ms over %zu hits) does "
+                   "not beat cold p50 (%.4f ms over %zu completed)\n",
+                   cache_sweep.hit_p50, hit_sojourn.size(),
+                   cache_sweep.cold_p50, cold_sojourn.size());
+    }
+  }
+  const bool cache_ok =
+      cache_sweep.correct && cache_sweep.deterministic &&
+      cache_sweep.beats_cold;
+  std::printf("cache sweep (Zipf s=1.3, 64 hot sources, %zu queries): "
+              "%zu exact hit(s), %zu join(s), %zu warm start(s); "
+              "hit p50 %.4f ms vs cold p50 %.4f ms -> %s; "
+              "oracle-exact %s, sim_threads-deterministic %s\n",
+              cache_sweep.offered, cache_sweep.hits, cache_sweep.joins,
+              cache_sweep.warm, cache_sweep.hit_p50, cache_sweep.cold_p50,
+              cache_sweep.beats_cold ? "cache wins" : "NO WIN",
+              cache_sweep.correct ? "yes" : "NO",
+              cache_sweep.deterministic ? "yes" : "NO");
+  const auto write_cache_json = [&](std::FILE* json) {
+    std::fprintf(
+        json,
+        "  \"cache\": {\"offered\": %zu, \"cold_completed\": %zu, "
+        "\"exact_hits\": %zu, \"single_flight_joins\": %zu, "
+        "\"warm_starts\": %zu, \"hit_p50_ms\": %.4f, \"cold_p50_ms\": %.4f, "
+        "\"cache_hit_p50_beats_cold_p50\": %s, \"oracle_exact\": %s, "
+        "\"deterministic\": %s}",
+        cache_sweep.offered, cache_sweep.cold_done, cache_sweep.hits,
+        cache_sweep.joins, cache_sweep.warm, cache_sweep.hit_p50,
+        cache_sweep.cold_p50, cache_sweep.beats_cold ? "true" : "false",
+        cache_sweep.correct ? "true" : "false",
+        cache_sweep.deterministic ? "true" : "false");
+  };
+  if (cache_only) {
+    std::FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(json, "{\n  \"device\": \"%s\",\n  \"dataset\": \"%s\",\n",
+                 device.name.c_str(), dataset.c_str());
+    write_cache_json(json);
+    std::fprintf(json, "\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s (cache sweep only)\n", json_path.c_str());
+    return cache_ok ? 0 : 1;
+  }
 
   std::vector<Row> rows;
   for (const bool breakers : {true, false}) {
@@ -608,6 +771,8 @@ int main(int argc, char** argv) {
                stream_loads.back(), policy_p99[1], policy_p99[0],
                policy_done[1], policy_done[0],
                policy_wins ? "true" : "false");
+  write_cache_json(json);
+  std::fprintf(json, ",\n");
   const auto write_row = [&](const Row& row, bool last) {
     const double offered_d = static_cast<double>(row.offered);
     std::fprintf(
@@ -651,7 +816,7 @@ int main(int argc, char** argv) {
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
   return deadline_bounded && distances_ok && breakers_observable &&
-                 stream_deterministic && policy_wins
+                 stream_deterministic && policy_wins && cache_ok
              ? 0
              : 1;
 }

@@ -15,7 +15,9 @@
 #             (gfi chaos sweep: fault bookkeeping must stay race-free when
 #             faulted launches replay on multiple workers),
 #             test_query_server (serving determinism sweeps: deadlines,
-#             admission, breakers over sim_threads {1,8} x streams {1,4})
+#             admission, breakers over sim_threads {1,8} x streams {1,4}),
+#             test_result_cache (result-cache hits, single-flight joins
+#             and warm starts interleaved with parallel replay)
 #             and test_streaming_soak (10k-query streaming schedule on
 #             k-n18: the continuous dispatcher's pending-queue/breaker/
 #             aging bookkeeping interleaved with parallel replay).
@@ -80,6 +82,14 @@ echo "=== [parallel] replay-throughput regression guard ==="
 "$BUILD_ROOT/parallel/bench/gpusim_throughput" --quick --par-threads 4 \
   --min-speedup 1.0 --reps 3 --json /dev/null
 
+echo "=== [parallel] result-cache latency guard ==="
+# The cache sweep alone (hot-Zipf schedule, cache on vs off): exact hits
+# must be oracle-exact and bit-identical across sim_threads, and the
+# cache-hit p50 sojourn must beat the cold p50 — a cache that stops
+# hitting, or hits slower than solving, fails the gate here before it
+# reaches the nightly full bench.
+"$BUILD_ROOT/parallel/bench/server_tail_latency" --cache --json /dev/null
+
 run_config serial -DRDBS_PARALLEL=OFF
 
 echo "=== [tsan] configure ==="
@@ -90,7 +100,7 @@ cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target test_gpusim_parallel test_query_batch test_fault_injection \
-           test_query_server test_streaming_soak
+           test_query_server test_result_cache test_streaming_soak
 echo "=== [tsan] test_gpusim_parallel ==="
 # The two Kronecker engine tests simulate millions of warp tasks and take
 # tens of minutes under TSan instrumentation; the road-graph engine tests
@@ -110,6 +120,11 @@ echo "=== [tsan] test_query_server ==="
 # sim_threads {1,8} x streams {1,4}: a race between the admission/breaker
 # bookkeeping and the replay workers would break bit-identity here.
 "$TSAN_DIR/tests/test_query_server"
+echo "=== [tsan] test_result_cache ==="
+# Cache hits are served host-side while misses replay on the worker pool;
+# single-flight joins and warm-start seeding hand cached vectors to lanes
+# that are busy replaying — exactly the sharing TSan should watch.
+"$TSAN_DIR/tests/test_result_cache"
 echo "=== [tsan] test_streaming_soak ==="
 # The streaming soak pushes 10k timed queries through run_stream() while
 # the replay pool is live: the golden aggregate doubles as a determinism

@@ -26,6 +26,11 @@
 //   # continuously on the simulated clock
 //   ./sssp_tool --dataset=k-n16-16 --batch
 //       --serve-stream=poisson:n=2000,rate=2,deadlines=1/4/-,seed=7
+//
+//   # result cache (docs/serving.md "Result cache"): exact-hit reuse,
+//   # single-flight sharing and landmark warm starts on a Zipf workload
+//   ./sssp_tool --dataset=k-n16-16 --batch --cache --landmarks=4
+//       --serve-stream=poisson:n=2000,rate=2,zipf=1.3,universe=64
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -301,6 +306,16 @@ int main(int argc, char** argv) {
                      breaker.c_str());
         return 2;
       }
+      // --cache turns on the result cache (docs/serving.md "Result
+      // cache"); --cache-capacity and --landmarks tune it and imply it.
+      if (args.get_bool("cache", false) || args.has("cache-capacity") ||
+          args.has("landmarks")) {
+        sopts.cache.enabled = true;
+        sopts.cache.capacity =
+            static_cast<std::size_t>(args.get_int("cache-capacity", 64));
+        sopts.cache.landmarks =
+            static_cast<std::size_t>(args.get_int("landmarks", 4));
+      }
       if (stream_mode) {
         // Streaming serve: queries arrive over simulated time per the
         // --serve-stream spec; the server dispatches continuously with a
@@ -341,7 +356,8 @@ int main(int argc, char** argv) {
           promotions += static_cast<std::uint64_t>(sq.promotions);
           if (sq.query.status == core::QueryStatus::kOk ||
               sq.query.status == core::QueryStatus::kRecovered ||
-              sq.query.status == core::QueryStatus::kCpuFallback) {
+              sq.query.status == core::QueryStatus::kCpuFallback ||
+              sq.query.status == core::QueryStatus::kCacheHit) {
             sojourns[static_cast<std::size_t>(sq.cls)].push_back(
                 sq.sojourn_ms);
           }
@@ -369,7 +385,8 @@ int main(int argc, char** argv) {
         std::fputs(table.render().c_str(), stdout);
         const std::uint64_t done = result.ok_queries +
                                    result.recovered_queries +
-                                   result.fallback_queries;
+                                   result.fallback_queries +
+                                   result.cached_queries;
         std::printf(
             "\nstreamed %zu quer%s (%s arrivals) over %d lane(s) "
             "(%s-lane placement, %s admission, breakers %s): "
@@ -388,6 +405,22 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(result.rerouted_queries),
             static_cast<unsigned long long>(promotions),
             result.makespan_ms, result.device_makespan_ms);
+        if (sopts.cache.enabled) {
+          const core::SourceRepetitionStats reps =
+              core::source_repetition_stats(schedule);
+          const core::ResultCacheStats& cs =
+              server.result_cache()->stats();
+          std::printf(
+              "cache: %llu exact hit(s), %llu single-flight join(s), "
+              "%llu warm start(s); %llu publish(es), %llu eviction(s); "
+              "schedule repeats %.1f%% over %zu distinct source(s)\n",
+              static_cast<unsigned long long>(result.cached_queries),
+              static_cast<unsigned long long>(result.joined_queries),
+              static_cast<unsigned long long>(result.warm_started_queries),
+              static_cast<unsigned long long>(cs.publishes),
+              static_cast<unsigned long long>(cs.evictions),
+              100.0 * reps.repeat_fraction, reps.distinct_sources);
+        }
         if (fault.enabled) {
           std::printf(
               "recovery: %llu attempt(s), %llu fault(s) injected "
@@ -463,6 +496,14 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(result.failed_queries),
           result.makespan_ms,
           static_cast<unsigned long long>(result.overrun_kernels));
+      if (sopts.cache.enabled) {
+        std::printf(
+            "cache: %llu exact hit(s), %llu single-flight join(s), "
+            "%llu warm start(s)\n",
+            static_cast<unsigned long long>(result.cached_queries),
+            static_cast<unsigned long long>(result.joined_queries),
+            static_cast<unsigned long long>(result.warm_started_queries));
+      }
       if (fault.enabled) {
         std::printf(
             "recovery: %llu attempt(s), %llu fault(s) injected "

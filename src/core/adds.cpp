@@ -141,17 +141,63 @@ GpuRunResult AddsLike::run_attempt(VertexId source) {
   GpuRunResult result;
   init_distances_kernel(source);
 
-  // Host seed modeled as an H2D upload of the first ring slot + flag.
+  // Warm start (docs/serving.md "Result cache"): caller-provided upper
+  // bounds overwrite the infinite tentative distances — one H2D upload of
+  // the finite bounds; the source keeps its exact 0. Near-Far is
+  // label-correcting, so valid upper bounds preserve exactness.
+  std::uint64_t warm_seeded = 0;
+  if (options_.warm_start != nullptr) {
+    const std::vector<Distance>& bounds = *options_.warm_start;
+    RDBS_CHECK_MSG(bounds.size() == csr_.num_vertices(),
+                   "warm_start bounds must cover every vertex");
+    for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+      if (v == source || bounds[v] == graph::kInfiniteDistance) continue;
+      dist_[v] = bounds[v];
+      ++warm_seeded;
+    }
+    if (warm_seeded > 0) sim_->memcpy_h2d(warm_seeded * kDeviceWord, stream_);
+  }
+
+  // Host seed modeled as an H2D upload of the claimed ring slots + flags.
+  // Warm-seeded vertices below the first threshold join the Near seed;
+  // the rest start on the Far pile (the split reads the live distances, so
+  // entries improved below the threshold in the meantime drop as stale —
+  // the same lazy-deletion rule every pushed duplicate follows).
   std::deque<VertexId> near{source};
   in_near_[source] = 1;
   near_queue_[0] = source;
-  sim_->mark_initialized(near_queue_, 0, 1);
-  sim_->mark_initialized(in_near_, source, 1);
   std::vector<VertexId> far;
   std::uint64_t near_tail = 1;
   std::uint64_t near_head = 0;
   std::uint64_t far_tail = 0;
   Distance threshold = options_.delta;
+  if (warm_seeded > 0) {
+    for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+      if (v == source || dist_[v] == graph::kInfiniteDistance) continue;
+      if (dist_[v] < threshold) {
+        in_near_[v] = 1;
+        near.push_back(v);
+        near_queue_[near_tail % near_queue_.size()] = v;
+        ++near_tail;
+        sim_->mark_initialized(in_near_, v, 1);
+      } else {
+        far.push_back(v);
+        far_pile_[far_tail % far_pile_.size()] = v;
+        ++far_tail;
+      }
+    }
+    if (far_tail > 0) {
+      sim_->mark_initialized(
+          far_pile_, 0,
+          static_cast<std::size_t>(
+              std::min<std::uint64_t>(far_tail, far_pile_.size())));
+    }
+  }
+  sim_->mark_initialized(
+      near_queue_, 0,
+      static_cast<std::size_t>(
+          std::min<std::uint64_t>(near_tail, near_queue_.size())));
+  sim_->mark_initialized(in_near_, source, 1);
 
   // Warp-aggregated pile append: one tail atomic for the warp on the
   // control cell, an atomicExch per near flag, and a volatile (st.cg) store

@@ -34,6 +34,10 @@ struct AddsOptions {
   // Deterministic fault injection + recovery (gfi; docs/fault_injection.md).
   gpusim::FaultConfig fault;
   RetryPolicy retry;
+  // Per-vertex upper bounds seeding the tentative distances (engine
+  // numbering; caller-owned; see GpuSsspOptions::warm_start). Near-Far is
+  // label-correcting like Δ-stepping, so bounds preserve exactness.
+  const std::vector<graph::Distance>* warm_start = nullptr;
 };
 
 class AddsLike {
@@ -62,6 +66,13 @@ class AddsLike {
   // near/far round boundary; once expired the run stops charging device
   // time and returns deadline_exceeded with partial metrics, no distances.
   void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
+  // Result-cache warm start (docs/serving.md): rebinds the upper-bound
+  // array for subsequent runs; nullptr detaches. The array must outlive
+  // every run it seeds (retries re-read it).
+  void set_warm_start(const std::vector<graph::Distance>* bounds) {
+    options_.warm_start = bounds;
+  }
 
  private:
   // One recovery attempt: the full Near-Far run, re-initializing all

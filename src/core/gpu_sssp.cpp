@@ -150,16 +150,53 @@ void GpuDeltaStepping::charge_enqueue(gpusim::WarpCtx& ctx,
                      /*is_store=*/true);
 }
 
-void GpuDeltaStepping::seed_queue(VertexId source) {
+std::uint64_t GpuDeltaStepping::apply_warm_start(VertexId source) {
+  // Warm start (docs/serving.md "Result cache"): caller-provided upper
+  // bounds overwrite the infinite tentative distances — one H2D upload of
+  // the finite bounds. The source keeps its exact 0 (its "bound" is always
+  // >= 0). Exactness: Δ-stepping is label-correcting, so relaxations only
+  // ever improve on a valid upper bound, never trust it.
+  if (options_.warm_start == nullptr) return 0;
+  const std::vector<Distance>& bounds = *options_.warm_start;
+  RDBS_CHECK_MSG(bounds.size() == csr_.num_vertices(),
+                 "warm_start bounds must cover every vertex");
+  std::uint64_t seeded = 0;
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    if (v == source || bounds[v] == graph::kInfiniteDistance) continue;
+    dist_[v] = bounds[v];
+    ++seeded;
+  }
+  if (seeded > 0) sim_->memcpy_h2d(seeded * kDeviceWord, stream_);
+  return seeded;
+}
+
+void GpuDeltaStepping::seed_queue(VertexId source, Weight hi) {
   // The host seeds the ring with the source vertex — modeled as an H2D
-  // upload (slot 0 plus the in-queue flag), so the cursors and the first
-  // pop's slot read are accounted for.
+  // upload (the claimed slots plus the in-queue flags), so the cursors and
+  // the first pops' slot reads are accounted for.
   vqueue_.push_back(source);
   in_queue_[source] = 1;
   queue_[0] = source;
   queue_tail_ = 1;
-  sim_->mark_initialized(queue_, 0, 1);
   sim_->mark_initialized(in_queue_, source, 1);
+  // Warm start: vertices seeded inside the initial window join the seed
+  // frontier here. Later windows are collected by the phase-2/3 scan over
+  // the live distances, but nothing scans ahead of the first window.
+  if (options_.warm_start != nullptr) {
+    for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+      if (v == source || in_queue_[v] != 0) continue;
+      if (dist_[v] >= hi) continue;  // also skips untouched infinities
+      in_queue_[v] = 1;
+      queue_[queue_tail_ % queue_.size()] = v;
+      ++queue_tail_;
+      vqueue_.push_back(v);
+      sim_->mark_initialized(in_queue_, v, 1);
+    }
+  }
+  sim_->mark_initialized(
+      queue_, 0,
+      static_cast<std::size_t>(
+          std::min<std::uint64_t>(queue_tail_, queue_.size())));
 }
 
 void GpuDeltaStepping::enqueue(gpusim::WarpCtx& /*ctx*/, VertexId v,
@@ -744,17 +781,19 @@ GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
 
   GpuRunResult result;
   init_distances_kernel(source);
+  apply_warm_start(source);
 
   if (options_.mode == EngineMode::kSyncPushBellmanFord) {
     // BL: plain synchronous push SSSP. One frontier sweep per kernel
     // launch; every out-edge of every active vertex is relaxed (hi = ∞
     // treats all edges as "light" and re-enqueues every improvement).
-    seed_queue(source);
+    // Warm-seeded vertices all land in the (unbounded) initial frontier.
+    seed_queue(source, graph::kInfiniteDistance);
     ++current_epoch_;
     BucketStats bs;
     bs.delta = graph::kInfiniteDistance;
     bs.high = graph::kInfiniteDistance;
-    bs.initial_active = 1;
+    bs.initial_active = vqueue_.size();
     phase1_sync(0, graph::kInfiniteDistance, graph::kInfiniteDistance, bs);
     if (options_.instrument) result.buckets.push_back(bs);
     result.sssp.work = work_;
@@ -780,7 +819,7 @@ GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
   Weight delta = controller.current_delta();
   Weight lo = 0;
   Weight hi = delta;
-  seed_queue(source);
+  seed_queue(source, hi);
 
   // Guard against pathological non-termination (cannot occur with
   // non-negative weights, but an experiment harness should fail loudly,

@@ -84,6 +84,14 @@ class GpuDeltaStepping {
   // token must outlive the runs it governs; pass nullptr to detach.
   void set_cancel_token(const CancelToken* token) { cancel_ = token; }
 
+  // Result-cache warm start (docs/serving.md "Result cache"): rebinds the
+  // upper-bound array (GpuSsspOptions::warm_start) for subsequent runs;
+  // nullptr detaches. The array must outlive every run it seeds (retries
+  // re-apply it on their fresh device state).
+  void set_warm_start(const std::vector<Distance>* bounds) {
+    options_.warm_start = bounds;
+  }
+
  private:
   struct ChildChunk {
     VertexId vertex;
@@ -139,7 +147,13 @@ class GpuDeltaStepping {
   // device-side cost — offset load or incremental maintenance — is charged
   // at warp level by the callers).
   EdgeIndex light_end(VertexId v, Weight delta) const;
-  void seed_queue(VertexId source);
+  // Host-seeds the phase-1 ring with the source plus — under a warm start —
+  // every warm vertex whose seeded distance already lies inside the initial
+  // window [0, hi).
+  void seed_queue(VertexId source, Weight hi);
+  // Applies options_.warm_start (if bound) onto the freshly initialized
+  // distances; returns the number of vertices seeded.
+  std::uint64_t apply_warm_start(VertexId source);
   void enqueue(gpusim::WarpCtx& ctx, VertexId v, std::uint32_t lanes);
   void charge_enqueue(gpusim::WarpCtx& ctx, std::uint32_t lanes);
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "gpusim/device.hpp"
 #include "gpusim/fault.hpp"
@@ -91,6 +92,16 @@ struct GpuSsspOptions {
   // injected faults plus recovery counters in GpuRunResult.
   gpusim::FaultConfig fault;
   RetryPolicy retry;
+
+  // --- serving-layer warm start ---------------------------------------------
+  // Optional per-vertex upper bounds on the true distances (ENGINE vertex
+  // numbering; kInfiniteDistance = no bound), owned by the caller and valid
+  // for the whole run (including retries). Finite bounds seed the tentative
+  // distances right after the init kernel and the covered vertices join the
+  // initial frontier window. Δ-stepping is label-correcting, so any valid
+  // upper bound preserves exactness (core/result_cache.hpp; docs/serving.md
+  // "Result cache"). Typically rebound per query via set_warm_start().
+  const std::vector<graph::Distance>* warm_start = nullptr;
 };
 
 }  // namespace rdbs::core

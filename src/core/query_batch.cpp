@@ -15,6 +15,7 @@ const char* query_status_name(QueryStatus status) {
     case QueryStatus::kFailed: return "failed";
     case QueryStatus::kDeadlineExceeded: return "deadline";
     case QueryStatus::kShedded: return "shed";
+    case QueryStatus::kCacheHit: return "cache-hit";
   }
   return "?";
 }
@@ -161,10 +162,31 @@ QueryBatch::LaneOutcome QueryBatch::run_on_lane(int lane_index,
     return out;
   }
 
+  // Result cache (core/result_cache.hpp): landmark warm bounds are fetched
+  // at dispatch time against the lane's own clock — a landmark whose
+  // producer hasn't finished yet on the simulated timeline is never used.
+  // The cache speaks the caller's ORIGINAL numbering; the engine wants its
+  // (possibly PRO-reordered) own, so bounds are permuted on the way in.
+  const std::vector<graph::Distance>* warm = nullptr;
+  if (cache_ != nullptr &&
+      cache_->warm_bounds(source, sim_->stream_elapsed_ms(lane.stream),
+                          &warm_bounds_)) {
+    if (permuted_) {
+      warm_engine_.resize(graph_.num_vertices());
+      for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+        warm_engine_[perm_.to_reordered(v)] = warm_bounds_[v];
+      }
+      warm = &warm_engine_;
+    } else {
+      warm = &warm_bounds_;
+    }
+    out.stats.warm_started = true;
+  }
+
   const VertexId engine_source =
       permuted_ ? perm_.to_reordered(source) : source;
   try {
-    out.result = lane.run(engine_source, cancel);
+    out.result = lane.run(engine_source, cancel, warm);
     if (permuted_ && !out.result.sssp.distances.empty()) {
       out.result.sssp.distances = perm_.unpermute(out.result.sssp.distances);
     }
@@ -191,17 +213,38 @@ QueryBatch::LaneOutcome QueryBatch::run_on_lane(int lane_index,
     out.stats.status = QueryStatus::kRecovered;
   }
 
-  // Only successful *device* runs teach the admission estimator. Failed,
-  // cancelled or fallback queries can cost near-zero device time (e.g. an
-  // immediate launch failure with no fallback); folding those in would drag
-  // the estimate toward zero and let every future query through the load
-  // shedder — an all-failed warm-up batch must leave the seed intact
-  // (regression test in tests/test_query_batch.cpp).
+  // Only successful COLD *device* runs teach the admission estimator.
+  // Failed, cancelled or fallback queries can cost near-zero device time
+  // (e.g. an immediate launch failure with no fallback); folding those in
+  // would drag the estimate toward zero and let every future query through
+  // the load shedder — an all-failed warm-up batch must leave the seed
+  // intact (regression test in tests/test_query_batch.cpp). Warm-started
+  // runs are excluded for the same reason: they are systematically cheaper
+  // than a cold solve, and the shedder has to keep predicting the cold
+  // cost it would pay on a miss. (Cache hits never reach a lane at all,
+  // so they cannot skew the EWMA by construction — also regression-
+  // tested.)
   if ((out.stats.status == QueryStatus::kOk ||
        out.stats.status == QueryStatus::kRecovered) &&
-      out.stats.device_ms > 0) {
+      !out.stats.warm_started && out.stats.device_ms > 0) {
     const double alpha = std::clamp(options_.ewma_alpha, 0.0, 1.0);
     lane.ewma_ms = alpha * out.stats.device_ms + (1.0 - alpha) * lane.ewma_ms;
+  }
+
+  // Publish the terminal outcome at the lane's finish time: completed
+  // distances for exact-hit reuse, failures for single-flight sharing
+  // (they expire once published; see ResultCache::lookup).
+  if (cache_ != nullptr) {
+    const double publish_ms = sim_->stream_elapsed_ms(lane.stream);
+    if ((out.stats.status == QueryStatus::kOk ||
+         out.stats.status == QueryStatus::kRecovered ||
+         out.stats.status == QueryStatus::kCpuFallback) &&
+        !out.result.sssp.distances.empty()) {
+      cache_->publish(source, out.stats.status, out.result.sssp.distances,
+                      publish_ms);
+    } else if (out.stats.status == QueryStatus::kFailed) {
+      cache_->publish(source, QueryStatus::kFailed, {}, publish_ms);
+    }
   }
   return out;
 }

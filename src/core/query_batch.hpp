@@ -28,6 +28,7 @@
 #include "core/cancel.hpp"
 #include "core/gpu_sssp.hpp"
 #include "core/options.hpp"
+#include "core/result_cache.hpp"
 #include "core/run_metrics.hpp"
 #include "gpusim/sim.hpp"
 #include "graph/csr.hpp"
@@ -65,6 +66,8 @@ enum class QueryStatus : std::uint8_t {
   kDeadlineExceeded,  // cancelled cooperatively after its deadline passed
   kShedded,           // rejected up front by admission control (no device
                       // time was spent on it)
+  kCacheHit,          // answered from the result cache — exact distances,
+                      // no lane touched (core/result_cache.hpp)
 };
 
 // Human-readable status label (tool/bench output).
@@ -81,6 +84,11 @@ struct QueryStats {
   double mwips = 0;                  // warp instructions / latency
   QueryStatus status = QueryStatus::kOk;
   std::string error;                 // non-empty only when status == kFailed
+  // The run was seeded with landmark upper bounds from the result cache.
+  // Warm runs cost less device time than cold ones, so they are excluded
+  // from the lane cost EWMA (which must keep predicting COLD cost for the
+  // load shedder).
+  bool warm_started = false;
 };
 
 struct BatchResult {
@@ -168,6 +176,15 @@ class QueryBatch {
   gpusim::GpuSim& sim() { return *sim_; }
   const QueryBatchOptions& options() const { return options_; }
 
+  // Attaches a result cache (caller-owned, typically QueryServer's;
+  // docs/serving.md "Result cache"). While attached, run_on_lane() seeds
+  // dispatched queries with landmark warm bounds (mapped through the PRO
+  // permutation) and publishes every terminal outcome — completed
+  // distances and failures alike — at the lane's finish time for exact-hit
+  // reuse and single-flight sharing. nullptr detaches.
+  void set_result_cache(ResultCache* cache) { cache_ = cache; }
+  ResultCache* result_cache() const { return cache_; }
+
  private:
   // One stream and its persistent engine (pooled buffers across queries).
   struct Lane {
@@ -176,14 +193,17 @@ class QueryBatch {
     std::unique_ptr<AddsLike> adds;
     double ewma_ms = 0;  // admission-control cost estimate (seeded in ctor)
 
-    GpuRunResult run(VertexId source, const CancelToken* cancel) {
-      // The token is (re)bound before every run, so a pointer left over
-      // from a previous query is never consulted.
+    GpuRunResult run(VertexId source, const CancelToken* cancel,
+                     const std::vector<graph::Distance>* warm) {
+      // The token and warm bounds are (re)bound before every run, so a
+      // pointer left over from a previous query is never consulted.
       if (rdbs) {
         rdbs->set_cancel_token(cancel);
+        rdbs->set_warm_start(warm);
         return rdbs->run(source);
       }
       adds->set_cancel_token(cancel);
+      adds->set_warm_start(warm);
       return adds->run(source);
     }
   };
@@ -196,6 +216,11 @@ class QueryBatch {
   std::unique_ptr<gpusim::GpuSim> sim_;
   std::unique_ptr<DeviceCsrBuffers> graph_bufs_;
   std::vector<Lane> lanes_;
+  ResultCache* cache_ = nullptr;  // caller-owned; null = no caching
+  // Warm-bound scratch (original and engine numbering): members so the
+  // pointer handed to the engine stays valid across its retry attempts.
+  std::vector<graph::Distance> warm_bounds_;
+  std::vector<graph::Distance> warm_engine_;
 };
 
 }  // namespace rdbs::core

@@ -26,6 +26,12 @@ QueryServer::QueryServer(const graph::Csr& csr, gpusim::DeviceSpec device,
       host_csr_(csr),
       batch_(csr, std::move(device), options_.batch) {
   breakers_.resize(static_cast<std::size_t>(batch_.num_lanes()));
+  if (options_.cache.enabled) {
+    // The cache speaks the ORIGINAL numbering (symmetry checked on the
+    // original CSR; PRO permutation is handled inside QueryBatch).
+    cache_ = std::make_unique<ResultCache>(host_csr_, options_.cache);
+    batch_.set_result_cache(cache_.get());
+  }
 }
 
 BreakerState QueryServer::breaker_state(int lane) const {
@@ -148,6 +154,57 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
     stats.query.status = QueryStatus::kCpuFallback;
     stats.hedged = true;
     stats.finish_ms = host_clock_ms_ - host_start_ms;
+    // Hedged results publish too (mapped onto the serving clock axis), so
+    // a repeat of a hedged source is a hit like any other.
+    if (cache_) {
+      cache_->publish(source, QueryStatus::kCpuFallback,
+                      hedged.sssp.distances, run_start_ms + stats.finish_ms);
+    }
+    return true;
+  };
+
+  // Result cache (core/result_cache.hpp): consulted per query BEFORE any
+  // breaker or shedding logic — a cache-answerable query is never shed.
+  // All of this run's queries "arrive" at run_start_ms, so that is the
+  // decision time: an entry published by then is an exact hit (served
+  // instantly, zero device time); an entry still in flight — typically an
+  // identical source dispatched earlier in this very run — is joined
+  // single-flight when it publishes inside this query's deadline, sharing
+  // the producer's status, distances and even its failure.
+  const auto serve_from_cache = [&](std::size_t index, VertexId source,
+                                    double deadline_rel_ms) {
+    if (cache_ == nullptr) return false;
+    if (const CachedResult* hit = cache_->lookup(source, run_start_ms)) {
+      GpuRunResult& out = result.queries[index];
+      out.ok = true;
+      out.sssp.distances = hit->distances;
+      sssp::finalize_valid_updates(out.sssp, source);
+      ServerQueryStats& stats = result.stats[index];
+      stats.query.status = QueryStatus::kCacheHit;
+      stats.finish_ms = 0;
+      return true;
+    }
+    const CachedResult* flight =
+        cache_->lookup_inflight(source, run_start_ms);
+    if (flight == nullptr) return false;
+    const double publish_rel_ms = flight->publish_ms - run_start_ms;
+    if (std::isfinite(deadline_rel_ms) && publish_rel_ms > deadline_rel_ms) {
+      return false;  // would publish too late for THIS query: run its own
+    }
+    ServerQueryStats& stats = result.stats[index];
+    stats.single_flight = true;
+    stats.finish_ms = publish_rel_ms;
+    if (flight->status == QueryStatus::kFailed) {
+      result.queries[index].ok = false;
+      stats.query.status = QueryStatus::kFailed;
+      stats.query.error = "single-flight: shared in-flight query failed";
+    } else {
+      GpuRunResult& out = result.queries[index];
+      out.ok = true;
+      out.sssp.distances = flight->distances;
+      sssp::finalize_valid_updates(out.sssp, source);
+      stats.query.status = flight->status;
+    }
     return true;
   };
 
@@ -185,6 +242,12 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
       result.queries[item.index].ok = false;
       stats.query.status = QueryStatus::kFailed;
       stats.query.error = "source vertex out of range";
+      continue;
+    }
+
+    // Cache check comes before breakers, shedding and hedging: an exact
+    // hit or single-flight join costs no lane and cannot be rejected.
+    if (serve_from_cache(item.index, query.source, item.deadline_rel_ms)) {
       continue;
     }
 
@@ -293,9 +356,12 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
       case QueryStatus::kFailed: ++result.failed_queries; break;
       case QueryStatus::kDeadlineExceeded: ++result.deadline_queries; break;
       case QueryStatus::kShedded: ++result.shed_queries; break;
+      case QueryStatus::kCacheHit: ++result.cached_queries; break;
     }
     if (stats.hedged) ++result.hedged_queries;
     if (stats.rerouted) ++result.rerouted_queries;
+    if (stats.single_flight) ++result.joined_queries;
+    if (stats.query.warm_started) ++result.warm_started_queries;
     result.overrun_kernels += stats.overrun_kernels;
   }
   result.device_makespan_ms = batch_.sim().elapsed_ms() - run_start_ms;
@@ -362,6 +428,56 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
     stats.dispatch_ms = now_ms;
     stats.finish_ms = finish_ms;
     stats.sojourn_ms = finish_ms - stats.arrival_ms;
+    if (cache_) {
+      cache_->publish(schedule[index].source, QueryStatus::kCpuFallback,
+                      hedged.sssp.distances, stream_start_ms + finish_ms);
+    }
+    return true;
+  };
+
+  // Result cache, streaming flavor (docs/serving.md "Result cache").
+  // Checked twice per query — at arrival (admission) and again at dispatch,
+  // because an identical source may publish while this one sits queued. The
+  // decision time `at_rel_ms` is relative to the stream start; cache
+  // publish times live on the absolute device clock.
+  const auto serve_from_cache_stream = [&](std::size_t index,
+                                           double at_rel_ms) {
+    if (cache_ == nullptr) return false;
+    const VertexId source = schedule[index].source;
+    StreamQueryStats& stats = result.stats[index];
+    const double at_abs_ms = stream_start_ms + at_rel_ms;
+    if (const CachedResult* hit = cache_->lookup(source, at_abs_ms)) {
+      GpuRunResult& out = result.queries[index];
+      out.ok = true;
+      out.sssp.distances = hit->distances;
+      sssp::finalize_valid_updates(out.sssp, source);
+      stats.query.status = QueryStatus::kCacheHit;
+      stats.dispatch_ms = at_rel_ms;
+      stats.finish_ms = at_rel_ms;
+      stats.sojourn_ms = at_rel_ms - stats.arrival_ms;
+      return true;
+    }
+    const CachedResult* flight = cache_->lookup_inflight(source, at_abs_ms);
+    if (flight == nullptr) return false;
+    const double publish_rel_ms = flight->publish_ms - stream_start_ms;
+    if (publish_rel_ms > stats.deadline_ms) {
+      return false;  // would publish too late for THIS query: run its own
+    }
+    stats.single_flight = true;
+    stats.dispatch_ms = at_rel_ms;
+    stats.finish_ms = publish_rel_ms;
+    if (flight->status == QueryStatus::kFailed) {
+      result.queries[index].ok = false;
+      stats.query.status = QueryStatus::kFailed;
+      stats.query.error = "single-flight: shared in-flight query failed";
+    } else {
+      GpuRunResult& out = result.queries[index];
+      out.ok = true;
+      out.sssp.distances = flight->distances;
+      sssp::finalize_valid_updates(out.sssp, source);
+      stats.query.status = flight->status;
+      stats.sojourn_ms = publish_rel_ms - stats.arrival_ms;
+    }
     return true;
   };
 
@@ -390,6 +506,9 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
         result.stats[index].query.error = "source vertex out of range";
         continue;
       }
+      // Cache check precedes queue-full shedding: a cache-answerable
+      // query never needs (and never takes) queue space.
+      if (serve_from_cache_stream(index, query.arrival_ms)) continue;
       if (pending.size() >= options_.max_pending) {
         shed(index, "admission queue full");
         continue;
@@ -451,6 +570,13 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
         });
     const Pending item = *head;
     const bool bounded = std::isfinite(item.deadline_ms);
+
+    // Re-check the cache at dispatch time: an identical source may have
+    // published (or gone in flight) while this query sat queued.
+    if (serve_from_cache_stream(item.index, now_ms)) {
+      pending.erase(head);
+      continue;
+    }
 
     if (eligible_lanes == 0) {
       // Every lane's breaker is open: hedge, shed, or wait out the
@@ -614,9 +740,15 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
         ++result.shed_queries;
         ++tally.shed;
         break;
+      case QueryStatus::kCacheHit:
+        ++result.cached_queries;
+        ++tally.completed;
+        break;
     }
     if (stats.hedged) ++result.hedged_queries;
     if (stats.rerouted) ++result.rerouted_queries;
+    if (stats.single_flight) ++result.joined_queries;
+    if (stats.query.warm_started) ++result.warm_started_queries;
     result.overrun_kernels += stats.overrun_kernels;
   }
   result.device_makespan_ms = batch_.sim().elapsed_ms() - stream_start_ms;

@@ -34,6 +34,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -100,6 +101,12 @@ struct QueryServerOptions {
   bool hedge_to_cpu = true;
   double host_slowdown = 8.0;
   CircuitBreakerOptions breaker;
+  // Result cache & single-flight sharing (core/result_cache.hpp;
+  // docs/serving.md "Result cache"). With cache.enabled the server owns a
+  // ResultCache, checks it before ANY shedding decision (a cache-answerable
+  // query is never shed), attaches repeat sources to in-flight identical
+  // queries, and has QueryBatch publish every lane outcome into it.
+  ResultCacheOptions cache;
   // --- streaming (run_stream) only -----------------------------------------
   // Lane placement for deadline-bound queries.
   LanePolicy lane_policy = LanePolicy::kPredictedFastest;
@@ -141,6 +148,9 @@ struct ServerQueryStats {
   double deadline_ms = std::numeric_limits<double>::infinity();
   double finish_ms = 0;   // completion time (0 for shed queries)
   bool hedged = false;    // served on the host lane
+  // Attached single-flight to an identical in-flight source and shares its
+  // outcome (status, distances or failure) at the producer's publish time.
+  bool single_flight = false;
   // Dispatched on a lane other than the one plain least-loaded placement
   // would pick, because an open breaker excluded that lane.
   bool rerouted = false;
@@ -162,6 +172,9 @@ struct ServerResult {
   std::uint64_t failed_queries = 0;
   std::uint64_t deadline_queries = 0;  // kDeadlineExceeded
   std::uint64_t shed_queries = 0;      // kShedded
+  std::uint64_t cached_queries = 0;    // kCacheHit (no lane touched)
+  std::uint64_t joined_queries = 0;    // single-flight attachments
+  std::uint64_t warm_started_queries = 0;  // dispatched with landmark bounds
   std::uint64_t overrun_kernels = 0;   // summed over all queries
   RecoveryStats recovery;              // summed over all device queries
   std::vector<BreakerEvent> breaker_events;  // in occurrence order
@@ -183,6 +196,7 @@ struct StreamQueryStats {
   int promotions = 0;
   bool hedged = false;     // served on the host lane
   bool rerouted = false;   // see ServerQueryStats::rerouted
+  bool single_flight = false;  // see ServerQueryStats::single_flight
   std::uint64_t overrun_kernels = 0;
 };
 
@@ -208,6 +222,9 @@ struct StreamResult {
   std::uint64_t failed_queries = 0;
   std::uint64_t deadline_queries = 0;  // kDeadlineExceeded
   std::uint64_t shed_queries = 0;      // kShedded
+  std::uint64_t cached_queries = 0;    // kCacheHit (no lane touched)
+  std::uint64_t joined_queries = 0;    // single-flight attachments
+  std::uint64_t warm_started_queries = 0;  // dispatched with landmark bounds
   std::uint64_t overrun_kernels = 0;
   std::array<ClassTally, kNumTrafficClasses> classes{};
   RecoveryStats recovery;
@@ -241,6 +258,15 @@ class QueryServer {
   QueryBatch& batch() { return batch_; }
   const QueryServerOptions& options() const { return options_; }
 
+  // The result cache (null unless options.cache.enabled). Exposed for
+  // stats, tests and graph-mutation epoch bumps (bump_graph_epoch below).
+  ResultCache* result_cache() { return cache_.get(); }
+  // Invalidates every cached result and landmark; call after any mutation
+  // of the served graph's content.
+  void bump_graph_epoch() {
+    if (cache_) cache_->bump_epoch();
+  }
+
   BreakerState breaker_state(int lane) const;
   // Manually opens a lane's breaker (admin drain; also the deterministic
   // way for tests to stage a tripped lane). The lane re-enters service
@@ -272,6 +298,7 @@ class QueryServer {
   QueryServerOptions options_;
   graph::Csr host_csr_;  // original numbering, for the host hedge lane
   QueryBatch batch_;
+  std::unique_ptr<ResultCache> cache_;  // null unless options.cache.enabled
   std::vector<LaneBreaker> breakers_;
   double host_clock_ms_ = 0;  // host hedge lane's serial timeline
   // Breaker transitions accumulate here (trip_lane included); each run()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <stdexcept>
 
@@ -316,6 +317,32 @@ TrafficSpec parse_traffic_spec(const std::string& text) {
     }
   }
   return spec;
+}
+
+SourceRepetitionStats source_repetition_stats(
+    std::span<const TrafficQuery> schedule) {
+  SourceRepetitionStats stats;
+  stats.queries = schedule.size();
+  // std::map, not unordered: the hottest-source tie-break below walks the
+  // counts in ascending vertex order, so the result is deterministic.
+  std::map<VertexId, std::size_t> counts;
+  std::size_t repeats = 0;
+  for (const TrafficQuery& query : schedule) {
+    const std::size_t seen = counts[query.source]++;
+    if (seen > 0) ++repeats;
+  }
+  stats.distinct_sources = counts.size();
+  for (const auto& [source, count] : counts) {
+    if (count > stats.hottest_count) {
+      stats.hottest_count = count;
+      stats.hottest_source = source;
+    }
+  }
+  stats.repeat_fraction =
+      schedule.empty() ? 0.0
+                       : static_cast<double>(repeats) /
+                             static_cast<double>(schedule.size());
+  return stats;
 }
 
 }  // namespace rdbs::core

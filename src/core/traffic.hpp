@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -119,5 +120,21 @@ std::vector<TrafficQuery> generate_traffic(const TrafficSpec& spec,
 //      "bursty:burst=8,on-ms=2,off-ms=10"
 // Throws std::invalid_argument with a pointed message on bad input.
 TrafficSpec parse_traffic_spec(const std::string& text);
+
+// Source-repetition shape of a schedule — the statistic that decides
+// whether a result cache (core/result_cache.hpp) can pay off: every
+// repeat of an already-seen source is a potential exact hit or
+// single-flight join. Deterministic (keyed iteration, no hashing).
+struct SourceRepetitionStats {
+  std::size_t queries = 0;           // schedule length
+  std::size_t distinct_sources = 0;  // unique source vertices
+  std::size_t hottest_count = 0;     // occurrences of the hottest source
+  VertexId hottest_source = 0;       // smallest id among the hottest
+  // Fraction of queries whose source appeared earlier in the schedule —
+  // the cache-hit-rate ceiling for an infinite-capacity cache.
+  double repeat_fraction = 0;
+};
+SourceRepetitionStats source_repetition_stats(
+    std::span<const TrafficQuery> schedule);
 
 }  // namespace rdbs::core

@@ -99,6 +99,18 @@ bool fuzz_overload() {
   return env != nullptr && *env != '\0' && *env != '0';
 }
 
+// RDBS_FUZZ_CACHE=0 disables the result-cache leg (run_cache_case below):
+// seed-derived hot-Zipf traffic served twice, cache on and cache off, with
+// per-query distance identity against the Dijkstra oracle and cache-on
+// bit-identity across sim_threads {1, 8}. ON by default — the leg is cheap
+// and warm-start seeding touches the engines' frontier initialization, the
+// riskiest code the cache reaches. Combined with RDBS_FUZZ_SANITIZE=1 it
+// also proves warm-start seeding introduces no gsan hazards.
+bool fuzz_cache() {
+  const char* env = std::getenv("RDBS_FUZZ_CACHE");
+  return env == nullptr || *env == '\0' || *env != '0';
+}
+
 gpusim::FaultConfig fuzz_fault_config(std::uint64_t case_seed) {
   gpusim::FaultConfig cfg;
   if (!fuzz_faults()) return cfg;  // disabled
@@ -620,6 +632,167 @@ void run_cross_stream_case(const FuzzCase& c, const Csr& csr,
   }
 }
 
+// Result-cache leg of a kBatch fuzz case (RDBS_FUZZ_CACHE, on by default):
+// the case seed derives a hot-Zipf traffic schedule — a small source
+// universe guarantees repeats, so exact hits, single-flight joins and
+// warm starts all fire — served through run_stream() three times: cache
+// off, cache on, and cache on at sim_threads 8. Contracts:
+//   * every COMPLETED query in any run (kCacheHit included) carries
+//     distances exactly equal to Dijkstra's — cache hits, joined waiters
+//     and warm-started solves are all held to the same oracle;
+//   * queries completed in BOTH the cache-on and cache-off runs carry
+//     bit-identical distance vectors;
+//   * the entire cache-on result (statuses, times, distances, cache
+//     counters) is bit-identical across sim_threads {1, 8};
+//   * under RDBS_FUZZ_SANITIZE=1 the cached run must be hazard-free —
+//     warm-start seeding must not introduce gsan races.
+// Sweep-level tally: any single case may legitimately see zero hits (a
+// wide universe draw, early deadlines), but across a whole fuzz run the
+// hot-Zipf schedules must produce cache activity, or the leg is testing
+// nothing. Checked at the end of the main TEST.
+struct CacheLegTally {
+  std::size_t exact_hits = 0;
+  std::size_t joins = 0;
+  std::size_t warm_starts = 0;
+  std::size_t cases = 0;
+};
+CacheLegTally g_cache_tally;
+
+void run_cache_case(const FuzzCase& c, const Csr& csr, int case_index) {
+  Xoshiro256 rng(c.seed ^ 0xcac4edba5e11ull);
+  core::TrafficSpec spec;
+  spec.process = static_cast<core::ArrivalProcess>(rng.next_below(3));
+  spec.seed = rng.next();
+  spec.num_queries = 12 + rng.next_below(21);
+  spec.rate_qpms =
+      0.02 * static_cast<double>(std::uint64_t{1} << rng.next_below(9));
+  // Hot sources: a tiny universe under a steep Zipf makes repeats (and
+  // therefore hits and in-flight joins) near-certain even at n=12.
+  spec.zipf_s = 1.1 + 0.1 * static_cast<double>(rng.next_below(6));
+  spec.source_universe = 1 + static_cast<std::uint32_t>(rng.next_below(12));
+  for (int cls = 0; cls < core::kNumTrafficClasses; ++cls) {
+    // Half unbounded, half generous: the leg wants completions to compare,
+    // not shed/expiry churn (run_streaming_chaos_case covers that).
+    const auto idx = static_cast<std::size_t>(cls);
+    spec.class_deadline_ms[idx] =
+        rng.next_below(2) == 0
+            ? std::numeric_limits<double>::infinity()
+            : 0.01 * static_cast<double>(std::uint64_t{1}
+                                         << rng.next_below(12));
+  }
+  const std::vector<core::TrafficQuery> schedule =
+      core::generate_traffic(spec, csr.num_vertices());
+
+  core::QueryServerOptions options;
+  options.batch.streams = c.streams;
+  options.batch.gpu.basyn = c.basyn;
+  options.batch.gpu.pro = c.pro;
+  options.batch.gpu.adwl = c.adwl;
+  options.batch.gpu.delta0 = c.delta0;
+  options.batch.gpu.sanitize = fuzz_sanitize();
+  options.batch.gpu.fault = fuzz_fault_config(c.seed);
+  options.batch.gpu.retry = fuzz_retry_policy();
+  options.admission = rng.next_below(2) == 0 ? core::AdmissionPolicy::kFifo
+                                             : core::AdmissionPolicy::kEdf;
+  options.max_pending = 4 + static_cast<int>(rng.next_below(8));
+  options.shed_on_overload = rng.next_below(2) == 0;
+  options.hedge_to_cpu = rng.next_below(2) == 0;
+  // Tiny capacity keeps eviction churn in play; landmarks 0..3 covers the
+  // warm-start-disabled boundary as well as multi-landmark min-combines.
+  core::ResultCacheOptions cache;
+  cache.enabled = true;
+  cache.capacity = 1 + static_cast<std::size_t>(rng.next_below(6));
+  cache.landmarks = static_cast<std::size_t>(rng.next_below(4));
+
+  const auto completed = [](core::QueryStatus s) {
+    return s == core::QueryStatus::kOk ||
+           s == core::QueryStatus::kRecovered ||
+           s == core::QueryStatus::kCpuFallback ||
+           s == core::QueryStatus::kCacheHit;
+  };
+
+  core::StreamResult cold;  // cache off, sim_threads 1
+  {
+    core::QueryServerOptions run_options = options;
+    run_options.batch.gpu.sim_threads = 1;
+    core::QueryServer server(csr, gpusim::test_device(), run_options);
+    cold = server.run_stream(schedule);
+  }
+  core::StreamResult cached[2];  // cache on, sim_threads {1, 8}
+  const int thread_counts[2] = {1, 8};
+  for (int t = 0; t < 2; ++t) {
+    core::QueryServerOptions run_options = options;
+    run_options.cache = cache;
+    run_options.batch.gpu.sim_threads = thread_counts[t];
+    core::QueryServer server(csr, gpusim::test_device(), run_options);
+    cached[t] = server.run_stream(schedule);
+    if (fuzz_sanitize() == gpusim::SanitizeMode::kOn) {
+      ASSERT_NE(server.batch().sim().sanitizer(), nullptr);
+      EXPECT_EQ(server.batch().sim().sanitizer()->report(), "")
+          << "cache case " << case_index << " sim_threads "
+          << thread_counts[t] << ": " << c.describe();
+    }
+  }
+  const core::StreamResult& narrow = cached[0];
+  const core::StreamResult& wide = cached[1];
+
+  ASSERT_EQ(cold.stats.size(), schedule.size());
+  ASSERT_EQ(narrow.stats.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const std::vector<graph::Distance> oracle =
+        sssp::dijkstra(csr, schedule[i].source).distances;
+    const bool cold_done = completed(cold.stats[i].query.status);
+    const bool warm_done = completed(narrow.stats[i].query.status);
+    if (cold_done) {
+      EXPECT_EQ(cold.queries[i].sssp.distances, oracle)
+          << "cache case " << case_index << " query " << i
+          << " (cache off): " << c.describe();
+    }
+    if (warm_done) {
+      EXPECT_EQ(narrow.queries[i].sssp.distances, oracle)
+          << "cache case " << case_index << " query " << i << " ("
+          << core::query_status_name(narrow.stats[i].query.status)
+          << ", cache on): " << c.describe();
+    }
+    if (cold_done && warm_done) {
+      EXPECT_EQ(narrow.queries[i].sssp.distances,
+                cold.queries[i].sssp.distances)
+          << "cache case " << case_index << " query " << i
+          << " differs cache on vs off: " << c.describe();
+    }
+    // Bit-identity of the cached run across sim_threads, per query.
+    EXPECT_EQ(narrow.stats[i].query.status, wide.stats[i].query.status)
+        << "cache case " << case_index << " query " << i << ": "
+        << c.describe();
+    EXPECT_EQ(narrow.stats[i].single_flight, wide.stats[i].single_flight)
+        << "cache case " << case_index << " query " << i << ": "
+        << c.describe();
+    EXPECT_EQ(narrow.stats[i].dispatch_ms, wide.stats[i].dispatch_ms)
+        << "cache case " << case_index << " query " << i << ": "
+        << c.describe();
+    EXPECT_EQ(narrow.stats[i].finish_ms, wide.stats[i].finish_ms)
+        << "cache case " << case_index << " query " << i << ": "
+        << c.describe();
+    EXPECT_EQ(narrow.queries[i].sssp.distances,
+              wide.queries[i].sssp.distances)
+        << "cache case " << case_index << " query " << i << ": "
+        << c.describe();
+  }
+  EXPECT_EQ(narrow.cached_queries, wide.cached_queries)
+      << "cache case " << case_index << ": " << c.describe();
+  EXPECT_EQ(narrow.joined_queries, wide.joined_queries)
+      << "cache case " << case_index << ": " << c.describe();
+  EXPECT_EQ(narrow.warm_started_queries, wide.warm_started_queries)
+      << "cache case " << case_index << ": " << c.describe();
+  EXPECT_EQ(narrow.makespan_ms, wide.makespan_ms)
+      << "cache case " << case_index << ": " << c.describe();
+
+  g_cache_tally.exact_hits += narrow.cached_queries;
+  g_cache_tally.joins += narrow.joined_queries;
+  g_cache_tally.warm_starts += narrow.warm_started_queries;
+  ++g_cache_tally.cases;
+}
+
 TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
   const std::uint64_t master = 42;
   const int iters = fuzz_iterations();
@@ -673,6 +846,19 @@ TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
         fuzz_sanitize() == gpusim::SanitizeMode::kOn) {
       run_cross_stream_case(c, csr, i);
     }
+    if (c.engine == Engine::kBatch && fuzz_cache()) {
+      run_cache_case(c, csr, i);
+    }
+  }
+  if (fuzz_cache() && g_cache_tally.cases >= 3) {
+    // The hot-Zipf schedules must have produced real cache traffic
+    // somewhere in the sweep; all-zero counters would mean the leg
+    // silently degenerated into a plain re-solve comparison.
+    EXPECT_GT(g_cache_tally.exact_hits + g_cache_tally.joins +
+                  g_cache_tally.warm_starts,
+              0u)
+        << "no cache activity across " << g_cache_tally.cases
+        << " cache-leg cases";
   }
 }
 

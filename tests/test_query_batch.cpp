@@ -267,6 +267,42 @@ TEST(QueryBatch, SuccessfulQueriesMoveCostEstimatesOffTheSeed) {
   EXPECT_GT(batch.lane_cost_estimate_ms(0), 0.0);
 }
 
+// Regression (result cache, same failure mode as the all-failed warm-up
+// above): a warm-started run costs less device time than a cold one, so
+// folding it into the lane cost EWMA would skew the load shedder's COLD-
+// cost prediction downward. Warm runs must leave the estimate untouched;
+// an identical cold run on the same lane must move it.
+TEST(QueryBatch, WarmStartedRunsLeaveCostEstimatesUntouched) {
+  const Csr csr = batch_test_graph();
+  core::QueryBatchOptions options;
+  options.streams = 1;
+  options.gpu.delta0 = 150.0;
+  core::QueryBatch batch(csr, gpusim::test_device(), options);
+
+  core::ResultCacheOptions copts;
+  copts.enabled = true;
+  copts.landmarks = 1;
+  core::ResultCache cache(csr, copts);
+  ASSERT_TRUE(cache.graph_symmetric());
+  cache.publish(0, core::QueryStatus::kOk, sssp::dijkstra(csr, 0).distances,
+                /*publish_ms=*/0.0);
+  batch.set_result_cache(&cache);
+
+  const double seed_ms = batch.cost_seed_ms();
+  const core::QueryBatch::LaneOutcome warm = batch.run_on_lane(0, 17);
+  ASSERT_EQ(warm.stats.status, core::QueryStatus::kOk);
+  ASSERT_TRUE(warm.stats.warm_started);
+  EXPECT_EQ(warm.result.sssp.distances, sssp::dijkstra(csr, 17).distances);
+  EXPECT_EQ(batch.lane_cost_estimate_ms(0), seed_ms);
+
+  // The same query served cold (cache detached) does teach the estimator.
+  batch.set_result_cache(nullptr);
+  const core::QueryBatch::LaneOutcome cold = batch.run_on_lane(0, 17);
+  ASSERT_EQ(cold.stats.status, core::QueryStatus::kOk);
+  ASSERT_FALSE(cold.stats.warm_started);
+  EXPECT_NE(batch.lane_cost_estimate_ms(0), seed_ms);
+}
+
 TEST(GpuSimStreams, SingleStreamAccumulatesLikeLegacyTimeline) {
   gpusim::GpuSim sim(gpusim::test_device());
   double sum = 0;
