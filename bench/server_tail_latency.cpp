@@ -699,6 +699,151 @@ int main(int argc, char** argv) {
                  policy_done[1], policy_done[0]);
   }
 
+  // --- fault-storm recovery sweep ------------------------------------------
+  // The same 1000-query 2x-load stream served through a storm that layers
+  // device loss on top of the launch faults and the 8x hot lane. Failures
+  // must surface (retry budget 3, no CPU fallback) so the serving layer's
+  // recovery machinery — checkpoint-resume inside retries, mid-query lane
+  // migration after a loss — is what keeps goodput up. A/B:
+  //  * restart: no checkpoints, no migration. A device loss latches the
+  //    shared simulator and no retry can run on a dead device, so the
+  //    stream's tail after the first loss is all failures — the cost of
+  //    full-restart-only recovery.
+  //  * resume: checkpoint every boundary + migration. The failed query
+  //    moves to a surviving lane, the device is revived, and the stream
+  //    keeps serving.
+  // Gates (exit 1): resume goodput (deadline-met fraction) beats restart;
+  // the resume run is bit-identical across sim_threads {1, 8}; the
+  // closed-loop variant keeps retry amplification within its budget.
+  struct StormRow {
+    std::size_t offered = 0, done = 0, shed = 0, missed = 0, failed = 0;
+    std::size_t resumed = 0, migrated = 0;
+    std::size_t retried = 0, exhausted = 0;
+    double goodput = 0;  // completed (therefore deadline-met) / offered
+  };
+  gpusim::FaultConfig storm_fault = stream_fault;
+  // Gentler launch pressure than the streaming sweep: with no CPU fallback
+  // 2% per-launch faults exhaust every retry budget and the whole stream
+  // collapses in BOTH configs, which leaves the A/B nothing to measure.
+  // At 0.2% retries absorb the launch noise and the device loss is what
+  // separates the configs. The fault seed is pinned (not config.seed) so
+  // the plan's loss fires mid-stream with in-flight queries to strand — a
+  // plan whose loss never lands, or lands after the last dispatch, tests
+  // nothing (the storm_recovery_used gate below enforces this).
+  storm_fault.launch_failure = 0.002;
+  storm_fault.device_loss = 3e-4;
+  storm_fault.seed = 7;
+  const std::vector<core::TrafficQuery>& storm_schedule = stream_schedules[2];
+  core::ClosedLoopSpec storm_loop;
+  storm_loop.enabled = true;
+  storm_loop.retry_budget = 2;
+  storm_loop.backoff_base_ms = 0.5 * mean_ms;
+  storm_loop.jitter = 0.5;
+  storm_loop.seed = config.seed;
+  storm_loop.backpressure_depth = 8;
+  storm_loop.backpressure_penalty_ms = 0.25 * mean_ms;
+  const auto run_storm = [&](int threads, bool resume, bool closed) {
+    core::QueryServerOptions sopts;
+    sopts.batch = bopts;
+    sopts.batch.gpu.sim_threads = threads;
+    sopts.batch.gpu.fault = storm_fault;
+    sopts.batch.gpu.retry.max_attempts = 3;
+    sopts.batch.gpu.retry.cpu_fallback = false;
+    sopts.batch.gpu.checkpoint_interval = resume ? 2 : 0;
+    sopts.migrate = resume;
+    sopts.max_pending = 16;
+    sopts.breaker.enabled = true;
+    sopts.breaker.failure_threshold = 2;
+    sopts.breaker.cooldown_ms = 4.0 * deadline_ms;
+    sopts.lane_policy = core::LanePolicy::kPredictedFastest;
+    sopts.aging_ms = 4.0 * mean_ms;
+    sopts.hedge_to_cpu = false;
+    if (closed) sopts.closed_loop = storm_loop;
+    core::QueryServer server(csr, device, sopts);
+    return server.run_stream(storm_schedule);
+  };
+  const auto storm_row = [&](const core::StreamResult& result) {
+    StormRow row;
+    row.offered = result.stats.size();
+    row.done = static_cast<std::size_t>(
+        result.ok_queries + result.recovered_queries +
+        result.fallback_queries);
+    row.shed = static_cast<std::size_t>(result.shed_queries);
+    row.missed = static_cast<std::size_t>(result.deadline_queries);
+    row.failed = static_cast<std::size_t>(result.failed_queries);
+    row.resumed = static_cast<std::size_t>(result.resumed_queries);
+    row.migrated = static_cast<std::size_t>(result.migrated_queries);
+    row.retried = static_cast<std::size_t>(result.retried_arrivals);
+    row.exhausted = static_cast<std::size_t>(result.retry_exhausted);
+    row.goodput =
+        static_cast<double>(row.done) / static_cast<double>(row.offered);
+    return row;
+  };
+  const core::StreamResult storm_restart = run_storm(1, false, false);
+  const core::StreamResult storm_resume = run_storm(1, true, false);
+  const core::StreamResult storm_resume_wide = run_storm(8, true, false);
+  const core::StreamResult storm_closed = run_storm(1, true, true);
+  check_stream(storm_restart, storm_schedule, "storm-restart");
+  check_stream(storm_resume, storm_schedule, "storm-resume");
+  check_stream(storm_closed, storm_schedule, "storm-closed-loop");
+  bool storm_deterministic = same_stream(storm_resume, storm_resume_wide);
+  if (storm_resume.resumed_queries != storm_resume_wide.resumed_queries ||
+      storm_resume.migrated_queries != storm_resume_wide.migrated_queries) {
+    storm_deterministic = false;
+  }
+  if (!storm_deterministic) {
+    std::fprintf(stderr,
+                 "VIOLATION: storm resume run differs between sim_threads "
+                 "1 and 8\n");
+  }
+  const StormRow storm_a = storm_row(storm_restart);
+  const StormRow storm_b = storm_row(storm_resume);
+  const StormRow storm_c = storm_row(storm_closed);
+  const bool storm_recovery_used = storm_b.migrated + storm_b.resumed > 0;
+  const bool storm_wins = storm_b.goodput > storm_a.goodput;
+  if (!storm_recovery_used) {
+    std::fprintf(stderr,
+                 "VIOLATION: the storm never exercised checkpoint-resume "
+                 "or migration (0 resumed, 0 migrated) — the fault plan "
+                 "is too gentle to test recovery\n");
+  }
+  if (!storm_wins) {
+    std::fprintf(stderr,
+                 "VIOLATION: checkpoint-resume + migration goodput %.4f "
+                 "does not beat full-restart goodput %.4f under the "
+                 "fault storm\n",
+                 storm_b.goodput, storm_a.goodput);
+  }
+  // Bounded amplification: every re-arrival is accounted to a query and no
+  // query exceeds the retry budget — so total re-arrivals can never exceed
+  // budget x (queries that retried at all).
+  bool storm_bounded_retries = storm_c.retried > 0;
+  std::size_t storm_retried_queries = 0;
+  std::size_t storm_rearrivals = 0;
+  for (const core::StreamQueryStats& sq : storm_closed.stats) {
+    if (sq.arrivals > 1) ++storm_retried_queries;
+    storm_rearrivals += static_cast<std::size_t>(sq.arrivals - 1);
+    if (sq.arrivals - 1 > storm_loop.retry_budget) {
+      storm_bounded_retries = false;
+    }
+  }
+  if (storm_rearrivals != storm_c.retried ||
+      storm_c.retried >
+          static_cast<std::size_t>(storm_loop.retry_budget) *
+              storm_retried_queries) {
+    storm_bounded_retries = false;
+  }
+  if (!storm_bounded_retries) {
+    std::fprintf(stderr,
+                 "VIOLATION: closed-loop retry amplification out of bounds "
+                 "(%zu re-arrivals over %zu retried queries, budget %d)\n",
+                 storm_rearrivals, storm_retried_queries,
+                 storm_loop.retry_budget);
+  }
+  const bool storm_ok =
+      storm_wins && storm_recovery_used && storm_deterministic &&
+      storm_bounded_retries;
+
   // Breakers must have observable consequences: under the sustained fault
   // plan the breakers-on run has to trip lanes and move queries (reroutes
   // or host hedges) relative to the breakers-off run. Identical totals
@@ -745,6 +890,20 @@ int main(int argc, char** argv) {
               "(p99 %.3f ms vs %.3f ms)\n",
               stream_deterministic ? "yes" : "NO", stream_loads.back(),
               policy_wins ? "yes" : "NO", policy_p99[1], policy_p99[0]);
+  std::printf(
+      "fault storm (loss %.0e + hot lane): restart goodput %.4f "
+      "(%zu done, %zu failed) vs resume goodput %.4f (%zu done, %zu "
+      "failed, %zu resumed, %zu migrated) -> %s; deterministic %s\n",
+      storm_fault.device_loss, storm_a.goodput, storm_a.done, storm_a.failed,
+      storm_b.goodput, storm_b.done, storm_b.failed, storm_b.resumed,
+      storm_b.migrated, storm_wins ? "resume wins" : "NO WIN",
+      storm_deterministic ? "yes" : "NO");
+  std::printf(
+      "closed loop under the storm: goodput %.4f, %zu re-arrival(s) over "
+      "%zu retried query(ies), %zu past budget %d -> amplification %s\n",
+      storm_c.goodput, storm_rearrivals, storm_retried_queries,
+      storm_c.exhausted, storm_loop.retry_budget,
+      storm_bounded_retries ? "bounded" : "OUT OF BOUNDS");
 
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
@@ -771,6 +930,31 @@ int main(int argc, char** argv) {
                stream_loads.back(), policy_p99[1], policy_p99[0],
                policy_done[1], policy_done[0],
                policy_wins ? "true" : "false");
+  const auto write_storm_row = [&](const char* key, const StormRow& row,
+                                   const char* tail) {
+    std::fprintf(
+        json,
+        "    \"%s\": {\"offered\": %zu, \"completed\": %zu, \"shed\": %zu, "
+        "\"deadline_missed\": %zu, \"failed\": %zu, \"resumed\": %zu, "
+        "\"migrated\": %zu, \"retried_arrivals\": %zu, "
+        "\"retry_exhausted\": %zu, \"goodput\": %.4f}%s\n",
+        key, row.offered, row.done, row.shed, row.missed, row.failed,
+        row.resumed, row.migrated, row.retried, row.exhausted, row.goodput,
+        tail);
+  };
+  std::fprintf(json,
+               "  \"fault_storm\": {\n    \"device_loss\": %.1e, "
+               "\"retry_budget\": %d,\n",
+               storm_fault.device_loss, storm_loop.retry_budget);
+  write_storm_row("restart", storm_a, ",");
+  write_storm_row("resume", storm_b, ",");
+  write_storm_row("closed_loop", storm_c, ",");
+  std::fprintf(json,
+               "    \"resume_beats_restart\": %s, \"deterministic\": %s, "
+               "\"retry_amplification_bounded\": %s},\n",
+               storm_wins ? "true" : "false",
+               storm_deterministic ? "true" : "false",
+               storm_bounded_retries ? "true" : "false");
   write_cache_json(json);
   std::fprintf(json, ",\n");
   const auto write_row = [&](const Row& row, bool last) {
@@ -816,7 +1000,7 @@ int main(int argc, char** argv) {
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
   return deadline_bounded && distances_ok && breakers_observable &&
-                 stream_deterministic && policy_wins && cache_ok
+                 stream_deterministic && policy_wins && cache_ok && storm_ok
              ? 0
              : 1;
 }

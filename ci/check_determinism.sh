@@ -6,10 +6,14 @@
 #
 #   ci/check_determinism.sh
 #
-# Scope: src/ only. Tests, benches and examples may time things for
-# reporting (common/timer.hpp wraps steady_clock); the LIBRARY must not.
+# Scope: src/, bench/ and examples/. Timing for REPORTING is fine
+# everywhere (common/timer.hpp wraps steady_clock); what is banned is
+# anything that lets wall-clock time, ambient entropy or allocator
+# addresses leak into simulated results — bench tables and example output
+# are bit-compared across runs just like library traces. Tests stay out
+# of scope (gtest itself seeds from the clock under --gtest_shuffle).
 #
-# Banned in src/:
+# Banned:
 #   * std::chrono::system_clock       wall clock; steady_clock is fine for
 #                                     host-side profiling but never feeds
 #                                     simulated time, which is virtual
@@ -28,7 +32,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 fail=0
-files=$(find src -name '*.hpp' -o -name '*.cpp' | sort)
+files=$(find src bench examples -name '*.hpp' -o -name '*.cpp' | sort)
 
 # scan LABEL REGEX — grep each file with // comments stripped (prose like
 # "at upload time (cudaMemset)" must not trip the call patterns), printing
@@ -49,20 +53,20 @@ scan() {
 }
 
 # 1. Wall-clock time. \b guards keep identifiers like elapsed_time_ms legal.
-scan "wall-clock time source in src/ (simulated time is virtual; use the sim clocks)" \
+scan "wall-clock time source (simulated time is virtual; use the sim clocks)" \
      'std::chrono::system_clock|\b(time|ctime|gmtime|localtime|gettimeofday)\s*\('
 
 # 2. Ambient entropy. Seeded Xoshiro256 (common/rng.hpp) is the only
 # sanctioned randomness; rand()/srand()/std::random_device draw from
 # process-global or hardware state and break reproduce-from-seed.
-scan "ambient entropy in src/ (derive randomness from an explicit seed via common/rng.hpp)" \
+scan "ambient entropy (derive randomness from an explicit seed via common/rng.hpp)" \
      '\b(rand|srand)\s*\(|random_device'
 
 # 3. Pointer-keyed container iteration. A map or set keyed by a pointer
 # type iterates in address order — allocator-dependent, different every
 # run under ASLR. Matches the key type position of map/set/unordered_map/
 # unordered_set declarations.
-scan "pointer-keyed container in src/ (iteration order follows allocation; key by a stable id instead)" \
+scan "pointer-keyed container (iteration order follows allocation; key by a stable id instead)" \
      '(std::)?(unordered_)?(map|set)\s*<[^,>]*\*\s*[,>]'
 
 if [ "$fail" -ne 0 ]; then

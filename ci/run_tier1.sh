@@ -90,6 +90,18 @@ echo "=== [parallel] result-cache latency guard ==="
 # reaches the nightly full bench.
 "$BUILD_ROOT/parallel/bench/server_tail_latency" --cache --json /dev/null
 
+echo "=== [parallel] fault-injection CLI smoke ==="
+# The full recovery path end to end through the CLI: deterministic faults,
+# checkpoint-resume inside retries, mid-query lane migration, and a
+# closed-loop client on a streamed batch. Guards the flag plumbing
+# (sssp_tool is how the docs tell people to reproduce fault runs) and
+# exits non-zero if the served stream violates its own invariants.
+"$BUILD_ROOT/parallel/examples/sssp_tool" --dataset=k-n12-8 --batch \
+  --batch-streams=4 --checkpoint-interval=2 --retry-attempts=2 \
+  --serve-stream=poisson:n=200,rate=2,deadlines=2/8/-,seed=7 \
+  --closed-loop=budget=2,backoff=0.5,depth=8 \
+  --inject-faults=seed=7,launch=0.3,max=50 > /dev/null
+
 run_config serial -DRDBS_PARALLEL=OFF
 
 echo "=== [tsan] configure ==="

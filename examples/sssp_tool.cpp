@@ -31,6 +31,15 @@
 //   # single-flight sharing and landmark warm starts on a Zipf workload
 //   ./sssp_tool --dataset=k-n16-16 --batch --cache --landmarks=4
 //       --serve-stream=poisson:n=2000,rate=2,zipf=1.3,universe=64
+//
+//   # checkpoint-resume under a fault storm (docs/serving.md
+//   # "Checkpoint-resume & lane migration"): engines snapshot every 4
+//   # boundaries, failed queries migrate to a surviving lane and resume,
+//   # and shed/deadline-missed queries re-arrive closed-loop with backoff
+//   ./sssp_tool --dataset=k-n16-16 --batch --checkpoint-interval=4
+//       --serve-stream=poisson:n=500,rate=2,deadlines=2/8/-
+//       --closed-loop=budget=2,backoff=0.5
+//       --inject-faults=seed=7,launch=0.3
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -264,6 +273,27 @@ int main(int argc, char** argv) {
     bopts.gpu.sim_threads = config.sim_threads;
     bopts.gpu.sanitize = sanitize;
     bopts.gpu.fault = fault;
+    // --checkpoint-interval=N: engines snapshot their distance vector every
+    // N bucket/round boundaries into a host-side checkpoint, enabling
+    // resume-from-checkpoint retries and mid-query lane migration
+    // (docs/serving.md "Checkpoint-resume & lane migration"). 0 = off.
+    bopts.gpu.checkpoint_interval =
+        static_cast<int>(args.get_int("checkpoint-interval", 0));
+    // --retry-attempts / --cpu-fallback tune the per-query RetryPolicy.
+    // With --cpu-fallback=off an exhausted query surfaces as kFailed — the
+    // state a serving-layer migration picks up.
+    if (args.has("retry-attempts")) {
+      bopts.gpu.retry.max_attempts =
+          static_cast<int>(args.get_int("retry-attempts", 3));
+    }
+    const std::string fallback = args.get_string("cpu-fallback", "on");
+    if (fallback == "off") {
+      bopts.gpu.retry.cpu_fallback = false;
+    } else if (fallback != "on") {
+      std::fprintf(stderr, "--cpu-fallback must be on or off, not %s\n",
+                   fallback.c_str());
+      return 2;
+    }
     if (algorithm == "adds") {
       bopts.engine = core::BatchEngine::kAdds;
       bopts.adds_delta = delta0;
@@ -306,6 +336,14 @@ int main(int argc, char** argv) {
                      breaker.c_str());
         return 2;
       }
+      const std::string migrate = args.get_string("migrate", "on");
+      if (migrate == "off") {
+        sopts.migrate = false;
+      } else if (migrate != "on") {
+        std::fprintf(stderr, "--migrate must be on or off, not %s\n",
+                     migrate.c_str());
+        return 2;
+      }
       // --cache turns on the result cache (docs/serving.md "Result
       // cache"); --cache-capacity and --landmarks tune it and imply it.
       if (args.get_bool("cache", false) || args.has("cache-capacity") ||
@@ -346,6 +384,18 @@ int main(int argc, char** argv) {
                        "--lane-policy must be fastest or earliest, not %s\n",
                        policy.c_str());
           return 2;
+        }
+        // --closed-loop=SPEC: shed/deadline-missed queries re-arrive with
+        // deterministic jittered backoff (core/traffic.hpp grammar), e.g.
+        // --closed-loop=budget=3,backoff=0.25,jitter=0.5,depth=12
+        if (args.has("closed-loop")) {
+          try {
+            sopts.closed_loop = core::parse_closed_loop_spec(
+                args.get_string("closed-loop", ""));
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "bad --closed-loop spec: %s\n", e.what());
+            return 2;
+          }
         }
         core::QueryServer server(csr, device, sopts);
         const core::StreamResult result = server.run_stream(schedule);
@@ -433,6 +483,16 @@ int main(int argc, char** argv) {
               result.recovery.backoff_ms,
               result.recovery.device_lost ? ", DEVICE LOST" : "");
         }
+        if (result.resumed_queries > 0 || result.migrated_queries > 0 ||
+            sopts.closed_loop.enabled) {
+          std::printf(
+              "resume: %llu checkpoint-resumed, %llu migrated; "
+              "closed loop: %llu retried arrival(s), %llu past budget\n",
+              static_cast<unsigned long long>(result.resumed_queries),
+              static_cast<unsigned long long>(result.migrated_queries),
+              static_cast<unsigned long long>(result.retried_arrivals),
+              static_cast<unsigned long long>(result.retry_exhausted));
+        }
         for (const core::BreakerEvent& event : result.breaker_events) {
           std::printf("breaker: lane %d -> %s at %.3f ms\n", event.lane,
                       core::breaker_transition_name(event.transition),
@@ -514,6 +574,12 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(result.recovery.retries),
             result.recovery.backoff_ms,
             result.recovery.device_lost ? ", DEVICE LOST" : "");
+      }
+      if (result.resumed_queries > 0 || result.migrated_queries > 0) {
+        std::printf(
+            "resume: %llu checkpoint-resumed, %llu migrated\n",
+            static_cast<unsigned long long>(result.resumed_queries),
+            static_cast<unsigned long long>(result.migrated_queries));
       }
       for (const core::BreakerEvent& event : result.breaker_events) {
         std::printf("breaker: lane %d -> %s at %.3f ms\n", event.lane,

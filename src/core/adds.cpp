@@ -107,8 +107,50 @@ GpuRunResult AddsLike::run(VertexId source) {
   if (source >= csr_.num_vertices()) {
     throw std::out_of_range("AddsLike: source vertex out of range");
   }
-  return run_with_recovery(*sim_, stream_, options_.retry, csr_, source,
-                           [&] { return run_attempt(source); }, cancel_);
+  // A stale snapshot must never seed a different query; resume bounds are
+  // one-shot (see GpuDeltaStepping::run).
+  checkpoint_.clear();
+  GpuRunResult result = run_with_recovery(
+      *sim_, stream_, options_.retry, csr_, source,
+      [&] { return run_attempt(source); }, cancel_,
+      [&] { return resume_from_checkpoint(); });
+  resume_bounds_.clear();
+  return result;
+}
+
+void AddsLike::set_resume_bounds(std::vector<Distance> bounds) {
+  RDBS_CHECK_MSG(bounds.size() == csr_.num_vertices(),
+                 "resume bounds must cover every vertex");
+  resume_bounds_ = std::move(bounds);
+}
+
+const std::vector<Distance>* AddsLike::effective_warm_bounds() const {
+  return resume_bounds_.empty() ? options_.warm_start : &resume_bounds_;
+}
+
+bool AddsLike::resume_from_checkpoint() {
+  if (!checkpoint_.valid()) return false;
+  resume_bounds_ = checkpoint_.bounds;
+  return true;
+}
+
+void AddsLike::maybe_checkpoint() {
+  if (options_.checkpoint_interval <= 0) return;
+  ++boundary_count_;
+  if (boundary_count_ %
+          static_cast<std::uint64_t>(options_.checkpoint_interval) !=
+      0) {
+    return;
+  }
+  // A tainted attempt stops checkpointing — a corrupted bound could lie
+  // below the true distance (core/checkpoint.hpp). The last good snapshot
+  // stands.
+  if (attempt_poisoned() || sim_->buffer_poisoned(dist_)) return;
+  checkpoint_.bounds = dist_.data();
+  sim_->memcpy_d2h(csr_.num_vertices() * kCheckpointWordBytes, stream_);
+  checkpoint_.taken_ms = sim_->stream_elapsed_ms(stream_);
+  checkpoint_.boundaries = boundary_count_;
+  ++checkpoint_.snapshots;
 }
 
 bool AddsLike::check_cancelled() {
@@ -131,6 +173,10 @@ bool AddsLike::attempt_poisoned() const {
 GpuRunResult AddsLike::run_attempt(VertexId source) {
   fault_scan_begin_ = sim_->fault_log().size();
   attempt_cancelled_ = false;
+  boundary_count_ = 0;
+  // Stale poison from a discarded attempt must not suppress this attempt's
+  // checkpoints — the buffer is re-initialized below (see GpuDeltaStepping).
+  sim_->clear_buffer_poison(dist_);
   if (owned_sim_) sim_->reset_all();
   const double ms_before = sim_->stream_elapsed_ms(stream_);
   const double wait_before = sim_->stream_queue_wait_ms(stream_);
@@ -146,8 +192,8 @@ GpuRunResult AddsLike::run_attempt(VertexId source) {
   // the finite bounds; the source keeps its exact 0. Near-Far is
   // label-correcting, so valid upper bounds preserve exactness.
   std::uint64_t warm_seeded = 0;
-  if (options_.warm_start != nullptr) {
-    const std::vector<Distance>& bounds = *options_.warm_start;
+  if (effective_warm_bounds() != nullptr) {
+    const std::vector<Distance>& bounds = *effective_warm_bounds();
     RDBS_CHECK_MSG(bounds.size() == csr_.num_vertices(),
                    "warm_start bounds must cover every vertex");
     for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
@@ -322,6 +368,9 @@ GpuRunResult AddsLike::run_attempt(VertexId source) {
       }
       split.finish();
       far.swap(still_far);
+      // Round boundary (far split done): consistent upper bounds —
+      // snapshot for checkpoint-resume.
+      maybe_checkpoint();
       continue;
     }
 
@@ -448,6 +497,8 @@ GpuRunResult AddsLike::run_attempt(VertexId source) {
       ++work_.iterations;
     }
     kernel.finish();
+    // Round boundary (near pile drained): snapshot for checkpoint-resume.
+    maybe_checkpoint();
   }
 
   result.sssp.work = work_;

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "core/cancel.hpp"
+#include "core/checkpoint.hpp"
 #include "core/device_graph.hpp"
 #include "core/options.hpp"
 #include "core/run_metrics.hpp"
@@ -38,6 +39,9 @@ struct AddsOptions {
   // numbering; caller-owned; see GpuSsspOptions::warm_start). Near-Far is
   // label-correcting like Δ-stepping, so bounds preserve exactness.
   const std::vector<graph::Distance>* warm_start = nullptr;
+  // Checkpoint-resume: snapshot the tentative distances every N near/far
+  // round boundaries (0 = off); see GpuSsspOptions::checkpoint_interval.
+  int checkpoint_interval = 0;
 };
 
 class AddsLike {
@@ -74,12 +78,22 @@ class AddsLike {
     options_.warm_start = bounds;
   }
 
+  // --- checkpoint-resume (core/checkpoint.hpp; see GpuDeltaStepping) -------
+  const QueryCheckpoint& checkpoint() const { return checkpoint_; }
+  QueryCheckpoint take_checkpoint() { return std::move(checkpoint_); }
+  // One-shot resume bounds for the next run() (engine numbering); used by
+  // lane migration. Cleared when that run returns.
+  void set_resume_bounds(std::vector<graph::Distance> bounds);
+
  private:
   // One recovery attempt: the full Near-Far run, re-initializing all
   // mutable device state first (so a retry starts clean).
   GpuRunResult run_attempt(graph::VertexId source);
   bool attempt_poisoned() const;
   bool check_cancelled();
+  const std::vector<graph::Distance>* effective_warm_bounds() const;
+  void maybe_checkpoint();
+  bool resume_from_checkpoint();
 
   void init_device_state(const DeviceCsrBuffers* shared_graph);
   void init_distances_kernel(graph::VertexId source);
@@ -101,6 +115,11 @@ class AddsLike {
 
   // Fault-log watermark of the current attempt (gfi).
   std::size_t fault_scan_begin_ = 0;
+
+  // Checkpoint-resume state (core/checkpoint.hpp).
+  QueryCheckpoint checkpoint_;
+  std::uint64_t boundary_count_ = 0;
+  std::vector<graph::Distance> resume_bounds_;
 
   // Serving-layer cancellation (null = never cancelled).
   const CancelToken* cancel_ = nullptr;

@@ -156,8 +156,9 @@ std::uint64_t GpuDeltaStepping::apply_warm_start(VertexId source) {
   // the finite bounds. The source keeps its exact 0 (its "bound" is always
   // >= 0). Exactness: Δ-stepping is label-correcting, so relaxations only
   // ever improve on a valid upper bound, never trust it.
-  if (options_.warm_start == nullptr) return 0;
-  const std::vector<Distance>& bounds = *options_.warm_start;
+  const std::vector<Distance>* warm = effective_warm_bounds();
+  if (warm == nullptr) return 0;
+  const std::vector<Distance>& bounds = *warm;
   RDBS_CHECK_MSG(bounds.size() == csr_.num_vertices(),
                  "warm_start bounds must cover every vertex");
   std::uint64_t seeded = 0;
@@ -182,7 +183,7 @@ void GpuDeltaStepping::seed_queue(VertexId source, Weight hi) {
   // Warm start: vertices seeded inside the initial window join the seed
   // frontier here. Later windows are collected by the phase-2/3 scan over
   // the live distances, but nothing scans ahead of the first window.
-  if (options_.warm_start != nullptr) {
+  if (effective_warm_bounds() != nullptr) {
     for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
       if (v == source || in_queue_[v] != 0) continue;
       if (dist_[v] >= hi) continue;  // also skips untouched infinities
@@ -741,8 +742,51 @@ GpuRunResult GpuDeltaStepping::run(VertexId source) {
   if (source >= csr_.num_vertices()) {
     throw std::out_of_range("GpuDeltaStepping: source vertex out of range");
   }
-  return run_with_recovery(*sim_, stream_, options_.retry, csr_, source,
-                           [&] { return run_attempt(source); }, cancel_);
+  // A stale snapshot must never seed a different query; the resume bounds
+  // are one-shot (a migrated run consumes them here, retries within this
+  // run refresh them from checkpoint_).
+  checkpoint_.clear();
+  GpuRunResult result = run_with_recovery(
+      *sim_, stream_, options_.retry, csr_, source,
+      [&] { return run_attempt(source); }, cancel_,
+      [&] { return resume_from_checkpoint(); });
+  resume_bounds_.clear();
+  return result;
+}
+
+void GpuDeltaStepping::set_resume_bounds(std::vector<Distance> bounds) {
+  RDBS_CHECK_MSG(bounds.size() == csr_.num_vertices(),
+                 "resume bounds must cover every vertex");
+  resume_bounds_ = std::move(bounds);
+}
+
+const std::vector<Distance>* GpuDeltaStepping::effective_warm_bounds() const {
+  return resume_bounds_.empty() ? options_.warm_start : &resume_bounds_;
+}
+
+bool GpuDeltaStepping::resume_from_checkpoint() {
+  if (!checkpoint_.valid()) return false;
+  resume_bounds_ = checkpoint_.bounds;
+  return true;
+}
+
+void GpuDeltaStepping::maybe_checkpoint() {
+  if (options_.checkpoint_interval <= 0) return;
+  ++boundary_count_;
+  if (boundary_count_ %
+          static_cast<std::uint64_t>(options_.checkpoint_interval) !=
+      0) {
+    return;
+  }
+  // A tainted attempt stops checkpointing: a corrupted tentative distance
+  // could be BELOW the true one, which would break the label-correcting
+  // resume argument. The last good snapshot stands.
+  if (attempt_poisoned() || sim_->buffer_poisoned(dist_)) return;
+  checkpoint_.bounds = dist_.data();
+  sim_->memcpy_d2h(csr_.num_vertices() * kCheckpointWordBytes, stream_);
+  checkpoint_.taken_ms = sim_->stream_elapsed_ms(stream_);
+  checkpoint_.boundaries = boundary_count_;
+  ++checkpoint_.snapshots;
 }
 
 bool GpuDeltaStepping::check_cancelled() {
@@ -765,6 +809,12 @@ bool GpuDeltaStepping::attempt_poisoned() const {
 GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
   fault_scan_begin_ = sim_->fault_log().size();
   attempt_cancelled_ = false;
+  boundary_count_ = 0;
+  // A prior poisoned attempt may have left the distance region flagged
+  // (recovery's bulk clear only fires when read-only data was also hit);
+  // this attempt re-initializes the buffer, so the stale mark must not
+  // suppress its checkpoints.
+  sim_->clear_buffer_poison(dist_);
   // Owning mode: fresh timeline/counters/caches per run (the paper's
   // single-query methodology). Shared mode: the simulator belongs to the
   // batch — time and cache state accumulate across queries, and this run's
@@ -876,6 +926,9 @@ GpuRunResult GpuDeltaStepping::run_attempt(VertexId source) {
     // vertex of the bucket passed through the queue exactly once.
     RDBS_DCHECK(outcome.converged == bs.converged || attempt_poisoned());
     if (options_.instrument) result.buckets.push_back(bs);
+    // Bucket boundary: the tentative distances are a consistent set of
+    // upper bounds here — snapshot them for checkpoint-resume.
+    maybe_checkpoint();
 
     if (vqueue_.empty()) {
       if (outcome.remaining == 0) break;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/cancel.hpp"
+#include "core/checkpoint.hpp"
 #include "core/delta_controller.hpp"
 #include "core/device_graph.hpp"
 #include "core/options.hpp"
@@ -92,6 +93,19 @@ class GpuDeltaStepping {
     options_.warm_start = bounds;
   }
 
+  // --- checkpoint-resume (core/checkpoint.hpp) -----------------------------
+  // Last good snapshot taken by the most recent run() (empty when
+  // options.checkpoint_interval is 0, in BL mode, or when no clean bucket
+  // boundary was reached). Stable until the next run(); the serving layer
+  // moves it out for mid-query lane migration.
+  const QueryCheckpoint& checkpoint() const { return checkpoint_; }
+  QueryCheckpoint take_checkpoint() { return std::move(checkpoint_); }
+  // One-shot resume: the next run() seeds its tentative distances from
+  // `bounds` (ENGINE vertex numbering, one entry per vertex) instead of
+  // options.warm_start — used by lane migration to continue a query that
+  // checkpointed on another lane. Cleared when that run returns.
+  void set_resume_bounds(std::vector<Distance> bounds);
+
  private:
   struct ChildChunk {
     VertexId vertex;
@@ -151,9 +165,20 @@ class GpuDeltaStepping {
   // every warm vertex whose seeded distance already lies inside the initial
   // window [0, hi).
   void seed_queue(VertexId source, Weight hi);
-  // Applies options_.warm_start (if bound) onto the freshly initialized
+  // The upper bounds seeding this attempt: the one-shot resume bounds when
+  // set (checkpoint-resume dominates — it was produced by an attempt that
+  // had already absorbed the warm start, so it is pointwise at least as
+  // tight), else options_.warm_start, else null.
+  const std::vector<Distance>* effective_warm_bounds() const;
+  // Applies effective_warm_bounds() (if any) onto the freshly initialized
   // distances; returns the number of vertices seeded.
   std::uint64_t apply_warm_start(VertexId source);
+  // Bucket boundary hook: every options_.checkpoint_interval boundaries,
+  // snapshot the tentative distances into checkpoint_ (D2H charged) unless
+  // the attempt is tainted by a poisoning fault.
+  void maybe_checkpoint();
+  // run_with_recovery resume hook: seeds the next attempt from checkpoint_.
+  bool resume_from_checkpoint();
   void enqueue(gpusim::WarpCtx& ctx, VertexId v, std::uint32_t lanes);
   void charge_enqueue(gpusim::WarpCtx& ctx, std::uint32_t lanes);
 
@@ -190,6 +215,13 @@ class GpuDeltaStepping {
 
   // Fault-log watermark of the current attempt (gfi).
   std::size_t fault_scan_begin_ = 0;
+
+  // Checkpoint-resume state (core/checkpoint.hpp): last good snapshot of
+  // this run, the current attempt's boundary counter, and the one-shot
+  // bounds a resumed/migrated attempt seeds from.
+  QueryCheckpoint checkpoint_;
+  std::uint64_t boundary_count_ = 0;
+  std::vector<Distance> resume_bounds_;
 
   // Serving-layer cancellation (null = never cancelled). The latch keeps a
   // fired cancellation visible to every enclosing loop of the attempt.

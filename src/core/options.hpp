@@ -102,6 +102,17 @@ struct GpuSsspOptions {
   // upper bound preserves exactness (core/result_cache.hpp; docs/serving.md
   // "Result cache"). Typically rebound per query via set_warm_start().
   const std::vector<graph::Distance>* warm_start = nullptr;
+
+  // --- checkpoint-resume ----------------------------------------------------
+  // Snapshot the tentative distance vector into a host-side QueryCheckpoint
+  // every N bucket/round boundaries (0 = off). The D2H copy is charged to
+  // the simulated clock; snapshots stop for an attempt once a poisoning
+  // fault is seen, so a corrupt bound can never leak into a resume. With a
+  // checkpoint available, retries seed from it instead of rerunning cold
+  // (RecoveryStats::resumed) and the serving layer can migrate the query to
+  // another lane mid-flight (core/checkpoint.hpp, docs/serving.md
+  // "Checkpoint-resume & lane migration").
+  int checkpoint_interval = 0;
 };
 
 }  // namespace rdbs::core

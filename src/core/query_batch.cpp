@@ -74,6 +74,7 @@ QueryBatch::QueryBatch(const graph::Csr& csr, gpusim::DeviceSpec device,
       adds.sim_threads = options_.gpu.sim_threads;
       adds.fault = options_.gpu.fault;
       adds.retry = options_.gpu.retry;
+      adds.checkpoint_interval = options_.gpu.checkpoint_interval;
       lane.adds = std::make_unique<AddsLike>(*sim_, s, graph_, adds,
                                              graph_bufs_.get());
     }
@@ -149,6 +150,19 @@ int QueryBatch::pick_lane(const std::vector<std::uint8_t>* eligible) const {
 QueryBatch::LaneOutcome QueryBatch::run_on_lane(int lane_index,
                                                 VertexId source,
                                                 const CancelToken* cancel) {
+  return run_lane_query(lane_index, source, cancel, /*resume=*/nullptr);
+}
+
+QueryBatch::LaneOutcome QueryBatch::run_migrated_on_lane(
+    int lane_index, VertexId source, const CancelToken* cancel,
+    const QueryCheckpoint& checkpoint) {
+  RDBS_CHECK(checkpoint.valid());
+  return run_lane_query(lane_index, source, cancel, &checkpoint);
+}
+
+QueryBatch::LaneOutcome QueryBatch::run_lane_query(
+    int lane_index, VertexId source, const CancelToken* cancel,
+    const QueryCheckpoint* resume) {
   RDBS_CHECK(lane_index >= 0 && lane_index < num_lanes());
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
   LaneOutcome out;
@@ -162,15 +176,29 @@ QueryBatch::LaneOutcome QueryBatch::run_on_lane(int lane_index,
     return out;
   }
 
-  // Result cache (core/result_cache.hpp): landmark warm bounds are fetched
-  // at dispatch time against the lane's own clock — a landmark whose
-  // producer hasn't finished yet on the simulated timeline is never used.
-  // The cache speaks the caller's ORIGINAL numbering; the engine wants its
-  // (possibly PRO-reordered) own, so bounds are permuted on the way in.
   const std::vector<graph::Distance>* warm = nullptr;
-  if (cache_ != nullptr &&
-      cache_->warm_bounds(source, sim_->stream_elapsed_ms(lane.stream),
-                          &warm_bounds_)) {
+  if (resume != nullptr) {
+    // Mid-query migration: continue from the checkpoint another lane of
+    // this batch produced (already in engine numbering, so no permutation
+    // round-trip). The host stages the snapshot into this lane's upload
+    // path — charged like the PCIe copy it models; the re-seed H2D is
+    // charged by the engine's warm-start application.
+    sim_->charge_host_ms(
+        sim_->memcpy_ms(static_cast<std::uint64_t>(resume->bounds.size()) *
+                        kCheckpointWordBytes),
+        lane.stream);
+    lane.set_resume(resume->bounds);
+    out.stats.migrated = true;
+  } else if (cache_ != nullptr &&
+             cache_->warm_bounds(source,
+                                 sim_->stream_elapsed_ms(lane.stream),
+                                 &warm_bounds_)) {
+    // Result cache (core/result_cache.hpp): landmark warm bounds are
+    // fetched at dispatch time against the lane's own clock — a landmark
+    // whose producer hasn't finished yet on the simulated timeline is
+    // never used. The cache speaks the caller's ORIGINAL numbering; the
+    // engine wants its (possibly PRO-reordered) own, so bounds are
+    // permuted on the way in.
     if (permuted_) {
       warm_engine_.resize(graph_.num_vertices());
       for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
@@ -213,6 +241,13 @@ QueryBatch::LaneOutcome QueryBatch::run_on_lane(int lane_index,
     out.stats.status = QueryStatus::kRecovered;
   }
 
+  // Harvest the engine's last good snapshot for a failed query: the
+  // serving layer can migrate it to another lane and resume instead of
+  // rejoining the queue cold.
+  if (out.stats.status == QueryStatus::kFailed) {
+    out.checkpoint = lane.take_checkpoint();
+  }
+
   // Only successful COLD *device* runs teach the admission estimator.
   // Failed, cancelled or fallback queries can cost near-zero device time
   // (e.g. an immediate launch failure with no fallback); folding those in
@@ -224,9 +259,12 @@ QueryBatch::LaneOutcome QueryBatch::run_on_lane(int lane_index,
   // cost it would pay on a miss. (Cache hits never reach a lane at all,
   // so they cannot skew the EWMA by construction — also regression-
   // tested.)
+  // Migrated runs resume a partially solved query, so they are excluded
+  // like warm starts.
   if ((out.stats.status == QueryStatus::kOk ||
        out.stats.status == QueryStatus::kRecovered) &&
-      !out.stats.warm_started && out.stats.device_ms > 0) {
+      !out.stats.warm_started && !out.stats.migrated &&
+      out.stats.device_ms > 0) {
     const double alpha = std::clamp(options_.ewma_alpha, 0.0, 1.0);
     lane.ewma_ms = alpha * out.stats.device_ms + (1.0 - alpha) * lane.ewma_ms;
   }
@@ -286,6 +324,7 @@ BatchResult QueryBatch::run(std::span<const VertexId> sources) {
     batch.recovery.faults_injected += out.result.recovery.faults_injected;
     batch.recovery.ecc_corrected += out.result.recovery.ecc_corrected;
     batch.recovery.retries += out.result.recovery.retries;
+    batch.recovery.resumed += out.result.recovery.resumed;
     batch.recovery.cpu_fallbacks += out.result.recovery.cpu_fallbacks;
     batch.recovery.attempts += out.result.recovery.attempts;
     batch.recovery.backoff_ms += out.result.recovery.backoff_ms;

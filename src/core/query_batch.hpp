@@ -89,6 +89,11 @@ struct QueryStats {
   // from the lane cost EWMA (which must keep predicting COLD cost for the
   // load shedder).
   bool warm_started = false;
+  // The run resumed from another lane's checkpoint after a mid-query
+  // migration (docs/serving.md "Checkpoint-resume & lane migration").
+  // EWMA-excluded like warm starts — it finishes a partially solved query,
+  // so it is systematically cheaper than a cold solve.
+  bool migrated = false;
 };
 
 struct BatchResult {
@@ -131,9 +136,23 @@ class QueryBatch {
   struct LaneOutcome {
     GpuRunResult result;
     QueryStats stats;
+    // The engine's last good snapshot, harvested when the query FAILED on
+    // the lane (empty otherwise): the serving layer's raw material for
+    // mid-query migration. Bounds are in the ENGINE numbering — valid to
+    // resume on any lane of this batch, which all share it.
+    QueryCheckpoint checkpoint;
   };
   LaneOutcome run_on_lane(int lane, VertexId source,
                           const CancelToken* cancel = nullptr);
+  // Mid-query lane migration (docs/serving.md): re-runs `source` on `lane`
+  // seeded from `checkpoint` (produced by a failed run on another lane of
+  // this batch). The host-side snapshot staging is charged to the
+  // destination stream like the PCIe copy it models; the re-seed H2D is
+  // charged by the engine's warm-start path. The outcome carries
+  // stats.migrated and is excluded from the lane cost EWMA.
+  LaneOutcome run_migrated_on_lane(int lane, VertexId source,
+                                   const CancelToken* cancel,
+                                   const QueryCheckpoint& checkpoint);
 
   int num_lanes() const { return static_cast<int>(lanes_.size()); }
   gpusim::StreamId lane_stream(int lane) const;
@@ -206,7 +225,24 @@ class QueryBatch {
       adds->set_warm_start(warm);
       return adds->run(source);
     }
+
+    void set_resume(std::vector<graph::Distance> bounds) {
+      if (rdbs) {
+        rdbs->set_resume_bounds(std::move(bounds));
+      } else {
+        adds->set_resume_bounds(std::move(bounds));
+      }
+    }
+    QueryCheckpoint take_checkpoint() {
+      return rdbs ? rdbs->take_checkpoint() : adds->take_checkpoint();
+    }
   };
+
+  // Shared body of run_on_lane / run_migrated_on_lane; `resume` non-null
+  // seeds the run from that checkpoint instead of the result cache.
+  LaneOutcome run_lane_query(int lane, VertexId source,
+                             const CancelToken* cancel,
+                             const QueryCheckpoint* resume);
 
   QueryBatchOptions options_;
   double cost_seed_ms_ = 0;

@@ -124,6 +124,83 @@ void QueryServer::record_outcome(int lane,
   }
 }
 
+bool QueryServer::try_migrate(VertexId source, bool bounded,
+                              double abs_deadline_ms,
+                              QueryBatch::LaneOutcome& outcome, int& lane,
+                              std::uint64_t& overrun_kernels) {
+  if (!options_.migrate) return false;
+  if (outcome.stats.status != QueryStatus::kFailed) return false;
+  if (!outcome.checkpoint.valid()) return false;
+
+  update_breaker_states(batch_.sim().elapsed_ms());
+  std::vector<std::uint8_t> eligible(
+      static_cast<std::size_t>(batch_.num_lanes()), 0);
+  bool any_eligible = false;
+  for (int l = 0; l < batch_.num_lanes(); ++l) {
+    if (l == lane) continue;  // never resume on the lane that just failed
+    if (breakers_[static_cast<std::size_t>(l)].state == BreakerState::kOpen) {
+      continue;
+    }
+    eligible[static_cast<std::size_t>(l)] = 1;
+    any_eligible = true;
+  }
+  if (!any_eligible) return false;
+
+  // A lost device latches globally; migration is the consumer of
+  // revive_device() (simulated device reset before re-seeding the
+  // destination lane from the host-side checkpoint).
+  if (batch_.sim().device_lost()) batch_.sim().revive_device();
+
+  const int dest = batch_.pick_lane(&eligible);
+  RDBS_CHECK(dest >= 0);
+  // The resumed attempt cannot start before the failure was observed on the
+  // source lane; an idle destination is charged the gap as host time.
+  const double gap_ms =
+      batch_.lane_clock_ms(lane) - batch_.lane_clock_ms(dest);
+  if (gap_ms > 0) {
+    batch_.sim().charge_host_ms(gap_ms, batch_.lane_stream(dest));
+  }
+
+  const gpusim::StreamId stream = batch_.lane_stream(dest);
+  const std::uint64_t overrun_before =
+      batch_.sim().stream_overrun_kernels(stream);
+  CancelToken token;
+  const CancelToken* cancel = nullptr;
+  if (bounded) {
+    batch_.sim().set_stream_deadline(stream, abs_deadline_ms);
+    token = CancelToken(batch_.sim(), stream, abs_deadline_ms);
+    cancel = &token;
+  }
+  QueryBatch::LaneOutcome resumed =
+      batch_.run_migrated_on_lane(dest, source, cancel, outcome.checkpoint);
+  if (bounded) batch_.sim().clear_stream_deadline(stream);
+  overrun_kernels +=
+      batch_.sim().stream_overrun_kernels(stream) - overrun_before;
+
+  record_outcome(dest, resumed);
+
+  // Fold the failed attempt's accounting into the resumed run so per-query
+  // totals cover both attempts. Done AFTER record_outcome: the destination
+  // lane's breaker must only see the destination's faults.
+  RecoveryStats& to = resumed.result.recovery;
+  const RecoveryStats& from = outcome.result.recovery;
+  to.faults_injected += from.faults_injected;
+  to.ecc_corrected += from.ecc_corrected;
+  to.retries += from.retries;
+  to.resumed += from.resumed;
+  to.cpu_fallbacks += from.cpu_fallbacks;
+  to.attempts += from.attempts;
+  to.backoff_ms += from.backoff_ms;
+  to.device_lost = to.device_lost || from.device_lost;
+  resumed.result.faults.insert(resumed.result.faults.begin(),
+                               outcome.result.faults.begin(),
+                               outcome.result.faults.end());
+
+  outcome = std::move(resumed);
+  lane = dest;
+  return true;
+}
+
 ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
   ServerResult result;
   result.queries.resize(queries.size());
@@ -332,12 +409,15 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
         batch_.sim().stream_overrun_kernels(stream) - overrun_before;
 
     record_outcome(lane, outcome);
+    try_migrate(query.source, bounded, abs_deadline_ms, outcome, lane,
+                stats.overrun_kernels);
 
     stats.finish_ms = batch_.lane_clock_ms(lane) - run_start_ms;
     stats.query = std::move(outcome.stats);
     result.recovery.faults_injected += outcome.result.recovery.faults_injected;
     result.recovery.ecc_corrected += outcome.result.recovery.ecc_corrected;
     result.recovery.retries += outcome.result.recovery.retries;
+    result.recovery.resumed += outcome.result.recovery.resumed;
     result.recovery.cpu_fallbacks += outcome.result.recovery.cpu_fallbacks;
     result.recovery.attempts += outcome.result.recovery.attempts;
     result.recovery.backoff_ms += outcome.result.recovery.backoff_ms;
@@ -362,6 +442,8 @@ ServerResult QueryServer::run(std::span<const ServerQuery> queries) {
     if (stats.rerouted) ++result.rerouted_queries;
     if (stats.single_flight) ++result.joined_queries;
     if (stats.query.warm_started) ++result.warm_started_queries;
+    if (stats.query.migrated) ++result.migrated_queries;
+    if (result.queries[i].recovery.resumed > 0) ++result.resumed_queries;
     result.overrun_kernels += stats.overrun_kernels;
   }
   result.device_makespan_ms = batch_.sim().elapsed_ms() - run_start_ms;
@@ -494,9 +576,97 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
   std::size_t next_arrival = 0;
   double now_ms = 0;
 
+  // --- closed-loop clients (core/traffic.hpp ClosedLoopSpec) ---------------
+  // A shed or deadline-missed query re-arrives after a deterministic
+  // jittered backoff, up to the retry budget; the re-arrival replaces the
+  // query's outcome at its original index, so results stay index-parallel.
+  struct Retry {
+    std::size_t index = 0;
+    double arrival_ms = 0;  // relative to the stream start, like now_ms
+    int attempt = 0;
+  };
+  const ClosedLoopSpec& loop = options_.closed_loop;
+  std::vector<Retry> retries;  // sorted by (arrival_ms, index) from next_retry
+  std::size_t next_retry = 0;
+  std::vector<int> attempts(schedule.size(), 0);
+  // Schedules a re-arrival for the query at `index` whose shed/miss the
+  // client observes at `event_ms`. Returns true when one was scheduled (the
+  // caller must NOT finalize the query — the retry overwrites its outcome).
+  const auto maybe_retry = [&](std::size_t index, double event_ms) {
+    if (!loop.enabled) return false;
+    if (attempts[index] >= loop.retry_budget) {
+      ++result.retry_exhausted;
+      return false;
+    }
+    const int attempt = ++attempts[index];
+    double delay_ms = closed_loop_backoff_ms(loop, index, attempt);
+    // Backpressure: the client reads the server's pending-queue depth at
+    // scheduling time and defers further when the queue is visibly deep —
+    // the retry stream throttles instead of amplifying an overload.
+    if (loop.backpressure_depth > 0 &&
+        pending.size() > loop.backpressure_depth) {
+      delay_ms +=
+          static_cast<double>(pending.size() - loop.backpressure_depth) *
+          loop.backpressure_penalty_ms;
+    }
+    const Retry retry{index, event_ms + delay_ms, attempt};
+    const auto pos = std::upper_bound(
+        retries.begin() + static_cast<std::ptrdiff_t>(next_retry),
+        retries.end(), retry, [](const Retry& a, const Retry& b) {
+          if (a.arrival_ms != b.arrival_ms) {
+            return a.arrival_ms < b.arrival_ms;
+          }
+          return a.index < b.index;
+        });
+    retries.insert(pos, retry);
+    ++result.retried_arrivals;
+    ++result.stats[index].arrivals;
+    return true;
+  };
+  const auto shed_or_retry = [&](std::size_t index, const char* why,
+                                 double event_ms) {
+    if (maybe_retry(index, event_ms)) return;
+    shed(index, why);
+  };
+  // Admits one closed-loop re-arrival: the deadline window restarts
+  // relative to the NEW arrival (arrival_ms keeps the original, so sojourn
+  // spans all attempts).
+  const auto admit_retry = [&](const Retry& retry) {
+    const std::size_t index = retry.index;
+    StreamQueryStats& stats = result.stats[index];
+    stats.deadline_ms = std::isfinite(schedule[index].deadline_ms)
+                            ? retry.arrival_ms + schedule[index].deadline_ms
+                            : kInf;
+    if (serve_from_cache_stream(index, retry.arrival_ms)) return;
+    if (pending.size() >= options_.max_pending) {
+      shed_or_retry(index, "admission queue full", retry.arrival_ms);
+      return;
+    }
+    pending.push_back({index, retry.arrival_ms, stats.deadline_ms});
+  };
+
+  // Merges schedule arrivals and closed-loop re-arrivals in
+  // (arrival_ms, index) order.
   const auto admit_arrivals = [&](double up_to_ms) {
-    while (next_arrival < order.size() &&
-           schedule[order[next_arrival]].arrival_ms <= up_to_ms) {
+    while (true) {
+      const bool have_sched =
+          next_arrival < order.size() &&
+          schedule[order[next_arrival]].arrival_ms <= up_to_ms;
+      const bool have_retry = next_retry < retries.size() &&
+                              retries[next_retry].arrival_ms <= up_to_ms;
+      if (!have_sched && !have_retry) break;
+      bool take_retry = have_retry;
+      if (have_sched && have_retry) {
+        const double sched_ms = schedule[order[next_arrival]].arrival_ms;
+        const Retry& retry = retries[next_retry];
+        take_retry = retry.arrival_ms < sched_ms ||
+                     (retry.arrival_ms == sched_ms &&
+                      retry.index < order[next_arrival]);
+      }
+      if (take_retry) {
+        admit_retry(retries[next_retry++]);
+        continue;
+      }
       const std::size_t index = order[next_arrival++];
       const TrafficQuery& query = schedule[index];
       // An invalid source fails on arrival and never occupies queue space.
@@ -510,7 +680,7 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
       // query never needs (and never takes) queue space.
       if (serve_from_cache_stream(index, query.arrival_ms)) continue;
       if (pending.size() >= options_.max_pending) {
-        shed(index, "admission queue full");
+        shed_or_retry(index, "admission queue full", query.arrival_ms);
         continue;
       }
       pending.push_back(
@@ -527,19 +697,30 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
   while (true) {
     admit_arrivals(now_ms);
 
-    // A pending query whose deadline has passed is shed, never dispatched.
+    // A pending query whose deadline has passed is shed (or, closed-loop,
+    // retried — the client notices the timeout at its own deadline), never
+    // dispatched.
     for (std::size_t i = 0; i < pending.size();) {
       if (pending[i].deadline_ms <= now_ms) {
-        shed(pending[i].index, "deadline expired while queued");
+        const Pending expired = pending[i];
         pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        shed_or_retry(expired.index, "deadline expired while queued",
+                      expired.deadline_ms);
       } else {
         ++i;
       }
     }
 
     if (pending.empty()) {
-      if (next_arrival >= order.size()) break;
-      now_ms = std::max(now_ms, schedule[order[next_arrival]].arrival_ms);
+      const double next_sched_ms = next_arrival < order.size()
+                                       ? schedule[order[next_arrival]].arrival_ms
+                                       : kInf;
+      const double next_retry_ms = next_retry < retries.size()
+                                       ? retries[next_retry].arrival_ms
+                                       : kInf;
+      const double next_event_ms = std::min(next_sched_ms, next_retry_ms);
+      if (!std::isfinite(next_event_ms)) break;
+      now_ms = std::max(now_ms, next_event_ms);
       continue;
     }
 
@@ -602,8 +783,8 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
           batch_.lane_cost_estimate_ms(wait_lane);
       if (options_.shed_on_overload && bounded &&
           projected_finish_ms > item.deadline_ms) {
-        shed(item.index, "all lanes open");
         pending.erase(head);
+        shed_or_retry(item.index, "all lanes open", now_ms);
         continue;
       }
       const double target_rel_ms = std::max(now_ms, reopen_rel_ms);
@@ -627,10 +808,13 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
     }
     const double decision_rel_ms = std::max(now_ms, free_rel_ms);
     if (decision_rel_ms > now_ms) {
-      const double next_arrival_ms =
-          next_arrival < order.size()
-              ? schedule[order[next_arrival]].arrival_ms
-              : kInf;
+      double next_arrival_ms = next_arrival < order.size()
+                                   ? schedule[order[next_arrival]].arrival_ms
+                                   : kInf;
+      if (next_retry < retries.size()) {
+        next_arrival_ms =
+            std::min(next_arrival_ms, retries[next_retry].arrival_ms);
+      }
       now_ms = std::min(decision_rel_ms, next_arrival_ms);
       continue;
     }
@@ -652,10 +836,10 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
           batch_.lane_predicted_completion_ms(lane, not_before_abs_ms) -
           stream_start_ms;
       if (predicted_finish_ms > item.deadline_ms) {
-        if (!try_hedge(item.index, now_ms)) {
-          shed(item.index, "predicted deadline miss");
-        }
         pending.erase(head);
+        if (!try_hedge(item.index, now_ms)) {
+          shed_or_retry(item.index, "predicted deadline miss", now_ms);
+        }
         continue;
       }
     }
@@ -691,6 +875,9 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
         batch_.sim().stream_overrun_kernels(stream) - overrun_before;
 
     record_outcome(lane, outcome);
+    try_migrate(schedule[item.index].source, bounded,
+                stream_start_ms + item.deadline_ms, outcome, lane,
+                stats.overrun_kernels);
 
     stats.finish_ms = batch_.lane_clock_ms(lane) - stream_start_ms;
     stats.query = std::move(outcome.stats);
@@ -702,12 +889,18 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
     result.recovery.faults_injected += outcome.result.recovery.faults_injected;
     result.recovery.ecc_corrected += outcome.result.recovery.ecc_corrected;
     result.recovery.retries += outcome.result.recovery.retries;
+    result.recovery.resumed += outcome.result.recovery.resumed;
     result.recovery.cpu_fallbacks += outcome.result.recovery.cpu_fallbacks;
     result.recovery.attempts += outcome.result.recovery.attempts;
     result.recovery.backoff_ms += outcome.result.recovery.backoff_ms;
     result.recovery.device_lost =
         result.recovery.device_lost || outcome.result.recovery.device_lost;
     result.queries[item.index] = std::move(outcome.result);
+    // Closed-loop: a dispatched query that still missed its deadline comes
+    // back like a shed one (the client cannot tell the difference).
+    if (stats.query.status == QueryStatus::kDeadlineExceeded) {
+      maybe_retry(item.index, stats.finish_ms);
+    }
   }
 
   // --- aggregates ---------------------------------------------------------
@@ -749,6 +942,8 @@ StreamResult QueryServer::run_stream(std::span<const TrafficQuery> schedule) {
     if (stats.rerouted) ++result.rerouted_queries;
     if (stats.single_flight) ++result.joined_queries;
     if (stats.query.warm_started) ++result.warm_started_queries;
+    if (stats.query.migrated) ++result.migrated_queries;
+    if (result.queries[i].recovery.resumed > 0) ++result.resumed_queries;
     result.overrun_kernels += stats.overrun_kernels;
   }
   result.device_makespan_ms = batch_.sim().elapsed_ms() - stream_start_ms;

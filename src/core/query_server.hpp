@@ -107,9 +107,25 @@ struct QueryServerOptions {
   // query is never shed), attaches repeat sources to in-flight identical
   // queries, and has QueryBatch publish every lane outcome into it.
   ResultCacheOptions cache;
+  // Mid-query lane migration (docs/serving.md "Checkpoint-resume & lane
+  // migration"). When a dispatched query FAILS on its lane but left a valid
+  // checkpoint (batch.gpu.checkpoint_interval > 0), the server moves it to
+  // another eligible lane and RESUMES from the checkpointed upper bounds —
+  // exact by the label-correcting argument — instead of losing the work. A
+  // lost device is revived first (simulated device reset). At most one
+  // migration per query. Safe default: checkpointing is off by default, so
+  // no checkpoint ever exists unless explicitly enabled.
+  bool migrate = true;
   // --- streaming (run_stream) only -----------------------------------------
   // Lane placement for deadline-bound queries.
   LanePolicy lane_policy = LanePolicy::kPredictedFastest;
+  // Closed-loop clients (core/traffic.hpp ClosedLoopSpec): with
+  // closed_loop.enabled, a shed or deadline-missed query re-arrives after a
+  // deterministic jittered exponential backoff, up to closed_loop.retry_budget
+  // re-arrivals, with an optional backpressure penalty read from the
+  // pending-queue depth at the moment the re-arrival is scheduled. The
+  // re-arrival replaces the query's outcome at its original index.
+  ClosedLoopSpec closed_loop;
   // Starvation aging: a pending query is promoted one priority class for
   // every aging_ms it has waited, so best-effort work cannot starve behind
   // a sustained interactive flood — and a priority inversion deeper than
@@ -175,6 +191,8 @@ struct ServerResult {
   std::uint64_t cached_queries = 0;    // kCacheHit (no lane touched)
   std::uint64_t joined_queries = 0;    // single-flight attachments
   std::uint64_t warm_started_queries = 0;  // dispatched with landmark bounds
+  std::uint64_t resumed_queries = 0;   // >=1 retry seeded from a checkpoint
+  std::uint64_t migrated_queries = 0;  // moved to another lane mid-query
   std::uint64_t overrun_kernels = 0;   // summed over all queries
   RecoveryStats recovery;              // summed over all device queries
   std::vector<BreakerEvent> breaker_events;  // in occurrence order
@@ -194,6 +212,11 @@ struct StreamQueryStats {
   // Aging promotions in effect when the query was dispatched:
   // floor(wait / aging_ms). 0 when aging is off or the query never waited.
   int promotions = 0;
+  // Total arrivals of this query including closed-loop re-arrivals; 1 for
+  // an open-loop stream. arrival_ms always keeps the ORIGINAL arrival (so
+  // sojourn stays honest); deadline_ms tracks the latest attempt's
+  // absolute deadline.
+  int arrivals = 1;
   bool hedged = false;     // served on the host lane
   bool rerouted = false;   // see ServerQueryStats::rerouted
   bool single_flight = false;  // see ServerQueryStats::single_flight
@@ -225,6 +248,10 @@ struct StreamResult {
   std::uint64_t cached_queries = 0;    // kCacheHit (no lane touched)
   std::uint64_t joined_queries = 0;    // single-flight attachments
   std::uint64_t warm_started_queries = 0;  // dispatched with landmark bounds
+  std::uint64_t resumed_queries = 0;   // >=1 retry seeded from a checkpoint
+  std::uint64_t migrated_queries = 0;  // moved to another lane mid-query
+  std::uint64_t retried_arrivals = 0;  // closed-loop re-arrivals scheduled
+  std::uint64_t retry_exhausted = 0;   // sheds/misses past the retry budget
   std::uint64_t overrun_kernels = 0;
   std::array<ClassTally, kNumTrafficClasses> classes{};
   RecoveryStats recovery;
@@ -294,6 +321,18 @@ class QueryServer {
   void open_lane(int lane, BreakerTransition transition);
   // Applies one device-query outcome to its lane's breaker.
   void record_outcome(int lane, const QueryBatch::LaneOutcome& outcome);
+  // Checkpoint-resume migration: when `outcome` is a kFailed query that
+  // left a valid checkpoint and another lane's breaker is not open, revive
+  // the device if it was lost, re-dispatch on the earliest-free eligible
+  // lane seeded from the checkpoint, and replace `outcome` (and `lane`)
+  // with the destination lane's run. Recovery counters and fault records
+  // from the failed attempt are merged in so totals stay honest; the
+  // destination's overrun kernels are added to `overrun_kernels`. Returns
+  // true when a migration ran (whatever its outcome). At most one
+  // migration per query — callers invoke this once.
+  bool try_migrate(VertexId source, bool bounded, double abs_deadline_ms,
+                   QueryBatch::LaneOutcome& outcome, int& lane,
+                   std::uint64_t& overrun_kernels);
 
   QueryServerOptions options_;
   graph::Csr host_csr_;  // original numbering, for the host hedge lane

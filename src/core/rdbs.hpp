@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/gpu_sssp.hpp"
 #include "reorder/pro.hpp"
@@ -34,6 +35,13 @@ class RdbsSolver {
   // result are mapped back to original ids.
   GpuRunResult solve(VertexId source);
 
+  // Optional per-vertex upper bounds in the ORIGINAL vertex numbering
+  // (GpuSsspOptions::warm_start semantics; kInfiniteDistance = no bound),
+  // mapped through the PRO permutation on the way in. The caller owns
+  // `bounds`; the pointer must stay valid until the next set_warm_start()
+  // or solver destruction. nullptr detaches.
+  void set_warm_start(const std::vector<graph::Distance>* bounds);
+
   const Csr& engine_graph() const { return graph_; }
   const GpuSsspOptions& options() const { return engine_->options(); }
   // The simulator backing the engine — replay-mode/layout knobs and the
@@ -49,6 +57,9 @@ class RdbsSolver {
   bool permuted_ = false;
   double preprocessing_ms_ = 0;
   std::unique_ptr<GpuDeltaStepping> engine_;
+  // Warm bounds in engine numbering: a member so the pointer handed to the
+  // engine stays valid across its retry attempts.
+  std::vector<graph::Distance> warm_engine_;
 };
 
 }  // namespace rdbs::core

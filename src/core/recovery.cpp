@@ -34,6 +34,16 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
                                const graph::Csr& csr, graph::VertexId source,
                                const std::function<GpuRunResult()>& attempt,
                                const CancelToken* cancel) {
+  return run_with_recovery(sim, stream, policy, csr, source, attempt, cancel,
+                           /*resume=*/{});
+}
+
+GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
+                               const RetryPolicy& policy,
+                               const graph::Csr& csr, graph::VertexId source,
+                               const std::function<GpuRunResult()>& attempt,
+                               const CancelToken* cancel,
+                               const std::function<bool()>& resume) {
   if (!sim.fault_injector() && !sim.device_lost()) {
     // Fault injection off: single attempt, no scan, no extra bookkeeping.
     // The attempt itself honors the engine's cancel token, so a deadline
@@ -120,6 +130,11 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
         sim.memory().clear_poison();
       }
       backoff *= policy.backoff_multiplier;
+      // Checkpoint-resume: let the engine seed the next attempt from its
+      // last good snapshot instead of rerunning cold. The re-seed H2D is
+      // charged by the attempt's warm-start path; exactness follows from
+      // the label-correcting argument (core/checkpoint.hpp).
+      if (resume && resume()) ++recovery.resumed;
     }
   }
 

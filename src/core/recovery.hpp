@@ -64,4 +64,19 @@ GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
                                const std::function<GpuRunResult()>& attempt,
                                const CancelToken* cancel);
 
+// Checkpoint-resume variant (docs/serving.md "Checkpoint-resume & lane
+// migration"). `resume` is consulted while preparing each retry, after the
+// backoff charge: when it returns true the engine has re-seeded the next
+// attempt from a host-side QueryCheckpoint — the retry then continues from
+// the salvaged upper bounds instead of rerunning cold, and the result's
+// RecoveryStats::resumed counts it. Label-correcting exactness makes the
+// resumed run bit-identical in distances to a cold one. `resume` may be
+// empty (identical to the overload above).
+GpuRunResult run_with_recovery(gpusim::GpuSim& sim, gpusim::StreamId stream,
+                               const RetryPolicy& policy,
+                               const graph::Csr& csr, graph::VertexId source,
+                               const std::function<GpuRunResult()>& attempt,
+                               const CancelToken* cancel,
+                               const std::function<bool()>& resume);
+
 }  // namespace rdbs::core

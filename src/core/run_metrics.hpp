@@ -20,6 +20,7 @@ struct RecoveryStats {
   std::uint64_t faults_injected = 0;  // events observed across all attempts
   std::uint64_t ecc_corrected = 0;    // benign subset (no retry needed)
   std::uint64_t retries = 0;          // discarded attempts that were rerun
+  std::uint64_t resumed = 0;          // retries seeded from a checkpoint
   std::uint64_t cpu_fallbacks = 0;    // 1 when Dijkstra produced the result
   std::uint64_t attempts = 0;         // device attempts actually run
   double backoff_ms = 0;              // simulated backoff charged (retries)

@@ -319,6 +319,79 @@ TrafficSpec parse_traffic_spec(const std::string& text) {
   return spec;
 }
 
+double closed_loop_backoff_ms(const ClosedLoopSpec& spec,
+                              std::uint64_t query_index, int attempt) {
+  if (attempt < 1) {
+    throw std::invalid_argument("closed loop: attempt is 1-based");
+  }
+  if (!(spec.backoff_base_ms >= 0) || !(spec.backoff_multiplier >= 0) ||
+      !std::isfinite(spec.backoff_base_ms) ||
+      !std::isfinite(spec.backoff_multiplier)) {
+    throw std::invalid_argument(
+        "closed loop: backoff parameters must be finite and non-negative");
+  }
+  if (!(spec.jitter >= 0) || !(spec.jitter <= 1)) {
+    throw std::invalid_argument("closed loop: jitter must be in [0, 1]");
+  }
+  const double base =
+      spec.backoff_base_ms *
+      std::pow(spec.backoff_multiplier, static_cast<double>(attempt - 1));
+  // Counter-keyed jitter, the gfi fault-plan scheme (gpusim/fault.hpp): a
+  // pure hash of (seed, query, attempt) through SplitMix64, so the draw
+  // depends on nothing but its keys — no ambient entropy, no draw-order
+  // coupling between queries.
+  SplitMix64 mix(spec.seed ^ mix64(query_index * 0x9e3779b97f4a7c15ULL) ^
+                 mix64(static_cast<std::uint64_t>(attempt)));
+  const double u =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return base * (1.0 + spec.jitter * (2.0 * u - 1.0));
+}
+
+ClosedLoopSpec parse_closed_loop_spec(const std::string& text) {
+  ClosedLoopSpec spec;
+  spec.enabled = true;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string field = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "closed-loop spec: expected key=value, got '" + field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "budget") {
+      spec.retry_budget = static_cast<int>(parse_u64_field(key, value));
+    } else if (key == "backoff") {
+      spec.backoff_base_ms = parse_double_field(key, value);
+    } else if (key == "mult") {
+      spec.backoff_multiplier = parse_double_field(key, value);
+    } else if (key == "jitter") {
+      spec.jitter = parse_double_field(key, value);
+    } else if (key == "seed") {
+      spec.seed = parse_u64_field(key, value);
+    } else if (key == "depth") {
+      spec.backpressure_depth =
+          static_cast<std::size_t>(parse_u64_field(key, value));
+    } else if (key == "penalty") {
+      spec.backpressure_penalty_ms = parse_double_field(key, value);
+    } else {
+      throw std::invalid_argument("closed-loop spec: unknown key '" + key +
+                                  "'");
+    }
+  }
+  if (spec.retry_budget < 0 || !(spec.backoff_base_ms >= 0) ||
+      !(spec.backoff_multiplier >= 0) || !(spec.jitter >= 0) ||
+      !(spec.jitter <= 1) || !(spec.backpressure_penalty_ms >= 0)) {
+    throw std::invalid_argument("closed-loop spec: values out of range");
+  }
+  return spec;
+}
+
 SourceRepetitionStats source_repetition_stats(
     std::span<const TrafficQuery> schedule) {
   SourceRepetitionStats stats;

@@ -121,6 +121,61 @@ std::vector<TrafficQuery> generate_traffic(const TrafficSpec& spec,
 // Throws std::invalid_argument with a pointed message on bad input.
 TrafficSpec parse_traffic_spec(const std::string& text);
 
+// --- closed-loop clients (docs/serving.md "Closed-loop clients") ----------
+//
+// An open-loop schedule keeps offering queries no matter what the server
+// does; real clients react: a shed or deadline-missed query comes BACK
+// after a backoff, up to a retry budget, and a client library stops
+// hammering a server whose queue is visibly full. ClosedLoopSpec is that
+// behavior, deterministic: the backoff jitter is a pure function of
+// (seed, query index, attempt) hashed through SplitMix64 — the same
+// counter-keyed scheme gfi fault plans use — so a closed-loop stream is
+// byte-identical across sim_threads and replays.
+struct ClosedLoopSpec {
+  bool enabled = false;
+  // Re-arrivals allowed per original query (0 with enabled = retries off,
+  // but backpressure accounting still runs).
+  int retry_budget = 2;
+  // Backoff before re-arrival attempt k (1-based):
+  //   backoff_base_ms * backoff_multiplier^(k-1), jittered by
+  //   ±jitter (fraction) via the counter-keyed hash.
+  double backoff_base_ms = 0.5;
+  double backoff_multiplier = 2.0;
+  double jitter = 0.5;  // in [0, 1]: delay *= 1 + jitter * u, u in [-1, 1)
+  std::uint64_t seed = 42;
+  // Backpressure: when the server's pending queue holds >= depth entries
+  // at the moment a re-arrival is scheduled, the client defers it by an
+  // extra penalty_ms per queued entry above the threshold — the generator
+  // throttles instead of amplifying an overload. 0 = off.
+  std::size_t backpressure_depth = 0;
+  double backpressure_penalty_ms = 0.5;
+};
+
+// Deterministic jittered exponential backoff for re-arrival `attempt`
+// (1-based) of original query `query_index`. Pure function of its
+// arguments; throws std::invalid_argument on attempt < 1 or a spec with
+// negative/non-finite backoff parameters or jitter outside [0, 1].
+double closed_loop_backoff_ms(const ClosedLoopSpec& spec,
+                              std::uint64_t query_index, int attempt);
+
+// Closed-loop grammar (composes with parse_traffic_spec's output at the
+// CLI layer; docs/serving.md):
+//
+//   key=value[,key=value...]
+//
+//   budget     re-arrivals per query            (retry_budget)
+//   backoff    base backoff ms                  (backoff_base_ms)
+//   mult       backoff multiplier               (backoff_multiplier)
+//   jitter     jitter fraction in [0,1]         (jitter)
+//   seed       64-bit jitter seed
+//   depth      backpressure queue threshold     (backpressure_depth)
+//   penalty    backpressure ms per excess entry (backpressure_penalty_ms)
+//
+// e.g. "budget=3,backoff=0.25,jitter=0.5,depth=12"
+// Returns a spec with enabled = true. Throws std::invalid_argument on bad
+// input.
+ClosedLoopSpec parse_closed_loop_spec(const std::string& text);
+
 // Source-repetition shape of a schedule — the statistic that decides
 // whether a result cache (core/result_cache.hpp) can pay off: every
 // repeat of an already-seen source is a potential exact hit or

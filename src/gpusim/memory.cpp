@@ -129,6 +129,16 @@ void MemorySim::clear_poison() {
   for (Region& region : regions_) region.poisoned = false;
 }
 
+bool MemorySim::region_poisoned(std::uint64_t addr) const {
+  const Region* region = find_region(addr);
+  return region != nullptr && region->poisoned;
+}
+
+void MemorySim::clear_region_poison(std::uint64_t addr) {
+  const std::size_t index = find_region_index(addr);
+  if (index != kNoRegion) regions_[index].poisoned = false;
+}
+
 MemorySim::AccessResult MemorySim::access(
     int sm_id, std::span<const std::uint64_t> addresses, bool cached) {
   RDBS_DCHECK(sm_id >= 0 && static_cast<std::size_t>(sm_id) < l1_.size());

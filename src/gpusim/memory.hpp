@@ -145,6 +145,15 @@ class MemorySim {
   std::uint64_t poisoned_read_only_bytes() const;
   // Clears every poison mark (after the re-upload has been charged).
   void clear_poison();
+  // True when the region containing `addr` is flagged poisoned. Checkpoint
+  // snapshots consult this (core/checkpoint.hpp) so a corrupt bound never
+  // leaks into a resume.
+  bool region_poisoned(std::uint64_t addr) const;
+  // Clears one region's mark: a retry attempt re-initializes its mutable
+  // buffers from scratch, so their stale poison (which the bulk
+  // clear_poison() above only reaches when read-only data was also hit)
+  // must not taint the fresh attempt's checkpoints.
+  void clear_region_poison(std::uint64_t addr);
   // Region containing `addr`, or nullptr. Regions are base-sorted by
   // construction (bump allocation), so this is a binary search.
   const Region* find_region(std::uint64_t addr) const;

@@ -431,6 +431,18 @@ class GpuSim {
     fault_log_.clear();
     if (sanitizer_) sanitizer_->full_fence();
   }
+  // Checkpoint poison hooks (core/checkpoint.hpp): engines snapshot a
+  // distance buffer only while its backing region is clean, and clear the
+  // stale mark when a retry re-initializes the buffer from scratch (the
+  // bulk clear in recovery only fires when read-only data was also hit).
+  template <typename T>
+  bool buffer_poisoned(const Buffer<T>& buf) const {
+    return memory_.region_poisoned(buf.address_of(0));
+  }
+  template <typename T>
+  void clear_buffer_poison(const Buffer<T>& buf) {
+    memory_.clear_region_poison(buf.address_of(0));
+  }
   // Charges a host-side delay (e.g. a retry backoff) to one stream's
   // simulated timeline. The host is interacting with this stream's work, so
   // the sanitizer treats it as a two-way synchronization point.

@@ -734,5 +734,102 @@ TEST(FaultInjection, DeviceLossDuringHalfOpenProbeReopensTheBreaker) {
             sssp::dijkstra(csr, 11).distances);
 }
 
+// --- checkpoint-resume (docs/serving.md "Checkpoint-resume") ---------------
+
+// With checkpointing on, retries seed from the last clean snapshot instead
+// of restarting cold. Resumed recovery must still land on BIT-IDENTICAL
+// distances — the checkpoint holds valid upper bounds (label-correcting
+// argument), so this is the same exactness contract as a cold retry.
+TEST(FaultInjection, CheckpointResumedRetriesRecoverExactDistances) {
+  const Csr csr = chaos_graph();
+  const std::vector<Distance> oracle = sssp::dijkstra(csr, 3).distances;
+
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 12;
+  cfg.bit_flip_per_load = 0.01;
+  cfg.correctable_fraction = 0.0;  // every flip poisons -> retries
+  core::RetryPolicy retry;
+  retry.max_attempts = 6;
+
+  std::uint64_t resumed_total = 0;
+  for (const Engine engine : {Engine::kRdbs, Engine::kAdds}) {
+    core::GpuRunResult result;
+    if (engine == Engine::kRdbs) {
+      core::GpuSsspOptions options;
+      options.delta0 = 120.0;
+      options.fault = cfg;
+      options.retry = retry;
+      options.checkpoint_interval = 1;
+      core::RdbsSolver solver(csr, gpusim::test_device(), options);
+      result = solver.solve(3);
+    } else {
+      core::AddsOptions options;
+      options.delta = 120.0;
+      options.fault = cfg;
+      options.retry = retry;
+      options.checkpoint_interval = 1;
+      core::AddsLike eng(gpusim::test_device(), csr, options);
+      result = eng.run(3);
+    }
+    ASSERT_TRUE(result.ok) << engine_name(engine);
+    EXPECT_GT(result.recovery.retries, 0u) << engine_name(engine);
+    EXPECT_EQ(result.sssp.distances, oracle) << engine_name(engine);
+    resumed_total += result.recovery.resumed;
+  }
+  // At least one retry across the two engines must have been seeded from a
+  // checkpoint (the fault plan guarantees mid-run poisons past bucket 1).
+  EXPECT_GT(resumed_total, 0u);
+}
+
+// Checkpointing costs simulated D2H time but never changes the answer.
+TEST(FaultInjection, CheckpointingChargesTheClockAndKeepsDistancesExact) {
+  const Csr csr = chaos_graph();
+  core::GpuSsspOptions base;
+  base.delta0 = 120.0;
+
+  core::RdbsSolver cold(csr, gpusim::test_device(), base);
+  const core::GpuRunResult without = cold.solve(7);
+
+  core::GpuSsspOptions ck = base;
+  ck.checkpoint_interval = 2;
+  core::RdbsSolver snap(csr, gpusim::test_device(), ck);
+  const core::GpuRunResult with = snap.solve(7);
+
+  EXPECT_EQ(with.sssp.distances, without.sssp.distances);
+  EXPECT_GT(with.device_ms, without.device_ms);
+  EXPECT_EQ(with.recovery.resumed, 0u);  // no faults -> nothing to resume
+}
+
+// The resume path must be as deterministic as everything else: same seed,
+// same resumed count, same fault plan, same distances for any sim_threads.
+TEST(FaultInjection, CheckpointResumeBitIdenticalAcrossSimThreads) {
+  const Csr csr = chaos_graph();
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 18;
+  cfg.bit_flip_per_load = 0.008;
+  cfg.correctable_fraction = 0.0;
+  core::RetryPolicy retry;
+  retry.max_attempts = 6;
+
+  std::vector<core::GpuRunResult> results;
+  for (const int sim_threads : {1, 8}) {
+    core::GpuSsspOptions options;
+    options.delta0 = 120.0;
+    options.sim_threads = sim_threads;
+    options.fault = cfg;
+    options.retry = retry;
+    options.checkpoint_interval = 1;
+    core::RdbsSolver solver(csr, gpusim::test_device(), options);
+    results.push_back(solver.solve(9));
+  }
+  EXPECT_EQ(results[0].recovery.resumed, results[1].recovery.resumed);
+  EXPECT_EQ(results[0].recovery.retries, results[1].recovery.retries);
+  EXPECT_EQ(results[0].device_ms, results[1].device_ms);
+  EXPECT_EQ(fault_plan(results[0]), fault_plan(results[1]));
+  EXPECT_EQ(results[0].sssp.distances, results[1].sssp.distances);
+}
+
 }  // namespace
 }  // namespace rdbs

@@ -111,6 +111,20 @@ bool fuzz_cache() {
   return env == nullptr || *env == '\0' || *env != '0';
 }
 
+// RDBS_FUZZ_WARM=0 disables the warm-start leg (run_warm_case below):
+// every warm-start-capable engine case is re-run seeded with an ARBITRARY
+// valid upper-bound vector — the Dijkstra oracle inflated by seed-derived
+// non-negative integer slack with a sprinkle of +inf "unknown" entries —
+// and must land on distances bit-identical to the cold run. ON by default:
+// this is the exactness argument behind checkpoint-resume and landmark
+// warm starts (any valid upper bound is a correct seed for a
+// label-correcting engine), exercised far from the tidy bounds the cache
+// produces.
+bool fuzz_warm() {
+  const char* env = std::getenv("RDBS_FUZZ_WARM");
+  return env == nullptr || *env == '\0' || *env != '0';
+}
+
 gpusim::FaultConfig fuzz_fault_config(std::uint64_t case_seed) {
   gpusim::FaultConfig cfg;
   if (!fuzz_faults()) return cfg;  // disabled
@@ -793,6 +807,97 @@ void run_cache_case(const FuzzCase& c, const Csr& csr, int case_index) {
   ++g_cache_tally.cases;
 }
 
+// Warm-start leg of a warm-start-capable fuzz case (RDBS_FUZZ_WARM, on by
+// default): re-run the same engine seeded with an arbitrary valid
+// upper-bound vector and demand bit-identical distances. The bounds are
+// adversarially sloppy on purpose — per-vertex the oracle value is kept
+// exact, inflated by integer slack (doubles stay exact), or withheld as
+// +inf — because the label-correcting exactness argument promises ANY
+// valid upper bound works, not just the tidy vectors the result cache or
+// a checkpoint produce. Sweep-level tally guards against the generator
+// degenerating into all-+inf bounds (which would retest the cold path).
+struct WarmLegTally {
+  std::size_t finite_bounds = 0;
+  std::size_t cases = 0;
+};
+WarmLegTally g_warm_tally;
+
+std::vector<graph::Distance> fuzz_warm_bounds(
+    const std::vector<graph::Distance>& exact, Xoshiro256& rng) {
+  std::vector<graph::Distance> bounds(
+      exact.size(), std::numeric_limits<graph::Distance>::infinity());
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    if (!std::isfinite(exact[v])) continue;  // unreachable: only +inf valid
+    switch (rng.next_below(4)) {
+      case 0: break;  // unknown vertex: bound stays +inf
+      case 1:
+        bounds[v] = exact[v];  // exact bound (tightest legal)
+        break;
+      default:
+        // Loose bound: integer slack keeps double arithmetic exact.
+        bounds[v] = exact[v] + static_cast<graph::Distance>(
+                                   1 + rng.next_below(1000));
+        break;
+    }
+    if (std::isfinite(bounds[v])) ++g_warm_tally.finite_bounds;
+  }
+  return bounds;
+}
+
+void run_warm_case(const FuzzCase& c, const Csr& csr,
+                   const std::vector<graph::Distance>& expected,
+                   int case_index) {
+  Xoshiro256 rng(c.seed ^ 0x3a5fb0cd5eedull);
+  const std::vector<graph::Distance> bounds = fuzz_warm_bounds(expected, rng);
+  const gpusim::DeviceSpec device = gpusim::test_device();
+  const gpusim::SanitizeMode sanitize = fuzz_sanitize();
+  const gpusim::FaultConfig fault = fuzz_fault_config(c.seed);
+  const core::RetryPolicy retry = fuzz_retry_policy();
+  std::string sanitizer_report;
+  std::vector<graph::Distance> warm;
+  if (c.engine == Engine::kRdbs) {
+    core::GpuSsspOptions options;
+    options.basyn = c.basyn;
+    options.pro = c.pro;
+    options.adwl = c.adwl;
+    options.delta0 = c.delta0;
+    options.sanitize = sanitize;
+    options.fault = fault;
+    options.retry = retry;
+    core::RdbsSolver solver(csr, device, options);
+    // Bounds are in the ORIGINAL numbering; the solver maps them through
+    // the PRO permutation (the contract run_cache_case's batch relies on).
+    solver.set_warm_start(&bounds);
+    auto result = solver.solve(c.source);
+    sanitizer_report = std::move(result.sanitizer_report);
+    warm = std::move(result.sssp.distances);
+  } else {
+    ASSERT_EQ(c.engine, Engine::kAdds)
+        << "warm case " << case_index << ": engine family has no warm path";
+    core::AddsOptions options;
+    options.delta = c.delta0;
+    options.sanitize = sanitize;
+    options.fault = fault;
+    options.retry = retry;
+    options.warm_start = &bounds;
+    core::AddsLike adds(device, csr, options);
+    auto result = adds.run(c.source);
+    sanitizer_report = std::move(result.sanitizer_report);
+    warm = std::move(result.sssp.distances);
+  }
+  ASSERT_TRUE(sanitizer_report.empty())
+      << "warm case " << case_index << ": " << c.describe() << "\n"
+      << sanitizer_report;
+  ASSERT_EQ(warm.size(), expected.size())
+      << "warm case " << case_index << ": " << c.describe();
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ASSERT_EQ(warm[v], expected[v])
+        << "warm case " << case_index << " vertex " << v << ": "
+        << c.describe();
+  }
+  ++g_warm_tally.cases;
+}
+
 TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
   const std::uint64_t master = 42;
   const int iters = fuzz_iterations();
@@ -849,6 +954,10 @@ TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
     if (c.engine == Engine::kBatch && fuzz_cache()) {
       run_cache_case(c, csr, i);
     }
+    if ((c.engine == Engine::kRdbs || c.engine == Engine::kAdds) &&
+        fuzz_warm()) {
+      run_warm_case(c, csr, expected, i);
+    }
   }
   if (fuzz_cache() && g_cache_tally.cases >= 3) {
     // The hot-Zipf schedules must have produced real cache traffic
@@ -859,6 +968,13 @@ TEST(FuzzDifferential, EveryEngineMatchesDijkstraOnRandomGraphs) {
               0u)
         << "no cache activity across " << g_cache_tally.cases
         << " cache-leg cases";
+  }
+  if (fuzz_warm() && g_warm_tally.cases >= 1) {
+    // The bound generator must have produced real (finite) upper bounds;
+    // an all-+inf sweep would just re-test the cold path.
+    EXPECT_GT(g_warm_tally.finite_bounds, 0u)
+        << "no finite warm bounds across " << g_warm_tally.cases
+        << " warm-leg cases";
   }
 }
 

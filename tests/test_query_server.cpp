@@ -748,5 +748,227 @@ TEST(QueryServer, StatePersistsAcrossRuns) {
   EXPECT_EQ(second.ok_queries, 2u);
 }
 
+// --- checkpoint-resume & lane migration (docs/serving.md) ------------------
+
+core::QueryServerOptions migration_options(bool migrate) {
+  core::QueryServerOptions options;
+  options.batch.streams = 2;
+  options.batch.gpu.delta0 = 150.0;
+  // Snapshot every bucket boundary so a mid-query failure leaves a
+  // checkpoint behind; surface exhausted recovery as kFailed (the state
+  // migration picks up) instead of silently falling back to the host.
+  options.batch.gpu.checkpoint_interval = 1;
+  options.batch.gpu.retry.max_attempts = 1;
+  options.batch.gpu.retry.cpu_fallback = false;
+  options.hedge_to_cpu = false;
+  options.migrate = migrate;
+  // Keep the breaker from opening the destination lane mid-test.
+  options.breaker.failure_threshold = 100;
+  return options;
+}
+
+// A query that loses its device mid-run migrates to the other lane, resumes
+// from the checkpoint, and completes with oracle-exact distances; with
+// migration off the identical run fails outright.
+TEST(QueryServer, MigrationResumesLostQueryOnSurvivingLane) {
+  const Csr csr = server_test_graph();
+  const std::vector<VertexId> sources = {0, 17, 113, 256, 399, 42};
+
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 4;
+  cfg.device_loss = 0.002;  // one loss somewhere mid-stream
+  cfg.max_faults = 1;
+
+  core::ServerResult with_migration;
+  core::ServerResult without_migration;
+  for (const bool migrate : {true, false}) {
+    core::QueryServerOptions options = migration_options(migrate);
+    options.batch.gpu.fault = cfg;
+    core::QueryServer server(csr, gpusim::test_device(), options);
+    core::ServerResult result =
+        server.run(std::vector<core::ServerQuery>(queries_for(sources)));
+    (migrate ? with_migration : without_migration) = std::move(result);
+  }
+
+  ASSERT_EQ(without_migration.failed_queries, 1u);
+  EXPECT_EQ(with_migration.failed_queries, 0u);
+  EXPECT_EQ(with_migration.migrated_queries, 1u);
+  EXPECT_EQ(with_migration.ok_queries, sources.size());
+  check_against_oracle(csr, queries_for(sources), with_migration);
+
+  // The migrated query finished on a lane other than the one it failed on,
+  // and its stats say so.
+  bool saw_migrated = false;
+  for (const core::ServerQueryStats& sq : with_migration.stats) {
+    saw_migrated = saw_migrated || sq.query.migrated;
+  }
+  EXPECT_TRUE(saw_migrated);
+}
+
+// Migration only helps when a checkpoint exists: with checkpointing off the
+// same storm fails the query even with migration enabled.
+TEST(QueryServer, MigrationWithoutCheckpointLeavesQueryFailed) {
+  const Csr csr = server_test_graph();
+  const std::vector<VertexId> sources = {0, 17, 113, 256, 399, 42};
+
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 4;
+  cfg.device_loss = 0.002;
+  cfg.max_faults = 1;
+
+  core::QueryServerOptions options = migration_options(true);
+  options.batch.gpu.checkpoint_interval = 0;  // no snapshots, no resume
+  options.batch.gpu.fault = cfg;
+  core::QueryServer server(csr, gpusim::test_device(), options);
+  const core::ServerResult result =
+      server.run(std::vector<core::ServerQuery>(queries_for(sources)));
+
+  EXPECT_EQ(result.failed_queries, 1u);
+  EXPECT_EQ(result.migrated_queries, 0u);
+}
+
+// Migration decisions and the resumed distances are bit-identical across
+// sim_threads, like every other serving decision.
+TEST(QueryServer, MigrationBitIdenticalAcrossSimThreads) {
+  const Csr csr = server_test_graph();
+  const std::vector<VertexId> sources = {0, 17, 113, 256, 399, 42};
+
+  gpusim::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 4;
+  cfg.device_loss = 0.002;
+  cfg.max_faults = 1;
+
+  std::vector<core::ServerResult> results;
+  for (const int sim_threads : {1, 8}) {
+    core::QueryServerOptions options = migration_options(true);
+    options.batch.gpu.sim_threads = sim_threads;
+    options.batch.gpu.fault = cfg;
+    core::QueryServer server(csr, gpusim::test_device(), options);
+    results.push_back(
+        server.run(std::vector<core::ServerQuery>(queries_for(sources))));
+  }
+  EXPECT_EQ(results[0].migrated_queries, results[1].migrated_queries);
+  EXPECT_EQ(results[0].makespan_ms, results[1].makespan_ms);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(results[0].stats[i].query.status,
+              results[1].stats[i].query.status)
+        << i;
+    EXPECT_EQ(results[0].queries[i].sssp.distances,
+              results[1].queries[i].sssp.distances)
+        << i;
+  }
+}
+
+// --- closed-loop clients (docs/serving.md "Closed-loop clients") -----------
+
+// Under a queue-full overload, closed-loop clients bring shed queries back
+// after backoff: fewer queries end shed than in the identical open-loop
+// run, retry amplification stays within the budget, and every completed
+// retry carries oracle-exact distances.
+TEST(QueryServer, StreamClosedLoopRetriesShedWorkWithinBudget) {
+  const Csr csr = server_test_graph();
+
+  // A burst of simultaneous arrivals against a 2-deep pending queue forces
+  // queue-full sheds at t=0; re-arrivals after backoff find the queue
+  // drained and complete.
+  std::vector<core::TrafficQuery> schedule;
+  for (int i = 0; i < 10; ++i) {
+    schedule.push_back(
+        at(0.0, static_cast<VertexId>(17 + 31 * i),
+                      core::TrafficClass::kInteractive));
+  }
+
+  core::StreamResult open_loop;
+  core::StreamResult closed_loop;
+  for (const bool closed : {false, true}) {
+    core::QueryServerOptions options;
+    options.batch.streams = 2;
+    options.batch.gpu.delta0 = 150.0;
+    options.max_pending = 2;
+    options.hedge_to_cpu = false;
+    if (closed) {
+      options.closed_loop.enabled = true;
+      options.closed_loop.retry_budget = 3;
+      options.closed_loop.backoff_base_ms = 0.2;
+      options.closed_loop.seed = 5;
+    }
+    core::QueryServer server(csr, gpusim::test_device(), options);
+    (closed ? closed_loop : open_loop) = server.run_stream(schedule);
+  }
+
+  ASSERT_GT(open_loop.shed_queries, 0u);
+  EXPECT_EQ(open_loop.retried_arrivals, 0u);
+  EXPECT_LT(closed_loop.shed_queries, open_loop.shed_queries);
+  EXPECT_GT(closed_loop.retried_arrivals, 0u);
+
+  // Bounded amplification: per-query re-arrivals never exceed the budget,
+  // and the total equals the per-query sum (no phantom arrivals).
+  std::uint64_t rearrivals = 0;
+  std::uint64_t retried_queries = 0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const core::StreamQueryStats& sq = closed_loop.stats[i];
+    ASSERT_GE(sq.arrivals, 1);
+    EXPECT_LE(sq.arrivals - 1, 3) << "query " << i;
+    rearrivals += static_cast<std::uint64_t>(sq.arrivals - 1);
+    if (sq.arrivals > 1) ++retried_queries;
+    if (completed(sq.query.status)) {
+      EXPECT_EQ(closed_loop.queries[i].sssp.distances,
+                sssp::dijkstra(csr, schedule[i].source).distances)
+          << "query " << i;
+    }
+  }
+  EXPECT_EQ(closed_loop.retried_arrivals, rearrivals);
+  EXPECT_LE(closed_loop.retried_arrivals, 3 * retried_queries);
+}
+
+// Closed-loop scheduling (jittered backoff, backpressure deferral) is a
+// pure function of the spec: bit-identical streams for any sim_threads.
+TEST(QueryServer, StreamClosedLoopBitIdenticalAcrossSimThreads) {
+  const Csr csr = server_test_graph();
+
+  std::vector<core::TrafficQuery> schedule;
+  for (int i = 0; i < 12; ++i) {
+    schedule.push_back(
+        at(0.05 * i, static_cast<VertexId>(13 + 29 * i),
+                      core::TrafficClass::kInteractive, /*deadline_ms=*/1.5));
+  }
+
+  std::vector<core::StreamResult> results;
+  for (const int sim_threads : {1, 8}) {
+    core::QueryServerOptions options;
+    options.batch.streams = 2;
+    options.batch.gpu.delta0 = 150.0;
+    options.batch.gpu.sim_threads = sim_threads;
+    options.max_pending = 3;
+    options.hedge_to_cpu = false;
+    options.closed_loop.enabled = true;
+    options.closed_loop.retry_budget = 2;
+    options.closed_loop.backoff_base_ms = 0.3;
+    options.closed_loop.jitter = 0.5;
+    options.closed_loop.seed = 11;
+    options.closed_loop.backpressure_depth = 2;
+    options.closed_loop.backpressure_penalty_ms = 0.1;
+    core::QueryServer server(csr, gpusim::test_device(), options);
+    results.push_back(server.run_stream(schedule));
+  }
+  EXPECT_EQ(results[0].retried_arrivals, results[1].retried_arrivals);
+  EXPECT_EQ(results[0].retry_exhausted, results[1].retry_exhausted);
+  EXPECT_EQ(results[0].shed_queries, results[1].shed_queries);
+  EXPECT_EQ(results[0].makespan_ms, results[1].makespan_ms);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(results[0].stats[i].query.status,
+              results[1].stats[i].query.status)
+        << i;
+    EXPECT_EQ(results[0].stats[i].arrivals, results[1].stats[i].arrivals)
+        << i;
+    EXPECT_EQ(results[0].queries[i].sssp.distances,
+              results[1].queries[i].sssp.distances)
+        << i;
+  }
+}
+
 }  // namespace
 }  // namespace rdbs

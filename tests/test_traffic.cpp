@@ -319,5 +319,75 @@ TEST(Traffic, SpecGrammarRejectsGarbage) {
                std::invalid_argument);
 }
 
+// --- closed-loop clients ---------------------------------------------------
+
+TEST(Traffic, ClosedLoopBackoffIsAPureFunctionOfItsKeys) {
+  core::ClosedLoopSpec spec;
+  spec.backoff_base_ms = 0.4;
+  spec.backoff_multiplier = 2.0;
+  spec.jitter = 0.5;
+  spec.seed = 9;
+  for (std::uint64_t index : {0ull, 1ull, 17ull, 123456789ull}) {
+    for (int attempt = 1; attempt <= 4; ++attempt) {
+      const double a = core::closed_loop_backoff_ms(spec, index, attempt);
+      const double b = core::closed_loop_backoff_ms(spec, index, attempt);
+      EXPECT_EQ(a, b);  // bitwise: no ambient entropy anywhere
+      const double base = 0.4 * std::pow(2.0, attempt - 1);
+      EXPECT_GE(a, base * (1.0 - spec.jitter));
+      EXPECT_LE(a, base * (1.0 + spec.jitter));
+    }
+  }
+  // Different keys decorrelate: not every draw lands on the same jitter.
+  const double x = core::closed_loop_backoff_ms(spec, 1, 1);
+  const double y = core::closed_loop_backoff_ms(spec, 2, 1);
+  EXPECT_NE(x, y);
+}
+
+TEST(Traffic, ClosedLoopBackoffWithoutJitterIsExactExponential) {
+  core::ClosedLoopSpec spec;
+  spec.backoff_base_ms = 0.25;
+  spec.backoff_multiplier = 3.0;
+  spec.jitter = 0.0;
+  EXPECT_EQ(core::closed_loop_backoff_ms(spec, 7, 1), 0.25);
+  EXPECT_EQ(core::closed_loop_backoff_ms(spec, 7, 2), 0.75);
+  EXPECT_EQ(core::closed_loop_backoff_ms(spec, 7, 3), 2.25);
+}
+
+TEST(Traffic, ClosedLoopBackoffValidatesArguments) {
+  core::ClosedLoopSpec spec;
+  EXPECT_THROW(core::closed_loop_backoff_ms(spec, 0, 0),
+               std::invalid_argument);
+  spec.jitter = 1.5;
+  EXPECT_THROW(core::closed_loop_backoff_ms(spec, 0, 1),
+               std::invalid_argument);
+  spec.jitter = 0.5;
+  spec.backoff_base_ms = -1.0;
+  EXPECT_THROW(core::closed_loop_backoff_ms(spec, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(Traffic, ClosedLoopSpecGrammarRoundTripsAndRejectsGarbage) {
+  const core::ClosedLoopSpec spec = core::parse_closed_loop_spec(
+      "budget=3,backoff=0.25,mult=3,jitter=0.25,seed=9,depth=12,"
+      "penalty=0.75");
+  EXPECT_TRUE(spec.enabled);
+  EXPECT_EQ(spec.retry_budget, 3);
+  EXPECT_EQ(spec.backoff_base_ms, 0.25);
+  EXPECT_EQ(spec.backoff_multiplier, 3.0);
+  EXPECT_EQ(spec.jitter, 0.25);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.backpressure_depth, 12u);
+  EXPECT_EQ(spec.backpressure_penalty_ms, 0.75);
+
+  EXPECT_THROW(core::parse_closed_loop_spec("budget"),
+               std::invalid_argument);
+  EXPECT_THROW(core::parse_closed_loop_spec("bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(core::parse_closed_loop_spec("jitter=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(core::parse_closed_loop_spec("backoff=fast"),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace rdbs
